@@ -1,0 +1,50 @@
+/// \file bench_fig8a_power_output.cpp
+/// \brief Reproduces paper Fig. 8(a): microgenerator output power during the
+/// 1 Hz tuning process.
+///
+/// "The waveform shows that when the ambient frequency shifts from 70 to
+/// 71 Hz, as expected the output power drops down and goes up before and
+/// after tuning. The simulated RMS power is 118 uW when the microgenerator
+/// is tuned at 70 Hz and 117 uW when it is tuned at 71 Hz. These values
+/// match well with the reported practical test value of 116 uW."
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/scenarios.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+
+  ScenarioSpec spec = scenario1();
+  if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
+    spec.duration = 160.0;  // enough to cover shift + retune + recovery
+  }
+  spec.power_bin_width = 1.0;
+
+  std::printf("=== Fig. 8(a): output power from the microgenerator, scenario 1 ===\n");
+  std::printf("ambient 70 Hz -> 71 Hz at t = %.0f s; proposed engine\n\n", spec.shift_time);
+
+  const ScenarioResult result = run_scenario(spec, EngineKind::kProposed);
+
+  std::printf("# time[s]  mean_power[uW]  rms_power[uW]\n");
+  for (std::size_t i = 0; i < result.power_time.size(); i += 2) {
+    std::printf("%8.1f  %10.1f  %10.1f\n", result.power_time[i], result.power_mean[i] * 1e6,
+                result.power_rms[i] * 1e6);
+  }
+
+  double tune_completed = 0.0;
+  for (const auto& event : result.mcu_events) {
+    if (event.type == ehsim::harvester::McuEvent::Type::kTuningCompleted) {
+      tune_completed = event.time;
+    }
+  }
+
+  std::printf("\nRMS power tuned at 70 Hz (pre-shift window):  %6.1f uW   (paper: 118 uW)\n",
+              result.rms_power_before * 1e6);
+  std::printf("RMS power tuned at 71 Hz (post-tune window):  %6.1f uW   (paper: 117 uW)\n",
+              result.rms_power_after * 1e6);
+  std::printf("practical measurement reported by the paper:   116 uW\n");
+  std::printf("tuning completed at t = %.1f s; final resonance %.2f Hz\n", tune_completed,
+              result.final_resonance_hz);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,47 @@
+/// \file bench_fig8b_supercap_voltage.cpp
+/// \brief Reproduces paper Fig. 8(b): simulated vs experimental supercap
+/// voltage during the 1 Hz tuning scenario.
+///
+/// "As can be seen, the simulation waveform correlates well with the
+/// experimental measurement." The physical measurement is substituted by a
+/// perturbed-plant run (extra leakage and parasitic losses — exactly the
+/// differences the paper blames for the residual deviation); the bench
+/// quantifies the correlation with Pearson r and NRMSE.
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/metrics.hpp"
+#include "experiments/reference_data.hpp"
+#include "experiments/scenarios.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+
+  ScenarioSpec spec = scenario1();
+  if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
+    spec.duration = 160.0;
+  }
+
+  std::printf("=== Fig. 8(b): supercapacitor voltage, simulation vs experiment ===\n");
+  std::printf("scenario 1 (70 -> 71 Hz at t = %.0f s), %.0f s span\n\n", spec.shift_time,
+              spec.duration);
+
+  const ScenarioResult sim = run_scenario(spec, EngineKind::kProposed);
+  const ExperimentalTrace measured = make_experimental_trace(spec, 1.0);
+
+  const auto sim_on_grid = resample(sim.time, sim.vc, measured.time);
+
+  std::printf("# time[s]  simulated_Vc[V]  measured_Vc[V]\n");
+  for (std::size_t i = 0; i < measured.time.size(); i += 5) {
+    std::printf("%8.1f  %12.4f  %12.4f\n", measured.time[i], sim_on_grid[i], measured.vc[i]);
+  }
+
+  const double r = pearson_correlation(sim_on_grid, measured.vc);
+  const double err = nrmse(measured.vc, sim_on_grid);
+  std::printf("\nPearson correlation simulation vs measurement: r = %.4f\n", r);
+  std::printf("NRMSE (normalised by measured range):          %.3f\n", err);
+  std::printf("paper: \"the simulation waveform correlates well with the experimental\n"
+              "measurement\", residual differences attributed to leakage and parasitic\n"
+              "loss — reproduced here by construction of the measurement model.\n");
+  return EXIT_SUCCESS;
+}

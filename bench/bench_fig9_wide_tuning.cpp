@@ -1,0 +1,73 @@
+/// \file bench_fig9_wide_tuning.cpp
+/// \brief Reproduces paper Fig. 9: scenario 2 — the 14 Hz (maximum range)
+/// tuning process, simulation vs experimental supercapacitor voltage.
+///
+/// "In Scenario 2, we increase the frequency variation to 14 Hz which
+/// presents a more challenging simulation case due to the wider frequency
+/// range. Yet there is close correlation between simulation and
+/// experimental waveforms."
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/metrics.hpp"
+#include "experiments/reference_data.hpp"
+#include "experiments/scenarios.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+
+  ScenarioSpec spec = scenario2();
+  if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
+    spec.duration = 330.0;  // covers shift + the long actuation burst + recovery
+  }
+
+  std::printf("=== Fig. 9: scenario 2 (14 Hz tuning), simulation vs experiment ===\n");
+  std::printf("ambient %.1f Hz -> %.1f Hz at t = %.0f s, %.0f s span\n\n",
+              spec.initial_ambient_hz, spec.shifted_ambient_hz, spec.shift_time,
+              spec.duration);
+
+  const ScenarioResult sim = run_scenario(spec, EngineKind::kProposed);
+  const ExperimentalTrace measured = make_experimental_trace(spec, 2.0);
+  const auto sim_on_grid = resample(sim.time, sim.vc, measured.time);
+
+  std::printf("# time[s]  simulated_Vc[V]  measured_Vc[V]\n");
+  for (std::size_t i = 0; i < measured.time.size(); i += 5) {
+    std::printf("%8.1f  %12.4f  %12.4f\n", measured.time[i], sim_on_grid[i], measured.vc[i]);
+  }
+
+  std::printf("\nMCU activity:\n");
+  for (const auto& event : sim.mcu_events) {
+    const char* what = "?";
+    switch (event.type) {
+      case ehsim::harvester::McuEvent::Type::kWakeup:
+        what = "wakeup (Vc)";
+        break;
+      case ehsim::harvester::McuEvent::Type::kEnergyLow:
+        what = "energy low (Vc)";
+        break;
+      case ehsim::harvester::McuEvent::Type::kFrequencyMatched:
+        what = "frequency matched (f0r)";
+        break;
+      case ehsim::harvester::McuEvent::Type::kTuningStarted:
+        what = "tuning started (target Hz)";
+        break;
+      case ehsim::harvester::McuEvent::Type::kTuningCompleted:
+        what = "tuning completed (f0r)";
+        break;
+      case ehsim::harvester::McuEvent::Type::kTuningAborted:
+        what = "tuning aborted (Vc)";
+        break;
+    }
+    std::printf("  t=%8.1f s  %-28s %.3f\n", event.time, what, event.value);
+  }
+
+  const double r = pearson_correlation(sim_on_grid, measured.vc);
+  const double err = nrmse(measured.vc, sim_on_grid);
+  std::printf("\nfinal resonance: %.2f Hz (target %.1f Hz)\n", sim.final_resonance_hz,
+              spec.shifted_ambient_hz);
+  std::printf("Pearson correlation simulation vs measurement: r = %.4f\n", r);
+  std::printf("NRMSE:                                          %.3f\n", err);
+  std::printf("paper: \"our technique is accurate even for energy harvester with a wide\n"
+              "frequency tuning range\".\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,129 @@
+/// \file bench_microkernels.cpp
+/// \brief Ablation A5: micro-kernel costs behind the Tables I/II story.
+///
+/// Times the primitive operations whose balance decides the engine
+/// comparison: the dense LU factorisation the Newton-Raphson baseline pays
+/// at every iteration (cubic in the model size), the Eq. 4 elimination
+/// solve, the Adams-Bashforth update, table lookups, and the full-system
+/// eval/jacobian assembly of the 11-state harvester model.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/assembler.hpp"
+#include "experiments/scenarios.hpp"
+#include "harvester/harvester_system.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/lu.hpp"
+#include "ode/ab_coefficients.hpp"
+#include "ode/explicit_integrators.hpp"
+
+namespace {
+
+ehsim::linalg::Matrix random_dominant(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  ehsim::linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = dist(rng);
+      sum += std::abs(a(r, c));
+    }
+    a(r, r) = sum + 1.0;
+  }
+  return a;
+}
+
+/// Dense LU — the per-Newton-iteration cost of the baseline engines.
+void BM_LuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_dominant(n, 7);
+  ehsim::linalg::LuFactorization lu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu.factor(a));
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_LuFactor)->Arg(4)->Arg(8)->Arg(11)->Arg(15)->Arg(22)->Arg(32);
+
+/// The Eq. 4 elimination solve of the proposed engine (4x4 for the full
+/// harvester).
+void BM_Eq4Solve(benchmark::State& state) {
+  const auto a = random_dominant(4, 11);
+  ehsim::linalg::LuFactorization lu(a);
+  std::vector<double> rhs{1.0, -2.0, 0.5, 3.0};
+  std::vector<double> x(4);
+  for (auto _ : state) {
+    lu.solve(rhs, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Eq4Solve);
+
+/// Variable-step AB coefficient computation + state update (11 states).
+void BM_AbStep(benchmark::State& state) {
+  ehsim::ode::AbHistory history(11, 2);
+  std::vector<double> f(11, 0.1);
+  history.push(0.0, f);
+  history.push(1e-5, f);
+  std::vector<double> x(11, 1.0);
+  double t = 1e-5;
+  for (auto _ : state) {
+    t += 1e-5;
+    history.step(t, x);
+    history.push(t, f);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_AbStep);
+
+/// Full-system eval + Jacobian assembly of the 11-state harvester.
+void BM_HarvesterAssembly(benchmark::State& state) {
+  using namespace ehsim;
+  const auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+  auto& assembler = system.assembler();
+  linalg::Vector x(assembler.num_states());
+  linalg::Vector y(assembler.num_nets());
+  linalg::Vector fx(assembler.num_states());
+  linalg::Vector fy(assembler.num_nets());
+  linalg::Matrix jxx, jxy, jyx, jyy;
+  assembler.jacobians(0.0, x.span(), y.span(), jxx, jxy, jyx, jyy);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-5;
+    assembler.eval(t, x.span(), y.span(), fx.span(), fy.span());
+    assembler.jacobians(t, x.span(), y.span(), jxx, jxy, jyx, jyy);
+    benchmark::DoNotOptimize(fx.data());
+  }
+}
+BENCHMARK(BM_HarvesterAssembly);
+
+/// Jacobian signature check — the cost of certifying Jacobian reuse.
+void BM_JacobianSignature(benchmark::State& state) {
+  using namespace ehsim;
+  const auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+  auto& assembler = system.assembler();
+  linalg::Vector x(assembler.num_states());
+  linalg::Vector y(assembler.num_nets());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assembler.jacobian_signature(0.0, x.span(), y.span()));
+  }
+}
+BENCHMARK(BM_JacobianSignature);
+
+/// QR eigenvalues of the 11x11 eliminated system — the Eq. 7 stability
+/// recomputation (amortised over hundreds of steps).
+void BM_Eigenvalues11(benchmark::State& state) {
+  const auto a = random_dominant(11, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ehsim::linalg::eigenvalues(a));
+  }
+}
+BENCHMARK(BM_Eigenvalues11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

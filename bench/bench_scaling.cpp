@@ -1,0 +1,81 @@
+/// \file bench_scaling.cpp
+/// \brief Ablation A4: model-size scaling and the stiffness caveat.
+///
+/// Two sweeps: (a) multiplier stage count 1..12 (model grows from 7 to 18
+/// states): the baseline pays a cubically growing LU per Newton iteration,
+/// but the proposed engine is not free either — more simultaneously
+/// conducting diodes stiffen the input-filter node, tightening its Eq. 7
+/// stability cap. (b) The paper's own caveat: "the technique is unlikely to
+/// offer a speed advantage when applied to strongly stiff systems" — the
+/// Eq. 13 coil variant with decreasing inductance adds a progressively
+/// faster parasitic mode and the explicit step count grows accordingly.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "baseline/nr_engine.hpp"
+#include "core/linearised_solver.hpp"
+#include "experiments/cpu_timer.hpp"
+#include "experiments/scenarios.hpp"
+#include "experiments/table_printer.hpp"
+
+namespace {
+
+double time_engine(ehsim::experiments::EngineKind kind,
+                   const ehsim::harvester::HarvesterParams& params, double span,
+                   std::uint64_t* steps_out = nullptr) {
+  using namespace ehsim;
+  harvester::HarvesterSystem system(params, experiments::device_mode_for(kind), false);
+  auto engine = experiments::make_engine(kind, system.assembler());
+  engine->initialise(0.0);
+  experiments::WallTimer timer;
+  engine->advance_to(span);
+  if (steps_out != nullptr) {
+    *steps_out = engine->stats().steps;
+  }
+  return timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ehsim::experiments;
+
+  const bool full = std::getenv("EHSIM_BENCH_FULL") != nullptr;
+  const double span = full ? 5.0 : 1.5;
+
+  std::printf("=== Ablation A4: model-size scaling and stiffness (paper section II) ===\n\n");
+  std::printf("--- (a) multiplier stages: states grow, LU cost grows cubically ---\n");
+
+  TablePrinter table({"stages", "states", "proposed CPU", "NR baseline CPU", "speed-up"});
+  for (std::size_t stages : {1u, 3u, 5u, 8u, 12u}) {
+    auto params = scenario_params(charging_scenario(span));
+    params.multiplier.stages = stages;
+    const double proposed = time_engine(EngineKind::kProposed, params, span);
+    const double baseline = time_engine(EngineKind::kSystemVision, params, span);
+    table.add_row({std::to_string(stages), std::to_string(stages + 1 + 2 + 3),
+                   format_duration(proposed), format_duration(baseline),
+                   format_double(baseline / proposed, 3) + "x"});
+  }
+  table.print(std::cout);
+
+  std::printf("\n--- (b) stiffness: Eq. 13 coil variant, decreasing Lc ---\n");
+  TablePrinter stiff({"Lc [mH]", "proposed CPU", "proposed steps", "NR baseline CPU",
+                      "speed-up"});
+  for (double lc : {50e-3, 20e-3, 9.5e-3, 4e-3}) {
+    auto params = scenario_params(charging_scenario(span));
+    params.generator.coil_inductance = lc;
+    std::uint64_t steps = 0;
+    const double proposed = time_engine(EngineKind::kProposed, params, span, &steps);
+    const double baseline = time_engine(EngineKind::kSystemVision, params, span);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1f", lc * 1e3);
+    stiff.add_row({label, format_duration(proposed), std::to_string(steps),
+                   format_duration(baseline), format_double(baseline / proposed, 3) + "x"});
+  }
+  stiff.print(std::cout);
+  std::printf("\nsmaller Lc shortens the coil time constant; the Eq. 7 cap forces more\n"
+              "explicit steps (see the step column) while the implicit baseline's step\n"
+              "count is stability-immune — the paper's stiff-system caveat, quantified.\n");
+  return EXIT_SUCCESS;
+}

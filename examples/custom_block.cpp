@@ -1,0 +1,116 @@
+/// \file custom_block.cpp
+/// \brief Extending ehsim with a user-defined component block.
+///
+/// Shows the complete block-author checklist on a worked example: a
+/// thermoelectric generator (Seebeck voltage source with internal
+/// resistance and thermal low-pass dynamics) feeding the stock storage
+/// block — i.e. a *different energy-harvesting modality* expressed in the
+/// paper's state-equations-plus-terminal-variables form (Fig. 3):
+///
+///   tau_th dTd/dt = (dT_ambient(t) - Td)      (thermal state)
+///   fy: V - S*Td + R_int * I = 0               (electrical port)
+///
+/// Checklist: (1) dimensions (states / terminals / algebraic rows),
+/// (2) eval, (3) jacobians, (4) optional names + initial state,
+/// (5) optional jacobian_signature for reuse certification.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numbers>
+
+#include "core/block.hpp"
+#include "core/linearised_solver.hpp"
+#include "harvester/supercapacitor.hpp"
+
+namespace {
+
+/// Thermoelectric generator block: one thermal state, one electrical port.
+class ThermoelectricGenerator final : public ehsim::core::AnalogBlock {
+ public:
+  ThermoelectricGenerator(double seebeck_v_per_k, double internal_ohms,
+                          double thermal_tau_s)
+      : AnalogBlock("teg", 1, 2, 1),
+        seebeck_(seebeck_v_per_k),
+        r_int_(internal_ohms),
+        tau_(thermal_tau_s) {}
+
+  /// Ambient temperature difference profile: slow 0.02 Hz swing around 20 K.
+  [[nodiscard]] static double ambient_delta_t(double t) {
+    return 20.0 + 8.0 * std::sin(2.0 * std::numbers::pi * 0.02 * t);
+  }
+
+  void initial_state(std::span<double> x) const override { x[0] = ambient_delta_t(0.0); }
+
+  void eval(double t, std::span<const double> x, std::span<const double> y,
+            std::span<double> fx, std::span<double> fy) const override {
+    fx[0] = (ambient_delta_t(t) - x[0]) / tau_;          // thermal low-pass
+    fy[0] = y[0] - seebeck_ * x[0] + r_int_ * y[1];      // V = S*Td - R*I
+  }
+
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 ehsim::linalg::Matrix& jxx, ehsim::linalg::Matrix&,
+                 ehsim::linalg::Matrix& jyx, ehsim::linalg::Matrix& jyy) const override {
+    jxx(0, 0) = -1.0 / tau_;
+    jyx(0, 0) = -seebeck_;
+    jyy(0, 0) = 1.0;
+    jyy(0, 1) = r_int_;
+  }
+
+  [[nodiscard]] std::string state_name(std::size_t) const override { return "dT"; }
+  [[nodiscard]] std::string terminal_name(std::size_t i) const override {
+    return i == 0 ? "V" : "I";
+  }
+
+  /// Linear constant-coefficient block: Jacobians never change.
+  [[nodiscard]] std::uint64_t jacobian_signature(double, std::span<const double>,
+                                                 std::span<const double>) const override {
+    return 1;
+  }
+
+ private:
+  double seebeck_;
+  double r_int_;
+  double tau_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ehsim;
+
+  // 40 mV/K module with 5 Ohm internal resistance, 30 s thermal lag,
+  // charging the stock supercapacitor block directly.
+  core::SystemAssembler assembler;
+  const auto teg =
+      assembler.add_block(std::make_unique<ThermoelectricGenerator>(0.04, 5.0, 30.0));
+  harvester::SupercapacitorParams cap_params;
+  cap_params.initial_voltage = 0.0;
+  const auto cap = assembler.add_block(
+      std::make_unique<harvester::Supercapacitor>(cap_params, harvester::LoadParams{}));
+
+  const auto v = assembler.net("V");
+  const auto i = assembler.net("I");
+  assembler.bind(teg, 0, v);
+  assembler.bind(teg, 1, i);
+  assembler.bind(cap, harvester::Supercapacitor::kVc, v);
+  assembler.bind(cap, harvester::Supercapacitor::kIc, i);
+  assembler.elaborate();
+
+  std::printf("custom thermoelectric block + stock storage: %zu states, %zu terminals\n",
+              assembler.num_states(), assembler.num_nets());
+
+  core::LinearisedSolver solver(assembler);
+  solver.initialise(0.0);
+  std::printf("\n#   t[s]   dT[K]    Vc[V]   I[mA]\n");
+  for (int k = 1; k <= 10; ++k) {
+    const double t = 30.0 * k;
+    solver.advance_to(t);
+    std::printf("%7.0f  %6.2f  %7.4f  %6.2f\n", t, solver.state()[0], solver.terminals()[0],
+                solver.terminals()[1] * 1e3);
+  }
+  std::printf("\nthe storage charges toward the Seebeck open-circuit voltage through the\n"
+              "module's internal resistance — a fourth harvesting modality built from\n"
+              "one page of block code.\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,105 @@
+/// \file design_exploration.cpp
+/// \brief Automated design-space exploration — the paper's motivation.
+///
+/// "The main motivation for the research into fast simulation of energy
+/// harvesters is development of an automated design approach by which the
+/// best topology and optimal parameters of energy harvester are obtained
+/// iteratively using multiple simulations." (paper §V)
+///
+/// This example sweeps the Dickson multiplier stage count and stage
+/// capacitance, running a short charging transient for every candidate with
+/// the proposed engine, and reports the design maximising the average
+/// charging current into the storage — a 20-simulation study that finishes
+/// in seconds precisely because of the linearised state-space technique.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/linearised_solver.hpp"
+#include "experiments/cpu_timer.hpp"
+#include "experiments/optimise.hpp"
+#include "experiments/scenarios.hpp"
+
+namespace {
+
+/// Average charging current into the supercapacitor over the last 4 s of a
+/// 10 s transient, for one design candidate.
+double charging_current_ua(std::size_t stages, double stage_cap) {
+  using namespace ehsim;
+  auto params = experiments::scenario_params(experiments::charging_scenario(10.0));
+  params.supercap.initial_voltage = 3.3;  // operating point of interest
+  params.multiplier.stages = stages;
+  params.multiplier.stage_capacitance = stage_cap;
+
+  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+  core::LinearisedSolver solver(system.assembler());
+  solver.initialise(0.0);
+  solver.advance_to(6.0);  // settle the pump
+
+  double charge = 0.0;
+  double t_prev = solver.time();
+  const std::size_t ic = system.ic_index();
+  solver.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
+    charge += y[ic] * (t - t_prev);
+    t_prev = t;
+  });
+  solver.advance_to(10.0);
+  return charge / 4.0 * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ehsim;
+
+  std::printf("design exploration: Dickson stage count x stage capacitance\n");
+  std::printf("objective: average charging current into the storage at Vc = 3.3 V\n\n");
+
+  const std::vector<std::size_t> stage_options{3, 4, 5, 6, 7};
+  const std::vector<double> cap_options{10e-6, 22e-6, 47e-6, 100e-6};
+
+  experiments::WallTimer timer;
+  std::printf("%8s", "stages");
+  for (double c : cap_options) {
+    std::printf("  %7.0fuF", c * 1e6);
+  }
+  std::printf("\n");
+
+  double best = -1.0;
+  std::size_t best_stages = 0;
+  double best_cap = 0.0;
+  for (std::size_t stages : stage_options) {
+    std::printf("%8zu", stages);
+    for (double c : cap_options) {
+      const double ua = charging_current_ua(stages, c);
+      std::printf("  %7.2fuA", ua);
+      if (ua > best) {
+        best = ua;
+        best_stages = stages;
+        best_cap = c;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nbest grid design: %zu stages at %.0f uF -> %.2f uA into the storage\n",
+              best_stages, best_cap * 1e6, best);
+
+  // Phase 2: refine the stage capacitance around the grid winner with a
+  // golden-section search — the "optimal parameters obtained iteratively
+  // using multiple simulations" loop of the paper's conclusion.
+  experiments::OptimiseOptions options;
+  options.max_evaluations = 12;
+  options.x_tolerance = 0.02;
+  const auto refined = experiments::golden_section_maximise(
+      [best_stages](double cap) { return charging_current_ua(best_stages, cap); },
+      0.5 * best_cap, 2.0 * best_cap, options);
+  std::printf("refined optimum: %.1f uF -> %.2f uA (%zu extra simulations)\n",
+              refined.x * 1e6, refined.value, refined.evaluations);
+
+  std::printf("\n%zu transient simulations in %.1f s CPU total — the iterative design\n"
+              "flow the paper's technique was built to enable.\n",
+              stage_options.size() * cap_options.size() + refined.evaluations,
+              timer.elapsed_seconds());
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,156 @@
+/// \file piezo_harvester.cpp
+/// \brief Generality demo: piezoelectric and electrostatic front-ends.
+///
+/// The paper's conclusion claims the linearised state-space technique "can
+/// be applied to other types of microgenerators such as electrostatic or
+/// piezoelectric. All that is required are the model equations of each
+/// component block." This example exercises both variant blocks:
+///  * PiezoGenerator -> Dickson multiplier -> supercapacitor (the full
+///    power-processing chain, unchanged from the electromagnetic case), and
+///  * ElectrostaticGenerator trickle-charging the storage directly through
+///    its high-impedance bias network.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <memory>
+
+#include "core/linearised_solver.hpp"
+#include "experiments/cpu_timer.hpp"
+#include "harvester/dickson_multiplier.hpp"
+#include "harvester/electrostatic_generator.hpp"
+#include "harvester/piezo_generator.hpp"
+#include "harvester/supercapacitor.hpp"
+#include "harvester/vibration_source.hpp"
+
+namespace {
+
+using namespace ehsim;
+
+void run_piezo_chain(const harvester::VibrationProfile& vibration) {
+  core::SystemAssembler assembler;
+  harvester::PiezoParams gen_params;
+  const auto gen = assembler.add_block(
+      std::make_unique<harvester::PiezoGenerator>(gen_params, vibration));
+  harvester::MultiplierParams mult_params;
+  const auto mult = assembler.add_block(std::make_unique<harvester::DicksonMultiplier>(
+      mult_params, harvester::DeviceEvalMode::kPwlTable));
+  harvester::SupercapacitorParams cap_params;
+  cap_params.initial_voltage = 0.5;
+  const auto cap = assembler.add_block(
+      std::make_unique<harvester::Supercapacitor>(cap_params, harvester::LoadParams{}));
+
+  const auto vm = assembler.net("Vm");
+  const auto im = assembler.net("Im");
+  const auto vc = assembler.net("Vc");
+  const auto ic = assembler.net("Ic");
+  assembler.bind(gen, 0, vm);
+  assembler.bind(gen, 1, im);
+  assembler.bind(mult, harvester::DicksonMultiplier::kVm, vm);
+  assembler.bind(mult, harvester::DicksonMultiplier::kIm, im);
+  assembler.bind(mult, harvester::DicksonMultiplier::kVc, vc);
+  assembler.bind(mult, harvester::DicksonMultiplier::kIc, ic);
+  assembler.bind(cap, harvester::Supercapacitor::kVc, vc);
+  assembler.bind(cap, harvester::Supercapacitor::kIc, ic);
+  assembler.elaborate();
+
+  // The piezo electrical pole (Cp against the electrode resistance) is much
+  // faster than the electromagnetic coil dynamics and interacts with the
+  // rectifier switching; a modest step ceiling keeps the explicit march well
+  // inside the Eq. 7 envelope while the diode segments toggle.
+  core::SolverConfig config;
+  config.h_max = 2e-5;
+  core::LinearisedSolver solver(assembler, config);
+  solver.initialise(0.0);
+  solver.advance_to(4.0);  // settle the pump
+
+  double port_energy = 0.0;
+  double charge = 0.0;
+  double t_prev = solver.time();
+  const auto vm_i = assembler.net_index(vm);
+  const auto im_i = assembler.net_index(im);
+  const auto ic_i = assembler.net_index(ic);
+  solver.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
+    const double dt = t - t_prev;
+    t_prev = t;
+    port_energy += y[vm_i] * y[im_i] * dt;
+    charge += y[ic_i] * dt;
+  });
+  experiments::WallTimer timer;
+  solver.advance_to(8.0);
+  std::printf("piezoelectric -> multiplier -> storage   (%2zu states)\n",
+              assembler.num_states());
+  std::printf("  P_port = %6.1f uW, I_charge = %5.2f uA   (4 sim-s in %.2f s CPU)\n\n",
+              port_energy / 4.0 * 1e6, charge / 4.0 * 1e6, timer.elapsed_seconds());
+}
+
+/// Resistive AC load for the high-impedance electrostatic front-end.
+class ResistiveLoad final : public core::AnalogBlock {
+ public:
+  explicit ResistiveLoad(double ohms) : AnalogBlock("load", 0, 2, 1), ohms_(ohms) {}
+  void eval(double, std::span<const double>, std::span<const double> y,
+            std::span<double>, std::span<double> fy) const override {
+    fy[0] = y[1] - y[0] / ohms_;  // I = V / R into the load
+  }
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 linalg::Matrix&, linalg::Matrix&, linalg::Matrix&,
+                 linalg::Matrix& jyy) const override {
+    jyy(0, 0) = -1.0 / ohms_;
+    jyy(0, 1) = 1.0;
+  }
+
+ private:
+  double ohms_;
+};
+
+void run_electrostatic_load(const harvester::VibrationProfile& vibration) {
+  core::SystemAssembler assembler;
+  harvester::ElectrostaticParams gen_params;
+  const auto gen = assembler.add_block(
+      std::make_unique<harvester::ElectrostaticGenerator>(gen_params, vibration));
+  const double r_load = 1e9;  // constant-charge operation needs GOhm loads
+  const auto load = assembler.add_block(std::make_unique<ResistiveLoad>(r_load));
+  const auto v = assembler.net("V");
+  const auto i = assembler.net("I");
+  assembler.bind(gen, 0, v);
+  assembler.bind(gen, 1, i);
+  assembler.bind(load, 0, v);
+  assembler.bind(load, 1, i);
+  assembler.elaborate();
+
+  core::LinearisedSolver solver(assembler);
+  solver.initialise(0.0);
+  solver.advance_to(2.0);  // settle the resonant build-up
+  double v2_integral = 0.0;
+  double t_prev = solver.time();
+  solver.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
+    v2_integral += y[0] * y[0] * (t - t_prev);
+    t_prev = t;
+  });
+  experiments::WallTimer timer;
+  solver.advance_to(4.0);
+  const double v_rms = std::sqrt(v2_integral / 2.0);
+  const double p_rms = v_rms * v_rms / r_load;
+  std::printf("electrostatic -> 1 GOhm AC load           (%2zu states)\n",
+              assembler.num_states());
+  std::printf("  load voltage %.3f V rms, %.2f nW — nW-scale, as expected for an\n"
+              "  unoptimised continuous-mode electrostatic transducer"
+              "   (2 sim-s in %.2f s CPU)\n\n",
+              v_rms, p_rms * 1e9, timer.elapsed_seconds());
+}
+
+}  // namespace
+
+int main() {
+  harvester::VibrationParams vib_params;
+  vib_params.acceleration_amplitude = 2.0;  // stronger shake for the small devices
+  vib_params.initial_frequency_hz = 70.0;
+  const harvester::VibrationProfile vibration(vib_params);
+
+  std::printf("front-end generality: two further transducer physics through the same\n"
+              "block interface and engine (paper section V)\n\n");
+  run_piezo_chain(vibration);
+  run_electrostatic_load(vibration);
+  std::printf("(the electromagnetic front-end is exercised by quickstart and the\n"
+              "scenario examples; only the block equations changed.)\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,31 @@
+/// \file assert.hpp
+/// \brief Internal invariant checking for ehsim.
+///
+/// `EHSIM_ASSERT` guards invariants that indicate a programming error inside
+/// the library (never a user input error — those throw exceptions at the API
+/// boundary instead, see error.hpp). Assertions stay enabled in release
+/// builds unless `EHSIM_DISABLE_ASSERTS` is defined: the hot-path checks are
+/// cheap relative to the matrix work they protect, and a silently corrupted
+/// simulation is far more expensive than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ehsim::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) noexcept {
+  std::fprintf(stderr, "ehsim assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ehsim::detail
+
+#ifdef EHSIM_DISABLE_ASSERTS
+#define EHSIM_ASSERT(expr, msg) ((void)0)
+#else
+#define EHSIM_ASSERT(expr, msg)                                          \
+  ((expr) ? (void)0 : ::ehsim::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+#endif

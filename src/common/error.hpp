@@ -1,0 +1,30 @@
+/// \file error.hpp
+/// \brief Exception types thrown at ehsim API boundaries.
+///
+/// User-facing configuration and model errors throw; internal invariants use
+/// EHSIM_ASSERT. Nothing in the per-step hot path throws once a simulation
+/// has been elaborated successfully, except SolverError for unrecoverable
+/// numerical breakdown (singular algebraic system, divergent Newton loop),
+/// which is a legitimate end-of-simulation condition the caller must see.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ehsim {
+
+/// Error in model construction or simulator configuration (bad dimensions,
+/// unconnected terminals, non-monotonic table grids, ...).
+class ModelError : public std::invalid_argument {
+ public:
+  explicit ModelError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Unrecoverable numerical failure during a simulation run (singular Jyy,
+/// Newton divergence after all retries, step size underflow).
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ehsim

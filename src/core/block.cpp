@@ -1,0 +1,37 @@
+#include "core/block.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ehsim::core {
+
+AnalogBlock::AnalogBlock(std::string name, std::size_t num_states, std::size_t num_terminals,
+                         std::size_t num_algebraic)
+    : name_(std::move(name)),
+      num_states_(num_states),
+      num_terminals_(num_terminals),
+      num_algebraic_(num_algebraic) {
+  if (name_.empty()) {
+    throw ModelError("AnalogBlock: name must not be empty");
+  }
+}
+
+void AnalogBlock::initial_state(std::span<double> x) const {
+  std::fill(x.begin(), x.end(), 0.0);
+}
+
+std::uint64_t AnalogBlock::jacobian_signature(double /*t*/, std::span<const double> /*x*/,
+                                              std::span<const double> /*y*/) const {
+  return kAlwaysRebuild;
+}
+
+std::string AnalogBlock::state_name(std::size_t i) const {
+  return "x" + std::to_string(i);
+}
+
+std::string AnalogBlock::terminal_name(std::size_t i) const {
+  return "y" + std::to_string(i);
+}
+
+}  // namespace ehsim::core

@@ -1,0 +1,58 @@
+#include "core/lle_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ehsim::core {
+
+namespace {
+constexpr double kEps = 1e-30;
+}
+
+double LleMonitor::block_drift(const linalg::Matrix& current, const linalg::Matrix& previous,
+                               std::vector<double>& row_scale) {
+  // Row-relative drift with a running scale: every row of the Jacobian mixes
+  // one physical equation's units, so normalising per row (by the largest
+  // magnitude that row has ever held) makes a diode-conductance change as
+  // visible as a mechanical-stiffness change even though their absolute
+  // magnitudes differ by orders of magnitude.
+  row_scale.resize(current.rows(), kEps);
+  double drift = 0.0;
+  for (std::size_t r = 0; r < current.rows(); ++r) {
+    const auto cur_row = current.row(r);
+    const auto prev_row = previous.row(r);
+    double& scale = row_scale[r];
+    for (double v : cur_row) {
+      scale = std::max(scale, std::abs(v));
+    }
+    for (std::size_t c = 0; c < cur_row.size(); ++c) {
+      drift = std::max(drift, std::abs(cur_row[c] - prev_row[c]) / scale);
+    }
+  }
+  return drift;
+}
+
+double LleMonitor::update(const linalg::Matrix& jxx, const linalg::Matrix& jxy,
+                          const linalg::Matrix& jyx, const linalg::Matrix& jyy) {
+  if (!has_previous_) {
+    prev_jxx_ = jxx;
+    prev_jxy_ = jxy;
+    prev_jyx_ = jyx;
+    prev_jyy_ = jyy;
+    has_previous_ = true;
+    last_drift_ = 0.0;
+    return 0.0;
+  }
+  const double drift = std::max({block_drift(jxx, prev_jxx_, scale_xx_),
+                                 block_drift(jxy, prev_jxy_, scale_xy_),
+                                 block_drift(jyx, prev_jyx_, scale_yx_),
+                                 block_drift(jyy, prev_jyy_, scale_yy_)});
+  prev_jxx_ = jxx;
+  prev_jxy_ = jxy;
+  prev_jyx_ = jyx;
+  prev_jyy_ = jyy;
+  last_drift_ = drift;
+  return drift;
+}
+
+}  // namespace ehsim::core

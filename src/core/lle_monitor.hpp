@@ -1,0 +1,48 @@
+/// \file lle_monitor.hpp
+/// \brief Local linearisation error monitor (paper Eq. 3).
+///
+/// "The LLE is caused by the rejection of the Taylor expansion terms of the
+/// non-linear functions of order higher than the first. The LLE can be
+/// controlled by monitoring the changes in the Jacobian elements."
+///
+/// The monitor keeps the previous linearisation's Jacobian blocks and
+/// reports the relative max-norm drift between consecutive linearisation
+/// points; the solver feeds that drift into its step controller, shrinking
+/// the step where the model bends quickly (diode segment changes, tuning
+/// transients) and growing it where the model is locally linear.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ehsim::core {
+
+class LleMonitor {
+ public:
+  /// Forget the stored linearisation (cold start / discontinuity).
+  void reset() noexcept { has_previous_ = false; }
+
+  /// Record the Jacobians of the newest linearisation point and return the
+  /// relative drift vs the previous point: max over the four blocks of
+  /// ||J - J_prev||max / max(||J||max, ||J_prev||max, eps). Returns 0 for
+  /// the first call after reset().
+  double update(const linalg::Matrix& jxx, const linalg::Matrix& jxy,
+                const linalg::Matrix& jyx, const linalg::Matrix& jyy);
+
+  [[nodiscard]] bool has_previous() const noexcept { return has_previous_; }
+  /// Drift reported by the most recent update().
+  [[nodiscard]] double last_drift() const noexcept { return last_drift_; }
+
+ private:
+  static double block_drift(const linalg::Matrix& current, const linalg::Matrix& previous,
+                            std::vector<double>& row_scale);
+
+  bool has_previous_ = false;
+  double last_drift_ = 0.0;
+  linalg::Matrix prev_jxx_, prev_jxy_, prev_jyx_, prev_jyy_;
+  // Running per-row magnitude scales (survive reset(); scales are physical).
+  std::vector<double> scale_xx_, scale_xy_, scale_yx_, scale_yy_;
+};
+
+}  // namespace ehsim::core

@@ -1,0 +1,99 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ehsim::core {
+
+TraceRecorder::TraceRecorder(AnalogEngine& engine, double min_interval)
+    : engine_(&engine), min_interval_(min_interval) {
+  if (min_interval < 0.0) {
+    throw ModelError("TraceRecorder: min_interval must be >= 0");
+  }
+  engine.add_observer([this](double t, std::span<const double> x, std::span<const double> y) {
+    on_point(t, x, y);
+  });
+}
+
+void TraceRecorder::probe_state(const std::string& qualified_name) {
+  const auto names = engine_->system().state_names();
+  const auto it = std::find(names.begin(), names.end(), qualified_name);
+  if (it == names.end()) {
+    throw ModelError("TraceRecorder: unknown state '" + qualified_name + "'");
+  }
+  const auto index = static_cast<std::size_t>(it - names.begin());
+  columns_.push_back(Column{
+      qualified_name,
+      [index](std::span<const double> x, std::span<const double>) { return x[index]; },
+      {}});
+}
+
+void TraceRecorder::probe_net(const std::string& net_name) {
+  const auto net = engine_->system().find_net(net_name);
+  if (!net) {
+    throw ModelError("TraceRecorder: unknown net '" + net_name + "'");
+  }
+  const std::size_t index = net->index;
+  columns_.push_back(Column{
+      net_name,
+      [index](std::span<const double>, std::span<const double> y) { return y[index]; },
+      {}});
+}
+
+void TraceRecorder::probe_expression(
+    std::string label,
+    std::function<double(std::span<const double>, std::span<const double>)> expression) {
+  if (!expression) {
+    throw ModelError("TraceRecorder: null expression");
+  }
+  columns_.push_back(Column{std::move(label), std::move(expression), {}});
+}
+
+const std::vector<double>& TraceRecorder::column(const std::string& label) const {
+  for (const auto& col : columns_) {
+    if (col.label == label) {
+      return col.data;
+    }
+  }
+  throw ModelError("TraceRecorder: unknown column '" + label + "'");
+}
+
+std::vector<std::string> TraceRecorder::labels() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    out.push_back(col.label);
+  }
+  return out;
+}
+
+void TraceRecorder::on_point(double t, std::span<const double> x, std::span<const double> y) {
+  if (any_recorded_ && min_interval_ > 0.0 && t - last_recorded_ < min_interval_) {
+    return;
+  }
+  any_recorded_ = true;
+  last_recorded_ = t;
+  times_.push_back(t);
+  for (auto& col : columns_) {
+    col.data.push_back(col.extract(x, y));
+  }
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time";
+  for (const auto& col : columns_) {
+    os << ',' << col.label;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    os << times_[i];
+    for (const auto& col : columns_) {
+      os << ',' << col.data[i];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ehsim::core

@@ -1,0 +1,97 @@
+#include "digital/kernel.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ehsim::digital {
+
+EventId Kernel::enqueue(SimTime t, std::uint64_t delta, std::function<void()> handler) {
+  if (!handler) {
+    throw ModelError("Kernel: event handler is required");
+  }
+  if (!(t >= now_) || !std::isfinite(t)) {
+    throw ModelError("Kernel: cannot schedule an event in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{t, delta, next_seq_++, id, std::move(handler)});
+  return id;
+}
+
+EventId Kernel::schedule_at(SimTime t, std::function<void()> handler) {
+  return enqueue(t, 0, std::move(handler));
+}
+
+EventId Kernel::schedule_in(SimTime dt, std::function<void()> handler) {
+  if (dt < 0.0 || !std::isfinite(dt)) {
+    throw ModelError("Kernel: negative or non-finite delay");
+  }
+  return enqueue(now_ + dt, 0, std::move(handler));
+}
+
+EventId Kernel::schedule_delta(std::function<void()> handler) {
+  return enqueue(now_, 1, std::move(handler));
+}
+
+bool Kernel::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  // Double-cancel and cancel-after-run both return false: the id is only in
+  // cancelled_ while the event is still queued.
+  return cancelled_.insert(id).second;
+}
+
+void Kernel::drop_cancelled() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+std::optional<SimTime> Kernel::next_event_time() {
+  drop_cancelled();
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.top().time;
+}
+
+void Kernel::run_until(SimTime t) {
+  if (!(t >= now_)) {
+    throw ModelError("Kernel::run_until: time must not go backwards");
+  }
+  while (true) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top().time > t) {
+      break;
+    }
+    // Execute one timestamp completely (all delta phases) before moving on.
+    const SimTime ts = queue_.top().time;
+    EHSIM_ASSERT(ts >= now_, "event queue went backwards");
+    now_ = ts;
+    std::uint64_t deltas = 0;
+    while (true) {
+      drop_cancelled();
+      if (queue_.empty() || queue_.top().time != ts) {
+        break;
+      }
+      if (++deltas > kMaxDeltasPerTimestep) {
+        throw SolverError("Kernel: delta-cycle limit exceeded (combinational loop?)");
+      }
+      Event ev = queue_.top();
+      queue_.pop();
+      ++events_executed_;
+      ev.handler();
+    }
+  }
+  now_ = t;
+}
+
+void Kernel::run_delta_cycles() { run_until(now_); }
+
+}  // namespace ehsim::digital

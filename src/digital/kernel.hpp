@@ -1,0 +1,101 @@
+/// \file kernel.hpp
+/// \brief Event-driven digital simulation kernel (SystemC-lite).
+///
+/// The paper models the microcontroller "as a digital process" using
+/// "standard SystemC modules". This kernel reproduces the part of the
+/// SystemC discrete-event semantics the harvester control needs: timed
+/// events, delta cycles for same-time signal propagation, and deterministic
+/// ordering (time, delta phase, insertion sequence). The mixed-signal
+/// scheduler (core/mixed_signal.hpp) interleaves this kernel with the
+/// analogue march-in-time sweep: the analogue step never overshoots the next
+/// digital event, which is the property that lets the feed-forward explicit
+/// solver interface "easily with a digital kernel" (paper §II).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ehsim::digital {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// Discrete-event kernel with delta cycles.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule \p handler at absolute time \p t (>= now). Returns an id that
+  /// can be passed to cancel().
+  EventId schedule_at(SimTime t, std::function<void()> handler);
+  /// Schedule \p handler \p dt seconds from now (dt >= 0; dt == 0 schedules
+  /// a delta event at the current time).
+  EventId schedule_in(SimTime dt, std::function<void()> handler);
+  /// Schedule into the next delta cycle at the current time.
+  EventId schedule_delta(std::function<void()> handler);
+
+  /// Cancel a pending event; returns true when the event was still pending.
+  bool cancel(EventId id);
+
+  /// Earliest pending event time, if any (skips cancelled events).
+  [[nodiscard]] std::optional<SimTime> next_event_time();
+
+  /// Execute every event with time <= t, advancing now() as events run, then
+  /// set now() = t. Events scheduled by handlers (including zero-delay delta
+  /// events) are honoured within the same call.
+  void run_until(SimTime t);
+
+  /// Execute all delta-cycle events pending at the current time.
+  void run_delta_cycles();
+
+  /// Number of events executed since construction (diagnostics).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  /// Guard against runaway delta loops (two processes retriggering each
+  /// other at the same timestamp forever).
+  static constexpr std::uint64_t kMaxDeltasPerTimestep = 10000;
+
+ private:
+  struct Event {
+    SimTime time = 0.0;
+    std::uint64_t delta = 0;  ///< delta-cycle phase within the same time
+    std::uint64_t seq = 0;    ///< insertion order for determinism
+    EventId id = 0;
+    std::function<void()> handler;
+    /// Min-queue ordering.
+    [[nodiscard]] bool operator>(const Event& other) const noexcept {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      if (delta != other.delta) {
+        return delta > other.delta;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  EventId enqueue(SimTime t, std::uint64_t delta, std::function<void()> handler);
+  /// Pop cancelled events off the queue head.
+  void drop_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace ehsim::digital

@@ -1,0 +1,77 @@
+/// \file signal.hpp
+/// \brief Typed signals with delta-cycle update semantics.
+///
+/// Mirrors `sc_signal`: writes are deferred to the next delta cycle of the
+/// kernel, reads return the currently settled value, and subscribers are
+/// notified on value *changes* only (SystemC event semantics). Used by the
+/// microcontroller process to publish its operating mode and actuator
+/// commands to the analogue side.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "digital/kernel.hpp"
+
+namespace ehsim::digital {
+
+/// A single-writer signal with deferred (delta-cycle) assignment.
+template <typename T>
+class Signal {
+ public:
+  /// \param kernel   owning kernel (must outlive the signal)
+  /// \param initial  initial settled value
+  Signal(Kernel& kernel, T initial) : kernel_(&kernel), value_(std::move(initial)) {}
+
+  /// Currently settled value.
+  [[nodiscard]] const T& read() const noexcept { return value_; }
+
+  /// Schedule \p next as the value for the next delta cycle. Consecutive
+  /// writes within one delta cycle keep the last one (SystemC semantics).
+  void write(T next) {
+    pending_ = std::move(next);
+    if (!update_scheduled_) {
+      update_scheduled_ = true;
+      kernel_->schedule_delta([this] { settle(); });
+    }
+  }
+
+  /// Immediate assignment bypassing the delta cycle (initialisation only).
+  void initialise(T v) {
+    value_ = std::move(v);
+    pending_ = value_;
+    update_scheduled_ = false;
+  }
+
+  /// Register a callback invoked (within the delta cycle) whenever the
+  /// settled value changes.
+  void on_change(std::function<void(const T&)> callback) {
+    subscribers_.push_back(std::move(callback));
+  }
+
+  /// Number of settled value changes (diagnostics/tests).
+  [[nodiscard]] std::uint64_t change_count() const noexcept { return change_count_; }
+
+ private:
+  void settle() {
+    update_scheduled_ = false;
+    if (pending_ == value_) {
+      return;
+    }
+    value_ = pending_;
+    ++change_count_;
+    for (const auto& cb : subscribers_) {
+      cb(value_);
+    }
+  }
+
+  Kernel* kernel_;
+  T value_;
+  T pending_{};
+  bool update_scheduled_ = false;
+  std::uint64_t change_count_ = 0;
+  std::vector<std::function<void(const T&)>> subscribers_;
+};
+
+}  // namespace ehsim::digital

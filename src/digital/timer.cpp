@@ -1,0 +1,51 @@
+#include "digital/timer.hpp"
+
+namespace ehsim::digital {
+
+WatchdogTimer::WatchdogTimer(Kernel& kernel, SimTime period, std::function<void()> on_expire)
+    : kernel_(&kernel), period_(period), on_expire_(std::move(on_expire)) {
+  if (!(period_ > 0.0)) {
+    throw ModelError("WatchdogTimer: period must be positive");
+  }
+  if (!on_expire_) {
+    throw ModelError("WatchdogTimer: expiry callback is required");
+  }
+}
+
+void WatchdogTimer::start() { start_after(period_); }
+
+void WatchdogTimer::start_after(SimTime first_delay) {
+  stop();
+  running_ = true;
+  arm(first_delay);
+}
+
+void WatchdogTimer::stop() {
+  if (pending_ != 0) {
+    kernel_->cancel(pending_);
+    pending_ = 0;
+  }
+  running_ = false;
+}
+
+void WatchdogTimer::set_period(SimTime period) {
+  if (!(period > 0.0)) {
+    throw ModelError("WatchdogTimer: period must be positive");
+  }
+  period_ = period;
+}
+
+void WatchdogTimer::arm(SimTime delay) {
+  pending_ = kernel_->schedule_in(delay, [this] { fire(); });
+}
+
+void WatchdogTimer::fire() {
+  pending_ = 0;
+  ++expiries_;
+  if (running_) {
+    arm(period_);  // re-arm before the callback so the callback may stop()
+    on_expire_();
+  }
+}
+
+}  // namespace ehsim::digital

@@ -1,0 +1,47 @@
+/// \file timer.hpp
+/// \brief Watchdog timer process.
+///
+/// "A watchdog timer wakes the microcontroller periodically" (paper Fig. 7).
+/// The timer re-arms itself after every expiry until stopped.
+#pragma once
+
+#include <functional>
+
+#include "digital/kernel.hpp"
+
+namespace ehsim::digital {
+
+/// Periodic watchdog: fires `on_expire` every `period` seconds.
+class WatchdogTimer {
+ public:
+  /// \param kernel    owning kernel (must outlive the timer)
+  /// \param period    expiry period in seconds (> 0)
+  /// \param on_expire callback invoked at every expiry
+  WatchdogTimer(Kernel& kernel, SimTime period, std::function<void()> on_expire);
+
+  /// Arm the timer; first expiry at now + period (or \p first_delay when
+  /// given). Re-arming while running restarts the countdown.
+  void start();
+  void start_after(SimTime first_delay);
+  /// Stop; no further expiries until start() is called again.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] SimTime period() const noexcept { return period_; }
+  /// Change the period; takes effect from the next (re)arm.
+  void set_period(SimTime period);
+  [[nodiscard]] std::uint64_t expiries() const noexcept { return expiries_; }
+
+ private:
+  void arm(SimTime delay);
+  void fire();
+
+  Kernel* kernel_;
+  SimTime period_;
+  std::function<void()> on_expire_;
+  EventId pending_ = 0;
+  bool running_ = false;
+  std::uint64_t expiries_ = 0;
+};
+
+}  // namespace ehsim::digital

@@ -1,0 +1,28 @@
+/// \file cpu_timer.hpp
+/// \brief Wall-clock timing for the CPU-time experiments (Tables I/II).
+///
+/// The benches are single-threaded and compute-bound, so wall time from a
+/// steady clock is the CPU time the paper reports. (The paper's absolute
+/// numbers were measured on a Pentium 4; only ratios are comparable.)
+#pragma once
+
+#include <chrono>
+
+namespace ehsim::experiments {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,111 @@
+#include "experiments/optimise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;  // 1/phi ~ 0.618
+}
+
+Optimum1D golden_section_maximise(const Objective1D& objective, double lo, double hi,
+                                  const OptimiseOptions& options) {
+  if (!objective) {
+    throw ModelError("golden_section_maximise: objective is required");
+  }
+  if (!(hi > lo)) {
+    throw ModelError("golden_section_maximise: require hi > lo");
+  }
+  Optimum1D best;
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  auto eval = [&](double x) {
+    ++best.evaluations;
+    return objective(x);
+  };
+  double fc = eval(c);
+  double fd = eval(d);
+  const double span = hi - lo;
+  while (best.evaluations < options.max_evaluations &&
+         (b - a) > options.x_tolerance * span) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = eval(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = eval(d);
+    }
+  }
+  if (fc > fd) {
+    best.x = c;
+    best.value = fc;
+  } else {
+    best.x = d;
+    best.value = fd;
+  }
+  return best;
+}
+
+OptimumND coordinate_descent_maximise(const ObjectiveND& objective, std::vector<double> lower,
+                                      std::vector<double> upper, std::vector<double> start,
+                                      const OptimiseOptions& options) {
+  if (!objective) {
+    throw ModelError("coordinate_descent_maximise: objective is required");
+  }
+  const std::size_t n = start.size();
+  if (lower.size() != n || upper.size() != n || n == 0) {
+    throw ModelError("coordinate_descent_maximise: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(upper[i] > lower[i])) {
+      throw ModelError("coordinate_descent_maximise: require upper > lower per axis");
+    }
+  }
+
+  OptimumND best;
+  best.x = std::move(start);
+  best.value = objective(best.x);
+  best.evaluations = 1;
+
+  while (best.evaluations < options.max_evaluations) {
+    ++best.sweeps;
+    const double sweep_start_value = best.value;
+    for (std::size_t axis = 0; axis < n && best.evaluations < options.max_evaluations;
+         ++axis) {
+      OptimiseOptions line = options;
+      line.max_evaluations = options.max_evaluations - best.evaluations;
+      if (line.max_evaluations < 4) {
+        break;  // not enough budget for a meaningful bracket
+      }
+      std::vector<double> probe = best.x;
+      const auto line_result = golden_section_maximise(
+          [&](double v) {
+            probe[axis] = v;
+            return objective(probe);
+          },
+          lower[axis], upper[axis], line);
+      best.evaluations += line_result.evaluations;
+      if (line_result.value > best.value) {
+        best.value = line_result.value;
+        best.x[axis] = line_result.x;
+      }
+    }
+    const double improvement = best.value - sweep_start_value;
+    if (improvement <= options.x_tolerance * std::max(1.0, std::abs(best.value))) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,57 @@
+/// \file optimise.hpp
+/// \brief Derivative-free maximisers for automated design studies.
+///
+/// "The main motivation for the research into fast simulation of energy
+/// harvesters is development of an automated design approach by which the
+/// best topology and optimal parameters of energy harvester are obtained
+/// iteratively using multiple simulations." (paper §V)
+///
+/// The objective in such studies is a transient-simulation output (average
+/// harvested power, charging current) — noisy-smooth, derivative-free and
+/// expensive — so the right tools are bracketing line search and coordinate
+/// descent built on it. Both are deterministic and budget-bounded.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ehsim::experiments {
+
+/// Scalar objective, maximised.
+using Objective1D = std::function<double(double)>;
+/// Vector objective, maximised.
+using ObjectiveND = std::function<double(const std::vector<double>&)>;
+
+struct OptimiseOptions {
+  std::size_t max_evaluations = 60;   ///< objective-call budget
+  double x_tolerance = 1e-3;          ///< relative bracket width to stop at
+};
+
+struct Optimum1D {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Golden-section maximisation of a unimodal objective on [lo, hi].
+[[nodiscard]] Optimum1D golden_section_maximise(const Objective1D& objective, double lo,
+                                                double hi, const OptimiseOptions& options = {});
+
+struct OptimumND {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t sweeps = 0;
+};
+
+/// Cyclic coordinate descent: golden-section line searches along each axis
+/// within [lower, upper], repeated until a full sweep improves the objective
+/// by less than `x_tolerance` relatively (or the evaluation budget runs out).
+[[nodiscard]] OptimumND coordinate_descent_maximise(const ObjectiveND& objective,
+                                                    std::vector<double> lower,
+                                                    std::vector<double> upper,
+                                                    std::vector<double> start,
+                                                    const OptimiseOptions& options = {});
+
+}  // namespace ehsim::experiments

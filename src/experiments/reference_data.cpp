@@ -1,0 +1,37 @@
+#include "experiments/reference_data.hpp"
+
+#include <random>
+
+#include "experiments/metrics.hpp"
+
+namespace ehsim::experiments {
+
+harvester::HarvesterParams perturbed_params(const ScenarioSpec& spec,
+                                            const MeasurementModel& model) {
+  harvester::HarvesterParams params = scenario_params(spec);
+  params.supercap.leakage_resistance = model.supercap_leakage_ohms;
+  params.generator.flux_linkage *= model.flux_derating;
+  params.generator.coil_resistance *= model.coil_resistance_factor;
+  params.multiplier.diode.saturation_current *= model.diode_saturation_factor;
+  return params;
+}
+
+ExperimentalTrace make_experimental_trace(const ScenarioSpec& spec, double grid_dt,
+                                          const MeasurementModel& model) {
+  const harvester::HarvesterParams params = perturbed_params(spec, model);
+  const ScenarioResult run = run_scenario(spec, EngineKind::kProposed, &params);
+
+  ExperimentalTrace trace;
+  const auto points = static_cast<std::size_t>(spec.duration / grid_dt) + 1;
+  trace.time = uniform_grid(0.0, spec.duration, points);
+  trace.vc = resample(run.time, run.vc, trace.time);
+
+  std::mt19937 rng(model.seed);
+  std::normal_distribution<double> noise(0.0, model.noise_sigma_volts);
+  for (double& v : trace.vc) {
+    v += noise(rng);
+  }
+  return trace;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,76 @@
+#include "experiments/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ehsim::experiments {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw ModelError("TablePrinter: need at least one column");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw ModelError("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  for (std::size_t i = 0; i < total; ++i) {
+    os << '-';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,36 @@
+/// \file table_printer.hpp
+/// \brief Aligned text tables for the bench binaries.
+///
+/// Every bench prints the paper's table/figure next to the measured values;
+/// this helper keeps the columns readable without a plotting dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ehsim::experiments {
+
+class TablePrinter {
+ public:
+  /// \param headers column headers; column widths adapt to content
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row (cells.size() must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123.4 s" / "2.3 h" style duration formatting.
+[[nodiscard]] std::string format_duration(double seconds);
+/// Fixed-precision number formatting.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace ehsim::experiments

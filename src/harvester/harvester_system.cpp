@@ -1,0 +1,90 @@
+#include "harvester/harvester_system.hpp"
+
+#include "common/error.hpp"
+
+namespace ehsim::harvester {
+
+HarvesterSystem::HarvesterSystem(const HarvesterParams& params, DeviceEvalMode mode,
+                                 bool with_mcu)
+    : params_(params) {
+  vibration_ = std::make_unique<VibrationProfile>(params_.vibration);
+  tuning_ = std::make_unique<TuningMechanism>(params_.tuning, params_.generator);
+  actuator_ = std::make_unique<LinearActuator>(params_.actuator, params_.tuning);
+
+  generator_handle_ = assembler_.add_block(std::make_unique<Microgenerator>(
+      params_.generator, *vibration_, *tuning_, *actuator_));
+  multiplier_handle_ =
+      assembler_.add_block(std::make_unique<DicksonMultiplier>(params_.multiplier, mode));
+  supercap_handle_ = assembler_.add_block(
+      std::make_unique<Supercapacitor>(params_.supercap, params_.load));
+
+  // Terminal nets of Fig. 3: generator <-> multiplier share (Vm, Im);
+  // multiplier <-> supercapacitor share (Vc, Ic).
+  const auto vm = assembler_.net("Vm");
+  const auto im = assembler_.net("Im");
+  const auto vc = assembler_.net("Vc");
+  const auto ic = assembler_.net("Ic");
+  assembler_.bind(generator_handle_, Microgenerator::kVm, vm);
+  assembler_.bind(generator_handle_, Microgenerator::kIm, im);
+  assembler_.bind(multiplier_handle_, DicksonMultiplier::kVm, vm);
+  assembler_.bind(multiplier_handle_, DicksonMultiplier::kIm, im);
+  assembler_.bind(multiplier_handle_, DicksonMultiplier::kVc, vc);
+  assembler_.bind(multiplier_handle_, DicksonMultiplier::kIc, ic);
+  assembler_.bind(supercap_handle_, Supercapacitor::kVc, vc);
+  assembler_.bind(supercap_handle_, Supercapacitor::kIc, ic);
+  assembler_.elaborate();
+  vm_index_ = assembler_.net_index(vm);
+  im_index_ = assembler_.net_index(im);
+  vc_index_ = assembler_.net_index(vc);
+  ic_index_ = assembler_.net_index(ic);
+
+  if (with_mcu) {
+    McuCallbacks callbacks;
+    callbacks.supercap_voltage = [this]() -> double {
+      if (attached_engine_ == nullptr) {
+        throw SolverError("HarvesterSystem: MCU probe used before attach_engine()");
+      }
+      return attached_engine_->terminals()[vc_index_];
+    };
+    callbacks.ambient_frequency = [this] {
+      return vibration_->frequency_at(kernel_.now());
+    };
+    callbacks.resonant_frequency = [this] {
+      return generator().resonant_frequency(kernel_.now());
+    };
+    callbacks.set_load_mode = [this](LoadMode load_mode) {
+      supercap().set_load_mode(load_mode);
+    };
+    callbacks.start_tuning = [this](double target_hz, double t_now) {
+      actuator_->command(tuning_->gap_for_frequency(target_hz), t_now);
+      generator().notify_parameter_event();
+      return actuator_->arrival_time();
+    };
+    callbacks.stop_tuning = [this](double t_now) {
+      actuator_->stop(t_now);
+      generator().notify_parameter_event();
+    };
+    mcu_ = std::make_unique<McuController>(kernel_, params_.mcu, std::move(callbacks));
+  }
+}
+
+Microgenerator& HarvesterSystem::generator() {
+  return assembler_.block_as<Microgenerator>(generator_handle_);
+}
+
+DicksonMultiplier& HarvesterSystem::multiplier() {
+  return assembler_.block_as<DicksonMultiplier>(multiplier_handle_);
+}
+
+Supercapacitor& HarvesterSystem::supercap() {
+  return assembler_.block_as<Supercapacitor>(supercap_handle_);
+}
+
+void HarvesterSystem::attach_engine(core::AnalogEngine& engine) {
+  attached_engine_ = &engine;
+  if (mcu_) {
+    mcu_->start();
+  }
+}
+
+}  // namespace ehsim::harvester

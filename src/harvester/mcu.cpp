@@ -1,0 +1,103 @@
+#include "harvester/mcu.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ehsim::harvester {
+
+McuController::McuController(digital::Kernel& kernel, const McuParams& params,
+                             McuCallbacks callbacks)
+    : kernel_(&kernel),
+      params_(params),
+      callbacks_(std::move(callbacks)),
+      watchdog_(kernel, params.watchdog_period, [this] { on_watchdog(); }) {
+  if (!callbacks_.supercap_voltage || !callbacks_.ambient_frequency ||
+      !callbacks_.resonant_frequency || !callbacks_.set_load_mode ||
+      !callbacks_.start_tuning || !callbacks_.stop_tuning) {
+    throw ModelError("McuController: all callbacks are required");
+  }
+}
+
+void McuController::start() { watchdog_.start(); }
+
+void McuController::start_after(double first_delay) { watchdog_.start_after(first_delay); }
+
+void McuController::log(McuEvent::Type type, double value) {
+  events_.push_back(McuEvent{kernel_->now(), type, value});
+}
+
+void McuController::on_watchdog() {
+  if (state_ != McuState::kSleep) {
+    return;  // a measurement or tuning burst is already in progress
+  }
+  ++wakeups_;
+  const double vc = callbacks_.supercap_voltage();
+  log(McuEvent::Type::kWakeup, vc);
+
+  // Fig. 7: "enough energy?" — without it, go straight back to sleep.
+  if (vc < params_.energy_threshold_voltage) {
+    log(McuEvent::Type::kEnergyLow, vc);
+    return;
+  }
+
+  // Wake the measurement circuitry (Eq. 16: 33 Ohm while awake).
+  state_ = McuState::kMeasuring;
+  callbacks_.set_load_mode(LoadMode::kAwake);
+  kernel_->schedule_in(params_.measurement_time, [this] { on_measurement_done(); });
+}
+
+void McuController::on_measurement_done() {
+  const double f_ambient = callbacks_.ambient_frequency();
+  const double f_resonant = callbacks_.resonant_frequency();
+
+  // Fig. 7: "frequency matched?".
+  if (std::abs(f_ambient - f_resonant) <= params_.frequency_tolerance) {
+    log(McuEvent::Type::kFrequencyMatched, f_resonant);
+    callbacks_.set_load_mode(LoadMode::kSleep);
+    state_ = McuState::kSleep;
+    return;
+  }
+
+  // Start the tuning burst (Eq. 16: 16.7 Ohm while the actuator runs).
+  state_ = McuState::kTuning;
+  ++tuning_bursts_;
+  callbacks_.set_load_mode(LoadMode::kTuning);
+  tuning_arrival_ = callbacks_.start_tuning(f_ambient, kernel_->now());
+  log(McuEvent::Type::kTuningStarted, f_ambient);
+  kernel_->schedule_in(std::min(kTuningPollInterval, tuning_arrival_ - kernel_->now()),
+                       [this] { on_tuning_poll(); });
+}
+
+void McuController::on_tuning_poll() {
+  if (state_ != McuState::kTuning) {
+    return;
+  }
+  const double now = kernel_->now();
+  const double vc = callbacks_.supercap_voltage();
+
+  if (vc < params_.abort_voltage) {
+    // Not enough stored energy to finish the burst: park the actuator and
+    // sleep; the next watchdog wake-up re-enters the Fig. 7 loop and resumes
+    // tuning from the parked position once recharged.
+    callbacks_.stop_tuning(now);
+    callbacks_.set_load_mode(LoadMode::kSleep);
+    state_ = McuState::kSleep;
+    ++aborted_bursts_;
+    log(McuEvent::Type::kTuningAborted, vc);
+    return;
+  }
+
+  if (now >= tuning_arrival_ - 1e-12) {
+    callbacks_.set_load_mode(LoadMode::kSleep);
+    state_ = McuState::kSleep;
+    ++completed_tunings_;
+    log(McuEvent::Type::kTuningCompleted, callbacks_.resonant_frequency());
+    return;
+  }
+
+  kernel_->schedule_in(std::min(kTuningPollInterval, tuning_arrival_ - now),
+                       [this] { on_tuning_poll(); });
+}
+
+}  // namespace ehsim::harvester

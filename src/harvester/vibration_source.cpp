@@ -1,0 +1,51 @@
+#include "harvester/vibration_source.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ehsim::harvester {
+
+VibrationProfile::VibrationProfile(const VibrationParams& params)
+    : amplitude_(params.acceleration_amplitude) {
+  if (!(params.initial_frequency_hz > 0.0)) {
+    throw ModelError("VibrationProfile: initial frequency must be positive");
+  }
+  segments_.push_back(Segment{0.0, params.initial_frequency_hz, 0.0});
+}
+
+void VibrationProfile::set_frequency_at(double t, double frequency_hz) {
+  if (!(frequency_hz > 0.0)) {
+    throw ModelError("VibrationProfile: frequency must be positive");
+  }
+  const Segment& last = segments_.back();
+  if (!(t > last.start_time)) {
+    throw ModelError("VibrationProfile: frequency changes must be strictly ordered in time");
+  }
+  const double phase = last.phase_at_start +
+                       2.0 * std::numbers::pi * last.frequency_hz * (t - last.start_time);
+  segments_.push_back(Segment{t, frequency_hz, std::fmod(phase, 2.0 * std::numbers::pi)});
+}
+
+const VibrationProfile::Segment& VibrationProfile::segment_at(double t) const {
+  // Segments are few (one per scheduled shift); linear scan from the back is
+  // both simple and fast since simulation time is mostly in the last segment.
+  for (std::size_t i = segments_.size(); i-- > 1;) {
+    if (t >= segments_[i].start_time) {
+      return segments_[i];
+    }
+  }
+  return segments_.front();
+}
+
+double VibrationProfile::acceleration(double t) const {
+  const Segment& seg = segment_at(t);
+  const double phase = seg.phase_at_start +
+                       2.0 * std::numbers::pi * seg.frequency_hz * (t - seg.start_time);
+  return amplitude_ * std::sin(phase);
+}
+
+double VibrationProfile::frequency_at(double t) const { return segment_at(t).frequency_hz; }
+
+}  // namespace ehsim::harvester

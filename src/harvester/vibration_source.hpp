@@ -1,0 +1,44 @@
+/// \file vibration_source.hpp
+/// \brief Ambient vibration excitation a(t) with a frequency schedule.
+///
+/// Scenario 1 of the paper shifts the ambient frequency by 1 Hz mid-run;
+/// Scenario 2 by 14 Hz (the maximum tuning range). The profile is a pure
+/// function of time — both engines may evaluate it at arbitrary (including
+/// tentative Newton) time points — with phase-continuous frequency segments
+/// so a frequency step introduces no acceleration discontinuity artefact
+/// beyond the physical one.
+#pragma once
+
+#include <vector>
+
+#include "harvester/params.hpp"
+
+namespace ehsim::harvester {
+
+class VibrationProfile {
+ public:
+  explicit VibrationProfile(const VibrationParams& params);
+
+  /// Schedule a frequency change at absolute time \p t (must exceed all
+  /// previously scheduled change times).
+  void set_frequency_at(double t, double frequency_hz);
+
+  /// Instantaneous acceleration [m/s^2].
+  [[nodiscard]] double acceleration(double t) const;
+  /// Frequency of the active segment at \p t [Hz].
+  [[nodiscard]] double frequency_at(double t) const;
+  [[nodiscard]] double amplitude() const noexcept { return amplitude_; }
+
+ private:
+  struct Segment {
+    double start_time;
+    double frequency_hz;
+    double phase_at_start;  ///< radians, for phase continuity
+  };
+  [[nodiscard]] const Segment& segment_at(double t) const;
+
+  double amplitude_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace ehsim::harvester

@@ -1,0 +1,113 @@
+/// \file explicit_integrators.hpp
+/// \brief Explicit one-step and multi-step integrators.
+///
+/// The paper's engine advances the linearised state equations with the
+/// explicit Adams-Bashforth method (Eq. 5). This header provides:
+///  * a generic right-hand-side abstraction for tests and reference runs,
+///  * Forward Euler and classical RK4 single steps,
+///  * an adaptive Bogacki-Shampine RK23 driver (reference trajectories), and
+///  * `AbHistory`, the derivative-history ring buffer that turns the
+///    coefficients of ab_coefficients.hpp into a march-in-time scheme with
+///    automatic order ramp-up from cold starts and after discontinuities
+///    (digital events re-linearise the model, which invalidates history).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ode/ab_coefficients.hpp"
+
+namespace ehsim::ode {
+
+/// Right-hand side of an explicit ODE system dx/dt = f(t, x).
+using RhsFunction = std::function<void(double t, std::span<const double> x, std::span<double> dxdt)>;
+
+/// One Forward Euler step: x <- x + h f(t, x).
+void forward_euler_step(const RhsFunction& f, double t, double h, std::span<double> x,
+                        std::span<double> scratch);
+
+/// One classical RK4 step: x <- x + h/6 (k1 + 2k2 + 2k3 + k4).
+/// \p scratch must provide 5*n doubles.
+void rk4_step(const RhsFunction& f, double t, double h, std::span<double> x,
+              std::span<double> scratch);
+
+/// Result of an adaptive integration run.
+struct AdaptiveRunStats {
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+  double h_final = 0.0;
+};
+
+/// Options for the adaptive RK23 driver.
+struct Rk23Options {
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-6;
+  double h_initial = 1e-4;
+  double h_min = 1e-12;
+  double h_max = 1.0;
+  double safety = 0.9;
+};
+
+/// Integrate dx/dt = f from t0 to t1 with the Bogacki-Shampine embedded
+/// RK2(3) pair, adapting the step to the error tolerances. \p observer, when
+/// non-null, is invoked after every accepted step. Throws SolverError when
+/// the step underflows h_min.
+AdaptiveRunStats integrate_rk23(const RhsFunction& f, double t0, double t1, std::span<double> x,
+                                const Rk23Options& options = {},
+                                const std::function<void(double, std::span<const double>)>&
+                                    observer = nullptr);
+
+/// Derivative history for Adams-Bashforth multi-step integration.
+///
+/// Stores up to kMaxAbOrder past (t_i, f_i) pairs, newest first. The
+/// effective order is min(stored entries, max_order) — a cold start (or a
+/// reset at a digital event boundary) therefore begins with Forward Euler
+/// and ramps up one order per step, which is the standard self-starting
+/// strategy for AB methods.
+class AbHistory {
+ public:
+  AbHistory() = default;
+  /// \param state_size dimension of the state vector
+  /// \param max_order  maximum AB order to use (1..4)
+  AbHistory(std::size_t state_size, std::size_t max_order);
+
+  /// Drop all history (e.g. after a discontinuity from the digital domain).
+  void clear() noexcept { count_ = 0; }
+
+  /// Append the newest derivative sample f(t). Overwrites the oldest entry
+  /// once the buffer holds max_order samples. Times must increase strictly.
+  void push(double t, std::span<const double> f);
+
+  /// Number of usable history entries.
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t state_size() const noexcept { return state_size_; }
+  [[nodiscard]] std::size_t max_order() const noexcept { return max_order_; }
+  /// Effective order of the next step.
+  [[nodiscard]] std::size_t effective_order() const noexcept { return count_; }
+  /// Newest history time; requires size() > 0.
+  [[nodiscard]] double newest_time() const;
+
+  /// Advance the state: x <- x + sum_i beta_i f_{n-i}, with variable-step
+  /// coefficients for target time \p t_next. Requires size() >= 1.
+  void step(double t_next, std::span<double> x) const;
+
+  /// Crude local-truncation-error proxy: norm of the difference between the
+  /// AB step of the current order and of one order lower (Milne-style
+  /// comparison). Returns 0 when fewer than 2 samples are stored.
+  [[nodiscard]] double order_comparison_error(double t_next) const;
+
+ private:
+  [[nodiscard]] std::span<const double> entry(std::size_t age) const;
+
+  std::size_t state_size_ = 0;
+  std::size_t max_order_ = 0;
+  std::size_t count_ = 0;
+  std::size_t head_ = 0;  // ring index of the newest entry
+  std::vector<double> times_;
+  std::vector<double> storage_;  // max_order contiguous f vectors
+};
+
+}  // namespace ehsim::ode

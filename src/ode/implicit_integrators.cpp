@@ -1,0 +1,113 @@
+#include "ode/implicit_integrators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace ehsim::ode {
+
+ImplicitIntegrator::ImplicitIntegrator(ImplicitMethod method, std::size_t state_size,
+                                       RhsWithJacobian f, RhsJacobianFunction jacobian,
+                                       NewtonOptions newton_options)
+    : method_(method),
+      n_(state_size),
+      f_(std::move(f)),
+      jacobian_(std::move(jacobian)),
+      newton_options_(newton_options),
+      newton_ws_(state_size),
+      x_entry_(state_size),
+      x_prev_(state_size),
+      f_entry_(state_size),
+      jac_scratch_(state_size, state_size) {
+  if (!f_ || !jacobian_) {
+    throw ModelError("ImplicitIntegrator: rhs and jacobian callbacks are required");
+  }
+}
+
+std::size_t ImplicitIntegrator::order() const noexcept {
+  return method_ == ImplicitMethod::kBackwardEuler ? 1 : 2;
+}
+
+NewtonResult ImplicitIntegrator::step(double t, double h, std::span<double> x) {
+  EHSIM_ASSERT(x.size() == n_, "ImplicitIntegrator::step dimension mismatch");
+  EHSIM_ASSERT(h > 0.0, "ImplicitIntegrator::step requires positive step");
+  std::copy(x.begin(), x.end(), x_entry_.begin());
+
+  // Effective method for this step (BDF2 needs history).
+  ImplicitMethod eff = method_;
+  if (method_ == ImplicitMethod::kBdf2 && !has_prev_) {
+    eff = ImplicitMethod::kBackwardEuler;
+  }
+  if (eff == ImplicitMethod::kTrapezoidal) {
+    f_(t, x_entry_, std::span<double>(f_entry_));
+  }
+
+  const double t_next = t + h;
+
+  // Variable-step BDF2 coefficients: with r = h / h_prev,
+  //   x_{n+1} - a1 x_n - a2 x_{n-1} = b h f(t_{n+1}, x_{n+1}),
+  //   a1 = (1+r)^2/(1+2r), a2 = -r^2/(1+2r), b = (1+r)/(1+2r).
+  double bdf_a1 = 0.0;
+  double bdf_a2 = 0.0;
+  double bdf_b = 0.0;
+  if (eff == ImplicitMethod::kBdf2) {
+    const double r = h / h_prev_;
+    const double denom = 1.0 + 2.0 * r;
+    bdf_a1 = (1.0 + r) * (1.0 + r) / denom;
+    bdf_a2 = -r * r / denom;
+    bdf_b = (1.0 + r) / denom;
+  }
+
+  auto residual = [&](std::span<const double> u, std::span<double> out) {
+    f_(t_next, u, out);  // out = f(t_{n+1}, u)
+    switch (eff) {
+      case ImplicitMethod::kBackwardEuler:
+        for (std::size_t i = 0; i < n_; ++i) {
+          out[i] = u[i] - x_entry_[i] - h * out[i];
+        }
+        break;
+      case ImplicitMethod::kTrapezoidal:
+        for (std::size_t i = 0; i < n_; ++i) {
+          out[i] = u[i] - x_entry_[i] - 0.5 * h * (out[i] + f_entry_[i]);
+        }
+        break;
+      case ImplicitMethod::kBdf2:
+        for (std::size_t i = 0; i < n_; ++i) {
+          out[i] = u[i] - bdf_a1 * x_entry_[i] - bdf_a2 * x_prev_[i] - bdf_b * h * out[i];
+        }
+        break;
+    }
+  };
+
+  auto jac = [&](std::span<const double> u, linalg::Matrix& out) {
+    jacobian_(t_next, u, jac_scratch_);
+    out.resize(n_, n_);
+    double gamma = h;  // multiplier of J_f in the residual Jacobian
+    if (eff == ImplicitMethod::kTrapezoidal) {
+      gamma = 0.5 * h;
+    } else if (eff == ImplicitMethod::kBdf2) {
+      gamma = bdf_b * h;
+    }
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        out(r, c) = (r == c ? 1.0 : 0.0) - gamma * jac_scratch_(r, c);
+      }
+    }
+  };
+
+  const NewtonResult result = newton_solve(residual, jac, x, newton_options_, newton_ws_);
+  if (!result.converged()) {
+    std::copy(x_entry_.begin(), x_entry_.end(), x.begin());  // restore for retry
+    return result;
+  }
+
+  // Promote history.
+  std::copy(x_entry_.begin(), x_entry_.end(), x_prev_.begin());
+  h_prev_ = h;
+  has_prev_ = true;
+  return result;
+}
+
+}  // namespace ehsim::ode

@@ -1,0 +1,130 @@
+#include "ode/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace ehsim::ode {
+
+namespace {
+
+/// Infinity norm that propagates NaN (std::max would silently drop it,
+/// masking divergence).
+double inf_norm(std::span<const double> v) {
+  double acc = 0.0;
+  for (double value : v) {
+    if (std::isnan(value)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    acc = std::max(acc, std::abs(value));
+  }
+  return acc;
+}
+
+}  // namespace
+
+NewtonWorkspace::NewtonWorkspace(std::size_t n)
+    : n_(n), jacobian_(n, n), residual_(n), delta_(n), trial_(n), trial_residual_(n) {}
+
+NewtonResult newton_solve(const ResidualFunction& residual, const JacobianFunction& jacobian,
+                          std::span<double> u, const NewtonOptions& options,
+                          NewtonWorkspace& ws) {
+  EHSIM_ASSERT(u.size() == ws.size(), "newton_solve workspace dimension mismatch");
+  const std::size_t n = u.size();
+  NewtonResult result;
+
+  residual(u, std::span<double>(ws.residual_));
+  double f_norm = inf_norm(ws.residual_);
+
+  if (std::isnan(f_norm)) {
+    result.status = NewtonStatus::kDiverged;
+    result.residual_norm = f_norm;
+    return result;
+  }
+
+  // Updates that must be performed before convergence may be declared.
+  const std::size_t required_updates =
+      std::max(options.force_initial_iteration ? std::size_t{1} : std::size_t{0},
+               options.min_iterations > 1 ? options.min_iterations : std::size_t{0});
+
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
+    result.iterations = it;
+    if (f_norm <= options.abs_tol && (it - 1) >= required_updates) {
+      result.status = NewtonStatus::kConverged;
+      result.residual_norm = f_norm;
+      // iterations counts work performed; converging on entry means the
+      // previous iteration's update was already sufficient.
+      result.iterations = it - 1;
+      return result;
+    }
+
+    jacobian(u, ws.jacobian_);
+    ++result.jacobian_factorisations;
+    if (!ws.lu_.factor(ws.jacobian_)) {
+      result.status = NewtonStatus::kSingularJacobian;
+      result.residual_norm = f_norm;
+      return result;
+    }
+    // delta = -J^-1 F
+    for (std::size_t i = 0; i < n; ++i) {
+      ws.delta_[i] = -ws.residual_[i];
+    }
+    ws.lu_.solve_inplace(std::span<double>(ws.delta_));
+
+    if (options.max_step_norm > 0.0) {
+      const double d_norm = inf_norm(ws.delta_);
+      if (d_norm > options.max_step_norm) {
+        const double shrink = options.max_step_norm / d_norm;
+        for (double& d : ws.delta_) {
+          d *= shrink;
+        }
+      }
+    }
+
+    // Damped update: accept the first candidate whose residual does not grow
+    // (classical Armijo-free halving, as used by analogue solvers).
+    double lambda = 1.0;
+    double trial_norm = 0.0;
+    std::size_t halvings = 0;
+    while (true) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ws.trial_[i] = u[i] + lambda * ws.delta_[i];
+      }
+      residual(ws.trial_, std::span<double>(ws.trial_residual_));
+      trial_norm = inf_norm(ws.trial_residual_);
+      if (!options.enable_damping || trial_norm <= f_norm ||
+          halvings >= options.max_damping_halvings) {
+        break;
+      }
+      lambda *= 0.5;
+      ++halvings;
+    }
+
+    if (std::isnan(trial_norm) || std::isinf(trial_norm)) {
+      result.status = NewtonStatus::kDiverged;
+      result.residual_norm = f_norm;
+      return result;
+    }
+
+    const double du_norm = lambda * inf_norm(ws.delta_);
+    std::copy(ws.trial_.begin(), ws.trial_.end(), u.begin());
+    std::swap(ws.residual_, ws.trial_residual_);
+    f_norm = trial_norm;
+
+    const double u_scale = std::max(1.0, inf_norm(u));
+    if (du_norm <= options.step_tol * u_scale && f_norm <= std::sqrt(options.abs_tol)) {
+      result.status = NewtonStatus::kConverged;
+      result.residual_norm = f_norm;
+      return result;
+    }
+  }
+
+  result.status = f_norm <= std::sqrt(options.abs_tol) ? NewtonStatus::kConverged
+                                                       : NewtonStatus::kMaxIterations;
+  result.residual_norm = f_norm;
+  return result;
+}
+
+}  // namespace ehsim::ode

@@ -1,0 +1,45 @@
+#include "ode/step_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ehsim::ode {
+
+StepController::StepController(StepControlOptions options, std::size_t method_order)
+    : options_(options), order_(std::max<std::size_t>(method_order, 1)), h_(options.h_max) {
+  if (!(options_.h_min > 0.0) || !(options_.h_max >= options_.h_min)) {
+    throw ModelError("StepController: require 0 < h_min <= h_max");
+  }
+  if (!(options_.safety > 0.0 && options_.safety <= 1.0)) {
+    throw ModelError("StepController: safety must be in (0, 1]");
+  }
+  h_ = std::clamp(options_.h_max, options_.h_min, options_.h_max);
+}
+
+bool StepController::update(double error_ratio) {
+  const double exponent = -1.0 / static_cast<double>(order_ + 1);
+  const double ratio = std::max(error_ratio, 1e-12);
+  double factor = options_.safety * std::pow(ratio, exponent);
+  factor = std::clamp(factor, options_.max_shrink, options_.max_growth);
+
+  if (error_ratio <= 1.0) {
+    ++acceptances_;
+    if (hold_countdown_ > 0) {
+      --hold_countdown_;
+      factor = std::min(factor, 1.0);  // no regrowth while holding
+    }
+    h_ = std::clamp(h_ * factor, options_.h_min, options_.h_max);
+    return true;
+  }
+  ++rejections_;
+  hold_countdown_ = options_.hold_after_reject;
+  factor = std::min(factor, 0.8);  // rejection must actually shrink
+  h_ = std::clamp(h_ * factor, options_.h_min, options_.h_max);
+  return false;
+}
+
+void StepController::set_step(double h) {
+  h_ = std::clamp(h, options_.h_min, options_.h_max);
+}
+
+}  // namespace ehsim::ode

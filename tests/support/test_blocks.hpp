@@ -1,0 +1,139 @@
+/// \file test_blocks.hpp
+/// \brief Small analytic blocks shared by the core/baseline engine tests.
+///
+/// The canonical test system is a series RC circuit split into two blocks
+/// joined by a (V, I) terminal net pair — the smallest system exercising the
+/// paper's Eq. 4 terminal elimination with a known analytic solution
+/// vc(t) = Vs + (vc0 - Vs) exp(-t/RC).
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "core/block.hpp"
+
+namespace ehsim::testing {
+
+/// Thevenin source: fy = V - Vs(t) + R*I (terminals: 0 = V, 1 = I).
+class SourceResistorBlock final : public core::AnalogBlock {
+ public:
+  SourceResistorBlock(std::function<double(double)> vs, double r)
+      : core::AnalogBlock("source", 0, 2, 1), vs_(std::move(vs)), r_(r) {}
+
+  void set_resistance(double r) {
+    r_ = r;
+    bump_epoch();
+  }
+  [[nodiscard]] double resistance() const noexcept { return r_; }
+
+  void eval(double t, std::span<const double>, std::span<const double> y,
+            std::span<double>, std::span<double> fy) const override {
+    fy[0] = y[0] - vs_(t) + r_ * y[1];
+  }
+
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 linalg::Matrix&, linalg::Matrix&, linalg::Matrix&,
+                 linalg::Matrix& jyy) const override {
+    jyy(0, 0) = 1.0;
+    jyy(0, 1) = r_;
+  }
+
+  [[nodiscard]] std::string terminal_name(std::size_t i) const override {
+    return i == 0 ? "V" : "I";
+  }
+
+ private:
+  std::function<double(double)> vs_;
+  double r_;
+};
+
+/// Grounded capacitor: state vc; dvc/dt = I/C; fy = V - vc.
+class CapacitorBlock final : public core::AnalogBlock {
+ public:
+  CapacitorBlock(double c, double vc0)
+      : core::AnalogBlock("cap", 1, 2, 1), c_(c), vc0_(vc0) {}
+
+  void initial_state(std::span<double> x) const override { x[0] = vc0_; }
+
+  void eval(double, std::span<const double> x, std::span<const double> y,
+            std::span<double> fx, std::span<double> fy) const override {
+    fx[0] = y[1] / c_;
+    fy[0] = y[0] - x[0];
+  }
+
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 linalg::Matrix&, linalg::Matrix& jxy, linalg::Matrix& jyx,
+                 linalg::Matrix& jyy) const override {
+    jxy(0, 1) = 1.0 / c_;
+    jyx(0, 0) = -1.0;
+    jyy(0, 0) = 1.0;
+  }
+
+  [[nodiscard]] std::string state_name(std::size_t) const override { return "vc"; }
+
+ private:
+  double c_;
+  double vc0_;
+};
+
+/// Standalone damped oscillator: x'' + 2 zeta w x' + w^2 x = 0.
+class OscillatorBlock final : public core::AnalogBlock {
+ public:
+  OscillatorBlock(double omega, double zeta, double x0)
+      : core::AnalogBlock("osc", 2, 0, 0), omega_(omega), zeta_(zeta), x0_(x0) {}
+
+  void initial_state(std::span<double> x) const override {
+    x[0] = x0_;
+    x[1] = 0.0;
+  }
+
+  void eval(double, std::span<const double> x, std::span<const double>,
+            std::span<double> fx, std::span<double>) const override {
+    fx[0] = x[1];
+    fx[1] = -omega_ * omega_ * x[0] - 2.0 * zeta_ * omega_ * x[1];
+  }
+
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 linalg::Matrix& jxx, linalg::Matrix&, linalg::Matrix&,
+                 linalg::Matrix&) const override {
+    jxx(0, 1) = 1.0;
+    jxx(1, 0) = -omega_ * omega_;
+    jxx(1, 1) = -2.0 * zeta_ * omega_;
+  }
+
+ private:
+  double omega_;
+  double zeta_;
+  double x0_;
+};
+
+/// Non-linear scalar decay dx/dt = -k x^3 (exercises per-step linearisation;
+/// analytic solution x(t) = x0 / sqrt(1 + 2 k x0^2 t)).
+class CubicDecayBlock final : public core::AnalogBlock {
+ public:
+  CubicDecayBlock(double k, double x0)
+      : core::AnalogBlock("cubic", 1, 0, 0), k_(k), x0_(x0) {}
+
+  void initial_state(std::span<double> x) const override { x[0] = x0_; }
+
+  void eval(double, std::span<const double> x, std::span<const double>,
+            std::span<double> fx, std::span<double>) const override {
+    fx[0] = -k_ * x[0] * x[0] * x[0];
+  }
+
+  void jacobians(double, std::span<const double> x, std::span<const double>,
+                 linalg::Matrix& jxx, linalg::Matrix&, linalg::Matrix&,
+                 linalg::Matrix&) const override {
+    jxx(0, 0) = -3.0 * k_ * x[0] * x[0];
+  }
+
+  [[nodiscard]] double analytic(double t) const {
+    return x0_ / std::sqrt(1.0 + 2.0 * k_ * x0_ * x0_ * t);
+  }
+
+ private:
+  double k_;
+  double x0_;
+};
+
+}  // namespace ehsim::testing

@@ -1,0 +1,174 @@
+/// \file test_baseline_nr.cpp
+/// \brief Newton-Raphson baseline engine tests ("existing technique").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baseline/nr_engine.hpp"
+#include "core/linearised_solver.hpp"
+#include "support/test_blocks.hpp"
+
+namespace {
+
+using ehsim::baseline::BaselineMethod;
+using ehsim::baseline::NrEngine;
+using ehsim::baseline::NrEngineConfig;
+using ehsim::baseline::pspice_profile;
+using ehsim::baseline::systemca_profile;
+using ehsim::baseline::systemvision_profile;
+using ehsim::core::SystemAssembler;
+using ehsim::testing::CapacitorBlock;
+using ehsim::testing::CubicDecayBlock;
+using ehsim::testing::SourceResistorBlock;
+
+struct RcSystem {
+  SystemAssembler assembler;
+  ehsim::core::BlockHandle source;
+  double r = 10.0;
+  double c = 0.05;
+
+  RcSystem() {
+    source = assembler.add_block(
+        std::make_unique<SourceResistorBlock>([](double) { return 1.0; }, r));
+    const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(c, 0.0));
+    const auto v = assembler.net("V");
+    const auto i = assembler.net("I");
+    assembler.bind(source, 0, v);
+    assembler.bind(source, 1, i);
+    assembler.bind(cap, 0, v);
+    assembler.bind(cap, 1, i);
+    assembler.elaborate();
+  }
+};
+
+class NrMethods : public ::testing::TestWithParam<BaselineMethod> {};
+
+TEST_P(NrMethods, RcChargingMatchesAnalytic) {
+  RcSystem rc;
+  NrEngineConfig config;
+  config.method = GetParam();
+  NrEngine engine(rc.assembler, config);
+  engine.initialise(0.0);
+  engine.advance_to(1.5);  // tau = 0.5 -> 3 tau
+  EXPECT_NEAR(engine.state()[0], 1.0 - std::exp(-3.0), 5e-3);
+  EXPECT_NEAR(engine.terminals()[0], engine.state()[0], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, NrMethods,
+                         ::testing::Values(BaselineMethod::kBackwardEuler,
+                                           BaselineMethod::kTrapezoidal,
+                                           BaselineMethod::kGear2));
+
+TEST(NrEngine, StiffSystemTakesLargeSteps) {
+  // tau = 1e-5 but the implicit method cruises at h >> tau once the fast
+  // transient is over — the defining advantage an implicit method has, and
+  // the reason its *per-step* cost (NR + LU) is what the paper attacks.
+  SystemAssembler assembler;
+  const auto source = assembler.add_block(
+      std::make_unique<SourceResistorBlock>([](double) { return 1.0; }, 1.0));
+  const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(1e-5, 0.0));
+  const auto v = assembler.net("V");
+  const auto i = assembler.net("I");
+  assembler.bind(source, 0, v);
+  assembler.bind(source, 1, i);
+  assembler.bind(cap, 0, v);
+  assembler.bind(cap, 1, i);
+  assembler.elaborate();
+
+  NrEngineConfig config;  // uncapped: the profiles' AMS-style ceilings don't apply
+  config.h_max = 5e-4;
+  NrEngine engine(assembler, config);
+  engine.initialise(0.0);
+  engine.advance_to(0.1);
+  EXPECT_NEAR(engine.state()[0], 1.0, 1e-5);
+  EXPECT_GT(engine.stats().max_step, 1e-4);  // far beyond the explicit limit (~2e-5)
+}
+
+TEST(NrEngine, NewtonStatsAccumulate) {
+  RcSystem rc;
+  NrEngine engine(rc.assembler, systemvision_profile());
+  engine.initialise(0.0);
+  engine.advance_to(0.5);
+  const auto& stats = engine.stats();
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.newton_iterations, 0u);
+  EXPECT_GT(stats.lu_factorisations, 0u);
+  EXPECT_GE(stats.newton_iterations, stats.steps);  // >= 1 NR iter per step
+}
+
+TEST(NrEngine, AgreesWithProposedEngineOnNonlinearPlant) {
+  // The paper's accuracy claim: the linearised explicit engine matches "a
+  // classical analogue solver". Run both on the same non-linear block.
+  auto make = [] {
+    auto assembler = std::make_unique<SystemAssembler>();
+    assembler->add_block(std::make_unique<CubicDecayBlock>(1.0, 2.0));
+    assembler->elaborate();
+    return assembler;
+  };
+  auto sys_a = make();
+  auto sys_b = make();
+
+  ehsim::core::SolverConfig proposed_config;
+  proposed_config.h_max = 1e-3;
+  ehsim::core::LinearisedSolver proposed(*sys_a, proposed_config);
+  proposed.initialise(0.0);
+  proposed.advance_to(1.0);
+
+  NrEngineConfig nr_config;
+  nr_config.lte_rel_tol = 1e-5;
+  NrEngine reference(*sys_b, nr_config);
+  reference.initialise(0.0);
+  reference.advance_to(1.0);
+
+  EXPECT_NEAR(proposed.state()[0], reference.state()[0], 5e-4);
+}
+
+TEST(NrEngine, EpochChangeResetsMultistepHistory) {
+  RcSystem rc;
+  NrEngine engine(rc.assembler, pspice_profile());
+  engine.initialise(0.0);
+  engine.advance_to(0.2);
+  const auto before = engine.stats().history_resets;
+  rc.assembler.block_as<SourceResistorBlock>(rc.source).set_resistance(50.0);
+  engine.advance_to(0.4);
+  EXPECT_EQ(engine.stats().history_resets, before + 1);
+}
+
+TEST(NrEngine, ProfilesCarryDistinctNames) {
+  EXPECT_STREQ(systemvision_profile().profile_name, "systemvision-vhdl-ams");
+  EXPECT_STREQ(pspice_profile().profile_name, "orcad-pspice");
+  EXPECT_STREQ(systemca_profile().profile_name, "systemc-a-newton");
+}
+
+TEST(NrEngine, PspiceProfileHonoursPrintStepCap) {
+  RcSystem rc;
+  NrEngine engine(rc.assembler, pspice_profile());
+  engine.initialise(0.0);
+  engine.advance_to(0.05);
+  EXPECT_LE(engine.stats().max_step, pspice_profile().h_max * (1.0 + 1e-12));
+}
+
+TEST(NrEngine, ObserverReceivesAcceptedPoints) {
+  RcSystem rc;
+  NrEngine engine(rc.assembler, systemvision_profile());
+  std::size_t count = 0;
+  double last_t = -1.0;
+  engine.add_observer([&](double t, std::span<const double>, std::span<const double>) {
+    EXPECT_GT(t, last_t);
+    last_t = t;
+    ++count;
+  });
+  engine.initialise(0.0);
+  engine.advance_to(0.2);
+  EXPECT_GT(count, 5u);
+  EXPECT_DOUBLE_EQ(last_t, 0.2);
+}
+
+TEST(NrEngine, AdvanceBeforeInitialiseThrows) {
+  RcSystem rc;
+  NrEngine engine(rc.assembler);
+  EXPECT_THROW(engine.advance_to(1.0), ehsim::SolverError);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+/// \file test_core_assembler.cpp
+/// \brief System assembly and global Jacobian stacking tests (paper §III-E).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/assembler.hpp"
+#include "linalg/lu.hpp"
+#include "support/test_blocks.hpp"
+
+namespace {
+
+using ehsim::ModelError;
+using ehsim::core::SystemAssembler;
+using ehsim::linalg::Matrix;
+using ehsim::testing::CapacitorBlock;
+using ehsim::testing::OscillatorBlock;
+using ehsim::testing::SourceResistorBlock;
+
+/// RC circuit: source-resistor + capacitor over shared (V, I) nets.
+struct RcFixture {
+  SystemAssembler assembler;
+  ehsim::core::BlockHandle source;
+  ehsim::core::BlockHandle cap;
+
+  explicit RcFixture(double r = 10.0, double c = 0.5, double vc0 = 0.0) {
+    source = assembler.add_block(
+        std::make_unique<SourceResistorBlock>([](double) { return 1.0; }, r));
+    cap = assembler.add_block(std::make_unique<CapacitorBlock>(c, vc0));
+    const auto v = assembler.net("V");
+    const auto i = assembler.net("I");
+    assembler.bind(source, 0, v);
+    assembler.bind(source, 1, i);
+    assembler.bind(cap, 0, v);
+    assembler.bind(cap, 1, i);
+    assembler.elaborate();
+  }
+};
+
+TEST(Assembler, DimensionsAfterElaboration) {
+  RcFixture rc;
+  EXPECT_EQ(rc.assembler.num_states(), 1u);
+  EXPECT_EQ(rc.assembler.num_nets(), 2u);
+  EXPECT_EQ(rc.assembler.num_blocks(), 2u);
+  EXPECT_TRUE(rc.assembler.elaborated());
+}
+
+TEST(Assembler, StateNamesAreQualified) {
+  RcFixture rc;
+  const auto names = rc.assembler.state_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "cap.vc");
+}
+
+TEST(Assembler, NetLookup) {
+  RcFixture rc;
+  ASSERT_TRUE(rc.assembler.find_net("V").has_value());
+  ASSERT_TRUE(rc.assembler.find_net("I").has_value());
+  EXPECT_FALSE(rc.assembler.find_net("missing").has_value());
+  const auto names = rc.assembler.net_names();
+  EXPECT_EQ(names[0], "V");
+  EXPECT_EQ(names[1], "I");
+}
+
+TEST(Assembler, NetHandleIsIdempotent) {
+  SystemAssembler assembler;
+  const auto a = assembler.net("X");
+  const auto b = assembler.net("X");
+  EXPECT_EQ(a.index, b.index);
+}
+
+TEST(Assembler, UnboundTerminalFailsElaboration) {
+  SystemAssembler assembler;
+  const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(1.0, 0.0));
+  assembler.bind(cap, 0, assembler.net("V"));
+  // terminal 1 left unbound
+  EXPECT_THROW(assembler.elaborate(), ModelError);
+}
+
+TEST(Assembler, NonSquareAlgebraicSystemFails) {
+  // One capacitor alone: 1 algebraic row but 2 nets -> not square.
+  SystemAssembler assembler;
+  const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(1.0, 0.0));
+  assembler.bind(cap, 0, assembler.net("V"));
+  assembler.bind(cap, 1, assembler.net("I"));
+  EXPECT_THROW(assembler.elaborate(), ModelError);
+}
+
+TEST(Assembler, DoubleBindRejected) {
+  SystemAssembler assembler;
+  const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(1.0, 0.0));
+  const auto v = assembler.net("V");
+  assembler.bind(cap, 0, v);
+  EXPECT_THROW(assembler.bind(cap, 0, v), ModelError);
+}
+
+TEST(Assembler, MutationAfterElaborationRejected) {
+  RcFixture rc;
+  EXPECT_THROW(rc.assembler.add_block(std::make_unique<CapacitorBlock>(1.0, 0.0)),
+               ModelError);
+  EXPECT_THROW(rc.assembler.net("new"), ModelError);
+}
+
+TEST(Assembler, InitialStateGathersFromBlocks) {
+  RcFixture rc(10.0, 0.5, 2.5);
+  ehsim::linalg::Vector x(1);
+  rc.assembler.initial_state(x.span());
+  EXPECT_DOUBLE_EQ(x[0], 2.5);
+}
+
+TEST(Assembler, EvalStacksResiduals) {
+  RcFixture rc(10.0, 0.5, 0.0);
+  ehsim::linalg::Vector x{0.0};
+  ehsim::linalg::Vector y{0.0, 0.0};  // V = 0, I = 0
+  ehsim::linalg::Vector fx(1);
+  ehsim::linalg::Vector fy(2);
+  rc.assembler.eval(0.0, x.span(), y.span(), fx.span(), fy.span());
+  // Source row: V - Vs + R I = -1; cap row: V - vc = 0.
+  EXPECT_DOUBLE_EQ(fy[0], -1.0);
+  EXPECT_DOUBLE_EQ(fy[1], 0.0);
+  EXPECT_DOUBLE_EQ(fx[0], 0.0);
+}
+
+TEST(Assembler, GlobalJacobiansMatchHandDerivation) {
+  const double r = 10.0;
+  const double c = 0.5;
+  RcFixture rc(r, c);
+  ehsim::linalg::Vector x{0.0};
+  ehsim::linalg::Vector y{0.0, 0.0};
+  Matrix jxx, jxy, jyx, jyy;
+  rc.assembler.jacobians(0.0, x.span(), y.span(), jxx, jxy, jyx, jyy);
+
+  ASSERT_EQ(jxx.rows(), 1u);
+  ASSERT_EQ(jyy.rows(), 2u);
+  EXPECT_DOUBLE_EQ(jxx(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(jxy(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(jxy(0, 1), 1.0 / c);
+  // Row 0: source (V, I); row 1: capacitor (V - vc).
+  EXPECT_DOUBLE_EQ(jyy(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(jyy(0, 1), r);
+  EXPECT_DOUBLE_EQ(jyy(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(jyy(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(jyx(1, 0), -1.0);
+}
+
+TEST(Assembler, EliminationReproducesRcTimeConstant) {
+  // A = Jxx - Jxy Jyy^-1 Jyx must equal -1/(R C) for the RC circuit.
+  const double r = 10.0;
+  const double c = 0.5;
+  RcFixture rc(r, c);
+  ehsim::linalg::Vector x{0.0};
+  ehsim::linalg::Vector y{0.0, 0.0};
+  Matrix jxx, jxy, jyx, jyy;
+  rc.assembler.jacobians(0.0, x.span(), y.span(), jxx, jxy, jyx, jyy);
+  const Matrix jyy_inv = ehsim::linalg::inverse(jyy);
+  const Matrix a = jxx - jxy * (jyy_inv * jyx);
+  EXPECT_NEAR(a(0, 0), -1.0 / (r * c), 1e-12);
+}
+
+TEST(Assembler, TotalEpochSumsBlockEpochs) {
+  RcFixture rc;
+  const auto before = rc.assembler.total_epoch();
+  rc.assembler.block_as<SourceResistorBlock>(rc.source).set_resistance(20.0);
+  EXPECT_EQ(rc.assembler.total_epoch(), before + 1);
+}
+
+TEST(Assembler, BlockAsTypeMismatchThrows) {
+  RcFixture rc;
+  EXPECT_THROW(rc.assembler.block_as<CapacitorBlock>(rc.source), ModelError);
+}
+
+TEST(Assembler, StateIndexMapping) {
+  SystemAssembler assembler;
+  const auto osc = assembler.add_block(std::make_unique<OscillatorBlock>(1.0, 0.1, 1.0));
+  const auto cubic =
+      assembler.add_block(std::make_unique<ehsim::testing::CubicDecayBlock>(1.0, 1.0));
+  assembler.elaborate();
+  EXPECT_EQ(assembler.state_offset(osc), 0u);
+  EXPECT_EQ(assembler.state_offset(cubic), 2u);
+  EXPECT_EQ(assembler.state_index(cubic, 0), 2u);
+  EXPECT_THROW(assembler.state_index(cubic, 1), ModelError);
+}
+
+TEST(Assembler, EmptyElaborationRejected) {
+  SystemAssembler assembler;
+  EXPECT_THROW(assembler.elaborate(), ModelError);
+}
+
+TEST(Assembler, BlocksWithoutTerminalsNeedNoNets) {
+  SystemAssembler assembler;
+  assembler.add_block(std::make_unique<OscillatorBlock>(2.0, 0.05, 1.0));
+  assembler.elaborate();
+  EXPECT_EQ(assembler.num_states(), 2u);
+  EXPECT_EQ(assembler.num_nets(), 0u);
+}
+
+}  // namespace

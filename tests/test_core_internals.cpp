@@ -1,0 +1,182 @@
+/// \file test_core_internals.cpp
+/// \brief LLE monitor, trace CSV, and Jacobian-reuse signature tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/linearised_solver.hpp"
+#include "core/lle_monitor.hpp"
+#include "core/trace.hpp"
+#include "experiments/scenarios.hpp"
+#include "harvester/harvester_system.hpp"
+#include "support/test_blocks.hpp"
+
+namespace {
+
+using ehsim::core::LinearisedSolver;
+using ehsim::core::LleMonitor;
+using ehsim::core::SolverConfig;
+using ehsim::core::SystemAssembler;
+using ehsim::core::TraceRecorder;
+using ehsim::linalg::Matrix;
+
+TEST(LleMonitor, FirstUpdateReportsZero) {
+  LleMonitor monitor;
+  const Matrix j{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_EQ(monitor.update(j, j, j, j), 0.0);
+  EXPECT_TRUE(monitor.has_previous());
+}
+
+TEST(LleMonitor, UnchangedJacobiansReportZeroDrift) {
+  LleMonitor monitor;
+  const Matrix j{{-3.0, 1.0}, {0.5, -2.0}};
+  monitor.update(j, j, j, j);
+  EXPECT_EQ(monitor.update(j, j, j, j), 0.0);
+}
+
+TEST(LleMonitor, RowRelativeDrift) {
+  // A change in a small-magnitude row must be as visible as one in a large
+  // row: both rows change by 10% of their own scale.
+  LleMonitor monitor;
+  Matrix a{{1e6, 0.0}, {0.0, 1e-3}};
+  const Matrix zero2x2(2, 2);
+  const Matrix zero_any(2, 2);
+  monitor.update(a, zero2x2, zero2x2, zero_any);
+  Matrix b = a;
+  b(1, 1) = 1.1e-3;  // +10% in the tiny row
+  const double drift_small_row = monitor.update(b, zero2x2, zero2x2, zero_any);
+  EXPECT_NEAR(drift_small_row, 0.1, 0.02);
+
+  Matrix c = b;
+  c(0, 0) = 1.1e6;  // +10% in the huge row
+  const double drift_big_row = monitor.update(c, zero2x2, zero2x2, zero_any);
+  EXPECT_NEAR(drift_big_row, 0.1, 0.02);
+}
+
+TEST(LleMonitor, ResetForgetsPrevious) {
+  LleMonitor monitor;
+  const Matrix j{{-1.0}};
+  const Matrix e(1, 1);
+  monitor.update(j, e, e, e);
+  monitor.reset();
+  EXPECT_FALSE(monitor.has_previous());
+  EXPECT_EQ(monitor.update(j, e, e, e), 0.0);
+}
+
+TEST(TraceRecorder, CsvRoundTrip) {
+  SystemAssembler assembler;
+  assembler.add_block(std::make_unique<ehsim::testing::CubicDecayBlock>(1.0, 2.0));
+  assembler.elaborate();
+  LinearisedSolver solver(assembler);
+  TraceRecorder trace(solver, 0.0);
+  trace.probe_state("cubic.x0");
+  solver.initialise(0.0);
+  solver.advance_to(0.01);
+
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time,cubic.x0"), std::string::npos);
+  // One header plus one line per recorded point.
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    lines += ch == '\n' ? 1u : 0u;
+  }
+  EXPECT_EQ(lines, trace.size() + 1);
+}
+
+TEST(TraceRecorder, DecimationBoundsDensity) {
+  SystemAssembler assembler;
+  assembler.add_block(std::make_unique<ehsim::testing::CubicDecayBlock>(1.0, 2.0));
+  assembler.elaborate();
+  SolverConfig config;
+  config.fixed_step = 1e-4;
+  LinearisedSolver solver(assembler, config);
+  TraceRecorder trace(solver, 0.01);  // 100x coarser than the step
+  solver.initialise(0.0);
+  solver.advance_to(0.5);
+  EXPECT_LE(trace.size(), 52u);
+  EXPECT_GE(trace.size(), 48u);
+}
+
+TEST(JacobianReuse, SignatureStableOnLinearBlock) {
+  SystemAssembler assembler;
+  assembler.add_block(std::make_unique<ehsim::testing::OscillatorBlock>(100.0, 0.05, 1.0));
+  assembler.elaborate();
+  ehsim::linalg::Vector x{1.0, 0.0};
+  ehsim::linalg::Vector y;
+  // Default blocks report kAlwaysRebuild -> strictly fresh values.
+  const auto s1 = assembler.jacobian_signature(0.0, x.span(), y.span());
+  const auto s2 = assembler.jacobian_signature(0.0, x.span(), y.span());
+  EXPECT_NE(s1, s2);
+}
+
+TEST(JacobianReuse, HarvesterSkipsRebuildsWithIdenticalTrajectory) {
+  using namespace ehsim;
+  const auto params =
+      experiments::scenario_params(experiments::charging_scenario(1.0));
+
+  auto run = [&](bool reuse) {
+    harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+    SolverConfig config;
+    config.enable_jacobian_reuse = reuse;
+    LinearisedSolver solver(system.assembler(), config);
+    solver.initialise(0.0);
+    solver.advance_to(1.0);
+    return std::make_tuple(solver.stats().jacobian_builds, solver.stats().steps,
+                           solver.state()[system.assembler().state_index({1}, 4)]);
+  };
+  const auto [builds_on, steps_on, v5_on] = run(true);
+  const auto [builds_off, steps_off, v5_off] = run(false);
+
+  EXPECT_LT(builds_on, builds_off / 2);  // at least half the rebuilds skipped
+  EXPECT_EQ(builds_off, steps_off + 1);  // disabled: rebuild at every refresh
+  EXPECT_NEAR(v5_on, v5_off, 5e-4);      // same physics either way
+}
+
+TEST(JacobianReuse, EpochChangeForcesRebuild) {
+  using namespace ehsim;
+  const auto params =
+      experiments::scenario_params(experiments::charging_scenario(1.0));
+  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+  LinearisedSolver solver(system.assembler());
+  solver.initialise(0.0);
+  solver.advance_to(0.2);
+  const auto builds_before = solver.stats().jacobian_builds;
+  system.supercap().set_load_mode(harvester::LoadMode::kAwake);
+  solver.advance_to(0.201);
+  EXPECT_GT(solver.stats().jacobian_builds, builds_before);
+}
+
+TEST(JacobianReuse, ActuatorMotionDisablesGeneratorReuse) {
+  using namespace ehsim;
+  auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
+
+  // While the actuator moves, the generator reports kAlwaysRebuild and every
+  // step rebuilds; after arrival, reuse resumes.
+  LinearisedSolver solver(system.assembler());
+  solver.initialise(0.0);
+  solver.advance_to(0.1);
+  system.actuator().command(system.actuator().position(0.1) - 0.2e-3, 0.1);
+  system.generator().notify_parameter_event();
+
+  const auto steps_a = solver.stats().steps;
+  const auto builds_a = solver.stats().jacobian_builds;
+  solver.advance_to(0.25);  // motion spans 0.1 .. 0.3 s
+  const auto steps_moving = solver.stats().steps - steps_a;
+  const auto builds_moving = solver.stats().jacobian_builds - builds_a;
+  EXPECT_GE(builds_moving + 1, steps_moving);  // rebuild every step while moving
+
+  solver.advance_to(0.4);  // past arrival
+  const auto builds_b = solver.stats().jacobian_builds;
+  solver.advance_to(0.6);
+  const auto steps_parked = solver.stats().steps - (steps_a + steps_moving);
+  (void)steps_parked;
+  const auto builds_parked = solver.stats().jacobian_builds - builds_b;
+  const auto steps_after = solver.stats().steps;
+  EXPECT_LT(builds_parked, (steps_after - steps_a) / 2);  // reuse resumed
+}
+
+}  // namespace

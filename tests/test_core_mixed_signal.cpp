@@ -1,0 +1,138 @@
+/// \file test_core_mixed_signal.cpp
+/// \brief Analogue/digital co-simulation scheduler tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/linearised_solver.hpp"
+#include "core/mixed_signal.hpp"
+#include "digital/kernel.hpp"
+#include "support/test_blocks.hpp"
+
+namespace {
+
+using ehsim::core::LinearisedSolver;
+using ehsim::core::MixedSignalSimulator;
+using ehsim::core::SystemAssembler;
+using ehsim::digital::Kernel;
+using ehsim::testing::CapacitorBlock;
+using ehsim::testing::SourceResistorBlock;
+
+struct CoSimFixture {
+  SystemAssembler assembler;
+  ehsim::core::BlockHandle source;
+  Kernel kernel;
+
+  CoSimFixture() {
+    source = assembler.add_block(
+        std::make_unique<SourceResistorBlock>([](double) { return 1.0; }, 10.0));
+    const auto cap = assembler.add_block(std::make_unique<CapacitorBlock>(0.05, 0.0));
+    const auto v = assembler.net("V");
+    const auto i = assembler.net("I");
+    assembler.bind(source, 0, v);
+    assembler.bind(source, 1, i);
+    assembler.bind(cap, 0, v);
+    assembler.bind(cap, 1, i);
+    assembler.elaborate();
+  }
+};
+
+TEST(MixedSignal, RunsToEndWithoutEvents) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+  sim.run_until(0.5);
+  EXPECT_DOUBLE_EQ(sim.time(), 0.5);
+}
+
+TEST(MixedSignal, DigitalEventSeesConsistentAnalogueSolution) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+
+  double vc_at_event = -1.0;
+  double t_at_event = -1.0;
+  fx.kernel.schedule_at(0.25, [&] {
+    vc_at_event = solver.state()[0];
+    t_at_event = solver.time();
+  });
+  sim.run_until(0.5);
+  EXPECT_DOUBLE_EQ(t_at_event, 0.25);
+  // Analytic value at the event time (tau = 0.5 s).
+  EXPECT_NEAR(vc_at_event, 1.0 - std::exp(-0.25 / 0.5), 1e-3);
+}
+
+TEST(MixedSignal, EventChangingParametersAffectsSubsequentDynamics) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+
+  // At 0.2 s disconnect the source almost entirely.
+  fx.kernel.schedule_at(0.2, [&] {
+    fx.assembler.block_as<SourceResistorBlock>(fx.source).set_resistance(1e9);
+  });
+  sim.run_until(1.0);
+  // With R huge from 0.2 s on, vc freezes near its 0.2 s value.
+  const double vc_freeze = 1.0 - std::exp(-0.2 / 0.5);
+  EXPECT_NEAR(solver.state()[0], vc_freeze, 5e-3);
+  EXPECT_GE(solver.stats().history_resets, 1u);
+}
+
+TEST(MixedSignal, ChainedEventsAllExecute) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+
+  std::vector<double> event_times;
+  std::function<void()> reschedule = [&] {
+    event_times.push_back(fx.kernel.now());
+    if (event_times.size() < 5) {
+      fx.kernel.schedule_in(0.1, reschedule);
+    }
+  };
+  fx.kernel.schedule_at(0.1, reschedule);
+  sim.run_until(1.0);
+  ASSERT_EQ(event_times.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(event_times[k], 0.1 * static_cast<double>(k + 1), 1e-12);
+  }
+  EXPECT_GE(sim.sync_points(), 5u);
+}
+
+TEST(MixedSignal, EventAtExactEndTimeRuns) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+  bool fired = false;
+  fx.kernel.schedule_at(0.5, [&] { fired = true; });
+  sim.run_until(0.5);
+  EXPECT_TRUE(fired);
+}
+
+TEST(MixedSignal, BackwardsRunRejected) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+  sim.run_until(0.5);
+  EXPECT_THROW(sim.run_until(0.4), ehsim::ModelError);
+}
+
+TEST(MixedSignal, MultipleRunsContinueSeamlessly) {
+  CoSimFixture fx;
+  LinearisedSolver solver(fx.assembler);
+  solver.initialise(0.0);
+  MixedSignalSimulator sim(solver, fx.kernel);
+  sim.run_until(0.25);
+  sim.run_until(0.5);
+  sim.run_until(1.0);
+  EXPECT_NEAR(solver.state()[0], 1.0 - std::exp(-1.0 / 0.5), 2e-3);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+/// \file test_experiments_optimise.cpp
+/// \brief Derivative-free maximiser tests (the paper's design-loop tooling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "experiments/optimise.hpp"
+
+namespace {
+
+using ehsim::ModelError;
+using ehsim::experiments::coordinate_descent_maximise;
+using ehsim::experiments::golden_section_maximise;
+using ehsim::experiments::OptimiseOptions;
+
+TEST(GoldenSection, FindsQuadraticPeak) {
+  const auto result = golden_section_maximise(
+      [](double x) { return -(x - 2.5) * (x - 2.5); }, 0.0, 10.0);
+  EXPECT_NEAR(result.x, 2.5, 0.02);
+  EXPECT_NEAR(result.value, 0.0, 1e-3);
+  EXPECT_GT(result.evaluations, 4u);
+}
+
+TEST(GoldenSection, PeakAtBoundary) {
+  const auto result =
+      golden_section_maximise([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(result.x, 1.0, 0.01);
+}
+
+TEST(GoldenSection, RespectsEvaluationBudget) {
+  std::size_t calls = 0;
+  OptimiseOptions options;
+  options.max_evaluations = 10;
+  options.x_tolerance = 1e-12;  // would otherwise iterate much longer
+  const auto result = golden_section_maximise(
+      [&calls](double x) {
+        ++calls;
+        return -x * x;
+      },
+      -1.0, 1.0, options);
+  EXPECT_LE(calls, 11u);  // budget check happens at loop top
+  EXPECT_EQ(result.evaluations, calls);
+}
+
+TEST(GoldenSection, NonSmoothUnimodalPeak) {
+  const auto result = golden_section_maximise(
+      [](double x) { return -std::abs(x - 0.7); }, 0.0, 1.0);
+  EXPECT_NEAR(result.x, 0.7, 0.01);
+}
+
+TEST(GoldenSection, InvalidInputs) {
+  EXPECT_THROW(golden_section_maximise(nullptr, 0.0, 1.0), ModelError);
+  EXPECT_THROW(golden_section_maximise([](double) { return 0.0; }, 1.0, 1.0), ModelError);
+}
+
+TEST(CoordinateDescent, FindsSeparableQuadraticPeak) {
+  const auto result = coordinate_descent_maximise(
+      [](const std::vector<double>& x) {
+        return -(x[0] - 1.0) * (x[0] - 1.0) - 2.0 * (x[1] + 0.5) * (x[1] + 0.5);
+      },
+      {-5.0, -5.0}, {5.0, 5.0}, {0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 1.0, 0.05);
+  EXPECT_NEAR(result.x[1], -0.5, 0.05);
+  EXPECT_GE(result.sweeps, 1u);
+}
+
+TEST(CoordinateDescent, HandlesCorrelatedObjective) {
+  // Rotated bowl: coordinate descent still converges (slower).
+  OptimiseOptions options;
+  options.max_evaluations = 200;
+  const auto result = coordinate_descent_maximise(
+      [](const std::vector<double>& x) {
+        const double u = x[0] + 0.5 * x[1] - 1.0;
+        const double v = x[1] - 0.25;
+        return -(u * u) - v * v;
+      },
+      {-4.0, -4.0}, {4.0, 4.0}, {0.0, 0.0}, options);
+  EXPECT_NEAR(result.value, 0.0, 0.01);
+}
+
+TEST(CoordinateDescent, StartValueCounted) {
+  std::size_t calls = 0;
+  OptimiseOptions options;
+  options.max_evaluations = 3;  // only the initial evaluation fits a sweep
+  const auto result = coordinate_descent_maximise(
+      [&calls](const std::vector<double>& x) {
+        ++calls;
+        return -x[0] * x[0];
+      },
+      {-1.0}, {1.0}, {0.5}, options);
+  EXPECT_EQ(result.evaluations, calls);
+  EXPECT_LE(calls, 4u);
+}
+
+TEST(CoordinateDescent, InvalidInputs) {
+  EXPECT_THROW(coordinate_descent_maximise(nullptr, {0.0}, {1.0}, {0.5}), ModelError);
+  EXPECT_THROW(coordinate_descent_maximise([](const std::vector<double>&) { return 0.0; },
+                                           {0.0, 0.0}, {1.0}, {0.5, 0.5}),
+               ModelError);
+  EXPECT_THROW(coordinate_descent_maximise([](const std::vector<double>&) { return 0.0; },
+                                           {1.0}, {0.0}, {0.5}),
+               ModelError);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+/// \file test_ode_implicit.cpp
+/// \brief Implicit integrator tests (the baseline engines' discretisations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "ode/implicit_integrators.hpp"
+
+namespace {
+
+using ehsim::linalg::Matrix;
+using ehsim::ode::ImplicitIntegrator;
+using ehsim::ode::ImplicitMethod;
+
+/// dx/dt = -k x with analytic solution.
+struct Decay {
+  double k;
+  ehsim::ode::RhsWithJacobian f() const {
+    const double kk = k;
+    return [kk](double, std::span<const double> x, std::span<double> dx) { dx[0] = -kk * x[0]; };
+  }
+  ehsim::ode::RhsJacobianFunction j() const {
+    const double kk = k;
+    return [kk](double, std::span<const double>, Matrix& out) { out(0, 0) = -kk; };
+  }
+};
+
+double integrate(ImplicitMethod method, double k, double h, double t_end) {
+  Decay sys{k};
+  ImplicitIntegrator integrator(method, 1, sys.f(), sys.j());
+  std::vector<double> x{1.0};
+  double t = 0.0;
+  while (t < t_end - 1e-12) {
+    const double step = std::min(h, t_end - t);
+    const auto result = integrator.step(t, step, x);
+    EXPECT_TRUE(result.converged());
+    t += step;
+  }
+  return x[0];
+}
+
+TEST(BackwardEuler, FirstOrderConvergence) {
+  const double exact = std::exp(-1.0);
+  const double e1 = std::abs(integrate(ImplicitMethod::kBackwardEuler, 1.0, 0.02, 1.0) - exact);
+  const double e2 = std::abs(integrate(ImplicitMethod::kBackwardEuler, 1.0, 0.01, 1.0) - exact);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.25);
+}
+
+TEST(Trapezoidal, SecondOrderConvergence) {
+  const double exact = std::exp(-1.0);
+  const double e1 = std::abs(integrate(ImplicitMethod::kTrapezoidal, 1.0, 0.02, 1.0) - exact);
+  const double e2 = std::abs(integrate(ImplicitMethod::kTrapezoidal, 1.0, 0.01, 1.0) - exact);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.6);
+}
+
+TEST(Bdf2, SecondOrderConvergence) {
+  const double exact = std::exp(-1.0);
+  const double e1 = std::abs(integrate(ImplicitMethod::kBdf2, 1.0, 0.02, 1.0) - exact);
+  const double e2 = std::abs(integrate(ImplicitMethod::kBdf2, 1.0, 0.01, 1.0) - exact);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.8);
+}
+
+/// A-stability: huge step on a stiff decay must stay bounded (this is what
+/// lets the baseline engines take steps far beyond the explicit limit).
+class ImplicitStiffStability : public ::testing::TestWithParam<ImplicitMethod> {};
+
+TEST_P(ImplicitStiffStability, HugeStepRemainsBounded) {
+  const double value = integrate(GetParam(), 1e6, 0.1, 1.0);
+  EXPECT_LT(std::abs(value), 1.0);
+  EXPECT_GE(std::abs(value), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ImplicitStiffStability,
+                         ::testing::Values(ImplicitMethod::kBackwardEuler,
+                                           ImplicitMethod::kTrapezoidal,
+                                           ImplicitMethod::kBdf2));
+
+TEST(Bdf2, LStabilityDampsStiffModeUnlikeTrapezoidal) {
+  // One huge step on k = 1e6: BE/BDF2 crush the mode, trapezoidal rings
+  // (|x_new| ~ x_old). This is why SPICE offers Gear for stiff circuits.
+  const double be = integrate(ImplicitMethod::kBackwardEuler, 1e6, 0.1, 0.1);
+  const double trap = integrate(ImplicitMethod::kTrapezoidal, 1e6, 0.1, 0.1);
+  EXPECT_LT(std::abs(be), 1e-4);
+  EXPECT_GT(std::abs(trap), 0.9);  // rings with amplitude ~1
+}
+
+TEST(ImplicitIntegrator, NonlinearRhsConverges) {
+  // dx/dt = -x^3, x(0)=1: analytic x(t) = 1/sqrt(1+2t).
+  ehsim::ode::RhsWithJacobian f = [](double, std::span<const double> x, std::span<double> dx) {
+    dx[0] = -x[0] * x[0] * x[0];
+  };
+  ehsim::ode::RhsJacobianFunction j = [](double, std::span<const double> x, Matrix& out) {
+    out(0, 0) = -3.0 * x[0] * x[0];
+  };
+  ImplicitIntegrator integrator(ImplicitMethod::kTrapezoidal, 1, f, j);
+  std::vector<double> x{1.0};
+  double t = 0.0;
+  while (t < 1.0 - 1e-12) {
+    const auto result = integrator.step(t, 0.01, x);
+    ASSERT_TRUE(result.converged());
+    t += 0.01;
+  }
+  EXPECT_NEAR(x[0], 1.0 / std::sqrt(3.0), 1e-5);
+}
+
+TEST(ImplicitIntegrator, FailedStepRestoresState) {
+  // A residual that cannot be solved (NaN rhs) must leave x unchanged.
+  ehsim::ode::RhsWithJacobian f = [](double, std::span<const double>, std::span<double> dx) {
+    dx[0] = std::numeric_limits<double>::quiet_NaN();
+  };
+  ehsim::ode::RhsJacobianFunction j = [](double, std::span<const double>, Matrix& out) {
+    out(0, 0) = 0.0;
+  };
+  ehsim::ode::NewtonOptions options;
+  options.max_iterations = 3;
+  ImplicitIntegrator integrator(ImplicitMethod::kBackwardEuler, 1, f, j, options);
+  std::vector<double> x{42.0};
+  const auto result = integrator.step(0.0, 0.1, x);
+  EXPECT_FALSE(result.converged());
+  EXPECT_DOUBLE_EQ(x[0], 42.0);
+}
+
+TEST(ImplicitIntegrator, ResetHistoryFallsBackToBe) {
+  // BDF2 after reset must still work (internally BE for one step).
+  Decay sys{2.0};
+  ImplicitIntegrator integrator(ImplicitMethod::kBdf2, 1, sys.f(), sys.j());
+  std::vector<double> x{1.0};
+  ASSERT_TRUE(integrator.step(0.0, 0.05, x).converged());
+  integrator.reset_history();
+  ASSERT_TRUE(integrator.step(0.05, 0.05, x).converged());
+  EXPECT_GT(x[0], 0.0);
+  EXPECT_LT(x[0], 1.0);
+}
+
+TEST(ImplicitIntegrator, OrderReporting) {
+  Decay sys{1.0};
+  EXPECT_EQ(ImplicitIntegrator(ImplicitMethod::kBackwardEuler, 1, sys.f(), sys.j()).order(), 1u);
+  EXPECT_EQ(ImplicitIntegrator(ImplicitMethod::kTrapezoidal, 1, sys.f(), sys.j()).order(), 2u);
+  EXPECT_EQ(ImplicitIntegrator(ImplicitMethod::kBdf2, 1, sys.f(), sys.j()).order(), 2u);
+}
+
+}  // namespace

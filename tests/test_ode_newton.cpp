@@ -1,0 +1,160 @@
+/// \file test_ode_newton.cpp
+/// \brief Damped Newton-Raphson solver tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "ode/newton.hpp"
+
+namespace {
+
+using ehsim::linalg::Matrix;
+using ehsim::ode::newton_solve;
+using ehsim::ode::NewtonOptions;
+using ehsim::ode::NewtonStatus;
+using ehsim::ode::NewtonWorkspace;
+
+TEST(Newton, SolvesLinearSystemInOneIteration) {
+  // F(u) = A u - b.
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  auto residual = [&](std::span<const double> u, std::span<double> out) {
+    out[0] = 2.0 * u[0] + u[1] - 5.0;
+    out[1] = u[0] + 3.0 * u[1] - 10.0;
+  };
+  auto jacobian = [&](std::span<const double>, Matrix& out) { out = a; };
+  std::vector<double> u{0.0, 0.0};
+  NewtonWorkspace ws(2);
+  const auto result = newton_solve(residual, jacobian, u, {}, ws);
+  EXPECT_TRUE(result.converged());
+  EXPECT_LE(result.iterations, 2u);
+  EXPECT_NEAR(u[0], 1.0, 1e-10);
+  EXPECT_NEAR(u[1], 3.0, 1e-10);
+}
+
+TEST(Newton, QuadraticConvergenceOnSqrt) {
+  // F(u) = u^2 - 2.
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] - 2.0;
+  };
+  auto jacobian = [](std::span<const double> u, Matrix& out) { out(0, 0) = 2.0 * u[0]; };
+  std::vector<double> u{1.0};
+  NewtonWorkspace ws(1);
+  NewtonOptions options;
+  options.abs_tol = 1e-14;
+  const auto result = newton_solve(residual, jacobian, u, options, ws);
+  EXPECT_TRUE(result.converged());
+  EXPECT_NEAR(u[0], std::sqrt(2.0), 1e-12);
+  EXPECT_LE(result.iterations, 8u);  // quadratic convergence is fast
+}
+
+TEST(Newton, DampingRescuesOvershoot) {
+  // F(u) = atan(u): full Newton from u0 = 3 overshoots and diverges without
+  // damping; the halving line search keeps it in the basin.
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = std::atan(u[0]);
+  };
+  auto jacobian = [](std::span<const double> u, Matrix& out) {
+    out(0, 0) = 1.0 / (1.0 + u[0] * u[0]);
+  };
+  std::vector<double> u{3.0};
+  NewtonWorkspace ws(1);
+  NewtonOptions options;
+  options.abs_tol = 1e-12;
+  options.max_iterations = 60;
+  const auto result = newton_solve(residual, jacobian, u, options, ws);
+  EXPECT_TRUE(result.converged());
+  EXPECT_NEAR(u[0], 0.0, 1e-10);
+}
+
+TEST(Newton, SingularJacobianReported) {
+  auto residual = [](std::span<const double> u, std::span<double> out) { out[0] = u[0] + 1.0; };
+  auto jacobian = [](std::span<const double>, Matrix& out) { out(0, 0) = 0.0; };
+  std::vector<double> u{0.0};
+  NewtonWorkspace ws(1);
+  const auto result = newton_solve(residual, jacobian, u, {}, ws);
+  EXPECT_EQ(result.status, NewtonStatus::kSingularJacobian);
+  EXPECT_FALSE(result.converged());
+}
+
+TEST(Newton, MaxIterationsReported) {
+  // Slowly converging problem with a tiny iteration budget.
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = std::atan(u[0]);
+  };
+  auto jacobian = [](std::span<const double> u, Matrix& out) {
+    out(0, 0) = 1.0 / (1.0 + u[0] * u[0]);
+  };
+  std::vector<double> u{50.0};
+  NewtonWorkspace ws(1);
+  NewtonOptions options;
+  options.max_iterations = 2;
+  options.abs_tol = 1e-15;
+  const auto result = newton_solve(residual, jacobian, u, options, ws);
+  EXPECT_EQ(result.status, NewtonStatus::kMaxIterations);
+}
+
+TEST(Newton, ConvergedOnEntryCostsNoIterations) {
+  auto residual = [](std::span<const double> u, std::span<double> out) { out[0] = u[0]; };
+  auto jacobian = [](std::span<const double>, Matrix& out) { out(0, 0) = 1.0; };
+  std::vector<double> u{0.0};
+  NewtonWorkspace ws(1);
+  const auto result = newton_solve(residual, jacobian, u, {}, ws);
+  EXPECT_TRUE(result.converged());
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.jacobian_factorisations, 0u);
+}
+
+TEST(Newton, StepNormLimitClampsUpdate) {
+  // Linear problem whose solution is far away; with max_step_norm tiny the
+  // first update is clamped (the solver then keeps iterating toward it).
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 1000.0;
+  };
+  auto jacobian = [](std::span<const double>, Matrix& out) { out(0, 0) = 1.0; };
+  std::vector<double> u{0.0};
+  NewtonWorkspace ws(1);
+  NewtonOptions options;
+  options.max_step_norm = 1.0;
+  options.max_iterations = 5;
+  options.enable_damping = false;
+  const auto result = newton_solve(residual, jacobian, u, options, ws);
+  // Five clamped unit steps cannot reach 1000.
+  EXPECT_FALSE(result.converged());
+  EXPECT_NEAR(u[0], 5.0, 1e-12);
+}
+
+TEST(Newton, DivergenceToNanReported) {
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] > 0.5 ? std::numeric_limits<double>::quiet_NaN() : u[0] - 1.0;
+  };
+  auto jacobian = [](std::span<const double>, Matrix& out) { out(0, 0) = 1.0; };
+  std::vector<double> u{0.0};
+  NewtonWorkspace ws(1);
+  NewtonOptions options;
+  options.enable_damping = false;
+  const auto result = newton_solve(residual, jacobian, u, options, ws);
+  EXPECT_EQ(result.status, NewtonStatus::kDiverged);
+}
+
+TEST(Newton, TwoDimensionalNonlinearSystem) {
+  // Intersection of a circle and a parabola: x^2+y^2=4, y=x^2.
+  auto residual = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] + u[1] * u[1] - 4.0;
+    out[1] = u[1] - u[0] * u[0];
+  };
+  auto jacobian = [](std::span<const double> u, Matrix& out) {
+    out(0, 0) = 2.0 * u[0];
+    out(0, 1) = 2.0 * u[1];
+    out(1, 0) = -2.0 * u[0];
+    out(1, 1) = 1.0;
+  };
+  std::vector<double> u{1.0, 1.0};
+  NewtonWorkspace ws(2);
+  const auto result = newton_solve(residual, jacobian, u, {}, ws);
+  EXPECT_TRUE(result.converged());
+  EXPECT_NEAR(u[0] * u[0] + u[1] * u[1], 4.0, 1e-9);
+  EXPECT_NEAR(u[1], u[0] * u[0], 1e-9);
+}
+
+}  // namespace

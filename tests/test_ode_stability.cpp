@@ -1,0 +1,193 @@
+/// \file test_ode_stability.cpp
+/// \brief Stability-limit tests (paper Eqs. 6-7) for the explicit march.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/eigen.hpp"
+#include "ode/stability.hpp"
+
+namespace {
+
+using ehsim::linalg::Matrix;
+using ehsim::ode::ab_real_axis_stability_limit;
+using ehsim::ode::ab_root_amplification;
+using ehsim::ode::ab_scalar_stable;
+using ehsim::ode::is_ab_step_stable;
+using ehsim::ode::max_stable_step;
+using ehsim::ode::max_stable_step_spectral;
+using ehsim::ode::refine_stable_step;
+using ehsim::ode::StabilityLimitSource;
+
+TEST(AbScalarStability, RealAxisLimitsMatchTheory) {
+  // Known real-axis absolute-stability intervals (-L, 0):
+  // AB1: 2, AB2: 1, AB3: 6/11, AB4: 0.3.
+  for (std::size_t order = 1; order <= 4; ++order) {
+    const double limit = ab_real_axis_stability_limit(order);
+    EXPECT_TRUE(ab_scalar_stable({-0.98 * limit, 0.0}, order)) << "order " << order;
+    EXPECT_FALSE(ab_scalar_stable({-1.05 * limit, 0.0}, order)) << "order " << order;
+  }
+}
+
+TEST(AbScalarStability, OriginIsMarginallyStable) {
+  for (std::size_t order = 1; order <= 4; ++order) {
+    EXPECT_TRUE(ab_scalar_stable({0.0, 0.0}, order));
+    EXPECT_NEAR(ab_root_amplification({0.0, 0.0}, order), 1.0, 1e-9);
+  }
+}
+
+TEST(AbScalarStability, ForwardEulerCircle) {
+  // AB1 = FE: stability region |1 + mu| <= 1.
+  EXPECT_TRUE(ab_scalar_stable({-1.0, 0.9}, 1));
+  EXPECT_FALSE(ab_scalar_stable({-1.0, 1.1}, 1));
+  EXPECT_FALSE(ab_scalar_stable({0.0, 0.5}, 1));  // imaginary axis unstable
+}
+
+TEST(AbScalarStability, Ab3IncludesImaginarySegment) {
+  // AB3's region famously includes a segment of the imaginary axis
+  // (roughly up to |mu| ~ 0.72); AB2's does not.
+  EXPECT_TRUE(ab_scalar_stable({0.0, 0.4}, 3));
+  EXPECT_FALSE(ab_scalar_stable({0.0, 0.4}, 2));
+  EXPECT_FALSE(ab_scalar_stable({0.0, 0.8}, 3));
+}
+
+TEST(AbScalarStability, AmplificationGrowsWithMu) {
+  const double a1 = ab_root_amplification({-0.5, 0.0}, 2);
+  const double a2 = ab_root_amplification({-1.5, 0.0}, 2);
+  EXPECT_LT(a1, 1.0);
+  EXPECT_GT(a2, 1.0);
+}
+
+TEST(MaxStableStep, DominantDiagonalUsesGershgorinPath) {
+  const Matrix a{{-100.0, 10.0}, {10.0, -100.0}};
+  const auto limit = max_stable_step(a, 1, 1.0);
+  EXPECT_EQ(limit.source, StabilityLimitSource::kDiagonalDominance);
+  EXPECT_NEAR(limit.h_max, 2.0 / 110.0, 1e-12);
+}
+
+TEST(MaxStableStep, OscillatorFallsBackToSpectralEstimate) {
+  const Matrix a{{0.0, 1.0}, {-1e4, -10.0}};
+  const auto limit = max_stable_step(a, 2, 1.0);
+  EXPECT_EQ(limit.source, StabilityLimitSource::kPowerIteration);
+  EXPECT_GT(limit.h_max, 0.0);
+}
+
+TEST(MaxStableStep, ZeroMatrixUnbounded) {
+  const Matrix a(3, 3);
+  const auto limit = max_stable_step(a, 2, 1.0);
+  EXPECT_EQ(limit.source, StabilityLimitSource::kUnbounded);
+  EXPECT_TRUE(std::isinf(limit.h_max));
+}
+
+TEST(SpectralStep, MatchesRealAxisTheoryForDiagonalSystem) {
+  // Single mode lambda = -1000: h_max = L(order)/1000.
+  const std::vector<std::complex<double>> spectrum{{-1000.0, 0.0}};
+  for (std::size_t order = 1; order <= 4; ++order) {
+    const double h = max_stable_step_spectral(spectrum, order, 1.0);
+    EXPECT_NEAR(h, ab_real_axis_stability_limit(order) / 1000.0, 1e-6) << "order " << order;
+  }
+}
+
+TEST(SpectralStep, LightlyDampedModeCanBind) {
+  // A slow real mode plus a fast lightly damped oscillator: the oscillator
+  // (not the real mode) binds, because the AB2 region near the imaginary
+  // axis only extends to |mu| ~ 0.4. The naive real-axis scaling would get
+  // this wrong — the regression test for the harvester's mechanical mode.
+  const double w = 440.0;
+  const double zeta = 0.005;
+  const std::vector<std::complex<double>> spectrum{
+      {-100.0, 0.0},
+      {-zeta * w, w},
+      {-zeta * w, -w},
+  };
+  const double h = max_stable_step_spectral(spectrum, 2, 1.0);
+  // Must be stricter than the real-mode-only limit 1/100.
+  EXPECT_LT(h, 1.0 / 100.0);
+  // And every mode must actually be stable at the returned step.
+  for (const auto& lambda : spectrum) {
+    EXPECT_TRUE(ab_scalar_stable(lambda * h, 2));
+  }
+  // The boundary is tight for the oscillator pair.
+  EXPECT_FALSE(ab_scalar_stable(spectrum[1] * (1.3 * h), 2));
+}
+
+TEST(SpectralStep, IntegratorModesImposeNoConstraint) {
+  const std::vector<std::complex<double>> spectrum{{0.0, 0.0}, {-10.0, 0.0}};
+  const double h = max_stable_step_spectral(spectrum, 1, 1.0);
+  EXPECT_NEAR(h, 0.2, 1e-6);
+}
+
+TEST(SpectralStep, UpperBoundRespected) {
+  const std::vector<std::complex<double>> spectrum{{-1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(max_stable_step_spectral(spectrum, 1, 0.05), 0.05);
+}
+
+TEST(IsAbStepStable, AgreesWithBruteForceOnOscillator) {
+  const double w = 100.0;
+  const double zeta = 0.05;
+  const Matrix a{{0.0, 1.0}, {-w * w, -2.0 * zeta * w}};
+  const double h_ok = 0.5 * 2.0 * zeta / w;   // well inside for FE
+  const double h_bad = 10.0 * 2.0 * zeta / w; // well outside
+  EXPECT_TRUE(is_ab_step_stable(a, 1, h_ok));
+  EXPECT_FALSE(is_ab_step_stable(a, 1, h_bad));
+  EXPECT_TRUE(ehsim::ode::is_step_empirically_stable(a, h_ok));
+  EXPECT_FALSE(ehsim::ode::is_step_empirically_stable(a, h_bad));
+}
+
+TEST(RefineStableStep, ReturnsZeroBelowFloor) {
+  Matrix a(1, 1);
+  a(0, 0) = -1e9;
+  EXPECT_EQ(refine_stable_step(a, 2, 1.0, 1e-3), 0.0);
+}
+
+TEST(RefineStableStep, KeepsCandidateWhenStable) {
+  Matrix a(1, 1);
+  a(0, 0) = -1.0;
+  EXPECT_NEAR(refine_stable_step(a, 1, 0.1, 1e-9), 0.1, 1e-12);
+}
+
+/// Property: across orders and spectra, the returned step is stable and
+/// 1.3x the returned step is unstable (boundary tightness), for binding
+/// constraints strictly inside the upper bound.
+struct SpectrumCase {
+  const char* name;
+  std::vector<std::complex<double>> spectrum;
+};
+
+class SpectralBoundary : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(SpectralBoundary, ReturnedStepIsTightlyStable) {
+  const std::size_t order = std::get<0>(GetParam());
+  const int which = std::get<1>(GetParam());
+  std::vector<std::complex<double>> spectrum;
+  switch (which) {
+    case 0:
+      spectrum = {{-5000.0, 0.0}, {-20.0, 0.0}};
+      break;
+    case 1:
+      spectrum = {{-40.0, 800.0}, {-40.0, -800.0}};
+      break;
+    default:
+      spectrum = {{-3000.0, 0.0}, {-5.0, 500.0}, {-5.0, -500.0}, {0.0, 0.0}};
+      break;
+  }
+  const double h = max_stable_step_spectral(spectrum, order, 1.0);
+  ASSERT_GT(h, 0.0);
+  ASSERT_LT(h, 1.0);  // binding
+  for (const auto& lambda : spectrum) {
+    EXPECT_TRUE(ab_scalar_stable(lambda * h, order, 1e-6))
+        << "order " << order << " case " << which;
+  }
+  bool any_unstable = false;
+  for (const auto& lambda : spectrum) {
+    any_unstable = any_unstable || !ab_scalar_stable(lambda * h * 1.3, order);
+  }
+  EXPECT_TRUE(any_unstable) << "boundary not tight: order " << order << " case " << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(OrdersAndSpectra, SpectralBoundary,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace

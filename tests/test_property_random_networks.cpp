@@ -1,0 +1,215 @@
+/// \file test_property_random_networks.cpp
+/// \brief Property tests on randomised passive networks.
+///
+/// The paper's stability argument rests on the passivity of the analogue
+/// blocks. These tests generate random passive RC ladder networks (random
+/// element values over several orders of magnitude, random initial charge),
+/// split them into blocks joined by terminal nets, and assert engine-level
+/// invariants that must hold for *any* such system:
+///   * the proposed engine's Eq. 7 cap admits a stable march (no divergence),
+///   * proposed and Newton-Raphson trajectories agree,
+///   * the eliminated system is Hurwitz (spectral abscissa <= 0), and
+///   * total stored energy never increases (no sources present).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "baseline/nr_engine.hpp"
+#include "core/linearised_solver.hpp"
+#include "linalg/eigen.hpp"
+
+namespace {
+
+using ehsim::baseline::NrEngine;
+using ehsim::core::AnalogBlock;
+using ehsim::core::LinearisedSolver;
+using ehsim::core::SystemAssembler;
+using ehsim::linalg::Matrix;
+
+/// One RC "cell": series resistor from the input port to a grounded
+/// capacitor, exposing the far side as an output port.
+/// States: vc. Terminals: (V_in, I_in, V_out, I_out). Algebraic rows:
+///   KCL at the capacitor node: (V_in - vc)/R = C dvc/dt + I_out_draw ->
+///   expressed as: fx = ((V_in - vc)/R - I_out)/C,
+///   row 0: I_in - (V_in - vc)/R = 0     (series resistor current)
+///   row 1: V_out - vc = 0               (output rides the capacitor)
+class RcCell final : public AnalogBlock {
+ public:
+  RcCell(std::string name, double r, double c, double vc0)
+      : AnalogBlock(std::move(name), 1, 4, 2), r_(r), c_(c), vc0_(vc0) {}
+
+  void initial_state(std::span<double> x) const override { x[0] = vc0_; }
+
+  void eval(double, std::span<const double> x, std::span<const double> y,
+            std::span<double> fx, std::span<double> fy) const override {
+    const double vc = x[0];
+    fx[0] = ((y[0] - vc) / r_ - y[3]) / c_;
+    fy[0] = y[1] - (y[0] - vc) / r_;
+    fy[1] = y[2] - vc;
+  }
+
+  void jacobians(double, std::span<const double>, std::span<const double>,
+                 Matrix& jxx, Matrix& jxy, Matrix& jyx, Matrix& jyy) const override {
+    jxx(0, 0) = -1.0 / (r_ * c_);
+    jxy(0, 0) = 1.0 / (r_ * c_);
+    jxy(0, 3) = -1.0 / c_;
+    jyx(0, 0) = 1.0 / r_;
+    jyy(0, 0) = -1.0 / r_;
+    jyy(0, 1) = 1.0;
+    jyx(1, 0) = -1.0;
+    jyy(1, 2) = 1.0;
+  }
+
+  [[nodiscard]] double energy(double vc) const noexcept { return 0.5 * c_ * vc * vc; }
+  [[nodiscard]] double capacitance() const noexcept { return c_; }
+
+ private:
+  double r_;
+  double c_;
+  double vc0_;
+};
+
+/// Terminates a chain: grounds the input port through a resistor.
+class TerminatorBlock final : public AnalogBlock {
+ public:
+  explicit TerminatorBlock(double r) : AnalogBlock("term", 0, 2, 1), r_(r) {}
+  void eval(double, std::span<const double>, std::span<const double> y,
+            std::span<double>, std::span<double> fy) const override {
+    fy[0] = y[1] - y[0] / r_;
+  }
+  void jacobians(double, std::span<const double>, std::span<const double>, Matrix&,
+                 Matrix&, Matrix&, Matrix& jyy) const override {
+    jyy(0, 0) = -1.0 / r_;
+    jyy(0, 1) = 1.0;
+  }
+
+ private:
+  double r_;
+};
+
+/// Source side of the chain: a fixed 0 V drive (discharge experiment), i.e.
+/// the head port is grounded through a resistor.
+class GroundHead final : public AnalogBlock {
+ public:
+  explicit GroundHead(double r) : AnalogBlock("head", 0, 2, 1), r_(r) {}
+  void eval(double, std::span<const double>, std::span<const double> y,
+            std::span<double>, std::span<double> fy) const override {
+    fy[0] = y[0] + r_ * y[1];  // V = -R*I (current drawn discharges into gnd)
+  }
+  void jacobians(double, std::span<const double>, std::span<const double>, Matrix&,
+                 Matrix&, Matrix&, Matrix& jyy) const override {
+    jyy(0, 0) = 1.0;
+    jyy(0, 1) = r_;
+  }
+
+ private:
+  double r_;
+};
+
+struct Ladder {
+  SystemAssembler assembler;
+  std::vector<ehsim::core::BlockHandle> cells;
+};
+
+/// Random discharge ladder: head -- cell_1 -- cell_2 ... -- terminator.
+std::unique_ptr<Ladder> make_random_ladder(unsigned seed, std::size_t cells) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> log_r(std::log(10.0), std::log(1e4));
+  std::uniform_real_distribution<double> log_c(std::log(1e-6), std::log(1e-2));
+  std::uniform_real_distribution<double> v0(0.0, 5.0);
+
+  auto ladder = std::make_unique<Ladder>();
+  auto& assembler = ladder->assembler;
+  const auto head = assembler.add_block(
+      std::make_unique<GroundHead>(std::exp(log_r(rng))));
+  std::vector<ehsim::core::NetHandle> nets;
+  nets.push_back(assembler.net("V0"));
+  nets.push_back(assembler.net("I0"));
+  assembler.bind(head, 0, nets[0]);
+  assembler.bind(head, 1, nets[1]);
+
+  for (std::size_t k = 0; k < cells; ++k) {
+    const auto cell = assembler.add_block(std::make_unique<RcCell>(
+        "cell" + std::to_string(k), std::exp(log_r(rng)), std::exp(log_c(rng)), v0(rng)));
+    ladder->cells.push_back(cell);
+    const auto v_out = assembler.net("V" + std::to_string(k + 1));
+    const auto i_out = assembler.net("I" + std::to_string(k + 1));
+    assembler.bind(cell, 0, nets[nets.size() - 2]);
+    assembler.bind(cell, 1, nets[nets.size() - 1]);
+    assembler.bind(cell, 2, v_out);
+    assembler.bind(cell, 3, i_out);
+    nets.push_back(v_out);
+    nets.push_back(i_out);
+  }
+  const auto terminator = assembler.add_block(std::make_unique<TerminatorBlock>(1e5));
+  assembler.bind(terminator, 0, nets[nets.size() - 2]);
+  assembler.bind(terminator, 1, nets[nets.size() - 1]);
+  assembler.elaborate();
+  return ladder;
+}
+
+class RandomLadder : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomLadder, EliminatedSystemIsHurwitz) {
+  auto ladder = make_random_ladder(GetParam(), 4);
+  LinearisedSolver solver(ladder->assembler);
+  solver.initialise(0.0);
+  solver.advance_to(1e-6);  // force a stability evaluation
+  const auto& a = solver.eliminated_matrix();
+  ASSERT_EQ(a.rows(), 4u);
+  // Passive network: every eigenvalue in the closed left half-plane.
+  EXPECT_LE(ehsim::linalg::spectral_abscissa(a), 1e-9);
+}
+
+TEST_P(RandomLadder, ProposedMarchStaysBoundedAndDischarges) {
+  auto ladder = make_random_ladder(GetParam(), 4);
+  LinearisedSolver solver(ladder->assembler);
+  solver.initialise(0.0);
+
+  // Total stored energy must never increase in a source-free network.
+  double last_energy = 1e300;
+  bool monotone = true;
+  solver.add_observer([&](double, std::span<const double> x, std::span<const double>) {
+    double energy = 0.0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto& cell =
+          ladder->assembler.block_as<RcCell>(ladder->cells[k]);
+      energy += cell.energy(x[ladder->assembler.state_index(ladder->cells[k], 0)]);
+    }
+    monotone = monotone && (energy <= last_energy * (1.0 + 1e-9));
+    last_energy = energy;
+  });
+  solver.advance_to(0.05);
+  EXPECT_TRUE(monotone) << "stored energy increased in a passive network";
+  for (double v : solver.state()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(RandomLadder, EnginesAgreeOnTrajectory) {
+  auto ladder_a = make_random_ladder(GetParam(), 3);
+  auto ladder_b = make_random_ladder(GetParam(), 3);  // same seed -> same network
+
+  LinearisedSolver proposed(ladder_a->assembler);
+  proposed.initialise(0.0);
+  proposed.advance_to(0.02);
+
+  ehsim::baseline::NrEngineConfig config;
+  config.lte_rel_tol = 1e-5;
+  NrEngine reference(ladder_b->assembler, config);
+  reference.initialise(0.0);
+  reference.advance_to(0.02);
+
+  for (std::size_t i = 0; i < proposed.state().size(); ++i) {
+    const double scale = std::max(1.0, std::abs(reference.state()[i]));
+    EXPECT_NEAR(proposed.state()[i], reference.state()[i], 5e-3 * scale)
+        << "state " << i << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLadder,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
