@@ -17,6 +17,7 @@
 #include "experiments/metrics.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace {
 
@@ -31,24 +32,21 @@ RunResult run(std::size_t order, double h_max, double span) {
   using namespace ehsim;
   const auto spec = experiments::charging_scenario(span);
   const auto params = experiments::scenario_params(spec);
-  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
-  core::SolverConfig config;
-  config.max_ab_order = order;
-  config.h_max = h_max;
-  core::LinearisedSolver solver(system.assembler(), config);
-  const std::size_t v5_index = system.assembler().state_index({1}, 4);
+  sim::HarvesterSession::Options options;
+  options.solver.max_ab_order = order;
+  options.solver.h_max = h_max;
+  sim::HarvesterSession session(params, options);
+  const std::size_t v5_index = session.system().assembler().state_index({1}, 4);
   RunResult result;
-  solver.add_observer([&](double t, std::span<const double> x, std::span<const double>) {
+  session.add_observer([&](double t, std::span<const double> x, std::span<const double>) {
     if (result.time.empty() || t - result.time.back() >= 0.01) {
       result.time.push_back(t);
       result.v5.push_back(x[v5_index]);
     }
   });
-  solver.initialise(0.0);
-  experiments::WallTimer timer;
-  solver.advance_to(span);
-  result.cpu = timer.elapsed_seconds();
-  result.steps = solver.stats().steps;
+  session.run_until(span);
+  result.cpu = session.cpu_seconds();
+  result.steps = session.stats().steps;
   return result;
 }
 

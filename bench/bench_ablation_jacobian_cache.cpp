@@ -13,10 +13,9 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/linearised_solver.hpp"
-#include "experiments/cpu_timer.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace {
 
@@ -24,24 +23,23 @@ struct Outcome {
   double cpu = 0.0;
   std::uint64_t steps = 0;
   std::uint64_t builds = 0;
+  std::uint64_t reuses = 0;
   double v5 = 0.0;
 };
 
 Outcome run(bool reuse, double span) {
   using namespace ehsim;
   const auto params = experiments::scenario_params(experiments::charging_scenario(span));
-  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
-  core::SolverConfig config;
-  config.enable_jacobian_reuse = reuse;
-  core::LinearisedSolver solver(system.assembler(), config);
-  solver.initialise(0.0);
-  experiments::WallTimer timer;
-  solver.advance_to(span);
+  sim::HarvesterSession::Options options;
+  options.solver.enable_jacobian_reuse = reuse;
+  sim::HarvesterSession session(params, options);
+  session.run_until(span);
   Outcome out;
-  out.cpu = timer.elapsed_seconds();
-  out.steps = solver.stats().steps;
-  out.builds = solver.stats().jacobian_builds;
-  out.v5 = solver.state()[system.assembler().state_index({1}, 4)];
+  out.cpu = session.cpu_seconds();
+  out.steps = session.stats().steps;
+  out.builds = session.stats().jacobian_builds;
+  out.reuses = session.stats().jacobian_reuses;
+  out.v5 = session.state()[session.system().assembler().state_index({1}, 4)];
   return out;
 }
 
@@ -59,16 +57,18 @@ int main() {
   const Outcome on = run(true, span);
   const Outcome off = run(false, span);
 
-  TablePrinter table({"configuration", "CPU", "steps", "Jacobian rebuilds", "V5 [V]"});
+  TablePrinter table({"configuration", "CPU", "steps", "Jacobian rebuilds", "cache hits",
+                      "V5 [V]"});
   table.add_row({"signatures on (default)", format_duration(on.cpu), std::to_string(on.steps),
-                 std::to_string(on.builds), format_double(on.v5, 5)});
+                 std::to_string(on.builds), std::to_string(on.reuses),
+                 format_double(on.v5, 5)});
   table.add_row({"signatures off (rebuild every step)", format_duration(off.cpu),
                  std::to_string(off.steps), std::to_string(off.builds),
-                 format_double(off.v5, 5)});
+                 std::to_string(off.reuses), format_double(off.v5, 5)});
   table.print(std::cout);
 
   std::printf("\nreuse skips %.0f%% of rebuilds for a %.2fx end-to-end speed-up at\n"
-              "identical trajectories (the skip criterion is exact within PWL segments).\n",
+              "identical physics (the skip criterion is exact within PWL segments).\n",
               100.0 * (1.0 - static_cast<double>(on.builds) / static_cast<double>(off.builds)),
               off.cpu / on.cpu);
   return EXIT_SUCCESS;

@@ -18,6 +18,7 @@
 #include "experiments/metrics.hpp"
 #include "experiments/scenarios.hpp"
 #include "pwl/diode_table.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace {
 
@@ -59,14 +60,11 @@ void full_system_sweep() {
     auto spec = experiments::charging_scenario(4.0);
     auto params = experiments::scenario_params(spec);
     params.multiplier.table_segments = segments;
-    harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
-    core::LinearisedSolver solver(system.assembler());
-    solver.initialise(0.0);
-    experiments::WallTimer timer;
-    solver.advance_to(4.0);
-    std::printf("%10zu  %10.3f  %8llu  %.5f\n", segments, timer.elapsed_seconds(),
-                static_cast<unsigned long long>(solver.stats().steps),
-                solver.state()[system.assembler().state_index({1}, 4)]);
+    sim::HarvesterSession session(params);
+    session.run_until(4.0);
+    std::printf("%10zu  %10.3f  %8llu  %.5f\n", segments, session.cpu_seconds(),
+                static_cast<unsigned long long>(session.stats().steps),
+                session.state()[session.system().assembler().state_index({1}, 4)]);
   }
   std::printf("lookup cost is size-independent; accuracy saturates by ~256 segments.\n");
 }

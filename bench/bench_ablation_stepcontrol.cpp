@@ -15,6 +15,7 @@
 #include "experiments/cpu_timer.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace {
 
@@ -30,25 +31,24 @@ Outcome run(double fixed_step, bool stability_cap, bool lle, double span) {
   using namespace ehsim;
   const auto spec = experiments::charging_scenario(span);
   const auto params = experiments::scenario_params(spec);
-  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
-  core::SolverConfig config;
-  config.fixed_step = fixed_step;
-  config.enable_stability_cap = stability_cap;
-  config.enable_lle_control = lle;
-  core::LinearisedSolver solver(system.assembler(), config);
+  sim::HarvesterSession::Options options;
+  options.solver.fixed_step = fixed_step;
+  options.solver.enable_stability_cap = stability_cap;
+  options.solver.enable_lle_control = lle;
+  sim::HarvesterSession session(params, options);
   Outcome outcome;
-  solver.initialise(0.0);
-  experiments::WallTimer timer;
+  session.initialise(0.0);
   try {
-    solver.advance_to(span);
+    session.run_until(span);
   } catch (const SolverError&) {
     outcome.diverged = true;
   }
-  outcome.cpu = timer.elapsed_seconds();
-  outcome.steps = solver.stats().steps;
+  outcome.cpu = session.cpu_seconds();
+  outcome.steps = session.stats().steps;
+  const auto& solver = dynamic_cast<const core::LinearisedSolver&>(session.engine());
   outcome.h_cap = solver.stability_step_cap();
   if (!outcome.diverged) {
-    outcome.v5 = solver.state()[system.assembler().state_index({1}, 4)];
+    outcome.v5 = session.state()[session.system().assembler().state_index({1}, 4)];
   }
   return outcome;
 }

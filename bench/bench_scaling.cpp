@@ -18,6 +18,7 @@
 #include "experiments/cpu_timer.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace {
 
@@ -25,15 +26,17 @@ double time_engine(ehsim::experiments::EngineKind kind,
                    const ehsim::harvester::HarvesterParams& params, double span,
                    std::uint64_t* steps_out = nullptr) {
   using namespace ehsim;
-  harvester::HarvesterSystem system(params, experiments::device_mode_for(kind), false);
-  auto engine = experiments::make_engine(kind, system.assembler());
-  engine->initialise(0.0);
-  experiments::WallTimer timer;
-  engine->advance_to(span);
+  sim::HarvesterSession::Options options;
+  options.mode = experiments::device_mode_for(kind);
+  options.engine_factory = [kind](core::SystemAssembler& system) {
+    return experiments::make_engine(kind, system);
+  };
+  sim::HarvesterSession session(params, options);
+  session.run_until(span);
   if (steps_out != nullptr) {
-    *steps_out = engine->stats().steps;
+    *steps_out = session.stats().steps;
   }
-  return timer.elapsed_seconds();
+  return session.cpu_seconds();
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 #include <numbers>
 
 #include "core/block.hpp"
-#include "core/linearised_solver.hpp"
+#include "sim/session.hpp"
 #include "harvester/supercapacitor.hpp"
 
 namespace {
@@ -100,14 +100,17 @@ int main() {
   std::printf("custom thermoelectric block + stock storage: %zu states, %zu terminals\n",
               assembler.num_states(), assembler.num_nets());
 
-  core::LinearisedSolver solver(assembler);
-  solver.initialise(0.0);
+  // The generic Session drives a user-assembled model exactly like the
+  // stock harvester: linearised engine, no digital kernel.
+  sim::Session session(assembler);
+  session.initialise(0.0);
   std::printf("\n#   t[s]   dT[K]    Vc[V]   I[mA]\n");
   for (int k = 1; k <= 10; ++k) {
     const double t = 30.0 * k;
-    solver.advance_to(t);
-    std::printf("%7.0f  %6.2f  %7.4f  %6.2f\n", t, solver.state()[0], solver.terminals()[0],
-                solver.terminals()[1] * 1e3);
+    session.run_until(t);
+    const auto& engine = session.engine();
+    std::printf("%7.0f  %6.2f  %7.4f  %6.2f\n", t, engine.state()[0], engine.terminals()[0],
+                engine.terminals()[1] * 1e3);
   }
   std::printf("\nthe storage charges toward the Seebeck open-circuit voltage through the\n"
               "module's internal resistance — a fourth harvesting modality built from\n"

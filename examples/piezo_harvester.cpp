@@ -14,8 +14,8 @@
 #include <cmath>
 #include <memory>
 
-#include "core/linearised_solver.hpp"
-#include "experiments/cpu_timer.hpp"
+#include "core/solver_config.hpp"
+#include "sim/session.hpp"
 #include "harvester/dickson_multiplier.hpp"
 #include "harvester/electrostatic_generator.hpp"
 #include "harvester/piezo_generator.hpp"
@@ -59,28 +59,28 @@ void run_piezo_chain(const harvester::VibrationProfile& vibration) {
   // inside the Eq. 7 envelope while the diode segments toggle.
   core::SolverConfig config;
   config.h_max = 2e-5;
-  core::LinearisedSolver solver(assembler, config);
-  solver.initialise(0.0);
-  solver.advance_to(4.0);  // settle the pump
+  sim::Session session(assembler, config);
+  session.run_until(4.0);  // settle the pump
 
   double port_energy = 0.0;
   double charge = 0.0;
-  double t_prev = solver.time();
+  double t_prev = session.time();
   const auto vm_i = assembler.net_index(vm);
   const auto im_i = assembler.net_index(im);
   const auto ic_i = assembler.net_index(ic);
-  solver.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
+  session.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
     const double dt = t - t_prev;
     t_prev = t;
     port_energy += y[vm_i] * y[im_i] * dt;
     charge += y[ic_i] * dt;
   });
-  experiments::WallTimer timer;
-  solver.advance_to(8.0);
+  const double cpu_before = session.cpu_seconds();
+  session.run_until(8.0);
   std::printf("piezoelectric -> multiplier -> storage   (%2zu states)\n",
               assembler.num_states());
   std::printf("  P_port = %6.1f uW, I_charge = %5.2f uA   (4 sim-s in %.2f s CPU)\n\n",
-              port_energy / 4.0 * 1e6, charge / 4.0 * 1e6, timer.elapsed_seconds());
+              port_energy / 4.0 * 1e6, charge / 4.0 * 1e6,
+              session.cpu_seconds() - cpu_before);
 }
 
 /// Resistive AC load for the high-impedance electrostatic front-end.
@@ -117,17 +117,16 @@ void run_electrostatic_load(const harvester::VibrationProfile& vibration) {
   assembler.bind(load, 1, i);
   assembler.elaborate();
 
-  core::LinearisedSolver solver(assembler);
-  solver.initialise(0.0);
-  solver.advance_to(2.0);  // settle the resonant build-up
+  sim::Session session(assembler);
+  session.run_until(2.0);  // settle the resonant build-up
   double v2_integral = 0.0;
-  double t_prev = solver.time();
-  solver.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
+  double t_prev = session.time();
+  session.add_observer([&](double t, std::span<const double>, std::span<const double> y) {
     v2_integral += y[0] * y[0] * (t - t_prev);
     t_prev = t;
   });
-  experiments::WallTimer timer;
-  solver.advance_to(4.0);
+  const double cpu_before = session.cpu_seconds();
+  session.run_until(4.0);
   const double v_rms = std::sqrt(v2_integral / 2.0);
   const double p_rms = v_rms * v_rms / r_load;
   std::printf("electrostatic -> 1 GOhm AC load           (%2zu states)\n",
@@ -135,7 +134,7 @@ void run_electrostatic_load(const harvester::VibrationProfile& vibration) {
   std::printf("  load voltage %.3f V rms, %.2f nW — nW-scale, as expected for an\n"
               "  unoptimised continuous-mode electrostatic transducer"
               "   (2 sim-s in %.2f s CPU)\n\n",
-              v_rms, p_rms * 1e9, timer.elapsed_seconds());
+              v_rms, p_rms * 1e9, session.cpu_seconds() - cpu_before);
 }
 
 }  // namespace

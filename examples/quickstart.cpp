@@ -4,7 +4,8 @@
 /// Builds the complete tunable energy harvester of the paper (microgenerator
 /// + 5-stage Dickson multiplier + supercapacitor + microcontroller), runs a
 /// few seconds of transient with the proposed linearised state-space engine
-/// and prints the headline quantities.
+/// and prints the headline quantities. The sim::HarvesterSession handle owns
+/// the whole model -> engine -> digital-kernel lifecycle.
 ///
 /// Usage: quickstart [simulated_seconds]
 #include <cstdio>
@@ -12,10 +13,7 @@
 #include <string>
 
 #include "core/linearised_solver.hpp"
-#include "core/mixed_signal.hpp"
-#include "core/trace.hpp"
-#include "experiments/cpu_timer.hpp"
-#include "harvester/harvester_system.hpp"
+#include "sim/harvester_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace ehsim;
@@ -25,36 +23,37 @@ int main(int argc, char** argv) {
   // 1. Describe the device (defaults reproduce the paper's case study).
   harvester::HarvesterParams params;
 
-  // 2. Build the mixed-technology system: analogue blocks + digital MCU.
-  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable);
+  // 2. One handle: mixed-technology system (analogue blocks + digital MCU)
+  //    plus the proposed engine over its assembler.
+  sim::HarvesterSession::Options options;
+  options.with_mcu = true;
+  sim::HarvesterSession session(params, options);
   std::printf("model: %zu states, %zu terminal variables (paper: 11 states, 4 terminals)\n",
-              system.assembler().num_states(), system.assembler().num_nets());
+              session.system().assembler().num_states(),
+              session.system().assembler().num_nets());
 
-  // 3. Create the proposed engine and record waveforms.
-  core::LinearisedSolver solver(system.assembler());
-  core::TraceRecorder trace(solver, 1e-2);
+  // 3. Record waveforms.
+  auto& trace = session.enable_trace(1e-2);
   trace.probe_net("Vc");
-  const std::size_t vm = system.vm_index();
-  const std::size_t im = system.im_index();
+  const std::size_t vm = session.system().vm_index();
+  const std::size_t im = session.system().im_index();
   trace.probe_expression("P_gen", [vm, im](std::span<const double>, std::span<const double> y) {
     return y[vm] * y[im];
   });
 
-  // 4. Initialise, attach the MCU probes, co-simulate.
-  solver.initialise(0.0);
-  system.attach_engine(solver);
-  core::MixedSignalSimulator sim(solver, system.kernel());
-
-  experiments::WallTimer timer;
-  sim.run_until(t_end);
-  const double cpu = timer.elapsed_seconds();
+  // 4. Co-simulate (initialise + MCU attach + scheduling happen inside).
+  session.run_until(t_end);
+  const double cpu = session.cpu_seconds();
 
   // 5. Report.
-  const auto& stats = solver.stats();
+  const auto& stats = session.stats();
+  const auto& solver = dynamic_cast<const core::LinearisedSolver&>(session.engine());
   std::printf("simulated %.2f s in %.3f s CPU (%.1fx real time)\n", t_end, cpu, t_end / cpu);
-  std::printf("steps=%llu  jacobian builds=%llu  eq.4 solves=%llu  history resets=%llu\n",
+  std::printf("steps=%llu  jacobian builds=%llu  cache hits=%llu  eq.4 solves=%llu  "
+              "history resets=%llu\n",
               static_cast<unsigned long long>(stats.steps),
               static_cast<unsigned long long>(stats.jacobian_builds),
+              static_cast<unsigned long long>(stats.jacobian_reuses),
               static_cast<unsigned long long>(stats.algebraic_solves),
               static_cast<unsigned long long>(stats.history_resets));
   std::printf("step size: last=%.3g min=%.3g max=%.3g s; Eq.7 cap=%.3g s\n", stats.last_step,
@@ -69,7 +68,7 @@ int main(int argc, char** argv) {
   std::printf("supercap voltage: %.4f V -> %.4f V\n", vc.front(), vc.back());
   std::printf("mean generator output power (coarse probe): %.1f uW\n", mean_power * 1e6);
   std::printf("resonant frequency now: %.2f Hz (ambient %.2f Hz)\n",
-              system.generator().resonant_frequency(t_end),
-              system.vibration().frequency_at(t_end));
+              session.system().generator().resonant_frequency(t_end),
+              session.system().vibration().frequency_at(t_end));
   return EXIT_SUCCESS;
 }

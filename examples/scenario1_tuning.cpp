@@ -12,41 +12,33 @@
 #include <cstdlib>
 #include <fstream>
 
-#include "core/linearised_solver.hpp"
-#include "core/mixed_signal.hpp"
 #include "core/trace.hpp"
-#include "experiments/cpu_timer.hpp"
 #include "experiments/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace ehsim;
 
-  const auto spec = experiments::scenario1();
-  const auto params = experiments::scenario_params(spec);
+  auto spec = experiments::scenario1();
+  spec.trace_interval = 0.2;  // coarse waveform for the console report
 
-  harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, true);
-  system.vibration().set_frequency_at(spec.shift_time, spec.shifted_ambient_hz);
-
-  core::LinearisedSolver solver(system.assembler());
-  core::TraceRecorder trace(solver, 0.2);
-  trace.probe_net("Vc");
+  // The scenario session wires the harvester model, the frequency-shift
+  // schedule, the proposed engine and the decimated Vc trace in one call.
+  sim::HarvesterSession run = experiments::make_scenario_session(
+      spec, experiments::EngineKind::kProposed);
+  auto& system = run.system();
+  core::TraceRecorder& trace = run.session().trace();
   const std::size_t vm = system.vm_index();
   const std::size_t im = system.im_index();
   trace.probe_expression("P_gen", [vm, im](std::span<const double>, std::span<const double> y) {
     return y[vm] * y[im];
   });
 
-  solver.initialise(0.0);
-  system.attach_engine(solver);
-  core::MixedSignalSimulator sim(solver, system.kernel());
-
   std::printf("scenario 1: ambient %.0f Hz shifts to %.0f Hz at t = %.0f s; span %.0f s\n",
               spec.initial_ambient_hz, spec.shifted_ambient_hz, spec.shift_time,
               spec.duration);
-  experiments::WallTimer timer;
-  sim.run_until(spec.duration);
-  std::printf("simulated in %.2f s CPU (%llu steps)\n\n", timer.elapsed_seconds(),
-              static_cast<unsigned long long>(solver.stats().steps));
+  run.run_until(spec.duration);
+  std::printf("simulated in %.2f s CPU (%llu steps)\n\n", run.cpu_seconds(),
+              static_cast<unsigned long long>(run.stats().steps));
 
   std::printf("microcontroller timeline (paper Fig. 7 flow):\n");
   for (const auto& event : system.mcu()->events()) {

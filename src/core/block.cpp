@@ -27,11 +27,15 @@ std::uint64_t AnalogBlock::jacobian_signature(double /*t*/, std::span<const doub
 }
 
 std::string AnalogBlock::state_name(std::size_t i) const {
-  return "x" + std::to_string(i);
+  std::string name("x");
+  name += std::to_string(i);
+  return name;
 }
 
 std::string AnalogBlock::terminal_name(std::size_t i) const {
-  return "y" + std::to_string(i);
+  std::string name("y");
+  name += std::to_string(i);
+  return name;
 }
 
 }  // namespace ehsim::core

@@ -132,11 +132,15 @@ void LinearisedSolver::refresh() {
   // skipped whenever the blocks certify an unchanged linearisation through
   // their signatures — the table-lookup economy of paper §III-B.
   system_->eval(t_, x_.span(), y_.span(), fx_.span(), fy_.span());
-  const std::uint64_t signature =
-      config_.enable_jacobian_reuse ? system_->jacobian_signature(t_, x_.span(), y_.span())
-                                    : ++signature_disable_counter_;
-  if (signature != jacobian_signature_ || !jacobians_valid_) {
+  bool rebuild = !jacobians_valid_;
+  if (config_.enable_jacobian_reuse) {
+    const std::uint64_t signature = system_->jacobian_signature(t_, x_.span(), y_.span());
+    rebuild = rebuild || signature != jacobian_signature_;
     jacobian_signature_ = signature;
+  } else {
+    rebuild = true;  // ablation A6: rebuild at every refresh
+  }
+  if (rebuild) {
     jacobians_valid_ = true;
     system_->jacobians(t_, x_.span(), y_.span(), jxx_, jxy_, jyx_, jyy_);
     ++stats_.jacobian_builds;
@@ -159,6 +163,8 @@ void LinearisedSolver::refresh() {
       throw SolverError("LinearisedSolver: singular algebraic system (Jyy) at t=" +
                         std::to_string(t_));
     }
+  } else {
+    ++stats_.jacobian_reuses;
   }
 
   // Eliminate the non-state variables (Eq. 4): with the affine remainder

@@ -59,6 +59,7 @@ struct SolverConfig {
 struct SolverStats {
   std::uint64_t steps = 0;
   std::uint64_t jacobian_builds = 0;
+  std::uint64_t jacobian_reuses = 0;        ///< refreshes served from the cache
   std::uint64_t algebraic_solves = 0;       ///< Eq. 4 eliminations (proposed)
   std::uint64_t newton_iterations = 0;      ///< total NR iterations (baseline)
   std::uint64_t lu_factorisations = 0;      ///< full-system LU count (baseline)

@@ -4,10 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "core/mixed_signal.hpp"
 #include "core/trace.hpp"
-#include "experiments/cpu_timer.hpp"
 #include "experiments/metrics.hpp"
+#include "sim/batch_runner.hpp"
 
 namespace ehsim::experiments {
 
@@ -92,51 +91,55 @@ std::unique_ptr<core::AnalogEngine> make_engine(EngineKind kind,
   throw ModelError("make_engine: invalid engine kind");
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
-                            const harvester::HarvesterParams* params_override) {
+sim::HarvesterSession make_scenario_session(const ScenarioSpec& spec, EngineKind kind,
+                                            const harvester::HarvesterParams* params_override) {
   const harvester::HarvesterParams params =
       params_override != nullptr ? *params_override : scenario_params(spec);
 
-  harvester::HarvesterSystem system(params, device_mode_for(kind), spec.with_mcu);
+  sim::HarvesterSession::Options options;
+  options.mode = device_mode_for(kind);
+  options.with_mcu = spec.with_mcu;
+  options.engine_factory = [kind](core::SystemAssembler& system) {
+    return make_engine(kind, system);
+  };
+  sim::HarvesterSession session(params, options);
   if (spec.shift_time > 0.0) {
-    system.vibration().set_frequency_at(spec.shift_time, spec.shifted_ambient_hz);
+    session.system().vibration().set_frequency_at(spec.shift_time, spec.shifted_ambient_hz);
   }
+  session.enable_trace(spec.trace_interval).probe_net("Vc");
+  return session;
+}
 
-  auto engine = make_engine(kind, system.assembler());
-
-  core::TraceRecorder trace(*engine, spec.trace_interval);
-  trace.probe_net("Vc");
+ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
+                            const harvester::HarvesterParams* params_override) {
+  sim::HarvesterSession run = make_scenario_session(spec, kind, params_override);
 
   const std::size_t bins =
       static_cast<std::size_t>(std::ceil(spec.duration / spec.power_bin_width)) + 1;
   BinnedAccumulator power_bins(0.0, spec.power_bin_width, bins);
-  const std::size_t vm = system.vm_index();
-  const std::size_t im = system.im_index();
-  engine->add_observer(
+  const std::size_t vm = run.system().vm_index();
+  const std::size_t im = run.system().im_index();
+  run.add_observer(
       [&power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
         power_bins.add(t, y[vm] * y[im]);
       });
 
-  engine->initialise(0.0);
-  system.attach_engine(*engine);
-  core::MixedSignalSimulator sim(*engine, system.kernel());
-
-  WallTimer timer;
-  sim.run_until(spec.duration);
-  const double cpu = timer.elapsed_seconds();
+  run.initialise(0.0);
+  run.run_until(spec.duration);
 
   ScenarioResult result;
   result.scenario = spec.name;
-  result.engine = engine->engine_name();
+  result.engine = run.engine().engine_name();
   result.sim_seconds = spec.duration;
-  result.cpu_seconds = cpu;
-  result.stats = engine->stats();
+  result.cpu_seconds = run.cpu_seconds();
+  result.stats = run.stats();
+  const core::TraceRecorder& trace = run.session().trace();
   result.time = trace.times();
   result.vc = trace.column("Vc");
   result.final_vc = result.vc.empty() ? 0.0 : result.vc.back();
-  result.final_resonance_hz = system.generator().resonant_frequency(spec.duration);
-  if (system.mcu() != nullptr) {
-    result.mcu_events = system.mcu()->events();
+  result.final_resonance_hz = run.system().generator().resonant_frequency(spec.duration);
+  if (run.system().mcu() != nullptr) {
+    result.mcu_events = run.system().mcu()->events();
   }
 
   result.power_time.reserve(bins);
@@ -170,6 +173,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
       power_bins.mean_over(std::min(after_start, spec.duration - spec.power_bin_width),
                            spec.duration);
   return result;
+}
+
+std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
+                                               std::size_t threads) {
+  sim::BatchRunner runner(threads);
+  return runner.map_items(jobs, [](const ScenarioJob& job, std::size_t) {
+    return run_scenario(job.spec, job.kind, job.params ? &*job.params : nullptr);
+  });
 }
 
 }  // namespace ehsim::experiments

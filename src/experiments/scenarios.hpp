@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "core/engine.hpp"
 #include "core/linearised_solver.hpp"
 #include "harvester/harvester_system.hpp"
+#include "sim/harvester_session.hpp"
 
 namespace ehsim::experiments {
 
@@ -96,5 +98,28 @@ struct ScenarioResult {
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
                                           const harvester::HarvesterParams* params_override =
                                               nullptr);
+
+/// Build (but do not run) the complete scenario session: harvester model,
+/// frequency-shift schedule, engine for \p kind and the decimated Vc trace
+/// are wired exactly as run_scenario does. Exposed so callers can add
+/// probes/observers or drive the timeline themselves.
+[[nodiscard]] sim::HarvesterSession make_scenario_session(
+    const ScenarioSpec& spec, EngineKind kind,
+    const harvester::HarvesterParams* params_override = nullptr);
+
+/// One job of a scenario sweep.
+struct ScenarioJob {
+  ScenarioSpec spec;
+  EngineKind kind = EngineKind::kProposed;
+  /// Overrides scenario_params(spec) when set (parameter sweeps).
+  std::optional<harvester::HarvesterParams> params{};
+};
+
+/// Execute a sweep of independent scenario jobs across a fixed thread pool.
+/// Results come back in job order; because every job owns its model and
+/// engine, the parallel traces are bit-identical to a serial run (threads
+/// = 1) of the same jobs. threads = 0 uses the hardware concurrency.
+[[nodiscard]] std::vector<ScenarioResult> run_scenario_batch(
+    const std::vector<ScenarioJob>& jobs, std::size_t threads = 0);
 
 }  // namespace ehsim::experiments

@@ -162,7 +162,9 @@ std::string DicksonMultiplier::state_name(std::size_t i) const {
   if (i == params_.stages) {
     return "Vf";
   }
-  return "V" + std::to_string(i + 1);
+  std::string name("V");
+  name += std::to_string(i + 1);
+  return name;
 }
 
 std::string DicksonMultiplier::terminal_name(std::size_t i) const {

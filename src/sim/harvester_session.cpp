@@ -1,0 +1,33 @@
+#include "sim/harvester_session.hpp"
+
+#include "core/linearised_solver.hpp"
+
+namespace ehsim::sim {
+
+namespace {
+
+Session::EngineFactory resolve_factory(const HarvesterSession::Options& options) {
+  if (options.engine_factory) {
+    return options.engine_factory;
+  }
+  return [config = options.solver](core::SystemAssembler& system) {
+    return std::make_unique<core::LinearisedSolver>(system, config);
+  };
+}
+
+}  // namespace
+
+HarvesterSession::HarvesterSession(const harvester::HarvesterParams& params)
+    : HarvesterSession(params, Options{}) {}
+
+HarvesterSession::HarvesterSession(const harvester::HarvesterParams& params, Options options)
+    : system_(std::make_shared<harvester::HarvesterSystem>(params, options.mode,
+                                                           options.with_mcu)),
+      session_(system_, system_->assembler(), &system_->kernel(), resolve_factory(options)) {
+  // Wire the MCU probes (and start the watchdog) against the live engine
+  // once it has an operating point.
+  session_.on_initialised(
+      [system = system_.get()](core::AnalogEngine& engine) { system->attach_engine(engine); });
+}
+
+}  // namespace ehsim::sim

@@ -1,0 +1,105 @@
+#include "sim/session.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "core/linearised_solver.hpp"
+
+namespace ehsim::sim {
+
+Session::Session(std::shared_ptr<void> model, core::SystemAssembler& assembler,
+                 digital::Kernel* kernel, const EngineFactory& factory)
+    : model_(std::move(model)), assembler_(&assembler), kernel_(kernel) {
+  if (!factory) {
+    throw ModelError("Session: null engine factory");
+  }
+  if (!assembler_->elaborated()) {
+    assembler_->elaborate();
+  }
+  engine_ = factory(*assembler_);
+  if (!engine_) {
+    throw ModelError("Session: engine factory returned null");
+  }
+}
+
+Session::Session(core::SystemAssembler& assembler, core::SolverConfig config)
+    : Session(nullptr, assembler, nullptr, [config](core::SystemAssembler& system) {
+        return std::make_unique<core::LinearisedSolver>(system, config);
+      }) {}
+
+core::TraceRecorder& Session::enable_trace(double min_interval) {
+  if (trace_) {
+    throw ModelError("Session: trace already enabled");
+  }
+  trace_ = std::make_unique<core::TraceRecorder>(*engine_, min_interval);
+  return *trace_;
+}
+
+core::TraceRecorder& Session::trace() {
+  if (!trace_) {
+    throw ModelError("Session: trace not enabled — call enable_trace() first");
+  }
+  return *trace_;
+}
+
+const core::TraceRecorder& Session::trace() const {
+  if (!trace_) {
+    throw ModelError("Session: trace not enabled — call enable_trace() first");
+  }
+  return *trace_;
+}
+
+void Session::add_observer(core::SolutionObserver observer) {
+  engine_->add_observer(std::move(observer));
+}
+
+void Session::on_initialised(EngineHook hook) {
+  if (!hook) {
+    throw ModelError("Session: null ready hook");
+  }
+  if (initialised_) {
+    throw ModelError("Session: on_initialised after initialise()");
+  }
+  ready_hooks_.push_back(std::move(hook));
+}
+
+void Session::initialise(double t0) {
+  if (initialised_) {
+    throw ModelError("Session: already initialised");
+  }
+  engine_->initialise(t0);
+  for (const auto& hook : ready_hooks_) {
+    hook(*engine_);
+  }
+  if (kernel_ != nullptr) {
+    scheduler_.emplace(*engine_, *kernel_);
+  }
+  initialised_ = true;
+}
+
+void Session::run_until(double t_end) {
+  if (!initialised_) {
+    initialise(0.0);
+  }
+  // Accumulate the wall cost even when the engine throws (diverged runs
+  // still report how long they burned).
+  struct Accumulate {
+    double* total;
+    std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+    ~Accumulate() {
+      *total +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+  } accumulate{&cpu_seconds_};
+  if (scheduler_) {
+    scheduler_->run_until(t_end);
+  } else {
+    engine_->advance_to(t_end);
+  }
+}
+
+std::uint64_t Session::sync_points() const noexcept {
+  return scheduler_ ? scheduler_->sync_points() : 0;
+}
+
+}  // namespace ehsim::sim

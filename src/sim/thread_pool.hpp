@@ -1,0 +1,46 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool behind the sim batch runner.
+///
+/// The pool is deliberately minimal: a FIFO task queue drained by a fixed
+/// set of workers. Scenario sweeps submit coarse-grained jobs (whole
+/// transient runs, seconds each), so queue contention is irrelevant and
+/// work stealing would buy nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ehsim::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly \p threads workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; thread-safe. Tasks must not throw out of the callable
+  /// (the batch runner wraps user jobs and captures their exceptions).
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace ehsim::sim

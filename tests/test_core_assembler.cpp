@@ -167,7 +167,7 @@ TEST(Assembler, TotalEpochSumsBlockEpochs) {
 
 TEST(Assembler, BlockAsTypeMismatchThrows) {
   RcFixture rc;
-  EXPECT_THROW(rc.assembler.block_as<CapacitorBlock>(rc.source), ModelError);
+  EXPECT_THROW((void)rc.assembler.block_as<CapacitorBlock>(rc.source), ModelError);
 }
 
 TEST(Assembler, StateIndexMapping) {
@@ -179,7 +179,7 @@ TEST(Assembler, StateIndexMapping) {
   EXPECT_EQ(assembler.state_offset(osc), 0u);
   EXPECT_EQ(assembler.state_offset(cubic), 2u);
   EXPECT_EQ(assembler.state_index(cubic, 0), 2u);
-  EXPECT_THROW(assembler.state_index(cubic, 1), ModelError);
+  EXPECT_THROW((void)assembler.state_index(cubic, 1), ModelError);
 }
 
 TEST(Assembler, EmptyElaborationRejected) {

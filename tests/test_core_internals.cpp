@@ -7,7 +7,9 @@
 
 #include "core/linearised_solver.hpp"
 #include "core/lle_monitor.hpp"
+#include "core/mixed_signal.hpp"
 #include "core/trace.hpp"
+#include "digital/kernel.hpp"
 #include "experiments/scenarios.hpp"
 #include "harvester/harvester_system.hpp"
 #include "support/test_blocks.hpp"
@@ -177,6 +179,93 @@ TEST(JacobianReuse, ActuatorMotionDisablesGeneratorReuse) {
   const auto builds_parked = solver.stats().jacobian_builds - builds_b;
   const auto steps_after = solver.stats().steps;
   EXPECT_LT(builds_parked, (steps_after - steps_a) / 2);  // reuse resumed
+}
+
+/// Two-segment decay dx/dt = -rate(x) x with rate switching at x = 0.5: the
+/// Jacobian is piecewise constant and the block certifies each segment with
+/// its own signature — the minimal model of a PWL device for reuse tests.
+class TwoSegmentDecayBlock final : public ehsim::core::AnalogBlock {
+ public:
+  explicit TwoSegmentDecayBlock(double x0)
+      : AnalogBlock("twoseg", 1, 0, 0), x0_(x0) {}
+
+  /// Same dynamics, new epoch: models a digital parameter write.
+  void touch_parameters() { bump_epoch(); }
+
+  void initial_state(std::span<double> x) const override { x[0] = x0_; }
+
+  [[nodiscard]] double rate(double x) const noexcept { return x > 0.5 ? 2.0 : 1.0; }
+
+  void eval(double, std::span<const double> x, std::span<const double>,
+            std::span<double> fx, std::span<double>) const override {
+    fx[0] = -rate(x[0]) * x[0];
+  }
+
+  void jacobians(double, std::span<const double> x, std::span<const double>,
+                 ehsim::linalg::Matrix& jxx, ehsim::linalg::Matrix&,
+                 ehsim::linalg::Matrix&, ehsim::linalg::Matrix&) const override {
+    jxx(0, 0) = -rate(x[0]);
+  }
+
+  [[nodiscard]] std::uint64_t jacobian_signature(double, std::span<const double> x,
+                                                 std::span<const double>) const override {
+    return x[0] > 0.5 ? 1 : 2;
+  }
+
+ private:
+  double x0_;
+};
+
+TEST(JacobianReuse, SegmentCrossingForcesExactlyOneRebuild) {
+  SystemAssembler assembler;
+  assembler.add_block(std::make_unique<TwoSegmentDecayBlock>(1.0));
+  assembler.elaborate();
+  LinearisedSolver solver(assembler);
+  solver.initialise(0.0);
+  solver.advance_to(2.0);  // x decays 1.0 -> ~0.2, crossing 0.5 once
+  ASSERT_LT(solver.state()[0], 0.5);
+  // One build at the first refresh, one at the segment crossing — every
+  // other refresh is served from the cache.
+  EXPECT_EQ(solver.stats().jacobian_builds, 2u);
+  EXPECT_GE(solver.stats().jacobian_reuses, solver.stats().steps - 2);
+}
+
+TEST(JacobianReuse, EpochBumpForcesRebuildDespiteUnchangedSignature) {
+  SystemAssembler assembler;
+  const auto handle = assembler.add_block(std::make_unique<TwoSegmentDecayBlock>(1.0));
+  assembler.elaborate();
+  LinearisedSolver solver(assembler);
+  solver.initialise(0.0);
+  solver.advance_to(0.05);  // x stays > 0.5: signature constant
+  EXPECT_EQ(solver.stats().jacobian_builds, 1u);
+  EXPECT_EQ(solver.stats().history_resets, 0u);
+
+  assembler.block_as<TwoSegmentDecayBlock>(handle).touch_parameters();
+  solver.advance_to(0.1);  // still > 0.5: only the epoch changed
+  EXPECT_EQ(solver.stats().jacobian_builds, 2u);
+  EXPECT_EQ(solver.stats().history_resets, 1u);
+}
+
+TEST(JacobianReuse, DigitalDiscontinuityRestartForcesRebuild) {
+  SystemAssembler assembler;
+  const auto handle = assembler.add_block(std::make_unique<TwoSegmentDecayBlock>(1.0));
+  assembler.elaborate();
+  LinearisedSolver solver(assembler);
+  solver.initialise(0.0);
+
+  ehsim::digital::Kernel kernel;
+  kernel.schedule_at(0.04, [&assembler, handle] {
+    assembler.block_as<TwoSegmentDecayBlock>(handle).touch_parameters();
+  });
+  ehsim::core::MixedSignalSimulator sim(solver, kernel);
+  sim.run_until(0.08);
+
+  // The digital event at t = 0.04 restarts the multistep history and
+  // invalidates the cached Jacobians/LU even though the PWL segment (and
+  // thus the signature) never changed.
+  EXPECT_EQ(solver.stats().history_resets, 1u);
+  EXPECT_EQ(solver.stats().jacobian_builds, 2u);
+  EXPECT_GT(solver.stats().jacobian_reuses, 0u);
 }
 
 }  // namespace

@@ -247,7 +247,7 @@ TEST(LinearisedSolver, TraceRecorderCapturesWaveform) {
   // Monotone charging curve.
   const auto& vc = trace.column("cap.vc");
   EXPECT_LT(vc.front(), vc.back());
-  EXPECT_THROW(trace.column("nope"), ehsim::ModelError);
+  EXPECT_THROW((void)trace.column("nope"), ehsim::ModelError);
 }
 
 TEST(LinearisedSolver, HigherOrderIsMoreAccurateOnSmoothProblem) {

@@ -50,8 +50,8 @@ TEST(GoldenSection, NonSmoothUnimodalPeak) {
 }
 
 TEST(GoldenSection, InvalidInputs) {
-  EXPECT_THROW(golden_section_maximise(nullptr, 0.0, 1.0), ModelError);
-  EXPECT_THROW(golden_section_maximise([](double) { return 0.0; }, 1.0, 1.0), ModelError);
+  EXPECT_THROW((void)golden_section_maximise(nullptr, 0.0, 1.0), ModelError);
+  EXPECT_THROW((void)golden_section_maximise([](double) { return 0.0; }, 1.0, 1.0), ModelError);
 }
 
 TEST(CoordinateDescent, FindsSeparableQuadraticPeak) {

@@ -80,18 +80,18 @@ TEST(AbCoefficients, CoefficientsSumToStep) {
 
 TEST(AbCoefficients, RejectsNonDecreasingHistory) {
   const std::array<double, 2> past{0.0, 0.0};
-  EXPECT_THROW(compute_ab_coefficients(past, 0.1), ModelError);
+  EXPECT_THROW((void)compute_ab_coefficients(past, 0.1), ModelError);
 }
 
 TEST(AbCoefficients, RejectsNonPositiveStep) {
   const std::array<double, 1> past{1.0};
-  EXPECT_THROW(compute_ab_coefficients(past, 1.0), ModelError);
-  EXPECT_THROW(compute_ab_coefficients(past, 0.5), ModelError);
+  EXPECT_THROW((void)compute_ab_coefficients(past, 1.0), ModelError);
+  EXPECT_THROW((void)compute_ab_coefficients(past, 0.5), ModelError);
 }
 
 TEST(AbCoefficients, RejectsBadOrder) {
-  EXPECT_THROW(constant_step_ab_coefficients(0, 0.1), ModelError);
-  EXPECT_THROW(constant_step_ab_coefficients(5, 0.1), ModelError);
+  EXPECT_THROW((void)constant_step_ab_coefficients(0, 0.1), ModelError);
+  EXPECT_THROW((void)constant_step_ab_coefficients(5, 0.1), ModelError);
 }
 
 /// Property: for any (randomised) step history the moment conditions hold,

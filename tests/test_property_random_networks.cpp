@@ -131,11 +131,14 @@ std::unique_ptr<Ladder> make_random_ladder(unsigned seed, std::size_t cells) {
   assembler.bind(head, 1, nets[1]);
 
   for (std::size_t k = 0; k < cells; ++k) {
+    const std::string suffix = std::to_string(k + 1);
+    std::string cell_name("cell");
+    cell_name += std::to_string(k);
     const auto cell = assembler.add_block(std::make_unique<RcCell>(
-        "cell" + std::to_string(k), std::exp(log_r(rng)), std::exp(log_c(rng)), v0(rng)));
+        std::move(cell_name), std::exp(log_r(rng)), std::exp(log_c(rng)), v0(rng)));
     ladder->cells.push_back(cell);
-    const auto v_out = assembler.net("V" + std::to_string(k + 1));
-    const auto i_out = assembler.net("I" + std::to_string(k + 1));
+    const auto v_out = assembler.net(std::string("V").append(suffix));
+    const auto i_out = assembler.net(std::string("I").append(suffix));
     assembler.bind(cell, 0, nets[nets.size() - 2]);
     assembler.bind(cell, 1, nets[nets.size() - 1]);
     assembler.bind(cell, 2, v_out);

@@ -146,7 +146,7 @@ TEST(DiodeTable, ErrorDecreasesWithGranularity) {
 TEST(DiodeTable, InvalidConstruction) {
   const DiodeParams params;
   EXPECT_THROW(DiodeTable(params, 0), ModelError);
-  EXPECT_THROW(voltage_at_conductance(params, 0.0), ModelError);
+  EXPECT_THROW((void)voltage_at_conductance(params, 0.0), ModelError);
 }
 
 /// Property sweep: the PWL companion current is continuous across segment
