@@ -31,7 +31,7 @@ struct RunResult {
 RunResult run(std::size_t order, double h_max, double span) {
   using namespace ehsim;
   const auto spec = experiments::charging_scenario(span);
-  const auto params = experiments::scenario_params(spec);
+  const auto params = experiments::experiment_params(spec);
   sim::HarvesterSession::Options options;
   options.solver.max_ab_order = order;
   options.solver.h_max = h_max;

@@ -58,7 +58,7 @@ void full_system_sweep() {
   std::printf("%10s  %10s  %8s  %s\n", "segments", "CPU [s]", "steps", "V5(4s) [V]");
   for (std::size_t segments : {16u, 64u, 256u, 1024u, 4096u}) {
     auto spec = experiments::charging_scenario(4.0);
-    auto params = experiments::scenario_params(spec);
+    auto params = experiments::experiment_params(spec);
     params.multiplier.table_segments = segments;
     sim::HarvesterSession session(params);
     session.run_until(4.0);

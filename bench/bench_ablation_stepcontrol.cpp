@@ -30,7 +30,7 @@ struct Outcome {
 Outcome run(double fixed_step, bool stability_cap, bool lle, double span) {
   using namespace ehsim;
   const auto spec = experiments::charging_scenario(span);
-  const auto params = experiments::scenario_params(spec);
+  const auto params = experiments::experiment_params(spec);
   sim::HarvesterSession::Options options;
   options.solver.fixed_step = fixed_step;
   options.solver.enable_stability_cap = stability_cap;

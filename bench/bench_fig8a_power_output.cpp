@@ -15,16 +15,17 @@
 int main() {
   using namespace ehsim::experiments;
 
-  ScenarioSpec spec = scenario1();
+  ExperimentSpec spec = scenario1();
   if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
     spec.duration = 160.0;  // enough to cover shift + retune + recovery
   }
   spec.power_bin_width = 1.0;
 
   std::printf("=== Fig. 8(a): output power from the microgenerator, scenario 1 ===\n");
-  std::printf("ambient 70 Hz -> 71 Hz at t = %.0f s; proposed engine\n\n", spec.shift_time);
+  std::printf("ambient 70 Hz -> 71 Hz at t = %.0f s; proposed engine\n\n",
+              spec.excitation.events.front().time);
 
-  const ScenarioResult result = run_scenario(spec, EngineKind::kProposed);
+  const ScenarioResult result = run_experiment(spec);
 
   std::printf("# time[s]  mean_power[uW]  rms_power[uW]\n");
   for (std::size_t i = 0; i < result.power_time.size(); i += 2) {

@@ -17,16 +17,16 @@
 int main() {
   using namespace ehsim::experiments;
 
-  ScenarioSpec spec = scenario1();
+  ExperimentSpec spec = scenario1();
   if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
     spec.duration = 160.0;
   }
 
   std::printf("=== Fig. 8(b): supercapacitor voltage, simulation vs experiment ===\n");
-  std::printf("scenario 1 (70 -> 71 Hz at t = %.0f s), %.0f s span\n\n", spec.shift_time,
-              spec.duration);
+  std::printf("scenario 1 (70 -> 71 Hz at t = %.0f s), %.0f s span\n\n",
+              spec.excitation.events.front().time, spec.duration);
 
-  const ScenarioResult sim = run_scenario(spec, EngineKind::kProposed);
+  const ScenarioResult sim = run_experiment(spec);
   const ExperimentalTrace measured = make_experimental_trace(spec, 1.0);
 
   const auto sim_on_grid = resample(sim.time, sim.vc, measured.time);

@@ -16,34 +16,37 @@
 #include "experiments/metrics.hpp"
 #include "experiments/reference_data.hpp"
 #include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
 
 namespace {
 
 /// Wide-tuning design sweep: the scenario-2 retune repeated for a fan of
-/// target frequencies, executed once serially and once across a 4-thread
-/// BatchRunner pool. Parallel results must be bit-identical to serial.
+/// target frequencies, expressed as a declarative SweepSpec over the shift
+/// event's target frequency and executed once serially and once across a
+/// 4-thread BatchRunner pool. Parallel results must be bit-identical to
+/// serial.
 void run_batch_sweep() {
   using namespace ehsim::experiments;
 
-  std::vector<ScenarioJob> jobs;
-  for (const double target_hz : {66.0, 69.0, 72.0, 75.0, 78.0, 81.0}) {
-    ScenarioSpec spec = scenario2();
-    spec.name = "sweep-" + std::to_string(static_cast<int>(target_hz)) + "hz";
-    spec.duration = 120.0;
-    spec.shift_time = 20.0;
-    spec.shifted_ambient_hz = target_hz;
-    jobs.push_back(ScenarioJob{spec, EngineKind::kProposed, std::nullopt});
-  }
+  SweepSpec sweep;
+  sweep.base = scenario2();
+  sweep.base.name = "wide-tuning";
+  sweep.base.duration = 120.0;
+  sweep.base.excitation.events.front().time = 20.0;
+  sweep.axes.push_back(
+      SweepAxis{"excitation.event[0].frequency_hz", {66.0, 69.0, 72.0, 75.0, 78.0, 81.0}, {}});
+  const std::vector<ExperimentSpec> jobs = sweep.expand();
 
-  std::printf("\n=== wide-tuning sweep through sim::BatchRunner (%zu jobs) ===\n",
+  std::printf("\n=== wide-tuning SweepSpec through sim::BatchRunner (%zu jobs) ===\n",
               jobs.size());
 
   WallTimer serial_timer;
-  const auto serial = run_scenario_batch(jobs, 1);
+  const auto serial = run_sweep(sweep, 1);
   const double serial_wall = serial_timer.elapsed_seconds();
 
+  BatchStats batch;
   WallTimer parallel_timer;
-  const auto parallel = run_scenario_batch(jobs, 4);
+  const auto parallel = run_sweep(sweep, 4, &batch);
   const double parallel_wall = parallel_timer.elapsed_seconds();
 
   bool identical = serial.size() == parallel.size();
@@ -54,7 +57,8 @@ void run_batch_sweep() {
 
   std::printf("# target[Hz]  final_f0r[Hz]  final_Vc[V]  steps\n");
   for (std::size_t i = 0; i < parallel.size(); ++i) {
-    std::printf("%10.1f  %12.2f  %11.4f  %8llu\n", jobs[i].spec.shifted_ambient_hz,
+    std::printf("%10.1f  %12.2f  %11.4f  %8llu\n",
+                jobs[i].excitation.events.front().frequency_hz,
                 parallel[i].final_resonance_hz, parallel[i].final_vc,
                 static_cast<unsigned long long>(parallel[i].stats.steps));
   }
@@ -62,6 +66,8 @@ void run_batch_sweep() {
   std::printf("parallel (4 threads): %.2f s wall  (%.2fx, %u hardware threads)\n",
               parallel_wall, serial_wall / parallel_wall,
               std::thread::hardware_concurrency());
+  std::printf("shared diode-table hits in the parallel batch: %zu of %zu jobs\n",
+              batch.shared_table_hits, batch.jobs);
   std::printf("parallel traces bit-identical to serial: %s\n", identical ? "YES" : "NO");
   if (!identical) {
     std::exit(EXIT_FAILURE);
@@ -73,17 +79,18 @@ void run_batch_sweep() {
 int main() {
   using namespace ehsim::experiments;
 
-  ScenarioSpec spec = scenario2();
+  ExperimentSpec spec = scenario2();
   if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
     spec.duration = 330.0;  // covers shift + the long actuation burst + recovery
   }
+  const ExcitationEvent& shift = spec.excitation.events.front();
 
   std::printf("=== Fig. 9: scenario 2 (14 Hz tuning), simulation vs experiment ===\n");
   std::printf("ambient %.1f Hz -> %.1f Hz at t = %.0f s, %.0f s span\n\n",
-              spec.initial_ambient_hz, spec.shifted_ambient_hz, spec.shift_time,
+              spec.excitation.initial_frequency_hz, shift.frequency_hz, shift.time,
               spec.duration);
 
-  const ScenarioResult sim = run_scenario(spec, EngineKind::kProposed);
+  const ScenarioResult sim = run_experiment(spec);
   const ExperimentalTrace measured = make_experimental_trace(spec, 2.0);
   const auto sim_on_grid = resample(sim.time, sim.vc, measured.time);
 
@@ -121,7 +128,7 @@ int main() {
   const double r = pearson_correlation(sim_on_grid, measured.vc);
   const double err = nrmse(measured.vc, sim_on_grid);
   std::printf("\nfinal resonance: %.2f Hz (target %.1f Hz)\n", sim.final_resonance_hz,
-              spec.shifted_ambient_hz);
+              shift.frequency_hz);
   std::printf("Pearson correlation simulation vs measurement: r = %.4f\n", r);
   std::printf("NRMSE:                                          %.3f\n", err);
   std::printf("paper: \"our technique is accurate even for energy harvester with a wide\n"

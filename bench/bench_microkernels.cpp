@@ -81,7 +81,7 @@ BENCHMARK(BM_AbStep);
 /// Full-system eval + Jacobian assembly of the 11-state harvester.
 void BM_HarvesterAssembly(benchmark::State& state) {
   using namespace ehsim;
-  const auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  const auto params = experiments::experiment_params(experiments::charging_scenario(1.0));
   harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
   auto& assembler = system.assembler();
   linalg::Vector x(assembler.num_states());
@@ -103,7 +103,7 @@ BENCHMARK(BM_HarvesterAssembly);
 /// Jacobian signature check — the cost of certifying Jacobian reuse.
 void BM_JacobianSignature(benchmark::State& state) {
   using namespace ehsim;
-  const auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  const auto params = experiments::experiment_params(experiments::charging_scenario(1.0));
   harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
   auto& assembler = system.assembler();
   linalg::Vector x(assembler.num_states());

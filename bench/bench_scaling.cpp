@@ -52,7 +52,7 @@ int main() {
 
   TablePrinter table({"stages", "states", "proposed CPU", "NR baseline CPU", "speed-up"});
   for (std::size_t stages : {1u, 3u, 5u, 8u, 12u}) {
-    auto params = scenario_params(charging_scenario(span));
+    auto params = experiment_params(charging_scenario(span));
     params.multiplier.stages = stages;
     const double proposed = time_engine(EngineKind::kProposed, params, span);
     const double baseline = time_engine(EngineKind::kSystemVision, params, span);
@@ -66,7 +66,7 @@ int main() {
   TablePrinter stiff({"Lc [mH]", "proposed CPU", "proposed steps", "NR baseline CPU",
                       "speed-up"});
   for (double lc : {50e-3, 20e-3, 9.5e-3, 4e-3}) {
-    auto params = scenario_params(charging_scenario(span));
+    auto params = experiment_params(charging_scenario(span));
     params.generator.coil_inductance = lc;
     std::uint64_t steps = 0;
     const double proposed = time_engine(EngineKind::kProposed, params, span, &steps);

@@ -59,8 +59,9 @@ int main() {
   int baseline_count = 0;
 
   for (const Row& row : rows) {
-    ScenarioSpec spec = charging_scenario(span);
-    const ScenarioResult result = run_scenario(spec, row.kind);
+    ExperimentSpec spec = charging_scenario(span);
+    spec.engine = row.kind;
+    const ScenarioResult result = run_experiment(spec);
     const double per_sim_second = result.cpu_seconds / result.sim_seconds;
     if (row.kind == EngineKind::kProposed) {
       proposed_per_sim_second = per_sim_second;

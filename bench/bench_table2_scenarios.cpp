@@ -36,13 +36,16 @@ int main() {
 
   double ratio[2] = {0.0, 0.0};
   int row_index = 0;
-  for (ScenarioSpec spec : {scenario1(), scenario2()}) {
+  for (ExperimentSpec spec : {scenario1(), scenario2()}) {
     spec.duration *= scale;
     // Keep the frequency shift inside the scaled span.
-    spec.shift_time = std::min(spec.shift_time, spec.duration * 0.2);
+    ExcitationEvent& shift = spec.excitation.events.front();
+    shift.time = std::min(shift.time, spec.duration * 0.2);
 
-    const ScenarioResult proposed = run_scenario(spec, EngineKind::kProposed);
-    const ScenarioResult existing = run_scenario(spec, EngineKind::kSystemVision);
+    spec.engine = EngineKind::kProposed;
+    const ScenarioResult proposed = run_experiment(spec);
+    spec.engine = EngineKind::kSystemVision;
+    const ScenarioResult existing = run_experiment(spec);
     ratio[row_index] = existing.cpu_seconds / proposed.cpu_seconds;
 
     table.add_row({spec.name, "existing (VHDL-AMS, Newton-Raphson)",

@@ -1,0 +1,39 @@
+# Golden-output CI test: run `ehsim run` on a checked-in spec and diff the
+# JSON/CSV output against the checked-in golden result with the
+# tolerance-aware `ehsim compare` (wall-clock fields ignored).
+#
+# Required -D variables: EHSIM (binary), SPEC (spec file), GOLDEN_DIR,
+# OUT_DIR, NAME (job name / file stem).
+
+foreach(required EHSIM SPEC GOLDEN_DIR OUT_DIR NAME)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "golden_test.cmake: missing -D${required}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${EHSIM} run ${SPEC} --out ${OUT_DIR} --quiet
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "ehsim run failed (${run_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EHSIM} compare
+          ${GOLDEN_DIR}/${NAME}.result.json ${OUT_DIR}/${NAME}.result.json
+          --rtol 1e-6 --atol 1e-9 --ignore cpu_seconds
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+  message(FATAL_ERROR "golden JSON mismatch (${json_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EHSIM} compare
+          ${GOLDEN_DIR}/${NAME}.trace.csv ${OUT_DIR}/${NAME}.trace.csv
+          --rtol 1e-6 --atol 1e-9
+  RESULT_VARIABLE csv_rc)
+if(NOT csv_rc EQUAL 0)
+  message(FATAL_ERROR "golden CSV trace mismatch (${csv_rc})")
+endif()
+
+message(STATUS "golden output matches for ${NAME}")

@@ -29,7 +29,7 @@ namespace {
 /// 10 s transient, for one design candidate.
 double charging_current_ua(std::size_t stages, double stage_cap) {
   using namespace ehsim;
-  auto params = experiments::scenario_params(experiments::charging_scenario(10.0));
+  auto params = experiments::experiment_params(experiments::charging_scenario(10.0));
   params.supercap.initial_voltage = 3.3;  // operating point of interest
   params.multiplier.stages = stages;
   params.multiplier.stage_capacitance = stage_cap;

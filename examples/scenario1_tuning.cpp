@@ -21,10 +21,9 @@ int main(int argc, char** argv) {
   auto spec = experiments::scenario1();
   spec.trace_interval = 0.2;  // coarse waveform for the console report
 
-  // The scenario session wires the harvester model, the frequency-shift
-  // schedule, the proposed engine and the decimated Vc trace in one call.
-  sim::HarvesterSession run = experiments::make_scenario_session(
-      spec, experiments::EngineKind::kProposed);
+  // The experiment session wires the harvester model, the excitation
+  // schedule, the engine and the decimated Vc trace in one call.
+  sim::HarvesterSession run = experiments::make_experiment_session(spec);
   auto& system = run.system();
   core::TraceRecorder& trace = run.session().trace();
   const std::size_t vm = system.vm_index();
@@ -33,8 +32,9 @@ int main(int argc, char** argv) {
     return y[vm] * y[im];
   });
 
+  const auto& shift = spec.excitation.events.front();
   std::printf("scenario 1: ambient %.0f Hz shifts to %.0f Hz at t = %.0f s; span %.0f s\n",
-              spec.initial_ambient_hz, spec.shifted_ambient_hz, spec.shift_time,
+              spec.excitation.initial_frequency_hz, shift.frequency_hz, shift.time,
               spec.duration);
   run.run_until(spec.duration);
   std::printf("simulated in %.2f s CPU (%llu steps)\n\n", run.cpu_seconds(),

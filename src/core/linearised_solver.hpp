@@ -95,12 +95,12 @@ class LinearisedSolver final : public AnalogEngine {
 
   std::uint64_t last_epoch_ = 0;
   std::uint64_t jacobian_signature_ = 0;
-  std::uint64_t last_rebuild_step_ = 0;
   // Cached Jacobians + Jyy LU usable. Invalidated by initialise(), by a
   // block-epoch change (discontinuity restart) and by a signature mismatch
   // (PWL segment crossing / operating-point quantum change); while valid
-  // and the signature holds, refresh() skips assembly, the LLE update and
-  // the factorisation entirely.
+  // and the signature holds, refresh() skips assembly and the factorisation
+  // entirely, and the LLE step controller observes an explicit zero-drift
+  // step (so reuse-on/off runs march identically).
   bool jacobians_valid_ = false;
   bool fresh_ = false;  // (t_, x_, y_) already refreshed at this time point
   double last_history_time_ = -std::numeric_limits<double>::infinity();

@@ -1,0 +1,70 @@
+#include "experiments/engine_kind.hpp"
+
+#include <string>
+
+#include "baseline/nr_engine.hpp"
+#include "common/error.hpp"
+#include "core/linearised_solver.hpp"
+
+namespace ehsim::experiments {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kProposed:
+      return "proposed (linearised state-space)";
+    case EngineKind::kSystemVision:
+      return "SystemVision-like (VHDL-AMS, trapezoidal NR)";
+    case EngineKind::kPspice:
+      return "PSPICE-like (Gear-2 NR)";
+    case EngineKind::kSystemCA:
+      return "SystemC-A-like (backward-Euler NR)";
+  }
+  return "?";
+}
+
+const char* engine_kind_id(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kProposed:
+      return "proposed";
+    case EngineKind::kSystemVision:
+      return "systemvision";
+    case EngineKind::kPspice:
+      return "pspice";
+    case EngineKind::kSystemCA:
+      return "systemca";
+  }
+  return "?";
+}
+
+EngineKind parse_engine_kind(std::string_view id) {
+  for (const EngineKind kind : {EngineKind::kProposed, EngineKind::kSystemVision,
+                                EngineKind::kPspice, EngineKind::kSystemCA}) {
+    if (id == engine_kind_id(kind)) {
+      return kind;
+    }
+  }
+  throw ModelError("unknown engine kind '" + std::string(id) +
+                   "' (expected proposed | systemvision | pspice | systemca)");
+}
+
+harvester::DeviceEvalMode device_mode_for(EngineKind kind) {
+  return kind == EngineKind::kProposed ? harvester::DeviceEvalMode::kPwlTable
+                                       : harvester::DeviceEvalMode::kExactShockley;
+}
+
+std::unique_ptr<core::AnalogEngine> make_engine(EngineKind kind,
+                                                core::SystemAssembler& system) {
+  switch (kind) {
+    case EngineKind::kProposed:
+      return std::make_unique<core::LinearisedSolver>(system);
+    case EngineKind::kSystemVision:
+      return std::make_unique<baseline::NrEngine>(system, baseline::systemvision_profile());
+    case EngineKind::kPspice:
+      return std::make_unique<baseline::NrEngine>(system, baseline::pspice_profile());
+    case EngineKind::kSystemCA:
+      return std::make_unique<baseline::NrEngine>(system, baseline::systemca_profile());
+  }
+  throw ModelError("make_engine: invalid engine kind");
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,45 @@
+/// \file engine_kind.hpp
+/// \brief The four analogue engines a scenario can run on.
+///
+/// Proposed is the paper's linearised state-space engine; the other three
+/// are Newton-Raphson baseline profiles mimicking the commercial simulators
+/// of Tables I/II. The kind is part of the declarative experiment spec, so
+/// it has stable string ids ("proposed", "systemvision", ...) for the JSON
+/// round-trip.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/engine.hpp"
+#include "harvester/dickson_multiplier.hpp"
+
+namespace ehsim::experiments {
+
+enum class EngineKind {
+  kProposed,      ///< linearised state-space + Adams-Bashforth (this paper)
+  kSystemVision,  ///< VHDL-AMS / trapezoidal + NR baseline
+  kPspice,        ///< OrCAD PSPICE / Gear-2 + NR baseline
+  kSystemCA,      ///< SystemC-A / backward-Euler + NR baseline
+};
+
+/// Human-readable description (tables, logs).
+[[nodiscard]] const char* engine_kind_name(EngineKind kind);
+
+/// Stable spec/JSON token: "proposed", "systemvision", "pspice", "systemca".
+[[nodiscard]] const char* engine_kind_id(EngineKind kind);
+
+/// Inverse of engine_kind_id; throws ModelError naming the bad token and the
+/// accepted ones.
+[[nodiscard]] EngineKind parse_engine_kind(std::string_view id);
+
+/// Engine factory over an elaborated system. Proposed uses PWL tables
+/// (paper §III-B); baselines evaluate the exact Shockley exponentials, as
+/// the commercial simulators do.
+[[nodiscard]] std::unique_ptr<core::AnalogEngine> make_engine(EngineKind kind,
+                                                              core::SystemAssembler& system);
+
+/// Diode evaluation mode matching the engine kind.
+[[nodiscard]] harvester::DeviceEvalMode device_mode_for(EngineKind kind);
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,246 @@
+#include "experiments/excitation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+
+const char* event_kind_word(ExcitationEvent::Kind kind) {
+  switch (kind) {
+    case ExcitationEvent::Kind::kFrequencyStep:
+      return "frequency_step";
+    case ExcitationEvent::Kind::kFrequencyRamp:
+      return "frequency_ramp";
+    case ExcitationEvent::Kind::kAmplitudeStep:
+      return "amplitude_step";
+    case ExcitationEvent::Kind::kRandomWalk:
+      return "random_walk";
+  }
+  return "?";
+}
+
+[[noreturn]] void bad_event(std::size_t index, const ExcitationEvent& event,
+                            const std::string& why) {
+  throw ModelError("ExcitationSchedule: event " + std::to_string(index) + " (" +
+                   event_kind_word(event.kind) + " at t=" + std::to_string(event.time) +
+                   "): " + why);
+}
+
+/// splitmix64 — deterministic across platforms, unlike the standard
+/// library's distributions.
+std::uint64_t next_random(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform draw in [-1, 1).
+double uniform_pm1(std::uint64_t& state) {
+  const double unit = static_cast<double>(next_random(state) >> 11) * 0x1.0p-53;
+  return 2.0 * unit - 1.0;
+}
+
+}  // namespace
+
+ExcitationSchedule& ExcitationSchedule::step_frequency(double t, double frequency_hz) {
+  ExcitationEvent event;
+  event.kind = ExcitationEvent::Kind::kFrequencyStep;
+  event.time = t;
+  event.frequency_hz = frequency_hz;
+  events.push_back(event);
+  return *this;
+}
+
+ExcitationSchedule& ExcitationSchedule::ramp_frequency(double t, double duration,
+                                                       double frequency_hz) {
+  ExcitationEvent event;
+  event.kind = ExcitationEvent::Kind::kFrequencyRamp;
+  event.time = t;
+  event.duration = duration;
+  event.frequency_hz = frequency_hz;
+  events.push_back(event);
+  return *this;
+}
+
+ExcitationSchedule& ExcitationSchedule::step_amplitude(double t, double amplitude) {
+  ExcitationEvent event;
+  event.kind = ExcitationEvent::Kind::kAmplitudeStep;
+  event.time = t;
+  event.amplitude = amplitude;
+  events.push_back(event);
+  return *this;
+}
+
+ExcitationSchedule& ExcitationSchedule::random_walk(double t, double duration,
+                                                    const RandomWalkParams& walk) {
+  ExcitationEvent event;
+  event.kind = ExcitationEvent::Kind::kRandomWalk;
+  event.time = t;
+  event.duration = duration;
+  event.walk = walk;
+  events.push_back(event);
+  return *this;
+}
+
+void ExcitationSchedule::validate() const {
+  if (!(initial_frequency_hz > 0.0)) {
+    throw ModelError("ExcitationSchedule: initial frequency must be positive");
+  }
+  if (initial_amplitude && !(*initial_amplitude >= 0.0)) {
+    throw ModelError("ExcitationSchedule: initial amplitude must be non-negative");
+  }
+  double previous_end = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ExcitationEvent& event = events[i];
+    if (!std::isfinite(event.time) || !(event.time > previous_end)) {
+      bad_event(i, event,
+                "event times must be strictly increasing (must start after t=" +
+                    std::to_string(previous_end) + ", the end of the previous event)");
+    }
+    switch (event.kind) {
+      case ExcitationEvent::Kind::kFrequencyStep:
+        if (!(event.frequency_hz > 0.0)) {
+          bad_event(i, event, "frequency must be positive");
+        }
+        if (event.duration != 0.0) {
+          bad_event(i, event, "a frequency step has no duration");
+        }
+        break;
+      case ExcitationEvent::Kind::kFrequencyRamp:
+        if (!(event.frequency_hz > 0.0)) {
+          bad_event(i, event, "ramp target frequency must be positive");
+        }
+        if (!(event.duration > 0.0)) {
+          bad_event(i, event, "ramp duration must be positive");
+        }
+        break;
+      case ExcitationEvent::Kind::kAmplitudeStep:
+        if (!(event.amplitude >= 0.0)) {
+          bad_event(i, event, "amplitude must be non-negative");
+        }
+        if (event.duration != 0.0) {
+          bad_event(i, event, "an amplitude step has no duration");
+        }
+        break;
+      case ExcitationEvent::Kind::kRandomWalk: {
+        const RandomWalkParams& walk = event.walk;
+        if (!(event.duration > 0.0)) {
+          bad_event(i, event, "random-walk duration must be positive");
+        }
+        if (!(walk.step_interval > 0.0)) {
+          bad_event(i, event, "random-walk step interval must be positive");
+        }
+        if (walk.frequency_sigma < 0.0 || walk.amplitude_sigma < 0.0) {
+          bad_event(i, event, "random-walk sigmas must be non-negative");
+        }
+        if (!(walk.min_frequency_hz > 0.0) ||
+            !(walk.max_frequency_hz >= walk.min_frequency_hz)) {
+          bad_event(i, event, "random-walk frequency bounds must satisfy 0 < min <= max");
+        }
+        if (walk.min_amplitude < 0.0) {
+          bad_event(i, event, "random-walk amplitude floor must be non-negative");
+        }
+        break;
+      }
+    }
+    previous_end = event.end_time();
+  }
+}
+
+std::vector<ExpandedExcitationStep> ExcitationSchedule::expand() const {
+  return expand(initial_amplitude.value_or(harvester::VibrationParams{}.acceleration_amplitude));
+}
+
+std::vector<ExpandedExcitationStep> ExcitationSchedule::expand(double base_amplitude) const {
+  validate();
+  std::vector<ExpandedExcitationStep> steps;
+  double frequency = initial_frequency_hz;
+  double amplitude = initial_amplitude.value_or(base_amplitude);
+  for (const ExcitationEvent& event : events) {
+    switch (event.kind) {
+      case ExcitationEvent::Kind::kFrequencyStep: {
+        frequency = event.frequency_hz;
+        ExpandedExcitationStep step;
+        step.time = event.time;
+        step.frequency_hz = frequency;
+        steps.push_back(step);
+        break;
+      }
+      case ExcitationEvent::Kind::kFrequencyRamp: {
+        frequency = event.frequency_hz;
+        ExpandedExcitationStep step;
+        step.time = event.time;
+        step.frequency_hz = frequency;
+        step.ramp_duration = event.duration;
+        steps.push_back(step);
+        break;
+      }
+      case ExcitationEvent::Kind::kAmplitudeStep: {
+        amplitude = event.amplitude;
+        ExpandedExcitationStep step;
+        step.time = event.time;
+        step.amplitude = amplitude;
+        steps.push_back(step);
+        break;
+      }
+      case ExcitationEvent::Kind::kRandomWalk: {
+        const RandomWalkParams& walk = event.walk;
+        std::uint64_t state = walk.seed;
+        // floor(duration / interval), tolerant of binary rounding: 0.3/0.1
+        // is 2.999... in IEEE doubles but the spec means 3 updates.
+        const auto updates = static_cast<std::size_t>(
+            std::floor(event.duration / walk.step_interval * (1.0 + 1e-12) + 1e-12));
+        for (std::size_t k = 1; k <= updates; ++k) {
+          const double t = event.time + static_cast<double>(k) * walk.step_interval;
+          ExpandedExcitationStep step;
+          step.time = t;
+          if (walk.frequency_sigma > 0.0) {
+            frequency = std::clamp(frequency + uniform_pm1(state) * walk.frequency_sigma,
+                                   walk.min_frequency_hz, walk.max_frequency_hz);
+            step.frequency_hz = frequency;
+          }
+          if (walk.amplitude_sigma > 0.0) {
+            amplitude = std::max(amplitude + uniform_pm1(state) * walk.amplitude_sigma,
+                                 walk.min_amplitude);
+            step.amplitude = amplitude;
+          }
+          if (step.frequency_hz || step.amplitude) {
+            steps.push_back(step);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return steps;
+}
+
+void ExcitationSchedule::apply(harvester::VibrationProfile& profile) const {
+  for (const ExpandedExcitationStep& step : expand(profile.amplitude())) {
+    if (step.ramp_duration) {
+      profile.ramp_frequency(step.time, *step.ramp_duration, *step.frequency_hz);
+    } else if (step.frequency_hz && step.amplitude) {
+      profile.set_excitation_at(step.time, *step.frequency_hz, *step.amplitude);
+    } else if (step.frequency_hz) {
+      profile.set_frequency_at(step.time, *step.frequency_hz);
+    } else if (step.amplitude) {
+      profile.set_amplitude_at(step.time, *step.amplitude);
+    }
+  }
+}
+
+std::optional<double> ExcitationSchedule::first_event_time() const {
+  if (events.empty()) {
+    return std::nullopt;
+  }
+  return events.front().time;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,61 @@
+#include "experiments/experiment_spec.hpp"
+
+#include "common/error.hpp"
+#include "harvester/tuning.hpp"
+
+namespace ehsim::experiments {
+
+void ExperimentSpec::validate() const {
+  if (name.empty()) {
+    throw ModelError("ExperimentSpec: name must not be empty");
+  }
+  if (!(duration > 0.0)) {
+    throw ModelError("ExperimentSpec '" + name + "': duration must be positive");
+  }
+  if (trace_interval < 0.0) {
+    throw ModelError("ExperimentSpec '" + name + "': trace interval must be non-negative");
+  }
+  if (!(power_bin_width > 0.0)) {
+    throw ModelError("ExperimentSpec '" + name + "': power bin width must be positive");
+  }
+  excitation.validate();
+}
+
+harvester::HarvesterParams experiment_params(const ExperimentSpec& spec) {
+  spec.validate();
+  // The spec itself is the authority for the ambient excitation and the
+  // pre-tuned position; an override of the same field would be silently
+  // clobbered, so reject it and point at the spec-level knob instead.
+  for (const ParamOverride& item : spec.overrides) {
+    if (item.path == "vibration.initial_frequency_hz") {
+      throw ModelError("ExperimentSpec '" + spec.name +
+                       "': override 'vibration.initial_frequency_hz' conflicts with the "
+                       "excitation schedule — set excitation.initial_frequency_hz instead");
+    }
+    if (item.path == "vibration.acceleration_amplitude" &&
+        spec.excitation.initial_amplitude) {
+      throw ModelError("ExperimentSpec '" + spec.name +
+                       "': override 'vibration.acceleration_amplitude' conflicts with "
+                       "excitation.initial_amplitude — set one, not both");
+    }
+    if (item.path == "actuator.initial_gap" && spec.pre_tuned_hz > 0.0) {
+      throw ModelError("ExperimentSpec '" + spec.name +
+                       "': override 'actuator.initial_gap' conflicts with pre_tuned_hz — "
+                       "set pre_tuned_hz <= 0 to position the actuator directly");
+    }
+  }
+  harvester::HarvesterParams params;
+  apply_overrides(params, spec.overrides);
+  params.vibration.initial_frequency_hz = spec.excitation.initial_frequency_hz;
+  if (spec.excitation.initial_amplitude) {
+    params.vibration.acceleration_amplitude = *spec.excitation.initial_amplitude;
+  }
+  if (spec.pre_tuned_hz > 0.0) {
+    // Resolved against the (possibly overridden) tuning mechanism.
+    const harvester::TuningMechanism mechanism(params.tuning, params.generator);
+    params.actuator.initial_gap = mechanism.gap_for_frequency(spec.pre_tuned_hz);
+  }
+  return params;
+}
+
+}  // namespace ehsim::experiments

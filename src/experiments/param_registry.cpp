@@ -1,0 +1,125 @@
+#include "experiments/param_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+
+struct Entry {
+  const char* path;
+  std::function<double(const harvester::HarvesterParams&)> get;
+  std::function<void(harvester::HarvesterParams&, double)> set;
+};
+
+#define EHSIM_PARAM(path, expr)                                                       \
+  Entry{path, [](const harvester::HarvesterParams& p) -> double { return p.expr; },  \
+        [](harvester::HarvesterParams& p, double v) {                                 \
+          p.expr = static_cast<decltype(p.expr)>(v);                                  \
+        }}
+
+/// Integer-backed field, set by rounding.
+#define EHSIM_PARAM_SIZE(path, expr)                                                  \
+  Entry{path,                                                                         \
+        [](const harvester::HarvesterParams& p) -> double {                           \
+          return static_cast<double>(p.expr);                                         \
+        },                                                                            \
+        [](harvester::HarvesterParams& p, double v) {                                 \
+          p.expr = static_cast<std::size_t>(std::llround(v));                         \
+        }}
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> entries = {
+      EHSIM_PARAM("generator.proof_mass", generator.proof_mass),
+      EHSIM_PARAM("generator.parasitic_damping", generator.parasitic_damping),
+      EHSIM_PARAM("generator.untuned_resonance_hz", generator.untuned_resonance_hz),
+      EHSIM_PARAM("generator.flux_linkage", generator.flux_linkage),
+      EHSIM_PARAM("generator.coil_resistance", generator.coil_resistance),
+      EHSIM_PARAM("generator.coil_inductance", generator.coil_inductance),
+      EHSIM_PARAM("generator.tuning_force_z_fraction", generator.tuning_force_z_fraction),
+      EHSIM_PARAM("tuning.buckling_load", tuning.buckling_load),
+      EHSIM_PARAM("tuning.force_constant", tuning.force_constant),
+      EHSIM_PARAM("tuning.gap_offset", tuning.gap_offset),
+      EHSIM_PARAM("tuning.gap_min", tuning.gap_min),
+      EHSIM_PARAM("tuning.gap_max", tuning.gap_max),
+      EHSIM_PARAM("actuator.speed", actuator.speed),
+      EHSIM_PARAM("actuator.initial_gap", actuator.initial_gap),
+      EHSIM_PARAM_SIZE("multiplier.stages", multiplier.stages),
+      EHSIM_PARAM("multiplier.stage_capacitance", multiplier.stage_capacitance),
+      EHSIM_PARAM("multiplier.input_filter_capacitance", multiplier.input_filter_capacitance),
+      EHSIM_PARAM("multiplier.diode.saturation_current", multiplier.diode.saturation_current),
+      EHSIM_PARAM("multiplier.diode.emission_coefficient",
+                  multiplier.diode.emission_coefficient),
+      EHSIM_PARAM("multiplier.diode.thermal_voltage", multiplier.diode.thermal_voltage),
+      EHSIM_PARAM("multiplier.diode.g_min", multiplier.diode.g_min),
+      EHSIM_PARAM_SIZE("multiplier.table_segments", multiplier.table_segments),
+      EHSIM_PARAM("multiplier.table_g_max", multiplier.table_g_max),
+      EHSIM_PARAM("multiplier.table_v_min", multiplier.table_v_min),
+      EHSIM_PARAM("supercap.ri", supercap.ri),
+      EHSIM_PARAM("supercap.ci0", supercap.ci0),
+      EHSIM_PARAM("supercap.ci1", supercap.ci1),
+      EHSIM_PARAM("supercap.rd", supercap.rd),
+      EHSIM_PARAM("supercap.cd", supercap.cd),
+      EHSIM_PARAM("supercap.rl", supercap.rl),
+      EHSIM_PARAM("supercap.cl", supercap.cl),
+      EHSIM_PARAM("supercap.initial_voltage", supercap.initial_voltage),
+      EHSIM_PARAM("supercap.leakage_resistance", supercap.leakage_resistance),
+      EHSIM_PARAM("load.sleep_ohms", load.sleep_ohms),
+      EHSIM_PARAM("load.awake_ohms", load.awake_ohms),
+      EHSIM_PARAM("load.tuning_ohms", load.tuning_ohms),
+      EHSIM_PARAM("mcu.watchdog_period", mcu.watchdog_period),
+      EHSIM_PARAM("mcu.measurement_time", mcu.measurement_time),
+      EHSIM_PARAM("mcu.frequency_tolerance", mcu.frequency_tolerance),
+      EHSIM_PARAM("mcu.energy_threshold_voltage", mcu.energy_threshold_voltage),
+      EHSIM_PARAM("mcu.abort_voltage", mcu.abort_voltage),
+      EHSIM_PARAM("vibration.acceleration_amplitude", vibration.acceleration_amplitude),
+      EHSIM_PARAM("vibration.initial_frequency_hz", vibration.initial_frequency_hz),
+  };
+  return entries;
+}
+
+#undef EHSIM_PARAM
+#undef EHSIM_PARAM_SIZE
+
+const Entry& find_entry(const std::string& path) {
+  for (const Entry& entry : registry()) {
+    if (path == entry.path) {
+      return entry;
+    }
+  }
+  throw ModelError("unknown parameter path '" + path +
+                   "' (run `ehsim params` or see param_paths() for the addressable set)");
+}
+
+}  // namespace
+
+std::vector<std::string> param_paths() {
+  std::vector<std::string> paths;
+  paths.reserve(registry().size());
+  for (const Entry& entry : registry()) {
+    paths.emplace_back(entry.path);
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+double get_param(const harvester::HarvesterParams& params, const std::string& path) {
+  return find_entry(path).get(params);
+}
+
+void set_param(harvester::HarvesterParams& params, const std::string& path, double value) {
+  find_entry(path).set(params, value);
+}
+
+void apply_overrides(harvester::HarvesterParams& params,
+                     const std::vector<ParamOverride>& overrides) {
+  for (const ParamOverride& override_item : overrides) {
+    set_param(params, override_item.path, override_item.value);
+  }
+}
+
+}  // namespace ehsim::experiments

@@ -6,9 +6,9 @@
 
 namespace ehsim::experiments {
 
-harvester::HarvesterParams perturbed_params(const ScenarioSpec& spec,
+harvester::HarvesterParams perturbed_params(const ExperimentSpec& spec,
                                             const MeasurementModel& model) {
-  harvester::HarvesterParams params = scenario_params(spec);
+  harvester::HarvesterParams params = experiment_params(spec);
   params.supercap.leakage_resistance = model.supercap_leakage_ohms;
   params.generator.flux_linkage *= model.flux_derating;
   params.generator.coil_resistance *= model.coil_resistance_factor;
@@ -16,10 +16,10 @@ harvester::HarvesterParams perturbed_params(const ScenarioSpec& spec,
   return params;
 }
 
-ExperimentalTrace make_experimental_trace(const ScenarioSpec& spec, double grid_dt,
+ExperimentalTrace make_experimental_trace(const ExperimentSpec& spec, double grid_dt,
                                           const MeasurementModel& model) {
   const harvester::HarvesterParams params = perturbed_params(spec, model);
-  const ScenarioResult run = run_scenario(spec, EngineKind::kProposed, &params);
+  const ScenarioResult run = run_experiment(spec, &params);
 
   ExperimentalTrace trace;
   const auto points = static_cast<std::size_t>(spec.duration / grid_dt) + 1;

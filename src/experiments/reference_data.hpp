@@ -35,12 +35,12 @@ struct MeasurementModel {
 };
 
 /// Device parameters of the perturbed plant for a scenario.
-[[nodiscard]] harvester::HarvesterParams perturbed_params(const ScenarioSpec& spec,
+[[nodiscard]] harvester::HarvesterParams perturbed_params(const ExperimentSpec& spec,
                                                           const MeasurementModel& model);
 
 /// Run the perturbed plant (proposed engine) and sample its supercapacitor
 /// voltage on a uniform grid with measurement noise.
-[[nodiscard]] ExperimentalTrace make_experimental_trace(const ScenarioSpec& spec,
+[[nodiscard]] ExperimentalTrace make_experimental_trace(const ExperimentSpec& spec,
                                                         double grid_dt = 0.5,
                                                         const MeasurementModel& model = {});
 

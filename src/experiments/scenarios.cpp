@@ -10,109 +10,60 @@
 
 namespace ehsim::experiments {
 
-const char* engine_kind_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kProposed:
-      return "proposed (linearised state-space)";
-    case EngineKind::kSystemVision:
-      return "SystemVision-like (VHDL-AMS, trapezoidal NR)";
-    case EngineKind::kPspice:
-      return "PSPICE-like (Gear-2 NR)";
-    case EngineKind::kSystemCA:
-      return "SystemC-A-like (backward-Euler NR)";
-  }
-  return "?";
-}
-
-ScenarioSpec scenario1() {
-  ScenarioSpec spec;
+ExperimentSpec scenario1() {
+  ExperimentSpec spec;
   spec.name = "scenario1-1hz";
   spec.duration = 300.0;
   spec.pre_tuned_hz = 70.0;
-  spec.initial_ambient_hz = 70.0;
-  spec.shift_time = 60.0;
-  spec.shifted_ambient_hz = 71.0;
+  spec.excitation.initial_frequency_hz = 70.0;
+  spec.excitation.step_frequency(60.0, 71.0);
   return spec;
 }
 
-ScenarioSpec scenario2() {
-  ScenarioSpec spec;
+ExperimentSpec scenario2() {
+  ExperimentSpec spec;
   spec.name = "scenario2-14hz";
   spec.duration = 3300.0;
   spec.pre_tuned_hz = 64.2;  // relaxed actuator: lowest achievable resonance
-  spec.initial_ambient_hz = 64.2;
-  spec.shift_time = 60.0;
-  spec.shifted_ambient_hz = 78.0;
+  spec.excitation.initial_frequency_hz = 64.2;
+  spec.excitation.step_frequency(60.0, 78.0);
   spec.trace_interval = 0.25;
   spec.power_bin_width = 2.0;
   return spec;
 }
 
-ScenarioSpec charging_scenario(double duration) {
-  ScenarioSpec spec;
+ExperimentSpec charging_scenario(double duration) {
+  ExperimentSpec spec;
   spec.name = "supercap-charging";
   spec.duration = duration;
   spec.pre_tuned_hz = 70.0;
-  spec.initial_ambient_hz = 70.0;
-  spec.shift_time = 0.0;  // no shift
+  spec.excitation.initial_frequency_hz = 70.0;
   spec.with_mcu = false;
+  // Table I charges the storage from empty.
+  spec.overrides.push_back(ParamOverride{"supercap.initial_voltage", 0.0});
   return spec;
 }
 
-harvester::HarvesterParams scenario_params(const ScenarioSpec& spec) {
-  harvester::HarvesterParams params;
-  params.vibration.initial_frequency_hz = spec.initial_ambient_hz;
-  const harvester::TuningMechanism mechanism(params.tuning, params.generator);
-  params.actuator.initial_gap = mechanism.gap_for_frequency(spec.pre_tuned_hz);
-  if (spec.name == "supercap-charging") {
-    // Table I charges the storage from empty.
-    params.supercap.initial_voltage = 0.0;
-  }
-  return params;
-}
-
-harvester::DeviceEvalMode device_mode_for(EngineKind kind) {
-  return kind == EngineKind::kProposed ? harvester::DeviceEvalMode::kPwlTable
-                                       : harvester::DeviceEvalMode::kExactShockley;
-}
-
-std::unique_ptr<core::AnalogEngine> make_engine(EngineKind kind,
-                                                core::SystemAssembler& system) {
-  switch (kind) {
-    case EngineKind::kProposed:
-      return std::make_unique<core::LinearisedSolver>(system);
-    case EngineKind::kSystemVision:
-      return std::make_unique<baseline::NrEngine>(system, baseline::systemvision_profile());
-    case EngineKind::kPspice:
-      return std::make_unique<baseline::NrEngine>(system, baseline::pspice_profile());
-    case EngineKind::kSystemCA:
-      return std::make_unique<baseline::NrEngine>(system, baseline::systemca_profile());
-  }
-  throw ModelError("make_engine: invalid engine kind");
-}
-
-sim::HarvesterSession make_scenario_session(const ScenarioSpec& spec, EngineKind kind,
-                                            const harvester::HarvesterParams* params_override) {
+sim::HarvesterSession make_experiment_session(const ExperimentSpec& spec,
+                                              const harvester::HarvesterParams* params_override) {
   const harvester::HarvesterParams params =
-      params_override != nullptr ? *params_override : scenario_params(spec);
+      params_override != nullptr ? *params_override : experiment_params(spec);
 
   sim::HarvesterSession::Options options;
-  options.mode = device_mode_for(kind);
+  options.mode = device_mode_for(spec.engine);
   options.with_mcu = spec.with_mcu;
-  options.engine_factory = [kind](core::SystemAssembler& system) {
+  options.engine_factory = [kind = spec.engine](core::SystemAssembler& system) {
     return make_engine(kind, system);
   };
   sim::HarvesterSession session(params, options);
-  if (spec.shift_time > 0.0) {
-    session.system().vibration().set_frequency_at(spec.shift_time, spec.shifted_ambient_hz);
-  }
+  spec.excitation.apply(session.system().vibration());
   session.enable_trace(spec.trace_interval).probe_net("Vc");
   return session;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
-                            const harvester::HarvesterParams* params_override) {
-  sim::HarvesterSession run = make_scenario_session(spec, kind, params_override);
+ScenarioResult run_experiment(const ExperimentSpec& spec,
+                              const harvester::HarvesterParams* params_override) {
+  sim::HarvesterSession run = make_experiment_session(spec, params_override);
 
   const std::size_t bins =
       static_cast<std::size_t>(std::ceil(spec.duration / spec.power_bin_width)) + 1;
@@ -133,6 +84,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
   result.sim_seconds = spec.duration;
   result.cpu_seconds = run.cpu_seconds();
   result.stats = run.stats();
+  result.shared_diode_table = run.system().multiplier().table_shared();
   const core::TraceRecorder& trace = run.session().trace();
   result.time = trace.times();
   result.vc = trace.column("Vc");
@@ -154,13 +106,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
     result.power_rms.push_back(power_bins.bin_rms(i));
   }
 
-  // Windowed RMS power: "tuned before" ends at the frequency shift; "tuned
-  // after" starts once the last tuning burst completed (falls back to the
-  // final fifth of the run when there was no tuning).
+  // Windowed RMS power: "tuned before" ends at the first excitation event;
+  // "tuned after" starts once the last tuning burst completed (falls back to
+  // the final fifth of the run when there was no tuning).
   // The paper's "RMS power" figures (118/117/116 uW) are time-averaged
   // powers (the RMS-voltage x RMS-current convention), i.e. the mean of the
   // instantaneous p(t) = Vm*Im over the window.
-  const double before_end = spec.shift_time > 0.0 ? spec.shift_time : spec.duration;
+  const double before_end = spec.excitation.first_event_time().value_or(spec.duration);
   result.rms_power_before = power_bins.mean_over(std::max(0.0, before_end - 30.0),
                                                  before_end - spec.power_bin_width);
   double after_start = spec.duration * 0.8;
@@ -176,11 +128,58 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
 }
 
 std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
-                                               std::size_t threads) {
+                                               std::size_t threads, BatchStats* stats) {
+  if (jobs.empty()) {
+    // Nothing to fan out — don't spin up (and tear down) a thread pool.
+    if (stats != nullptr) {
+      *stats = BatchStats{};
+    }
+    return {};
+  }
   sim::BatchRunner runner(threads);
-  return runner.map_items(jobs, [](const ScenarioJob& job, std::size_t) {
-    return run_scenario(job.spec, job.kind, job.params ? &*job.params : nullptr);
+  auto results = runner.map_items(jobs, [](const ScenarioJob& job, std::size_t) {
+    return run_experiment(job.spec, job.params ? &*job.params : nullptr);
   });
+  if (stats != nullptr) {
+    stats->jobs = results.size();
+    stats->shared_table_hits = static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const ScenarioResult& r) { return r.shared_diode_table; }));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility shim
+// ---------------------------------------------------------------------------
+
+ExperimentSpec to_experiment_spec(const ScenarioSpec& spec, EngineKind kind) {
+  ExperimentSpec experiment;
+  experiment.name = spec.name;
+  experiment.duration = spec.duration;
+  experiment.pre_tuned_hz = spec.pre_tuned_hz;
+  experiment.with_mcu = spec.with_mcu;
+  experiment.trace_interval = spec.trace_interval;
+  experiment.power_bin_width = spec.power_bin_width;
+  experiment.engine = kind;
+  experiment.excitation.initial_frequency_hz = spec.initial_ambient_hz;
+  if (spec.shift_time > 0.0) {
+    experiment.excitation.step_frequency(spec.shift_time, spec.shifted_ambient_hz);
+  }
+  if (spec.name == "supercap-charging") {
+    // The seed scenario_params special-cased the charging run by name.
+    experiment.overrides.push_back(ParamOverride{"supercap.initial_voltage", 0.0});
+  }
+  return experiment;
+}
+
+harvester::HarvesterParams scenario_params(const ScenarioSpec& spec) {
+  return experiment_params(to_experiment_spec(spec));
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
+                            const harvester::HarvesterParams* params_override) {
+  return run_experiment(to_experiment_spec(spec, kind), params_override);
 }
 
 }  // namespace ehsim::experiments

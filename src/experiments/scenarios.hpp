@@ -1,5 +1,5 @@
 /// \file scenarios.hpp
-/// \brief The paper's experiments as reusable scenario definitions.
+/// \brief Experiment execution and the paper's canned scenario specs.
 ///
 /// Scenario 1 (Table II / Fig. 8): narrow tuning range — the ambient
 /// frequency shifts by 1 Hz (70 -> 71 Hz) and the harvester retunes once.
@@ -8,10 +8,22 @@
 /// The Table I experiment is the plain supercapacitor charging run (fixed
 /// excitation, no control activity).
 ///
-/// `run_scenario` executes a scenario on any of the four engines (proposed
-/// linearised state-space, or one of the three Newton-Raphson baseline
-/// profiles) over the *same* device model and digital control process, and
-/// returns traces, control events and CPU statistics.
+/// All three are ExperimentSpec values — declarative data (see
+/// experiment_spec.hpp) that also round-trips through JSON and the `ehsim`
+/// CLI. `run_experiment` executes a spec on any of the four engines over
+/// the *same* device model and digital control process and returns traces,
+/// control events and CPU statistics; `run_scenario_batch` fans independent
+/// jobs over a thread pool with deterministic, bit-identical-to-serial
+/// results.
+///
+/// The pre-redesign one-shot `ScenarioSpec` (a single shift_time /
+/// shifted_ambient_hz pair) survives as a compatibility shim: `run_scenario`
+/// converts it to an ExperimentSpec and produces traces bit-identical to the
+/// declarative path (run_experiment / the `ehsim` CLI — pinned by
+/// test_cli_end_to_end). Note the shim is *not* bit-comparable to pre-PR-2
+/// golden data: the same PR changed the LLE controller to observe
+/// signature-driven drift (see linearised_solver.cpp), which alters step
+/// sequences for every engine configuration equally.
 #pragma once
 
 #include <memory>
@@ -19,55 +31,20 @@
 #include <string>
 #include <vector>
 
-#include "baseline/nr_engine.hpp"
-#include "core/engine.hpp"
-#include "core/linearised_solver.hpp"
+#include "experiments/experiment_spec.hpp"
 #include "harvester/harvester_system.hpp"
 #include "sim/harvester_session.hpp"
 
 namespace ehsim::experiments {
 
-enum class EngineKind {
-  kProposed,      ///< linearised state-space + Adams-Bashforth (this paper)
-  kSystemVision,  ///< VHDL-AMS / trapezoidal + NR baseline
-  kPspice,        ///< OrCAD PSPICE / Gear-2 + NR baseline
-  kSystemCA,      ///< SystemC-A / backward-Euler + NR baseline
-};
-
-[[nodiscard]] const char* engine_kind_name(EngineKind kind);
-
-struct ScenarioSpec {
-  std::string name;
-  double duration = 300.0;          ///< simulated span [s]
-  double pre_tuned_hz = 70.0;       ///< generator tuned here at t = 0
-  double initial_ambient_hz = 70.0;
-  double shift_time = 60.0;         ///< ambient frequency step time (0: none)
-  double shifted_ambient_hz = 71.0;
-  bool with_mcu = true;
-  double trace_interval = 0.05;     ///< Vc trace decimation [s]
-  double power_bin_width = 0.5;     ///< Fig. 8(a) power bin width [s]
-};
-
 /// Scenario 1: 1 Hz retune, 300 s span.
-[[nodiscard]] ScenarioSpec scenario1();
+[[nodiscard]] ExperimentSpec scenario1();
 /// Scenario 2: 14 Hz retune (maximum range), 3300 s span (11x scenario 1,
 /// the paper's proposed-technique CPU ratio between the two scenarios).
-[[nodiscard]] ScenarioSpec scenario2();
+[[nodiscard]] ExperimentSpec scenario2();
 /// Table I: supercapacitor charging from empty at fixed 70 Hz excitation,
 /// no microcontroller activity.
-[[nodiscard]] ScenarioSpec charging_scenario(double duration);
-
-/// Device parameters configured for a scenario (pre-tuned actuator position,
-/// initial ambient frequency).
-[[nodiscard]] harvester::HarvesterParams scenario_params(const ScenarioSpec& spec);
-
-/// Engine factory over an elaborated system. Proposed uses PWL tables
-/// (paper §III-B); baselines evaluate the exact Shockley exponentials, as
-/// the commercial simulators do.
-[[nodiscard]] std::unique_ptr<core::AnalogEngine> make_engine(EngineKind kind,
-                                                              core::SystemAssembler& system);
-/// Diode evaluation mode matching the engine kind.
-[[nodiscard]] harvester::DeviceEvalMode device_mode_for(EngineKind kind);
+[[nodiscard]] ExperimentSpec charging_scenario(double duration);
 
 struct ScenarioResult {
   std::string scenario;
@@ -75,6 +52,9 @@ struct ScenarioResult {
   double sim_seconds = 0.0;
   double cpu_seconds = 0.0;
   core::SolverStats stats;
+  /// This job's PWL diode table came out of the process-wide shared-table
+  /// cache (see pwl/table_cache.hpp) instead of being built privately.
+  bool shared_diode_table = false;
 
   std::vector<double> time;  ///< decimated trace times
   std::vector<double> vc;    ///< supercapacitor voltage trace
@@ -92,34 +72,76 @@ struct ScenarioResult {
   double rms_power_after = 0.0;
 };
 
-/// Run a scenario on an engine. When \p params_override is non-null it is
-/// used instead of scenario_params(spec) (used by the synthetic-measurement
-/// generator, which perturbs the plant).
-[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
-                                          const harvester::HarvesterParams* params_override =
-                                              nullptr);
+/// Run an experiment spec on its engine. When \p params_override is non-null
+/// it is used instead of experiment_params(spec) (used by the synthetic-
+/// measurement generator, which perturbs the plant).
+[[nodiscard]] ScenarioResult run_experiment(const ExperimentSpec& spec,
+                                            const harvester::HarvesterParams* params_override =
+                                                nullptr);
 
-/// Build (but do not run) the complete scenario session: harvester model,
-/// frequency-shift schedule, engine for \p kind and the decimated Vc trace
-/// are wired exactly as run_scenario does. Exposed so callers can add
-/// probes/observers or drive the timeline themselves.
-[[nodiscard]] sim::HarvesterSession make_scenario_session(
-    const ScenarioSpec& spec, EngineKind kind,
+/// Build (but do not run) the complete experiment session: harvester model,
+/// excitation schedule, engine and the decimated Vc trace are wired exactly
+/// as run_experiment does. Exposed so callers can add probes/observers or
+/// drive the timeline themselves.
+[[nodiscard]] sim::HarvesterSession make_experiment_session(
+    const ExperimentSpec& spec,
     const harvester::HarvesterParams* params_override = nullptr);
 
 /// One job of a scenario sweep.
 struct ScenarioJob {
-  ScenarioSpec spec;
-  EngineKind kind = EngineKind::kProposed;
-  /// Overrides scenario_params(spec) when set (parameter sweeps).
+  ExperimentSpec spec;
+  /// Overrides experiment_params(spec) when set (perturbed-plant runs).
   std::optional<harvester::HarvesterParams> params{};
+};
+
+/// Aggregate statistics of one run_scenario_batch call.
+struct BatchStats {
+  std::size_t jobs = 0;
+  /// Jobs whose immutable PWL diode table was shared from the process-wide
+  /// cache rather than rebuilt (ROADMAP hot-path item: identical model
+  /// structure across a sweep pays for one table build).
+  std::size_t shared_table_hits = 0;
 };
 
 /// Execute a sweep of independent scenario jobs across a fixed thread pool.
 /// Results come back in job order; because every job owns its model and
 /// engine, the parallel traces are bit-identical to a serial run (threads
-/// = 1) of the same jobs. threads = 0 uses the hardware concurrency.
+/// = 1) of the same jobs. threads = 0 uses the hardware concurrency. An
+/// empty job vector returns immediately without spinning up the pool.
 [[nodiscard]] std::vector<ScenarioResult> run_scenario_batch(
-    const std::vector<ScenarioJob>& jobs, std::size_t threads = 0);
+    const std::vector<ScenarioJob>& jobs, std::size_t threads = 0,
+    BatchStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Compatibility shim: the pre-redesign one-shot scenario description.
+// ---------------------------------------------------------------------------
+
+struct ScenarioSpec {
+  std::string name;
+  double duration = 300.0;          ///< simulated span [s]
+  double pre_tuned_hz = 70.0;       ///< generator tuned here at t = 0
+  double initial_ambient_hz = 70.0;
+  double shift_time = 60.0;         ///< ambient frequency step time (0: none)
+  double shifted_ambient_hz = 71.0;
+  bool with_mcu = true;
+  double trace_interval = 0.05;     ///< Vc trace decimation [s]
+  double power_bin_width = 0.5;     ///< Fig. 8(a) power bin width [s]
+};
+
+/// Lift a legacy one-shot spec into the declarative API. run_scenario(spec)
+/// and run_experiment(to_experiment_spec(spec)) are the same computation,
+/// bit for bit.
+[[nodiscard]] ExperimentSpec to_experiment_spec(const ScenarioSpec& spec,
+                                                EngineKind kind = EngineKind::kProposed);
+
+/// Device parameters for a legacy spec (kept for the shim; equals
+/// experiment_params(to_experiment_spec(spec))).
+[[nodiscard]] harvester::HarvesterParams scenario_params(const ScenarioSpec& spec);
+
+/// Run a legacy one-shot scenario on an engine — thin shim over
+/// run_experiment.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec, EngineKind kind,
+                                          const harvester::HarvesterParams* params_override =
+                                              nullptr);
 
 }  // namespace ehsim::experiments

@@ -1,0 +1,73 @@
+/// \file sweep.hpp
+/// \brief Declarative parameter sweeps over experiment specs.
+///
+/// A SweepSpec is a base ExperimentSpec plus axes: numeric device/spec
+/// parameters (by dotted path) and/or engine kinds. Grid mode takes the
+/// cartesian product of the axes; zip mode walks them in lock-step (all
+/// axes the same length). Expansion yields plain ExperimentSpecs — one per
+/// job, uniquely named — which run_sweep fans out through
+/// run_scenario_batch with deterministic job-ordered results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/scenarios.hpp"
+
+namespace ehsim::experiments {
+
+struct SweepAxis {
+  /// Dotted parameter path. Device parameters resolve through the param
+  /// registry ("generator.proof_mass", ...); spec-level numeric fields are
+  /// addressable as "spec.duration", "spec.pre_tuned_hz",
+  /// "spec.trace_interval", "spec.power_bin_width",
+  /// "excitation.initial_frequency_hz", "excitation.initial_amplitude" and
+  /// "excitation.event[K].{time,duration,frequency_hz,amplitude}".
+  /// Empty when this is an engine axis.
+  std::string param;
+  std::vector<double> values;
+  /// Non-empty: this axis sweeps the engine kind instead of a parameter.
+  std::vector<EngineKind> engines;
+
+  [[nodiscard]] bool is_engine_axis() const noexcept { return !engines.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return is_engine_axis() ? engines.size() : values.size();
+  }
+
+  [[nodiscard]] bool operator==(const SweepAxis&) const = default;
+};
+
+struct SweepSpec {
+  enum class Mode { kGrid, kZip };
+
+  ExperimentSpec base{};
+  Mode mode = Mode::kGrid;
+  std::vector<SweepAxis> axes{};
+  /// Worker threads for run_sweep (0: hardware concurrency).
+  std::size_t threads = 0;
+
+  /// Throws ModelError on empty/inconsistent axes or unknown paths.
+  void validate() const;
+
+  /// Total job count after expansion.
+  [[nodiscard]] std::size_t job_count() const;
+
+  /// Expand into one uniquely-named ExperimentSpec per job, in row-major
+  /// axis order (last axis fastest) for grid mode, element order for zip.
+  [[nodiscard]] std::vector<ExperimentSpec> expand() const;
+
+  [[nodiscard]] bool operator==(const SweepSpec&) const = default;
+};
+
+/// Set a sweepable numeric value on a spec: spec-level paths are written
+/// directly, device-parameter paths append an override (validated against
+/// the registry). Throws ModelError for unknown paths.
+void set_spec_value(ExperimentSpec& spec, const std::string& path, double value);
+
+/// Expand and execute a sweep through run_scenario_batch. \p threads
+/// overrides spec.threads when non-zero.
+[[nodiscard]] std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep,
+                                                    std::size_t threads = 0,
+                                                    BatchStats* stats = nullptr);
+
+}  // namespace ehsim::experiments

@@ -2,14 +2,29 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "pwl/table_cache.hpp"
 
 namespace ehsim::harvester {
+
+namespace {
+
+std::shared_ptr<const pwl::DiodeTable> make_table(const MultiplierParams& params,
+                                                  bool& was_shared) {
+  if (params.share_diode_table) {
+    return pwl::shared_diode_table(params.diode, params.table_segments, params.table_v_min,
+                                   params.table_g_max, &was_shared);
+  }
+  was_shared = false;
+  return std::make_shared<const pwl::DiodeTable>(params.diode, params.table_segments,
+                                                 params.table_v_min, params.table_g_max);
+}
+
+}  // namespace
 
 DicksonMultiplier::DicksonMultiplier(const MultiplierParams& params, DeviceEvalMode mode)
     : core::AnalogBlock("multiplier", params.stages + 1, 4, 2),
       params_(params),
       mode_(mode),
-      table_(params.diode, params.table_segments, params.table_v_min, params.table_g_max),
       id_(params.stages + 1),
       gd_(params.stages + 1) {
   if (params_.stages == 0) {
@@ -18,11 +33,12 @@ DicksonMultiplier::DicksonMultiplier(const MultiplierParams& params, DeviceEvalM
   if (!(params_.stage_capacitance > 0.0) || !(params_.input_filter_capacitance > 0.0)) {
     throw ModelError("DicksonMultiplier: capacitances must be positive");
   }
+  table_ = make_table(params_, table_shared_);
 }
 
 void DicksonMultiplier::diode_companion(double vd, double& current, double& conductance) const {
   if (mode_ == DeviceEvalMode::kPwlTable) {
-    const auto affine = table_.conductance_and_source(vd);
+    const auto affine = table_->conductance_and_source(vd);
     conductance = affine.slope;
     current = affine.slope * vd + affine.intercept;
   } else {
@@ -152,7 +168,7 @@ std::uint64_t DicksonMultiplier::jacobian_signature(double /*t*/, std::span<cons
   const std::size_t n = params_.stages;
   std::uint64_t hash = 1469598103934665603ull;
   for (std::size_t i = 1; i <= n + 1; ++i) {
-    hash ^= table_.conductance_band(diode_voltage(i, x, y)) + 1;
+    hash ^= table_->conductance_band(diode_voltage(i, x, y)) + 1;
     hash *= 1099511628211ull;
   }
   return hash;

@@ -1,0 +1,204 @@
+#include "io/compare.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace ehsim::io {
+
+namespace {
+
+constexpr std::size_t kMaxDiffs = 64;  // enough to diagnose, bounded output
+
+bool numbers_match(double a, double b, const CompareOptions& options) {
+  if (a == b) {
+    return true;
+  }
+  return std::abs(a - b) <= options.atol + options.rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::string number_text(double value) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("?");
+}
+
+const char* type_word(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return "bool";
+    case JsonValue::Type::kNumber:
+      return "number";
+    case JsonValue::Type::kString:
+      return "string";
+    case JsonValue::Type::kArray:
+      return "array";
+    case JsonValue::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+struct Walker {
+  const CompareOptions& options;
+  std::vector<std::string>& diffs;
+
+  [[nodiscard]] bool full() const { return diffs.size() >= kMaxDiffs; }
+
+  void report(const std::string& path, const std::string& what) {
+    if (!full()) {
+      diffs.push_back(path + ": " + what);
+    }
+  }
+
+  [[nodiscard]] bool ignored(const std::string& key) const {
+    return std::find(options.ignore_keys.begin(), options.ignore_keys.end(), key) !=
+           options.ignore_keys.end();
+  }
+
+  void walk(const std::string& path, const JsonValue& expected, const JsonValue& actual) {
+    if (full()) {
+      return;
+    }
+    if (expected.type() != actual.type()) {
+      report(path, std::string("type ") + type_word(expected.type()) + " vs " +
+                       type_word(actual.type()));
+      return;
+    }
+    switch (expected.type()) {
+      case JsonValue::Type::kNull:
+        break;
+      case JsonValue::Type::kBool:
+        if (expected.as_bool() != actual.as_bool()) {
+          report(path, std::string(expected.as_bool() ? "true" : "false") + " vs " +
+                           (actual.as_bool() ? "true" : "false"));
+        }
+        break;
+      case JsonValue::Type::kNumber:
+        if (!numbers_match(expected.as_number(), actual.as_number(), options)) {
+          report(path, number_text(expected.as_number()) + " vs " +
+                           number_text(actual.as_number()));
+        }
+        break;
+      case JsonValue::Type::kString:
+        if (expected.as_string() != actual.as_string()) {
+          report(path, "'" + expected.as_string() + "' vs '" + actual.as_string() + "'");
+        }
+        break;
+      case JsonValue::Type::kArray: {
+        const auto& a = expected.as_array();
+        const auto& b = actual.as_array();
+        if (a.size() != b.size()) {
+          report(path, "array length " + std::to_string(a.size()) + " vs " +
+                           std::to_string(b.size()));
+          return;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          walk(path + "[" + std::to_string(i) + "]", a[i], b[i]);
+        }
+        break;
+      }
+      case JsonValue::Type::kObject: {
+        for (const auto& [key, value] : expected.as_object()) {
+          if (ignored(key)) {
+            continue;
+          }
+          const std::string member_path = path.empty() ? key : path + "." + key;
+          const JsonValue* other = actual.find(key);
+          if (other == nullptr) {
+            report(member_path, "missing in actual");
+            continue;
+          }
+          walk(member_path, value, *other);
+        }
+        for (const auto& [key, value] : actual.as_object()) {
+          if (!ignored(key) && expected.find(key) == nullptr) {
+            report(path.empty() ? key : path + "." + key, "unexpected in actual");
+          }
+        }
+        break;
+      }
+    }
+  }
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> split_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    cells.push_back(line.substr(start, comma - start));
+    if (comma == std::string::npos) {
+      return cells;
+    }
+    start = comma + 1;
+  }
+}
+
+bool parse_number(const std::string& text, double& value) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::vector<std::string> compare_json(const JsonValue& expected, const JsonValue& actual,
+                                      const CompareOptions& options) {
+  std::vector<std::string> diffs;
+  Walker walker{options, diffs};
+  walker.walk("", expected, actual);
+  return diffs;
+}
+
+std::vector<std::string> compare_csv(const std::string& expected, const std::string& actual,
+                                     const CompareOptions& options) {
+  std::vector<std::string> diffs;
+  const auto a_lines = split_lines(expected);
+  const auto b_lines = split_lines(actual);
+  if (a_lines.size() != b_lines.size()) {
+    diffs.push_back("line count " + std::to_string(a_lines.size()) + " vs " +
+                    std::to_string(b_lines.size()));
+    return diffs;
+  }
+  for (std::size_t row = 0; row < a_lines.size() && diffs.size() < kMaxDiffs; ++row) {
+    const auto a_cells = split_cells(a_lines[row]);
+    const auto b_cells = split_cells(b_lines[row]);
+    const std::string where = "line " + std::to_string(row + 1);
+    if (a_cells.size() != b_cells.size()) {
+      diffs.push_back(where + ": cell count " + std::to_string(a_cells.size()) + " vs " +
+                      std::to_string(b_cells.size()));
+      continue;
+    }
+    for (std::size_t col = 0; col < a_cells.size(); ++col) {
+      double a_value = 0.0;
+      double b_value = 0.0;
+      const bool a_num = parse_number(a_cells[col], a_value);
+      const bool b_num = parse_number(b_cells[col], b_value);
+      const bool match = (a_num && b_num) ? numbers_match(a_value, b_value, options)
+                                          : a_cells[col] == b_cells[col];
+      if (!match && diffs.size() < kMaxDiffs) {
+        diffs.push_back(where + " column " + std::to_string(col + 1) + ": '" + a_cells[col] +
+                        "' vs '" + b_cells[col] + "'");
+      }
+    }
+  }
+  return diffs;
+}
+
+}  // namespace ehsim::io

@@ -1,0 +1,38 @@
+/// \file compare.hpp
+/// \brief Tolerance-aware comparison of result documents.
+///
+/// The golden-output CI test runs `ehsim run` on a checked-in spec and
+/// diffs the JSON/CSV output against a checked-in golden result. Bitwise
+/// equality is the wrong bar across compilers/architectures, and wall-clock
+/// fields differ every run — so the compare walks both documents
+/// structurally, accepts numbers within |a-b| <= atol + rtol*max(|a|,|b|),
+/// and skips configured keys (e.g. "cpu_seconds").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace ehsim::io {
+
+struct CompareOptions {
+  double rtol = 1e-9;
+  double atol = 1e-12;
+  /// Object keys whose subtrees are ignored wherever they appear.
+  std::vector<std::string> ignore_keys{};
+};
+
+/// Structural diff; every mismatch yields one "path: explanation" line.
+/// Empty result means the documents match within tolerance.
+[[nodiscard]] std::vector<std::string> compare_json(const JsonValue& expected,
+                                                    const JsonValue& actual,
+                                                    const CompareOptions& options = {});
+
+/// Cell-wise CSV comparison: numeric cells use the tolerance, anything else
+/// must match exactly.
+[[nodiscard]] std::vector<std::string> compare_csv(const std::string& expected,
+                                                   const std::string& actual,
+                                                   const CompareOptions& options = {});
+
+}  // namespace ehsim::io

@@ -1,0 +1,91 @@
+/// \file json.hpp
+/// \brief Minimal dependency-free JSON document model, parser and writer.
+///
+/// The spec/result round-trip (docs/spec_format.md) needs exactly four
+/// things from JSON: an insertion-ordered object model (stable, diffable
+/// output), exact double round-tripping (std::to_chars shortest form),
+/// parse errors with line/column, and nothing else — so the container ships
+/// its own ~400-line implementation instead of growing a third-party
+/// dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ehsim::io {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Objects preserve insertion order so serialised specs diff cleanly.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double number);  // throws ModelError on non-finite values
+  /// Any other arithmetic type converts through double (beware that
+  /// integers above 2^53 lose precision — serialise those as strings).
+  template <typename T>
+    requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, double>)
+  JsonValue(T number) : JsonValue(static_cast<double>(number)) {}
+  JsonValue(const char* text) : value_(std::string(text)) {}
+  JsonValue(std::string text) : value_(std::move(text)) {}
+  JsonValue(std::string_view text) : value_(std::string(text)) {}
+  JsonValue(Array array) : value_(std::move(array)) {}
+  JsonValue(Object object) : value_(std::move(object)) {}
+
+  [[nodiscard]] static JsonValue make_object() { return JsonValue(Object{}); }
+  [[nodiscard]] static JsonValue make_array() { return JsonValue(Array{}); }
+
+  [[nodiscard]] Type type() const noexcept { return static_cast<Type>(value_.index()); }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::kObject; }
+
+  // Checked accessors; throw ModelError naming the actual type.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  // Object helpers.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;  ///< throws on miss
+  [[nodiscard]] bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Append (or replace, keeping position) a member.
+  JsonValue& set(std::string_view key, JsonValue value);
+
+  // Array helper.
+  JsonValue& push_back(JsonValue value);
+
+  /// Serialise. indent < 0: compact single line; otherwise pretty-printed
+  /// with the given indent width. Doubles use the std::to_chars shortest
+  /// round-trip form, so parse(dump(v)) == v exactly.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (rejects trailing content); throws
+  /// ModelError with 1-based line:column on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] bool operator==(const JsonValue&) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace ehsim::io

@@ -1,0 +1,477 @@
+#include "io/spec_json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ehsim::io {
+
+namespace {
+
+using experiments::ExcitationEvent;
+using experiments::ExcitationSchedule;
+using experiments::ExperimentSpec;
+using experiments::ParamOverride;
+using experiments::RandomWalkParams;
+using experiments::ScenarioResult;
+using experiments::SweepAxis;
+using experiments::SweepSpec;
+
+/// Strict-parse helper: reject keys outside the allowed set so typos fail
+/// loudly.
+void check_keys(const JsonValue& json, std::initializer_list<std::string_view> allowed,
+                const char* where) {
+  for (const auto& [key, value] : json.as_object()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw ModelError(std::string(where) + ": unknown key '" + key + "'");
+    }
+  }
+}
+
+double number_or(const JsonValue& json, std::string_view key, double fallback) {
+  const JsonValue* value = json.find(key);
+  return value != nullptr ? value->as_number() : fallback;
+}
+
+bool bool_or(const JsonValue& json, std::string_view key, bool fallback) {
+  const JsonValue* value = json.find(key);
+  return value != nullptr ? value->as_bool() : fallback;
+}
+
+const char* event_kind_id(ExcitationEvent::Kind kind) {
+  switch (kind) {
+    case ExcitationEvent::Kind::kFrequencyStep:
+      return "frequency_step";
+    case ExcitationEvent::Kind::kFrequencyRamp:
+      return "frequency_ramp";
+    case ExcitationEvent::Kind::kAmplitudeStep:
+      return "amplitude_step";
+    case ExcitationEvent::Kind::kRandomWalk:
+      return "random_walk";
+  }
+  return "?";
+}
+
+ExcitationEvent::Kind event_kind_from(const std::string& id) {
+  for (const auto kind :
+       {ExcitationEvent::Kind::kFrequencyStep, ExcitationEvent::Kind::kFrequencyRamp,
+        ExcitationEvent::Kind::kAmplitudeStep, ExcitationEvent::Kind::kRandomWalk}) {
+    if (id == event_kind_id(kind)) {
+      return kind;
+    }
+  }
+  throw ModelError("excitation event: unknown kind '" + id +
+                   "' (expected frequency_step | frequency_ramp | amplitude_step | "
+                   "random_walk)");
+}
+
+/// uint64 seeds may exceed the exactly-representable double range; such
+/// seeds serialise as decimal strings, everything else as plain numbers.
+JsonValue seed_to_json(std::uint64_t seed) {
+  const auto as_double = static_cast<double>(seed);
+  if (as_double < 0x1p64 && static_cast<std::uint64_t>(as_double) == seed) {
+    return JsonValue(as_double);
+  }
+  return JsonValue(std::to_string(seed));
+}
+
+std::uint64_t seed_from_json(const JsonValue& json) {
+  if (json.is_number()) {
+    const double value = json.as_number();
+    if (value < 0.0 || value != std::floor(value)) {
+      throw ModelError("random_walk seed must be a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(value);
+  }
+  const std::string& text = json.as_string();
+  std::uint64_t seed = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), seed);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ModelError("random_walk seed string '" + text + "' is not a decimal uint64");
+  }
+  return seed;
+}
+
+JsonValue event_to_json(const ExcitationEvent& event) {
+  JsonValue json = JsonValue::make_object();
+  json.set("kind", event_kind_id(event.kind));
+  json.set("time", event.time);
+  switch (event.kind) {
+    case ExcitationEvent::Kind::kFrequencyStep:
+      json.set("frequency_hz", event.frequency_hz);
+      break;
+    case ExcitationEvent::Kind::kFrequencyRamp:
+      json.set("duration", event.duration);
+      json.set("frequency_hz", event.frequency_hz);
+      break;
+    case ExcitationEvent::Kind::kAmplitudeStep:
+      json.set("amplitude", event.amplitude);
+      break;
+    case ExcitationEvent::Kind::kRandomWalk: {
+      const RandomWalkParams& walk = event.walk;
+      json.set("duration", event.duration);
+      json.set("step_interval", walk.step_interval);
+      json.set("frequency_sigma", walk.frequency_sigma);
+      json.set("amplitude_sigma", walk.amplitude_sigma);
+      json.set("seed", seed_to_json(walk.seed));
+      json.set("min_frequency_hz", walk.min_frequency_hz);
+      json.set("max_frequency_hz", walk.max_frequency_hz);
+      json.set("min_amplitude", walk.min_amplitude);
+      break;
+    }
+  }
+  return json;
+}
+
+ExcitationEvent event_from_json(const JsonValue& json) {
+  ExcitationEvent event;
+  event.kind = event_kind_from(json.at("kind").as_string());
+  event.time = json.at("time").as_number();
+  switch (event.kind) {
+    case ExcitationEvent::Kind::kFrequencyStep:
+      check_keys(json, {"kind", "time", "frequency_hz"}, "frequency_step event");
+      event.frequency_hz = json.at("frequency_hz").as_number();
+      break;
+    case ExcitationEvent::Kind::kFrequencyRamp:
+      check_keys(json, {"kind", "time", "duration", "frequency_hz"}, "frequency_ramp event");
+      event.duration = json.at("duration").as_number();
+      event.frequency_hz = json.at("frequency_hz").as_number();
+      break;
+    case ExcitationEvent::Kind::kAmplitudeStep:
+      check_keys(json, {"kind", "time", "amplitude"}, "amplitude_step event");
+      event.amplitude = json.at("amplitude").as_number();
+      break;
+    case ExcitationEvent::Kind::kRandomWalk: {
+      check_keys(json,
+                 {"kind", "time", "duration", "step_interval", "frequency_sigma",
+                  "amplitude_sigma", "seed", "min_frequency_hz", "max_frequency_hz",
+                  "min_amplitude"},
+                 "random_walk event");
+      RandomWalkParams walk;
+      event.duration = json.at("duration").as_number();
+      walk.step_interval = number_or(json, "step_interval", walk.step_interval);
+      walk.frequency_sigma = number_or(json, "frequency_sigma", walk.frequency_sigma);
+      walk.amplitude_sigma = number_or(json, "amplitude_sigma", walk.amplitude_sigma);
+      if (const JsonValue* seed = json.find("seed")) {
+        walk.seed = seed_from_json(*seed);
+      }
+      walk.min_frequency_hz = number_or(json, "min_frequency_hz", walk.min_frequency_hz);
+      walk.max_frequency_hz = number_or(json, "max_frequency_hz", walk.max_frequency_hz);
+      walk.min_amplitude = number_or(json, "min_amplitude", walk.min_amplitude);
+      event.walk = walk;
+      break;
+    }
+  }
+  return event;
+}
+
+}  // namespace
+
+JsonValue to_json(const ExcitationSchedule& schedule) {
+  JsonValue json = JsonValue::make_object();
+  json.set("initial_frequency_hz", schedule.initial_frequency_hz);
+  if (schedule.initial_amplitude) {
+    json.set("initial_amplitude", *schedule.initial_amplitude);
+  }
+  JsonValue events = JsonValue::make_array();
+  for (const ExcitationEvent& event : schedule.events) {
+    events.push_back(event_to_json(event));
+  }
+  json.set("events", std::move(events));
+  return json;
+}
+
+ExcitationSchedule schedule_from_json(const JsonValue& json) {
+  check_keys(json, {"initial_frequency_hz", "initial_amplitude", "events"}, "excitation");
+  ExcitationSchedule schedule;
+  schedule.initial_frequency_hz =
+      number_or(json, "initial_frequency_hz", schedule.initial_frequency_hz);
+  if (const JsonValue* amplitude = json.find("initial_amplitude")) {
+    schedule.initial_amplitude = amplitude->as_number();
+  }
+  if (const JsonValue* events = json.find("events")) {
+    for (const JsonValue& event : events->as_array()) {
+      schedule.events.push_back(event_from_json(event));
+    }
+  }
+  return schedule;
+}
+
+JsonValue to_json(const ExperimentSpec& spec) {
+  JsonValue json = JsonValue::make_object();
+  json.set("type", "experiment");
+  json.set("name", spec.name);
+  json.set("duration", spec.duration);
+  json.set("pre_tuned_hz", spec.pre_tuned_hz);
+  json.set("with_mcu", spec.with_mcu);
+  json.set("trace_interval", spec.trace_interval);
+  json.set("power_bin_width", spec.power_bin_width);
+  json.set("engine", experiments::engine_kind_id(spec.engine));
+  json.set("excitation", to_json(spec.excitation));
+  if (!spec.overrides.empty()) {
+    JsonValue overrides = JsonValue::make_array();
+    for (const ParamOverride& item : spec.overrides) {
+      JsonValue entry = JsonValue::make_object();
+      entry.set("param", item.path);
+      entry.set("value", item.value);
+      overrides.push_back(std::move(entry));
+    }
+    json.set("overrides", std::move(overrides));
+  }
+  return json;
+}
+
+ExperimentSpec experiment_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"type", "name", "duration", "pre_tuned_hz", "with_mcu", "trace_interval",
+              "power_bin_width", "engine", "excitation", "overrides"},
+             "experiment spec");
+  ExperimentSpec spec;
+  if (const JsonValue* name = json.find("name")) {
+    spec.name = name->as_string();
+  }
+  spec.duration = number_or(json, "duration", spec.duration);
+  spec.pre_tuned_hz = number_or(json, "pre_tuned_hz", spec.pre_tuned_hz);
+  spec.with_mcu = bool_or(json, "with_mcu", spec.with_mcu);
+  spec.trace_interval = number_or(json, "trace_interval", spec.trace_interval);
+  spec.power_bin_width = number_or(json, "power_bin_width", spec.power_bin_width);
+  if (const JsonValue* engine = json.find("engine")) {
+    spec.engine = experiments::parse_engine_kind(engine->as_string());
+  }
+  if (const JsonValue* excitation = json.find("excitation")) {
+    spec.excitation = schedule_from_json(*excitation);
+  }
+  if (const JsonValue* overrides = json.find("overrides")) {
+    for (const JsonValue& entry : overrides->as_array()) {
+      check_keys(entry, {"param", "value"}, "override");
+      spec.overrides.push_back(
+          ParamOverride{entry.at("param").as_string(), entry.at("value").as_number()});
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+JsonValue to_json(const SweepSpec& sweep) {
+  JsonValue json = JsonValue::make_object();
+  json.set("type", "sweep");
+  JsonValue base = to_json(sweep.base);
+  auto& base_members = base.as_object();
+  for (auto it = base_members.begin(); it != base_members.end(); ++it) {
+    if (it->first == "type") {  // redundant inside a sweep document
+      base_members.erase(it);
+      break;
+    }
+  }
+  json.set("base", std::move(base));
+  json.set("mode", sweep.mode == SweepSpec::Mode::kGrid ? "grid" : "zip");
+  json.set("threads", static_cast<double>(sweep.threads));
+  JsonValue axes = JsonValue::make_array();
+  for (const SweepAxis& axis : sweep.axes) {
+    JsonValue entry = JsonValue::make_object();
+    if (axis.is_engine_axis()) {
+      JsonValue engines = JsonValue::make_array();
+      for (const experiments::EngineKind kind : axis.engines) {
+        engines.push_back(experiments::engine_kind_id(kind));
+      }
+      entry.set("engines", std::move(engines));
+    } else {
+      entry.set("param", axis.param);
+      JsonValue values = JsonValue::make_array();
+      for (const double value : axis.values) {
+        values.push_back(value);
+      }
+      entry.set("values", std::move(values));
+    }
+    axes.push_back(std::move(entry));
+  }
+  json.set("axes", std::move(axes));
+  return json;
+}
+
+SweepSpec sweep_from_json(const JsonValue& json) {
+  check_keys(json, {"type", "base", "mode", "threads", "axes"}, "sweep spec");
+  SweepSpec sweep;
+  sweep.base = experiment_from_json(json.at("base"));
+  if (const JsonValue* mode = json.find("mode")) {
+    const std::string& word = mode->as_string();
+    if (word == "grid") {
+      sweep.mode = SweepSpec::Mode::kGrid;
+    } else if (word == "zip") {
+      sweep.mode = SweepSpec::Mode::kZip;
+    } else {
+      throw ModelError("sweep mode '" + word + "' is not grid | zip");
+    }
+  }
+  const double threads = number_or(json, "threads", 0.0);
+  if (threads < 0.0 || threads != std::floor(threads)) {
+    throw ModelError("sweep threads must be a non-negative integer");
+  }
+  sweep.threads = static_cast<std::size_t>(threads);
+  for (const JsonValue& entry : json.at("axes").as_array()) {
+    check_keys(entry, {"param", "values", "engines"}, "sweep axis");
+    SweepAxis axis;
+    if (const JsonValue* engines = entry.find("engines")) {
+      for (const JsonValue& kind : engines->as_array()) {
+        axis.engines.push_back(experiments::parse_engine_kind(kind.as_string()));
+      }
+    }
+    if (const JsonValue* param = entry.find("param")) {
+      axis.param = param->as_string();
+    }
+    if (const JsonValue* values = entry.find("values")) {
+      for (const JsonValue& value : values->as_array()) {
+        axis.values.push_back(value.as_number());
+      }
+    }
+    sweep.axes.push_back(std::move(axis));
+  }
+  sweep.validate();
+  return sweep;
+}
+
+SpecFile spec_from_json(const JsonValue& json) {
+  const std::string& type = json.at("type").as_string();
+  SpecFile file;
+  if (type == "experiment") {
+    file.experiment = experiment_from_json(json);
+  } else if (type == "sweep") {
+    file.sweep = sweep_from_json(json);
+  } else {
+    throw ModelError("spec type '" + type + "' is not experiment | sweep");
+  }
+  return file;
+}
+
+SpecFile load_spec_file(const std::string& path) {
+  return spec_from_json(JsonValue::parse(read_file(path)));
+}
+
+JsonValue to_json(const ScenarioResult& result) {
+  JsonValue json = JsonValue::make_object();
+  json.set("scenario", result.scenario);
+  json.set("engine", result.engine);
+  json.set("sim_seconds", result.sim_seconds);
+  json.set("cpu_seconds", result.cpu_seconds);
+  json.set("shared_diode_table", result.shared_diode_table);
+
+  JsonValue stats = JsonValue::make_object();
+  stats.set("steps", result.stats.steps);
+  stats.set("jacobian_builds", result.stats.jacobian_builds);
+  stats.set("jacobian_reuses", result.stats.jacobian_reuses);
+  stats.set("algebraic_solves", result.stats.algebraic_solves);
+  stats.set("newton_iterations", result.stats.newton_iterations);
+  stats.set("lu_factorisations", result.stats.lu_factorisations);
+  stats.set("stability_recomputes", result.stats.stability_recomputes);
+  stats.set("history_resets", result.stats.history_resets);
+  stats.set("step_rejections", result.stats.step_rejections);
+  stats.set("min_step", result.stats.min_step);
+  stats.set("max_step", result.stats.max_step);
+  json.set("stats", std::move(stats));
+
+  json.set("final_vc", result.final_vc);
+  json.set("final_resonance_hz", result.final_resonance_hz);
+  json.set("rms_power_before", result.rms_power_before);
+  json.set("rms_power_after", result.rms_power_after);
+
+  JsonValue events = JsonValue::make_array();
+  for (const harvester::McuEvent& event : result.mcu_events) {
+    JsonValue entry = JsonValue::make_object();
+    const char* type = "?";
+    switch (event.type) {
+      case harvester::McuEvent::Type::kWakeup:
+        type = "wakeup";
+        break;
+      case harvester::McuEvent::Type::kEnergyLow:
+        type = "energy_low";
+        break;
+      case harvester::McuEvent::Type::kFrequencyMatched:
+        type = "frequency_matched";
+        break;
+      case harvester::McuEvent::Type::kTuningStarted:
+        type = "tuning_started";
+        break;
+      case harvester::McuEvent::Type::kTuningCompleted:
+        type = "tuning_completed";
+        break;
+      case harvester::McuEvent::Type::kTuningAborted:
+        type = "tuning_aborted";
+        break;
+    }
+    entry.set("time", event.time);
+    entry.set("type", type);
+    entry.set("value", event.value);
+    events.push_back(std::move(entry));
+  }
+  json.set("mcu_events", std::move(events));
+
+  JsonValue power = JsonValue::make_object();
+  JsonValue time = JsonValue::make_array();
+  JsonValue mean = JsonValue::make_array();
+  JsonValue rms = JsonValue::make_array();
+  for (std::size_t i = 0; i < result.power_time.size(); ++i) {
+    time.push_back(result.power_time[i]);
+    mean.push_back(result.power_mean[i]);
+    rms.push_back(result.power_rms[i]);
+  }
+  power.set("time", std::move(time));
+  power.set("mean", std::move(mean));
+  power.set("rms", std::move(rms));
+  json.set("power_bins", std::move(power));
+
+  json.set("trace_points", static_cast<double>(result.time.size()));
+  return json;
+}
+
+void write_trace_csv(std::ostream& os, const ScenarioResult& result) {
+  os << "time,Vc\n";
+  char buffer[64];
+  for (std::size_t i = 0; i < result.time.size(); ++i) {
+    auto write_number = [&](double value, char trailer) {
+      const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+      if (ec != std::errc{}) {
+        throw ModelError("trace CSV: number formatting failed");
+      }
+      *ptr = trailer;
+      os.write(buffer, ptr - buffer + 1);
+    };
+    write_number(result.time[i], ',');
+    write_number(result.vc[i], '\n');
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ModelError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw ModelError("failed reading '" + path + "'");
+  }
+  return std::move(buffer).str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw ModelError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  if (!out.good()) {
+    throw ModelError("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace ehsim::io

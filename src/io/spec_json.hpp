@@ -1,0 +1,58 @@
+/// \file spec_json.hpp
+/// \brief JSON bindings for the declarative experiment layer.
+///
+/// Scenarios are data: an ExperimentSpec or SweepSpec round-trips through
+/// JSON losslessly (spec == from_json(to_json(spec))), which is what the
+/// `ehsim` CLI and the checked-in examples/specs/*.json files ride on.
+/// Parsing is strict — unknown keys are rejected with the offending name —
+/// so spec typos fail loudly instead of silently running defaults. The
+/// schema is documented with worked examples in docs/spec_format.md.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
+#include "io/json.hpp"
+
+namespace ehsim::io {
+
+// ---- spec <-> JSON --------------------------------------------------------
+
+[[nodiscard]] JsonValue to_json(const experiments::ExcitationSchedule& schedule);
+[[nodiscard]] experiments::ExcitationSchedule schedule_from_json(const JsonValue& json);
+
+[[nodiscard]] JsonValue to_json(const experiments::ExperimentSpec& spec);
+[[nodiscard]] experiments::ExperimentSpec experiment_from_json(const JsonValue& json);
+
+[[nodiscard]] JsonValue to_json(const experiments::SweepSpec& sweep);
+[[nodiscard]] experiments::SweepSpec sweep_from_json(const JsonValue& json);
+
+/// A parsed spec file: exactly one of the two is set, per the top-level
+/// "type" member ("experiment" | "sweep").
+struct SpecFile {
+  std::optional<experiments::ExperimentSpec> experiment;
+  std::optional<experiments::SweepSpec> sweep;
+};
+
+[[nodiscard]] SpecFile spec_from_json(const JsonValue& json);
+[[nodiscard]] SpecFile load_spec_file(const std::string& path);
+
+// ---- results --------------------------------------------------------------
+
+/// Full result document: run summary, solver statistics, MCU events and the
+/// binned power waveform. The dense Vc trace goes to CSV (write_trace_csv),
+/// not JSON.
+[[nodiscard]] JsonValue to_json(const experiments::ScenarioResult& result);
+
+/// "time,Vc" CSV of the decimated supercapacitor trace (full precision).
+void write_trace_csv(std::ostream& os, const experiments::ScenarioResult& result);
+
+// ---- small file helpers (CLI, tests) --------------------------------------
+
+[[nodiscard]] std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace ehsim::io

@@ -1,0 +1,110 @@
+#include "pwl/table_cache.hpp"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace ehsim::pwl {
+
+namespace {
+
+/// Exact construction key: raw bits of every input the table build reads.
+struct TableKey {
+  double saturation_current;
+  double emission_coefficient;
+  double thermal_voltage;
+  double g_min;
+  std::size_t segments;
+  double v_min;
+  double g_max;
+
+  [[nodiscard]] bool operator==(const TableKey& other) const noexcept {
+    return std::memcmp(this, &other, sizeof(TableKey)) == 0;
+  }
+};
+
+struct CacheEntry {
+  TableKey key;
+  std::shared_ptr<const DiodeTable> table;
+};
+
+struct Cache {
+  std::mutex mutex;
+  std::deque<CacheEntry> entries;  // FIFO eviction order
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+Cache& cache() {
+  static Cache instance;
+  return instance;
+}
+
+/// Distinct diode configurations alive at once in any realistic sweep; the
+/// bound only matters when the sweep axis is the diode itself.
+constexpr std::size_t kMaxEntries = 32;
+
+}  // namespace
+
+std::shared_ptr<const DiodeTable> shared_diode_table(const DiodeParams& params,
+                                                     std::size_t segments, double v_min,
+                                                     double g_max, bool* was_hit) {
+  const TableKey key{params.saturation_current, params.emission_coefficient,
+                     params.thermal_voltage,   params.g_min,
+                     segments,                 v_min,
+                     g_max};
+  Cache& c = cache();
+  {
+    std::scoped_lock lock(c.mutex);
+    for (const CacheEntry& entry : c.entries) {
+      if (entry.key == key) {
+        ++c.hits;
+        if (was_hit != nullptr) {
+          *was_hit = true;
+        }
+        return entry.table;
+      }
+    }
+  }
+  // Build outside the lock: table construction is the expensive part and
+  // may throw. A racing builder of the same key wastes one build, nothing
+  // worse — both results are bit-identical.
+  auto table = std::make_shared<const DiodeTable>(params, segments, v_min, g_max);
+  std::scoped_lock lock(c.mutex);
+  for (const CacheEntry& entry : c.entries) {
+    if (entry.key == key) {
+      // Lost the race; share the incumbent so concurrent callers converge
+      // on one instance.
+      ++c.hits;
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return entry.table;
+    }
+  }
+  ++c.misses;
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  if (c.entries.size() >= kMaxEntries) {
+    c.entries.pop_front();
+  }
+  c.entries.push_back(CacheEntry{key, table});
+  return table;
+}
+
+TableCacheStats diode_table_cache_stats() {
+  Cache& c = cache();
+  std::scoped_lock lock(c.mutex);
+  return TableCacheStats{c.hits, c.misses, c.entries.size()};
+}
+
+void reset_diode_table_cache() {
+  Cache& c = cache();
+  std::scoped_lock lock(c.mutex);
+  c.entries.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace ehsim::pwl

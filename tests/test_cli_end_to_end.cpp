@@ -1,0 +1,65 @@
+/// \file test_cli_end_to_end.cpp
+/// \brief Acceptance: `ehsim run examples/specs/scenario1.json` reproduces
+/// scenario1() with a trace bit-identical to the run_scenario compatibility
+/// shim.
+///
+/// The full 300 s scenario runs twice (once through the CLI binary, once
+/// in-process through the legacy shim), so this is the slowest test in the
+/// suite (~15 s); it is also the one that pins the whole spec -> JSON ->
+/// CLI -> engine -> CSV pipeline bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "experiments/scenarios.hpp"
+#include "io/json.hpp"
+#include "io/spec_json.hpp"
+
+namespace {
+
+using namespace ehsim::experiments;
+
+TEST(EhsimCli, Scenario1SpecBitIdenticalToCompatibilityShim) {
+  const std::string spec_path =
+      std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario1.json";
+  const std::filesystem::path out_dir =
+      std::filesystem::temp_directory_path() / "ehsim_cli_scenario1";
+  std::filesystem::remove_all(out_dir);
+
+  const std::string command = std::string("\"") + EHSIM_CLI_PATH + "\" run \"" + spec_path +
+                              "\" --out \"" + out_dir.string() + "\" --quiet";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  // The legacy one-shot description of scenario 1 through the shim.
+  ScenarioSpec legacy;
+  legacy.name = "scenario1-1hz";
+  legacy.duration = 300.0;
+  legacy.pre_tuned_hz = 70.0;
+  legacy.initial_ambient_hz = 70.0;
+  legacy.shift_time = 60.0;
+  legacy.shifted_ambient_hz = 71.0;
+  const ScenarioResult shim = run_scenario(legacy, EngineKind::kProposed);
+
+  // The CLI's CSV trace must equal the shim's, byte for byte.
+  std::ostringstream expected_csv;
+  ehsim::io::write_trace_csv(expected_csv, shim);
+  const std::string actual_csv =
+      ehsim::io::read_file((out_dir / "scenario1-1hz.trace.csv").string());
+  EXPECT_EQ(expected_csv.str(), actual_csv);
+
+  // And the summary must agree on the exact solver path and physics.
+  const auto json = ehsim::io::JsonValue::parse(
+      ehsim::io::read_file((out_dir / "scenario1-1hz.result.json").string()));
+  EXPECT_EQ(json.at("stats").at("steps").as_number(),
+            static_cast<double>(shim.stats.steps));
+  EXPECT_EQ(json.at("final_vc").as_number(), shim.final_vc);
+  EXPECT_EQ(json.at("final_resonance_hz").as_number(), shim.final_resonance_hz);
+  EXPECT_EQ(json.at("mcu_events").as_array().size(), shim.mcu_events.size());
+
+  std::filesystem::remove_all(out_dir);
+}
+
+}  // namespace

@@ -117,7 +117,7 @@ TEST(JacobianReuse, SignatureStableOnLinearBlock) {
 TEST(JacobianReuse, HarvesterSkipsRebuildsWithIdenticalTrajectory) {
   using namespace ehsim;
   const auto params =
-      experiments::scenario_params(experiments::charging_scenario(1.0));
+      experiments::experiment_params(experiments::charging_scenario(1.0));
 
   auto run = [&](bool reuse) {
     harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
@@ -140,7 +140,7 @@ TEST(JacobianReuse, HarvesterSkipsRebuildsWithIdenticalTrajectory) {
 TEST(JacobianReuse, EpochChangeForcesRebuild) {
   using namespace ehsim;
   const auto params =
-      experiments::scenario_params(experiments::charging_scenario(1.0));
+      experiments::experiment_params(experiments::charging_scenario(1.0));
   harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
   LinearisedSolver solver(system.assembler());
   solver.initialise(0.0);
@@ -153,7 +153,7 @@ TEST(JacobianReuse, EpochChangeForcesRebuild) {
 
 TEST(JacobianReuse, ActuatorMotionDisablesGeneratorReuse) {
   using namespace ehsim;
-  auto params = experiments::scenario_params(experiments::charging_scenario(1.0));
+  auto params = experiments::experiment_params(experiments::charging_scenario(1.0));
   harvester::HarvesterSystem system(params, harvester::DeviceEvalMode::kPwlTable, false);
 
   // While the actuator moves, the generator reports kAlwaysRebuild and every

@@ -1,0 +1,266 @@
+/// \file test_excitation.cpp
+/// \brief ExcitationSchedule / VibrationProfile contract tests: phase
+/// continuity across step and chirp boundaries, deterministic seeded
+/// random-walk drift, and loud rejection of malformed schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "experiments/excitation.hpp"
+#include "harvester/params.hpp"
+#include "harvester/vibration_source.hpp"
+
+namespace {
+
+using ehsim::ModelError;
+using ehsim::experiments::ExcitationEvent;
+using ehsim::experiments::ExcitationSchedule;
+using ehsim::experiments::RandomWalkParams;
+using ehsim::harvester::VibrationParams;
+using ehsim::harvester::VibrationProfile;
+
+VibrationProfile make_profile(double hz = 10.0, double amplitude = 1.0) {
+  VibrationParams params;
+  params.initial_frequency_hz = hz;
+  params.acceleration_amplitude = amplitude;
+  return VibrationProfile(params);
+}
+
+/// |a(t+eps) - a(t-eps)| for the continuity checks: bounded by the maximum
+/// slope |da/dt| = A * 2 pi f around the boundary, with head-room.
+void expect_continuous(const VibrationProfile& profile, double t, double f_max,
+                       double amplitude) {
+  const double eps = 1e-9;
+  const double before = profile.acceleration(t - eps);
+  const double after = profile.acceleration(t + eps);
+  const double slope_bound = amplitude * 2.0 * std::numbers::pi * f_max;
+  EXPECT_LE(std::abs(after - before), 10.0 * slope_bound * eps)
+      << "discontinuity at t=" << t;
+}
+
+TEST(VibrationProfile, FrequencyStepIsPhaseContinuous) {
+  VibrationProfile profile = make_profile(10.0);
+  profile.set_frequency_at(1.0, 25.0);
+  expect_continuous(profile, 1.0, 25.0, 1.0);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(1.5), 25.0);
+}
+
+TEST(VibrationProfile, ChirpRampsLinearlyAndStaysContinuous) {
+  VibrationProfile profile = make_profile(10.0);
+  profile.ramp_frequency(1.0, 2.0, 20.0);  // 10 -> 20 Hz over [1, 3]
+  EXPECT_DOUBLE_EQ(profile.frequency_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(2.0), 15.0);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(3.0), 20.0);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(4.0), 20.0);
+  // Continuous at ramp start and end.
+  expect_continuous(profile, 1.0, 20.0, 1.0);
+  expect_continuous(profile, 3.0, 20.0, 1.0);
+  // The chirp phase matches the analytic integral f0 tau + k tau^2 / 2.
+  const double tau = 0.75;
+  const double phase_at_start = 2.0 * std::numbers::pi * 10.0 * 1.0;
+  const double chirp_phase =
+      2.0 * std::numbers::pi * (10.0 * tau + 0.5 * 5.0 * tau * tau);
+  EXPECT_NEAR(profile.acceleration(1.0 + tau),
+              std::sin(std::fmod(phase_at_start, 2.0 * std::numbers::pi) + chirp_phase),
+              1e-9);
+}
+
+TEST(VibrationProfile, AmplitudeStepKeepsFrequencyAndPhase) {
+  VibrationProfile profile = make_profile(10.0, 2.0);
+  profile.set_amplitude_at(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(profile.amplitude_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(profile.amplitude_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(profile.frequency_at(1.5), 10.0);
+  // Phase continuity: the waveform scales, the zero crossings stay put.
+  const double eps = 1e-9;
+  const double before = profile.acceleration(1.0 - eps) / 2.0;
+  const double after = profile.acceleration(1.0 + eps) / 0.5;
+  EXPECT_NEAR(before, after, 1e-6);
+}
+
+TEST(VibrationProfile, LegacyConstantSegmentsBitIdentical) {
+  // The pre-chirp implementation computed
+  //   phase = phase0 + 2 pi f (t - t0)
+  // exactly; constant-frequency schedules must still produce those bits.
+  VibrationProfile profile = make_profile(70.0, 0.59);
+  profile.set_frequency_at(60.0, 71.0);
+  for (const double t : {0.0, 1.0, 59.999, 60.0, 61.5, 300.0}) {
+    double expected;
+    if (t < 60.0) {
+      expected = 0.59 * std::sin(2.0 * std::numbers::pi * 70.0 * t);
+    } else {
+      const double phase0 = std::fmod(2.0 * std::numbers::pi * 70.0 * 60.0,
+                                      2.0 * std::numbers::pi);
+      expected = 0.59 * std::sin(phase0 + 2.0 * std::numbers::pi * 71.0 * (t - 60.0));
+    }
+    EXPECT_EQ(profile.acceleration(t), expected) << "t=" << t;
+  }
+}
+
+TEST(VibrationProfile, RejectsNonMonotoneAndInvalidChanges) {
+  VibrationProfile profile = make_profile(10.0);
+  profile.set_frequency_at(2.0, 12.0);
+  EXPECT_THROW(profile.set_frequency_at(1.0, 14.0), ModelError);
+  EXPECT_THROW(profile.set_frequency_at(2.0, 14.0), ModelError);  // equal time
+  EXPECT_THROW(profile.set_frequency_at(3.0, -1.0), ModelError);
+  EXPECT_THROW(profile.set_amplitude_at(3.0, -0.1), ModelError);
+  EXPECT_THROW(profile.ramp_frequency(3.0, 0.0, 15.0), ModelError);
+  // A ramp occupies its whole span: the next change must come after it.
+  profile.ramp_frequency(3.0, 1.0, 15.0);
+  EXPECT_THROW(profile.set_frequency_at(3.5, 18.0), ModelError);
+  profile.set_frequency_at(4.5, 18.0);  // after the ramp end: fine
+}
+
+// ---- ExcitationSchedule ---------------------------------------------------
+
+TEST(ExcitationSchedule, AppliesLikeHandWrittenProfileCalls) {
+  ExcitationSchedule schedule;
+  schedule.initial_frequency_hz = 10.0;
+  schedule.step_frequency(1.0, 12.0)
+      .ramp_frequency(2.0, 1.5, 9.0)
+      .step_amplitude(4.0, 0.25);
+
+  VibrationProfile from_schedule = make_profile(10.0);
+  schedule.apply(from_schedule);
+
+  VibrationProfile by_hand = make_profile(10.0);
+  by_hand.set_frequency_at(1.0, 12.0);
+  by_hand.ramp_frequency(2.0, 1.5, 9.0);
+  by_hand.set_amplitude_at(4.0, 0.25);
+
+  for (double t = 0.0; t < 5.0; t += 0.0373) {
+    EXPECT_EQ(from_schedule.acceleration(t), by_hand.acceleration(t)) << "t=" << t;
+  }
+}
+
+TEST(ExcitationSchedule, ValidateRejectsNonMonotoneEventTimes) {
+  ExcitationSchedule schedule;
+  schedule.step_frequency(2.0, 71.0).step_frequency(1.0, 72.0);
+  try {
+    schedule.validate();
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("strictly increasing"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ExcitationSchedule, ValidateRejectsEventsInsideARampSpan) {
+  ExcitationSchedule schedule;
+  schedule.ramp_frequency(1.0, 2.0, 75.0).step_frequency(2.5, 72.0);  // inside [1, 3]
+  EXPECT_THROW(schedule.validate(), ModelError);
+}
+
+TEST(ExcitationSchedule, ValidateRejectsBadEventParameters) {
+  {
+    ExcitationSchedule schedule;
+    schedule.step_frequency(1.0, -5.0);
+    EXPECT_THROW(schedule.validate(), ModelError);
+  }
+  {
+    ExcitationSchedule schedule;
+    schedule.ramp_frequency(1.0, -2.0, 75.0);
+    EXPECT_THROW(schedule.validate(), ModelError);
+  }
+  {
+    ExcitationSchedule schedule;
+    RandomWalkParams walk;
+    walk.step_interval = 0.0;
+    schedule.random_walk(1.0, 5.0, walk);
+    EXPECT_THROW(schedule.validate(), ModelError);
+  }
+  {
+    ExcitationSchedule schedule;
+    schedule.initial_frequency_hz = -1.0;
+    EXPECT_THROW(schedule.validate(), ModelError);
+  }
+}
+
+TEST(ExcitationSchedule, RandomWalkIsDeterministicInItsSeed) {
+  RandomWalkParams walk;
+  walk.step_interval = 0.5;
+  walk.frequency_sigma = 0.3;
+  walk.amplitude_sigma = 0.02;
+  walk.seed = 1234;
+
+  ExcitationSchedule a;
+  a.initial_frequency_hz = 70.0;
+  a.initial_amplitude = 0.59;
+  a.random_walk(10.0, 20.0, walk);
+
+  ExcitationSchedule b = a;
+  const auto steps_a = a.expand();
+  const auto steps_b = b.expand();
+  ASSERT_EQ(steps_a.size(), 40u);  // 20 s / 0.5 s
+  ASSERT_EQ(steps_a.size(), steps_b.size());
+  for (std::size_t i = 0; i < steps_a.size(); ++i) {
+    ASSERT_TRUE(steps_a[i].frequency_hz && steps_b[i].frequency_hz);
+    EXPECT_EQ(*steps_a[i].frequency_hz, *steps_b[i].frequency_hz) << i;
+    ASSERT_TRUE(steps_a[i].amplitude && steps_b[i].amplitude);
+    EXPECT_EQ(*steps_a[i].amplitude, *steps_b[i].amplitude) << i;
+  }
+
+  // A different seed produces a different walk.
+  ExcitationSchedule c = a;
+  c.events.front().walk.seed = 99;
+  const auto steps_c = c.expand();
+  bool any_different = false;
+  for (std::size_t i = 0; i < steps_c.size(); ++i) {
+    any_different = any_different || *steps_c[i].frequency_hz != *steps_a[i].frequency_hz;
+  }
+  EXPECT_TRUE(any_different);
+
+  // And two profiles driven by the same schedule evaluate identically.
+  VibrationProfile p1 = make_profile(70.0, 0.59);
+  VibrationProfile p2 = make_profile(70.0, 0.59);
+  a.apply(p1);
+  b.apply(p2);
+  for (double t = 9.0; t < 31.0; t += 0.617) {
+    EXPECT_EQ(p1.acceleration(t), p2.acceleration(t));
+  }
+}
+
+TEST(ExcitationSchedule, RandomWalkRespectsBounds) {
+  RandomWalkParams walk;
+  walk.step_interval = 0.1;
+  walk.frequency_sigma = 5.0;  // huge steps force clamping
+  walk.amplitude_sigma = 1.0;
+  walk.seed = 7;
+  walk.min_frequency_hz = 68.0;
+  walk.max_frequency_hz = 72.0;
+  walk.min_amplitude = 0.1;
+
+  ExcitationSchedule schedule;
+  schedule.initial_frequency_hz = 70.0;
+  schedule.initial_amplitude = 0.59;
+  schedule.random_walk(1.0, 10.0, walk);
+  for (const auto& step : schedule.expand()) {
+    EXPECT_GE(*step.frequency_hz, 68.0);
+    EXPECT_LE(*step.frequency_hz, 72.0);
+    EXPECT_GE(*step.amplitude, 0.1);
+  }
+}
+
+TEST(ExcitationSchedule, RandomWalkCoversExactDecimalSpans) {
+  // 0.3 / 0.1 is 2.999... in IEEE doubles; the spec still means 3 updates.
+  RandomWalkParams walk;
+  walk.step_interval = 0.1;
+  walk.frequency_sigma = 0.1;
+  ExcitationSchedule schedule;
+  schedule.random_walk(1.0, 0.3, walk);
+  EXPECT_EQ(schedule.expand().size(), 3u);
+}
+
+TEST(ExcitationSchedule, FirstEventTimeFeedsThePowerWindows) {
+  ExcitationSchedule none;
+  EXPECT_FALSE(none.first_event_time().has_value());
+  ExcitationSchedule one;
+  one.step_frequency(60.0, 71.0);
+  ASSERT_TRUE(one.first_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*one.first_event_time(), 60.0);
+}
+
+}  // namespace

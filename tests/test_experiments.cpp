@@ -128,9 +128,13 @@ TEST(TablePrinter, DurationFormatting) {
 
 TEST(Scenarios, SpecsMatchPaper) {
   const auto s1 = scenario1();
-  EXPECT_DOUBLE_EQ(s1.shifted_ambient_hz - s1.initial_ambient_hz, 1.0);
+  ASSERT_EQ(s1.excitation.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      s1.excitation.events.front().frequency_hz - s1.excitation.initial_frequency_hz, 1.0);
   const auto s2 = scenario2();
-  EXPECT_NEAR(s2.shifted_ambient_hz - s2.initial_ambient_hz, 13.8, 0.3);
+  ASSERT_EQ(s2.excitation.events.size(), 1u);
+  EXPECT_NEAR(s2.excitation.events.front().frequency_hz - s2.excitation.initial_frequency_hz,
+              13.8, 0.3);
   // Scenario 2 simulated span ~11x scenario 1 (the paper's proposed-engine
   // CPU ratio 228 s / 20.3 s).
   EXPECT_NEAR(s2.duration / s1.duration, 11.0, 1.0);
@@ -138,13 +142,13 @@ TEST(Scenarios, SpecsMatchPaper) {
 
 TEST(Scenarios, ParamsPretuneActuator) {
   const auto spec = scenario1();
-  const auto params = scenario_params(spec);
+  const auto params = experiment_params(spec);
   const ehsim::harvester::TuningMechanism mech(params.tuning, params.generator);
   EXPECT_NEAR(mech.resonance_at_gap(params.actuator.initial_gap), 70.0, 0.05);
 }
 
 TEST(Scenarios, ChargingScenarioStartsEmpty) {
-  const auto params = scenario_params(charging_scenario(10.0));
+  const auto params = experiment_params(charging_scenario(10.0));
   EXPECT_DOUBLE_EQ(params.supercap.initial_voltage, 0.0);
 }
 
@@ -157,12 +161,12 @@ TEST(Scenarios, EngineFactoryNamesAndModes) {
 }
 
 TEST(Scenarios, ShortProposedRunProducesTraces) {
-  ScenarioSpec spec = scenario1();
-  spec.duration = 3.0;       // miniature for test speed
-  spec.shift_time = 0.0;     // no shift
+  ExperimentSpec spec = scenario1();
+  spec.duration = 3.0;                // miniature for test speed
+  spec.excitation.events.clear();     // no shift
   spec.with_mcu = false;
   spec.trace_interval = 0.01;
-  const auto result = run_scenario(spec, EngineKind::kProposed);
+  const auto result = run_experiment(spec);
   EXPECT_GT(result.time.size(), 100u);
   EXPECT_EQ(result.time.size(), result.vc.size());
   EXPECT_GT(result.cpu_seconds, 0.0);
@@ -173,12 +177,12 @@ TEST(Scenarios, ShortProposedRunProducesTraces) {
 }
 
 TEST(Scenarios, PowerBinsSeeGeneratorOutput) {
-  ScenarioSpec spec = scenario1();
+  ExperimentSpec spec = scenario1();
   spec.duration = 8.0;
-  spec.shift_time = 0.0;
+  spec.excitation.events.clear();
   spec.with_mcu = false;
   spec.power_bin_width = 1.0;
-  const auto result = run_scenario(spec, EngineKind::kProposed);
+  const auto result = run_experiment(spec);
   // After settling, per-bin mean power reaches the ~118 uW level.
   ASSERT_GE(result.power_mean.size(), 8u);
   EXPECT_GT(result.power_mean[6] * 1e6, 60.0);
@@ -187,7 +191,7 @@ TEST(Scenarios, PowerBinsSeeGeneratorOutput) {
 
 TEST(ReferenceData, PerturbedParamsDifferFromNominal) {
   const auto spec = scenario1();
-  const auto nominal = scenario_params(spec);
+  const auto nominal = experiment_params(spec);
   const auto perturbed = perturbed_params(spec, MeasurementModel{});
   EXPECT_LT(perturbed.generator.flux_linkage, nominal.generator.flux_linkage);
   EXPECT_GT(perturbed.generator.coil_resistance, nominal.generator.coil_resistance);
@@ -195,9 +199,9 @@ TEST(ReferenceData, PerturbedParamsDifferFromNominal) {
 }
 
 TEST(ReferenceData, TraceIsReproducibleAndNoisy) {
-  ScenarioSpec spec = scenario1();
+  ExperimentSpec spec = scenario1();
   spec.duration = 2.0;
-  spec.shift_time = 0.0;
+  spec.excitation.events.clear();
   spec.with_mcu = false;
   const auto a = make_experimental_trace(spec, 0.25);
   const auto b = make_experimental_trace(spec, 0.25);

@@ -1,0 +1,263 @@
+/// \file test_io_json.cpp
+/// \brief JSON document model, spec round-trip losslessness, result
+/// serialisation and the tolerance-aware golden compare.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
+#include "io/compare.hpp"
+#include "io/json.hpp"
+#include "io/spec_json.hpp"
+
+namespace {
+
+using ehsim::ModelError;
+using ehsim::io::CompareOptions;
+using ehsim::io::JsonValue;
+using namespace ehsim::experiments;
+
+// ---- JSON core ------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTripsDocuments) {
+  const std::string text =
+      R"({"a": [1, 2.5, -3e-2], "b": {"nested": true, "null": null}, "s": "hi\n\"there\""})";
+  const JsonValue value = JsonValue::parse(text);
+  EXPECT_EQ(JsonValue::parse(value.dump()), value);
+  EXPECT_EQ(JsonValue::parse(value.dump(2)), value);
+  EXPECT_DOUBLE_EQ(value.at("a").as_array()[2].as_number(), -3e-2);
+  EXPECT_TRUE(value.at("b").at("nested").as_bool());
+  EXPECT_TRUE(value.at("b").at("null").is_null());
+  EXPECT_EQ(value.at("s").as_string(), "hi\n\"there\"");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double number : {0.1, 1.0 / 3.0, 1e-300, -2.2250738585072014e-308, 6.02e23,
+                              60.0, 0.0, -0.59}) {
+    const JsonValue value(number);
+    EXPECT_EQ(JsonValue::parse(value.dump()).as_number(), number) << number;
+  }
+  EXPECT_THROW(JsonValue(std::nan("")), ModelError);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const JsonValue value = JsonValue::parse(R"("é€😀")");
+  EXPECT_EQ(value.as_string(), "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)JsonValue::parse("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("3:"), std::string::npos) << error.what();
+  }
+  EXPECT_THROW((void)JsonValue::parse("[1, 2] trailing"), ModelError);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a": 01x})"), ModelError);
+  EXPECT_THROW((void)JsonValue::parse(R"("\q")"), ModelError);
+}
+
+TEST(Json, ObjectHelpersPreserveInsertionOrder) {
+  JsonValue object = JsonValue::make_object();
+  object.set("z", 1).set("a", 2).set("z", 3);
+  EXPECT_EQ(object.dump(), R"({"z":3,"a":2})");
+  EXPECT_EQ(object.at("z").as_number(), 3.0);
+  EXPECT_THROW((void)object.at("missing"), ModelError);
+  EXPECT_THROW((void)object.as_array(), ModelError);
+}
+
+// ---- spec round-trip ------------------------------------------------------
+
+ExperimentSpec multi_event_spec() {
+  ExperimentSpec spec;
+  spec.name = "drift-demo";
+  spec.duration = 120.0;
+  spec.pre_tuned_hz = 70.0;
+  spec.engine = EngineKind::kSystemCA;
+  spec.excitation.initial_frequency_hz = 70.0;
+  spec.excitation.initial_amplitude = 0.55;
+  spec.excitation.step_frequency(20.0, 71.5);
+  spec.excitation.ramp_frequency(40.0, 15.0, 68.0);
+  spec.excitation.step_amplitude(70.0, 0.45);
+  RandomWalkParams walk;
+  walk.step_interval = 2.0;
+  walk.frequency_sigma = 0.2;
+  walk.amplitude_sigma = 0.01;
+  walk.seed = 0xDEADBEEFCAFEF00Dull;  // not exactly representable as double
+  walk.min_frequency_hz = 60.0;
+  walk.max_frequency_hz = 80.0;
+  walk.min_amplitude = 0.2;
+  spec.excitation.random_walk(80.0, 30.0, walk);
+  spec.overrides.push_back(ParamOverride{"supercap.initial_voltage", 1.25});
+  return spec;
+}
+
+TEST(SpecJson, ExperimentRoundTripsLosslessly) {
+  const ExperimentSpec spec = multi_event_spec();
+  const JsonValue json = ehsim::io::to_json(spec);
+  const ExperimentSpec back = ehsim::io::experiment_from_json(json);
+  EXPECT_EQ(back, spec);
+  // Through text as well (spec -> JSON -> text -> JSON -> spec).
+  const ExperimentSpec reparsed =
+      ehsim::io::experiment_from_json(JsonValue::parse(json.dump(2)));
+  EXPECT_EQ(reparsed, spec);
+  // The oversized seed survives via the string form.
+  EXPECT_EQ(reparsed.excitation.events[3].walk.seed, 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(SpecJson, CannedScenariosRoundTrip) {
+  for (const ExperimentSpec& spec : {scenario1(), scenario2(), charging_scenario(30.0)}) {
+    EXPECT_EQ(ehsim::io::experiment_from_json(
+                  JsonValue::parse(ehsim::io::to_json(spec).dump())),
+              spec)
+        << spec.name;
+  }
+}
+
+TEST(SpecJson, SweepRoundTripsLosslessly) {
+  SweepSpec sweep;
+  sweep.base = charging_scenario(5.0);
+  sweep.mode = SweepSpec::Mode::kZip;
+  sweep.threads = 3;
+  sweep.axes.push_back(SweepAxis{"supercap.initial_voltage", {0.5, 1.0}, {}});
+  sweep.axes.push_back(SweepAxis{"generator.proof_mass", {0.017, 0.019}, {}});
+  const SweepSpec back =
+      ehsim::io::sweep_from_json(JsonValue::parse(ehsim::io::to_json(sweep).dump(2)));
+  EXPECT_EQ(back, sweep);
+
+  SweepSpec engines;
+  engines.base = charging_scenario(1.0);
+  engines.axes.push_back(
+      SweepAxis{{}, {}, {EngineKind::kProposed, EngineKind::kPspice}});
+  EXPECT_EQ(ehsim::io::sweep_from_json(JsonValue::parse(ehsim::io::to_json(engines).dump())),
+            engines);
+}
+
+TEST(SpecJson, StrictParsingRejectsUnknownKeysAndValues) {
+  EXPECT_THROW((void)ehsim::io::experiment_from_json(
+                   JsonValue::parse(R"({"type":"experiment","naem":"typo"})")),
+               ModelError);
+  EXPECT_THROW((void)ehsim::io::experiment_from_json(
+                   JsonValue::parse(R"({"type":"experiment","engine":"spice99"})")),
+               ModelError);
+  EXPECT_THROW(
+      (void)ehsim::io::spec_from_json(JsonValue::parse(R"({"type":"recipe"})")),
+      ModelError);
+  // Schedules with non-monotone events fail at parse time via validate().
+  EXPECT_THROW((void)ehsim::io::experiment_from_json(JsonValue::parse(R"({
+    "type": "experiment", "name": "bad",
+    "excitation": {"initial_frequency_hz": 70, "events": [
+      {"kind": "frequency_step", "time": 10, "frequency_hz": 71},
+      {"kind": "frequency_step", "time": 5, "frequency_hz": 72}
+    ]}})")),
+               ModelError);
+}
+
+// ---- results --------------------------------------------------------------
+
+TEST(ResultJson, SerialisesSummaryAndTrace) {
+  ExperimentSpec spec = charging_scenario(0.2);
+  spec.trace_interval = 0.01;
+  const ScenarioResult result = run_experiment(spec);
+  const JsonValue json = ehsim::io::to_json(result);
+  EXPECT_EQ(json.at("scenario").as_string(), "supercap-charging");
+  EXPECT_GT(json.at("stats").at("steps").as_number(), 100.0);
+  EXPECT_EQ(json.at("trace_points").as_number(),
+            static_cast<double>(result.time.size()));
+  EXPECT_TRUE(json.at("mcu_events").as_array().empty());
+
+  std::ostringstream csv;
+  ehsim::io::write_trace_csv(csv, result);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.substr(0, 8), "time,Vc\n");
+  // Header plus one line per trace point.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            result.time.size() + 1);
+}
+
+// ---- tolerance compare ----------------------------------------------------
+
+TEST(Compare, JsonWithinToleranceMatches) {
+  const JsonValue a = JsonValue::parse(R"({"x": 1.0, "y": [1e-3, 2.0], "s": "same"})");
+  const JsonValue b = JsonValue::parse(R"({"x": 1.0000000001, "y": [1e-3, 2.0], "s": "same"})");
+  CompareOptions loose;
+  loose.rtol = 1e-6;
+  EXPECT_TRUE(ehsim::io::compare_json(a, b, loose).empty());
+  CompareOptions tight;
+  tight.rtol = 1e-12;
+  tight.atol = 0.0;
+  const auto diffs = ehsim::io::compare_json(a, b, tight);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("x"), std::string::npos);
+}
+
+TEST(Compare, IgnoredKeysAndStructuralDiffsReport) {
+  const JsonValue a = JsonValue::parse(R"({"cpu_seconds": 1.0, "v": 2.0})");
+  const JsonValue b = JsonValue::parse(R"({"cpu_seconds": 9.0, "v": 2.0, "extra": 1})");
+  CompareOptions options;
+  options.ignore_keys = {"cpu_seconds"};
+  const auto diffs = ehsim::io::compare_json(a, b, options);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("extra"), std::string::npos);
+}
+
+TEST(Compare, CsvCellwiseNumericTolerance) {
+  const std::string a = "time,Vc\n0,1.00000000000\n0.5,2\n";
+  const std::string b = "time,Vc\n0,1.00000000001\n0.5,2\n";
+  CompareOptions options;
+  options.rtol = 1e-9;
+  EXPECT_TRUE(ehsim::io::compare_csv(a, b, options).empty());
+  const std::string c = "time,Vc\n0,1.1\n0.5,2\n";
+  EXPECT_FALSE(ehsim::io::compare_csv(a, c, options).empty());
+  const std::string d = "time,Vc\n0,1\n";
+  EXPECT_FALSE(ehsim::io::compare_csv(a, d, options).empty());
+}
+
+// ---- the checked-in spec files match the canned C++ specs -----------------
+
+TEST(SpecFiles, Scenario1FileEqualsCannedSpec) {
+  const auto file =
+      ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario1.json");
+  ASSERT_TRUE(file.experiment.has_value());
+  EXPECT_EQ(*file.experiment, scenario1());
+}
+
+TEST(SpecFiles, Scenario2FileEqualsCannedSpec) {
+  const auto file =
+      ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario2.json");
+  ASSERT_TRUE(file.experiment.has_value());
+  EXPECT_EQ(*file.experiment, scenario2());
+}
+
+TEST(SpecFiles, DriftingAmbientFileIsAMultiEventSchedule) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/drifting_ambient.json");
+  ASSERT_TRUE(file.experiment.has_value());
+  const ExperimentSpec& spec = *file.experiment;
+  ASSERT_GE(spec.excitation.events.size(), 3u);
+  bool has_ramp = false;
+  for (const auto& event : spec.excitation.events) {
+    has_ramp = has_ramp || event.kind == ExcitationEvent::Kind::kFrequencyRamp;
+  }
+  EXPECT_TRUE(has_ramp);
+  // Round-trips losslessly through text.
+  EXPECT_EQ(ehsim::io::experiment_from_json(
+                JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
+            spec);
+}
+
+TEST(SpecFiles, SweepFileExpandsToEightJobs) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/stage_count_sweep.json");
+  ASSERT_TRUE(file.sweep.has_value());
+  EXPECT_EQ(file.sweep->job_count(), 8u);
+  EXPECT_EQ(ehsim::io::sweep_from_json(
+                JsonValue::parse(ehsim::io::to_json(*file.sweep).dump())),
+            *file.sweep);
+}
+
+}  // namespace

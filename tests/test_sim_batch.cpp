@@ -112,7 +112,7 @@ TEST(BatchRunner, FourWayParallelSweepBitIdenticalToSerial) {
   for (const double v0 : {0.5, 1.5, 2.5, 3.3}) {
     ScenarioJob job;
     job.spec = charging_scenario(1.5);
-    job.params = scenario_params(job.spec);
+    job.params = experiment_params(job.spec);
     job.params->supercap.initial_voltage = v0;
     jobs.push_back(std::move(job));
   }
@@ -207,7 +207,7 @@ TEST(Session, ReadyHooksRunOnInitialise) {
 TEST(HarvesterSession, RunsTheFullModelWithMcu) {
   using namespace ehsim;
   const auto params =
-      experiments::scenario_params(experiments::charging_scenario(1.0));
+      experiments::experiment_params(experiments::charging_scenario(1.0));
   HarvesterSession::Options options;
   options.with_mcu = true;
   HarvesterSession session(params, options);

@@ -1,0 +1,285 @@
+/// \file ehsim_cli.cpp
+/// \brief `ehsim` — run declarative experiment/sweep specs from JSON.
+///
+/// Scenarios are data, not code: a JSON spec file (docs/spec_format.md)
+/// describes the excitation timeline, engine, parameter overrides and sweep
+/// axes, and this driver executes it through the same run_experiment /
+/// BatchRunner path the C++ API uses.
+///
+///   ehsim run spec.json [--threads N] [--out DIR] [--quiet]
+///   ehsim sweep sweep.json [--threads N] [--out DIR] [--quiet]
+///   ehsim echo spec.json
+///   ehsim compare expected actual [--rtol R] [--atol A] [--ignore k1,k2,...]
+///   ehsim params
+///
+/// `run` accepts both spec types; `sweep` insists on a sweep file. Results
+/// land as <name>.result.json plus <name>.trace.csv per job under --out
+/// (default: current directory). `compare` diffs two result files
+/// (tolerance-aware, .json or .csv by extension) and exits non-zero on
+/// mismatch — the golden-output CI test is exactly `ehsim run` + `ehsim
+/// compare`. `echo` parses and re-serialises a spec (round-trip check /
+/// canonical formatting).
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
+#include "experiments/table_printer.hpp"
+#include "io/compare.hpp"
+#include "io/json.hpp"
+#include "io/spec_json.hpp"
+
+namespace {
+
+using namespace ehsim;
+
+int usage(std::FILE* where = stderr) {
+  std::fprintf(where,
+               "usage: ehsim <command> [args]\n"
+               "\n"
+               "  run <spec.json> [--threads N] [--out DIR] [--quiet]\n"
+               "      Execute an experiment or sweep spec; write per-job\n"
+               "      <name>.result.json and <name>.trace.csv under --out (default .).\n"
+               "  sweep <sweep.json> [--threads N] [--out DIR] [--quiet]\n"
+               "      Like run, but requires a sweep spec.\n"
+               "  echo <spec.json>\n"
+               "      Parse a spec and print its canonical JSON to stdout.\n"
+               "  compare <expected> <actual> [--rtol R] [--atol A] [--ignore k1,k2]\n"
+               "      Tolerance-aware diff of two .json or .csv result files;\n"
+               "      exits 2 when they differ.\n"
+               "  params\n"
+               "      List the addressable device parameter paths.\n");
+  return where == stdout ? 0 : 1;
+}
+
+struct RunArgs {
+  std::string spec_path;
+  std::size_t threads = 0;
+  std::string out_dir = ".";
+  bool quiet = false;
+};
+
+std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
+  RunArgs run;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--threads" && i + 1 < args.size()) {
+      run.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (arg == "--out" && i + 1 < args.size()) {
+      run.out_dir = args[++i];
+    } else if (arg == "--quiet") {
+      run.quiet = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "ehsim: unknown option '%s'\n", arg.c_str());
+      return std::nullopt;
+    } else if (run.spec_path.empty()) {
+      run.spec_path = arg;
+    } else {
+      std::fprintf(stderr, "ehsim: unexpected argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (run.spec_path.empty()) {
+    std::fprintf(stderr, "ehsim: missing spec file\n");
+    return std::nullopt;
+  }
+  return run;
+}
+
+/// Job names contain sweep separators ("base/param=value"); keep file names
+/// flat and shell-safe.
+std::string safe_file_stem(const std::string& name) {
+  std::string stem;
+  stem.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_' || c == '=';
+    stem.push_back(ok ? c : '_');
+  }
+  return stem;
+}
+
+void write_results(const std::vector<experiments::ScenarioResult>& results,
+                   const RunArgs& args) {
+  std::filesystem::create_directories(args.out_dir);
+  for (const auto& result : results) {
+    const std::string stem =
+        (std::filesystem::path(args.out_dir) / safe_file_stem(result.scenario)).string();
+    io::write_file(stem + ".result.json", io::to_json(result).dump(2) + "\n");
+    std::ostringstream csv;
+    io::write_trace_csv(csv, result);
+    io::write_file(stem + ".trace.csv", std::move(csv).str());
+    if (!args.quiet) {
+      std::printf("wrote %s.result.json (+ .trace.csv, %zu points)\n", stem.c_str(),
+                  result.time.size());
+    }
+  }
+}
+
+void print_summary(const std::vector<experiments::ScenarioResult>& results,
+                   const experiments::BatchStats* batch) {
+  experiments::TablePrinter table(
+      {"job", "engine", "CPU", "steps", "final Vc [V]", "final f0r [Hz]"});
+  for (const auto& result : results) {
+    table.add_row({result.scenario, result.engine,
+                   experiments::format_duration(result.cpu_seconds),
+                   std::to_string(result.stats.steps),
+                   experiments::format_double(result.final_vc, 4),
+                   experiments::format_double(result.final_resonance_hz, 3)});
+  }
+  table.print(std::cout);
+  if (batch != nullptr && batch->jobs > 1) {
+    std::printf("%zu jobs, %zu shared diode-table hits\n", batch->jobs,
+                batch->shared_table_hits);
+  }
+}
+
+int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
+  const auto run = parse_run_args(args);
+  if (!run) {
+    return 1;
+  }
+  const io::SpecFile file = io::load_spec_file(run->spec_path);
+  if (require_sweep && !file.sweep) {
+    std::fprintf(stderr, "ehsim sweep: '%s' is not a sweep spec (use `ehsim run`)\n",
+                 run->spec_path.c_str());
+    return 1;
+  }
+
+  std::vector<experiments::ScenarioResult> results;
+  experiments::BatchStats batch;
+  if (file.sweep) {
+    results = experiments::run_sweep(*file.sweep, run->threads, &batch);
+  } else {
+    results.push_back(experiments::run_experiment(*file.experiment));
+    batch.jobs = 1;
+  }
+  write_results(results, *run);
+  if (!run->quiet) {
+    print_summary(results, &batch);
+  }
+  return 0;
+}
+
+int cmd_echo(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "ehsim echo: expected exactly one spec file\n");
+    return 1;
+  }
+  const io::SpecFile file = io::load_spec_file(args[0]);
+  const io::JsonValue json =
+      file.sweep ? io::to_json(*file.sweep) : io::to_json(*file.experiment);
+  std::printf("%s\n", json.dump(2).c_str());
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  io::CompareOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--rtol" && i + 1 < args.size()) {
+      options.rtol = std::stod(args[++i]);
+    } else if (arg == "--atol" && i + 1 < args.size()) {
+      options.atol = std::stod(args[++i]);
+    } else if (arg == "--ignore" && i + 1 < args.size()) {
+      std::string list = args[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string key = list.substr(start, comma - start);
+        if (!key.empty()) {
+          options.ignore_keys.push_back(key);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "ehsim compare: unknown option '%s'\n", arg.c_str());
+      return 1;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "ehsim compare: expected <expected> <actual>\n");
+    return 1;
+  }
+
+  const auto is_csv = [](const std::string& path) {
+    return path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  };
+  if (is_csv(paths[0]) != is_csv(paths[1])) {
+    std::fprintf(stderr, "ehsim compare: cannot compare '%s' with '%s' — one is CSV, "
+                         "the other is not\n",
+                 paths[0].c_str(), paths[1].c_str());
+    return 1;
+  }
+  std::vector<std::string> diffs;
+  if (is_csv(paths[0])) {
+    diffs = io::compare_csv(io::read_file(paths[0]), io::read_file(paths[1]), options);
+  } else {
+    diffs = io::compare_json(io::JsonValue::parse(io::read_file(paths[0])),
+                             io::JsonValue::parse(io::read_file(paths[1])), options);
+  }
+  if (diffs.empty()) {
+    std::printf("match: %s == %s (rtol %g, atol %g)\n", paths[0].c_str(), paths[1].c_str(),
+                options.rtol, options.atol);
+    return 0;
+  }
+  std::fprintf(stderr, "MISMATCH between %s and %s:\n", paths[0].c_str(), paths[1].c_str());
+  for (const std::string& diff : diffs) {
+    std::fprintf(stderr, "  %s\n", diff.c_str());
+  }
+  return 2;
+}
+
+int cmd_params() {
+  for (const std::string& path : experiments::param_paths()) {
+    std::printf("%s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "run") {
+      return cmd_run(args, /*require_sweep=*/false);
+    }
+    if (command == "sweep") {
+      return cmd_run(args, /*require_sweep=*/true);
+    }
+    if (command == "echo") {
+      return cmd_echo(args);
+    }
+    if (command == "compare") {
+      return cmd_compare(args);
+    }
+    if (command == "params") {
+      return cmd_params();
+    }
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(stdout);
+    }
+    std::fprintf(stderr, "ehsim: unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ehsim: %s\n", error.what());
+    return 1;
+  }
+}
