@@ -15,10 +15,14 @@
 /// Absolute times are hardware-dependent; the reproducible observables are
 /// (a) every NR profile is dramatically slower than the proposed engine and
 /// (b) the profile ordering PSPICE > SystemC-A > SystemVision of Table I.
+///
+/// EHSIM_BENCH_SMOKE=1 runs a seconds-scale span (the CI bench-smoke job);
+/// EHSIM_BENCH_JSON=<path> writes the measured rows as a JSON artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
 
@@ -35,8 +39,11 @@ struct Row {
 int main() {
   using namespace ehsim::experiments;
 
-  const bool full = std::getenv("EHSIM_BENCH_FULL") != nullptr;
-  const double span = full ? 120.0 : 12.0;      // simulated seconds measured
+  const ehsim::benchio::BenchSpan mode = ehsim::benchio::bench_span();
+  // Simulated seconds measured per engine.
+  const double span = mode == ehsim::benchio::BenchSpan::kFull      ? 120.0
+                      : mode == ehsim::benchio::BenchSpan::kSmoke   ? 4.0
+                                                                    : 12.0;
   const double paper_charge_span = 4.0 * 3600.0;  // nominal full-charge span
 
   std::printf("=== Table I: CPU times of different simulation environments ===\n");
@@ -58,6 +65,11 @@ int main() {
   double baseline_sum = 0.0;
   int baseline_count = 0;
 
+  ehsim::io::JsonValue doc = ehsim::io::JsonValue::make_object();
+  doc.set("bench", "table1_cpu_times");
+  doc.set("simulated_span", span);
+  ehsim::io::JsonValue doc_rows = ehsim::io::JsonValue::make_array();
+
   for (const Row& row : rows) {
     ExperimentSpec spec = charging_scenario(span);
     spec.engine = row.kind;
@@ -75,11 +87,22 @@ int main() {
                    row.paper_seconds > 0.0 ? format_duration(row.paper_seconds) : "-",
                    std::to_string(result.stats.steps),
                    std::to_string(result.stats.newton_iterations)});
+
+    ehsim::io::JsonValue entry = ehsim::io::JsonValue::make_object();
+    entry.set("simulator", row.label);
+    entry.set("engine", engine_kind_id(row.kind));
+    entry.set("cpu_seconds", result.cpu_seconds);
+    entry.set("cpu_per_sim_second", per_sim_second);
+    entry.set("steps", result.stats.steps);
+    entry.set("newton_iterations", result.stats.newton_iterations);
+    doc_rows.push_back(std::move(entry));
   }
   table.print(std::cout);
+  doc.set("rows", std::move(doc_rows));
 
   if (proposed_per_sim_second > 0.0 && baseline_count > 0) {
     const double mean_baseline = baseline_sum / baseline_count;
+    doc.set("mean_baseline_over_proposed", mean_baseline / proposed_per_sim_second);
     std::printf(
         "\nmean NR-baseline / proposed CPU ratio: %.1fx\n"
         "paper's claim: >= two orders of magnitude vs commercial simulators; the\n"
@@ -87,5 +110,6 @@ int main() {
         "overhead is emulated — see DESIGN.md section 3).\n",
         mean_baseline / proposed_per_sim_second);
   }
+  ehsim::benchio::maybe_write_bench_json(doc);
   return EXIT_SUCCESS;
 }

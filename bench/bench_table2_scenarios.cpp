@@ -8,19 +8,24 @@
 /// watchdog + MCU process) through the same co-simulation scheduler.
 ///
 /// Default: scaled scenario spans (1/10 of the full durations) to keep the
-/// bench interactive; EHSIM_BENCH_FULL=1 runs the full spans of DESIGN.md §7.
+/// bench interactive; EHSIM_BENCH_FULL=1 runs the full spans of DESIGN.md §7
+/// and EHSIM_BENCH_SMOKE=1 shrinks them further for the CI bench-smoke job.
+/// EHSIM_BENCH_JSON=<path> writes the measured rows as a JSON artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/table_printer.hpp"
 
 int main() {
   using namespace ehsim::experiments;
 
-  const bool full = std::getenv("EHSIM_BENCH_FULL") != nullptr;
-  const double scale = full ? 1.0 : 0.1;
+  const ehsim::benchio::BenchSpan mode = ehsim::benchio::bench_span();
+  const double scale = mode == ehsim::benchio::BenchSpan::kFull    ? 1.0
+                       : mode == ehsim::benchio::BenchSpan::kSmoke ? 0.01
+                                                                   : 0.1;
 
   std::printf("=== Table II: CPU times of existing and proposed simulation techniques ===\n");
   std::printf("scenario spans scaled by %.2f (EHSIM_BENCH_FULL=1 for full spans)\n\n", scale);
@@ -33,6 +38,11 @@ int main() {
 
   TablePrinter table({"scenario", "technique", "CPU time", "steps", "NR iters",
                       "retuned to", "paper CPU (full span)"});
+
+  ehsim::io::JsonValue doc = ehsim::io::JsonValue::make_object();
+  doc.set("bench", "table2_scenarios");
+  doc.set("span_scale", scale);
+  ehsim::io::JsonValue doc_rows = ehsim::io::JsonValue::make_array();
 
   double ratio[2] = {0.0, 0.0};
   int row_index = 0;
@@ -57,9 +67,24 @@ int main() {
                    format_duration(proposed.cpu_seconds), std::to_string(proposed.stats.steps),
                    "-", format_double(proposed.final_resonance_hz, 4) + " Hz",
                    format_duration(paper[row_index].proposed_s)});
+
+    for (const ScenarioResult* result : {&existing, &proposed}) {
+      ehsim::io::JsonValue entry = ehsim::io::JsonValue::make_object();
+      entry.set("scenario", spec.name);
+      entry.set("engine", result->engine);
+      entry.set("sim_seconds", result->sim_seconds);
+      entry.set("cpu_seconds", result->cpu_seconds);
+      entry.set("steps", result->stats.steps);
+      entry.set("newton_iterations", result->stats.newton_iterations);
+      entry.set("final_resonance_hz", result->final_resonance_hz);
+      doc_rows.push_back(std::move(entry));
+    }
     ++row_index;
   }
   table.print(std::cout);
+  doc.set("rows", std::move(doc_rows));
+  doc.set("ratio_scenario1", ratio[0]);
+  doc.set("ratio_scenario2", ratio[1]);
 
   std::printf("\nmeasured existing/proposed CPU ratios: scenario 1: %.1fx, scenario 2: %.1fx\n",
               ratio[0], ratio[1]);
@@ -67,5 +92,6 @@ int main() {
               "not emulated here — measured ratios are a lower bound; see DESIGN.md)\n",
               paper[0].existing_s / paper[0].proposed_s,
               paper[1].existing_s / paper[1].proposed_s);
+  ehsim::benchio::maybe_write_bench_json(doc);
   return EXIT_SUCCESS;
 }

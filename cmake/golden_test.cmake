@@ -1,18 +1,53 @@
-# Golden-output CI test: run `ehsim run` on a checked-in spec and diff the
-# JSON/CSV output against the checked-in golden result with the
-# tolerance-aware `ehsim compare` (wall-clock fields ignored).
+# Golden-output CI test: run `ehsim run` (or `ehsim optimise`, MODE=optimise)
+# on a checked-in spec and diff the JSON/CSV output against the checked-in
+# golden result with the tolerance-aware `ehsim compare` (wall-clock fields
+# ignored).
 #
 # Required -D variables: EHSIM (binary), SPEC (spec file), GOLDEN_DIR,
 # OUT_DIR, NAME (job name / file stem).
+# Optional: MODE (run | optimise, default run), EXTRA_ARGS (extra
+# space-separated arguments appended to the run command, e.g. a --probes
+# list).
 
 foreach(required EHSIM SPEC GOLDEN_DIR OUT_DIR NAME)
   if(NOT DEFINED ${required})
     message(FATAL_ERROR "golden_test.cmake: missing -D${required}")
   endif()
 endforeach()
+if(NOT DEFINED MODE)
+  set(MODE run)
+endif()
+if(DEFINED EXTRA_ARGS)
+  separate_arguments(EXTRA_ARGS)
+else()
+  set(EXTRA_ARGS "")
+endif()
+
+if(MODE STREQUAL "optimise")
+  execute_process(
+    COMMAND ${EHSIM} optimise ${SPEC} --out ${OUT_DIR} --quiet ${EXTRA_ARGS}
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "ehsim optimise failed (${run_rc})")
+  endif()
+
+  # cpu_seconds appears once per evaluation inside best_run; min/max step
+  # and the solver statistics are deterministic and stay compared.
+  execute_process(
+    COMMAND ${EHSIM} compare
+            ${GOLDEN_DIR}/${NAME}.optimise.json ${OUT_DIR}/${NAME}.optimise.json
+            --rtol 1e-6 --atol 1e-9 --ignore cpu_seconds
+    RESULT_VARIABLE json_rc)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "golden optimise JSON mismatch (${json_rc})")
+  endif()
+
+  message(STATUS "golden optimise output matches for ${NAME}")
+  return()
+endif()
 
 execute_process(
-  COMMAND ${EHSIM} run ${SPEC} --out ${OUT_DIR} --quiet
+  COMMAND ${EHSIM} run ${SPEC} --out ${OUT_DIR} --quiet ${EXTRA_ARGS}
   RESULT_VARIABLE run_rc)
 if(NOT run_rc EQUAL 0)
   message(FATAL_ERROR "ehsim run failed (${run_rc})")

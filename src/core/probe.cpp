@@ -1,0 +1,135 @@
+#include "core/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ehsim::core {
+
+ProbeChannel::ProbeChannel(std::string label, Extractor extract, ProbeWindow window,
+                           std::optional<double> threshold)
+    : label_(std::move(label)),
+      extract_(std::move(extract)),
+      window_(window),
+      threshold_(threshold) {
+  if (label_.empty()) {
+    throw ModelError("ProbeChannel: label must not be empty");
+  }
+  if (!extract_) {
+    throw ModelError("ProbeChannel '" + label_ + "': extractor is required");
+  }
+  if (!(window_.end > window_.start)) {
+    throw ModelError("ProbeChannel '" + label_ + "': window end must exceed its start");
+  }
+}
+
+void ProbeChannel::sample(double t, std::span<const double> x, std::span<const double> y) {
+  const double v = extract_(t, x, y);
+  if (t >= window_.start && t <= window_.end) {
+    ++samples_;
+    final_ = v;
+    min_ = seen_ ? std::min(min_, v) : v;
+    max_ = seen_ ? std::max(max_, v) : v;
+    seen_ = true;
+  }
+  if (has_last_ && t > last_t_) {
+    // Clip the linear segment [last_t_, t] to the window.
+    const double t0 = std::max(last_t_, window_.start);
+    const double t1 = std::min(t, window_.end);
+    if (t1 > t0) {
+      const double span = t - last_t_;
+      const double v0 = last_v_ + (v - last_v_) * (t0 - last_t_) / span;
+      const double v1 = last_v_ + (v - last_v_) * (t1 - last_t_) / span;
+      deposit(t0, v0, t1, v1);
+    }
+  }
+  has_last_ = true;
+  last_t_ = t;
+  last_v_ = v;
+}
+
+void ProbeChannel::deposit(double t0, double v0, double t1, double v1) {
+  const double dt = t1 - t0;
+  integral_ += 0.5 * (v0 + v1) * dt;
+  // Exact integral of the squared linear segment.
+  integral_sq_ += dt * (v0 * v0 + v0 * v1 + v1 * v1) / 3.0;
+  covered_ += dt;
+  min_ = seen_ ? std::min({min_, v0, v1}) : std::min(v0, v1);
+  max_ = seen_ ? std::max({max_, v0, v1}) : std::max(v0, v1);
+  final_ = v1;
+  seen_ = true;
+  if (threshold_) {
+    const double thr = *threshold_;
+    if (v0 <= thr && v1 > thr) {
+      ++crossings_;
+    }
+    // Portion of the linear segment strictly above the threshold.
+    if (v0 > thr && v1 > thr) {
+      time_above_ += dt;
+    } else if (v0 > thr || v1 > thr) {
+      const double above = std::max(v0, v1) - thr;
+      const double below = thr - std::min(v0, v1);
+      time_above_ += dt * above / (above + below);
+    }
+  }
+}
+
+double ProbeChannel::mean() const noexcept {
+  return covered_ > 0.0 ? integral_ / covered_ : 0.0;
+}
+
+double ProbeChannel::rms() const noexcept {
+  return covered_ > 0.0 ? std::sqrt(std::max(0.0, integral_sq_ / covered_)) : 0.0;
+}
+
+double ProbeChannel::duty_cycle() const noexcept {
+  return covered_ > 0.0 ? time_above_ / covered_ : 0.0;
+}
+
+void ProbeHub::attach(AnalogEngine& engine) {
+  if (attached_) {
+    throw ModelError("ProbeHub: already attached to an engine");
+  }
+  engine.add_observer([this](double t, std::span<const double> x, std::span<const double> y) {
+    for (const auto& channel : channels_) {
+      channel->sample(t, x, y);
+    }
+  });
+  attached_ = true;
+}
+
+ProbeChannel& ProbeHub::add_channel(std::string label, ProbeChannel::Extractor extract,
+                                    ProbeWindow window, std::optional<double> threshold) {
+  if (find(label) != nullptr) {
+    throw ModelError("ProbeHub: duplicate channel label '" + label + "'");
+  }
+  channels_.push_back(std::make_unique<ProbeChannel>(std::move(label), std::move(extract),
+                                                     window, threshold));
+  return *channels_.back();
+}
+
+ProbeChannel& ProbeHub::channel(std::size_t index) {
+  if (index >= channels_.size()) {
+    throw ModelError("ProbeHub: channel index out of range");
+  }
+  return *channels_[index];
+}
+
+const ProbeChannel& ProbeHub::channel(std::size_t index) const {
+  if (index >= channels_.size()) {
+    throw ModelError("ProbeHub: channel index out of range");
+  }
+  return *channels_[index];
+}
+
+const ProbeChannel* ProbeHub::find(std::string_view label) const noexcept {
+  for (const auto& channel : channels_) {
+    if (channel->label() == label) {
+      return channel.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ehsim::core

@@ -19,6 +19,15 @@ void ExperimentSpec::validate() const {
     throw ModelError("ExperimentSpec '" + name + "': power bin width must be positive");
   }
   excitation.validate();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    probes[i].validate();
+    for (std::size_t j = 0; j < i; ++j) {
+      if (probes[j].label == probes[i].label) {
+        throw ModelError("ExperimentSpec '" + name + "': duplicate probe label '" +
+                         probes[i].label + "'");
+      }
+    }
+  }
 }
 
 harvester::HarvesterParams experiment_params(const ExperimentSpec& spec) {

@@ -15,6 +15,7 @@
 #include "experiments/engine_kind.hpp"
 #include "experiments/excitation.hpp"
 #include "experiments/param_registry.hpp"
+#include "experiments/probes.hpp"
 
 namespace ehsim::experiments {
 
@@ -32,6 +33,9 @@ struct ExperimentSpec {
   ExcitationSchedule excitation{};
   /// Sparse overrides applied to the default HarvesterParams, in order.
   std::vector<ParamOverride> overrides{};
+  /// Declarative observers: each yields scalar statistics in the result and,
+  /// when recorded, an extra trace CSV column (see probes.hpp).
+  std::vector<ProbeSpec> probes{};
 
   /// Throws ModelError with a precise message on any inconsistency.
   void validate() const;

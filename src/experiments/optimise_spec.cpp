@@ -1,0 +1,120 @@
+#include "experiments/optimise_spec.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+
+/// Shortest round-trip value text (same convention as sweep job names).
+std::string value_text(double value) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) {
+    throw ModelError("optimise: value formatting failed");
+  }
+  return std::string(buffer, ptr);
+}
+
+const ProbeSpec& objective_probe(const OptimiseSpec& spec) {
+  for (const ProbeSpec& probe : spec.base.probes) {
+    if (probe.label == spec.objective) {
+      return probe;
+    }
+  }
+  throw ModelError("OptimiseSpec '" + spec.name + "': objective probe '" + spec.objective +
+                   "' is not declared in base.probes");
+}
+
+}  // namespace
+
+void OptimiseSpec::validate() const {
+  if (name.empty()) {
+    throw ModelError("OptimiseSpec: name must not be empty");
+  }
+  base.validate();
+  if (variable.empty()) {
+    throw ModelError("OptimiseSpec '" + name + "': variable path is required");
+  }
+  if (!(upper > lower)) {
+    throw ModelError("OptimiseSpec '" + name + "': degenerate bracket — require upper (" +
+                     value_text(upper) + ") > lower (" + value_text(lower) + ")");
+  }
+  // Resolve the variable once up front so a bad path fails before any
+  // simulation runs (same eager check as sweep axes).
+  ExperimentSpec scratch = base;
+  set_spec_value(scratch, variable, lower);
+  if (objective.empty()) {
+    throw ModelError("OptimiseSpec '" + name + "': objective probe label is required");
+  }
+  const ProbeSpec& probe = objective_probe(*this);
+  const auto statistics = probe_statistic_ids();
+  if (std::find(statistics.begin(), statistics.end(), statistic) == statistics.end()) {
+    throw ModelError("OptimiseSpec '" + name + "': unknown statistic '" + statistic +
+                     "' (final | min | max | mean | rms | duty_cycle | crossings)");
+  }
+  if ((statistic == "duty_cycle" || statistic == "crossings") && !probe.threshold) {
+    throw ModelError("OptimiseSpec '" + name + "': statistic '" + statistic +
+                     "' requires a threshold on probe '" + objective + "'");
+  }
+  if (max_evaluations < 2) {
+    throw ModelError("OptimiseSpec '" + name +
+                     "': max_evaluations must be >= 2 (the bracket needs two interior "
+                     "points)");
+  }
+  if (!(x_tolerance > 0.0)) {
+    throw ModelError("OptimiseSpec '" + name + "': x_tolerance must be positive");
+  }
+}
+
+ExperimentSpec optimise_candidate(const OptimiseSpec& spec, double x) {
+  ExperimentSpec candidate = spec.base;
+  set_spec_value(candidate, spec.variable, x);
+  candidate.name = spec.base.name + "/" + spec.variable + "=" + value_text(x);
+  return candidate;
+}
+
+std::vector<std::string> optimise_spec_keys() {
+  return {"name",      "base",     "variable", "lower",           "upper",
+          "objective", "statistic", "maximise", "max_evaluations", "x_tolerance"};
+}
+
+OptimiseResult run_optimise(const OptimiseSpec& spec) {
+  spec.validate();
+
+  OptimiseResult result;
+  result.name = spec.name;
+  result.variable = spec.variable;
+  result.statistic = spec.statistic;
+  result.maximise = spec.maximise;
+
+  const auto evaluate = [&spec, &result](double x) {
+    const ScenarioResult run = run_experiment(optimise_candidate(spec, x));
+    double value = 0.0;
+    for (const ProbeResult& probe : run.probes) {
+      if (probe.label == spec.objective) {
+        value = probe_statistic(probe, spec.statistic);
+        break;
+      }
+    }
+    result.evaluations.push_back(OptimiseEvaluation{x, value});
+    return spec.maximise ? value : -value;
+  };
+
+  OptimiseOptions options;
+  options.max_evaluations = spec.max_evaluations;
+  options.x_tolerance = spec.x_tolerance;
+  result.best = golden_section_maximise(evaluate, spec.lower, spec.upper, options);
+  if (!spec.maximise) {
+    result.best.value = -result.best.value;
+  }
+  // Re-run the winner for the full result document; the simulation is
+  // deterministic, so this reproduces the search's evaluation bit for bit.
+  result.best_run = run_experiment(optimise_candidate(spec, result.best.x));
+  return result;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,88 @@
+/// \file optimise_spec.hpp
+/// \brief Declarative optimisation loops: golden-section tuning as data.
+///
+/// The paper's motivating workload — "optimal parameters of energy harvester
+/// ... obtained iteratively using multiple simulations" (§V) — used to be
+/// hand-coded C++ driving golden_section_maximise over run_experiment. An
+/// OptimiseSpec captures that whole loop declaratively: a base
+/// ExperimentSpec (with probes), one variable addressed by the same dotted
+/// paths sweeps use (device parameters or spec fields such as
+/// "spec.pre_tuned_hz"), a bracket, and a probe-derived objective
+/// (probe label + statistic). run_optimise reproduces the hand-coded loop
+/// bit-identically — same evaluation sequence, same optimum — which is what
+/// the scenario-1 tuning ctest pins; `ehsim optimise` runs it from JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/optimise.hpp"
+#include "experiments/sweep.hpp"
+
+namespace ehsim::experiments {
+
+struct OptimiseSpec {
+  std::string name = "optimise";
+  /// The experiment evaluated at every probe point; must declare the
+  /// objective probe.
+  ExperimentSpec base{};
+  /// Variable path, resolved exactly like a sweep axis (set_spec_value):
+  /// device parameters ("multiplier.stage_capacitance") or spec fields
+  /// ("spec.pre_tuned_hz", "excitation.event[0].frequency_hz", ...).
+  std::string variable{};
+  double lower = 0.0;  ///< bracket [lower, upper]; requires upper > lower
+  double upper = 0.0;
+  /// Label of the probe in base.probes whose statistic is the objective.
+  std::string objective{};
+  /// "final" | "min" | "max" | "mean" | "rms" | "duty_cycle" | "crossings".
+  std::string statistic = "mean";
+  bool maximise = true;
+  /// golden_section_maximise budget/tolerance (see OptimiseOptions).
+  std::size_t max_evaluations = 32;
+  double x_tolerance = 1e-3;
+
+  /// Throws ModelError naming the first inconsistency (degenerate bracket,
+  /// unknown variable path, unknown objective probe/statistic, threshold
+  /// statistics on a threshold-less probe, ...).
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const OptimiseSpec&) const = default;
+};
+
+/// One objective evaluation, in call order (the golden-section sequence is
+/// deterministic, so this log is reproducible bit for bit).
+struct OptimiseEvaluation {
+  double x = 0.0;
+  double objective = 0.0;  ///< true objective value (sign not flipped)
+};
+
+struct OptimiseResult {
+  std::string name;
+  std::string variable;
+  std::string statistic;
+  bool maximise = true;
+  /// best.value carries the true objective at best.x (sign restored for
+  /// minimisation); best.evaluations counts objective calls.
+  Optimum1D best{};
+  std::vector<OptimiseEvaluation> evaluations{};
+  /// The full experiment re-run at best.x — deterministic, so bit-identical
+  /// to the evaluation the search saw.
+  ScenarioResult best_run{};
+};
+
+/// Execute the optimisation loop serially (every bracket depends on the
+/// previous evaluation). Throws ModelError on an invalid spec.
+[[nodiscard]] OptimiseResult run_optimise(const OptimiseSpec& spec);
+
+/// Top-level document keys of an optimise spec (besides "type"), in schema
+/// order — the io parser's allowed set and `ehsim params` both derive from
+/// this list.
+[[nodiscard]] std::vector<std::string> optimise_spec_keys();
+
+/// The candidate experiment evaluated at \p x: base with the variable set
+/// and a unique "name/variable=value" job name. Exposed so tests (and the
+/// hand-coded C++ loops the driver supersedes) can reproduce the exact
+/// evaluation the driver performs.
+[[nodiscard]] ExperimentSpec optimise_candidate(const OptimiseSpec& spec, double x);
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,241 @@
+#include "experiments/probes.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "harvester/harvester_system.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+
+/// Kinds that address a model entity through `target`.
+bool needs_target(ProbeSpec::Kind kind) {
+  return kind == ProbeSpec::Kind::kNodeVoltage || kind == ProbeSpec::Kind::kStateVariable;
+}
+
+/// The shared value function behind both the hub channel and the trace
+/// column — every quantity is a pure function of the solution point.
+using ValueFn = std::function<double(std::span<const double> x, std::span<const double> y)>;
+
+std::size_t state_index_of(const core::SystemAssembler& system, const std::string& name,
+                           const std::string& probe_label) {
+  const auto names = system.state_names();
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it == names.end()) {
+    throw ModelError("probe '" + probe_label + "': unknown state '" + name +
+                     "' (see SystemAssembler::state_names)");
+  }
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
+  harvester::HarvesterSystem& system = session.system();
+  switch (probe.kind) {
+    case ProbeSpec::Kind::kNodeVoltage: {
+      const auto net = system.assembler().find_net(probe.target);
+      if (!net) {
+        throw ModelError("probe '" + probe.label + "': unknown net '" + probe.target + "'");
+      }
+      const std::size_t index = net->index;
+      return [index](std::span<const double>, std::span<const double> y) { return y[index]; };
+    }
+    case ProbeSpec::Kind::kStateVariable: {
+      const std::size_t index = state_index_of(system.assembler(), probe.target, probe.label);
+      return [index](std::span<const double> x, std::span<const double>) { return x[index]; };
+    }
+    case ProbeSpec::Kind::kGeneratorPower: {
+      const std::size_t vm = system.vm_index();
+      const std::size_t im = system.im_index();
+      return [vm, im](std::span<const double>, std::span<const double> y) {
+        return y[vm] * y[im];
+      };
+    }
+    case ProbeSpec::Kind::kHarvestedPower: {
+      const std::size_t vc = system.vc_index();
+      const std::size_t ic = system.ic_index();
+      return [vc, ic](std::span<const double>, std::span<const double> y) {
+        return y[vc] * y[ic];
+      };
+    }
+    case ProbeSpec::Kind::kStoredEnergy: {
+      // Field energy of the three supercapacitor branches. The immediate
+      // branch's capacitance is voltage-dependent (Ci = Ci0 + Ci1*Vi), so
+      // its energy term integrates v dq = v (Ci0 + Ci1 v) dv.
+      const harvester::SupercapacitorParams params = system.params().supercap;
+      const std::size_t vi = state_index_of(system.assembler(), "supercap.Vi", probe.label);
+      const std::size_t vd = state_index_of(system.assembler(), "supercap.Vd", probe.label);
+      const std::size_t vl = state_index_of(system.assembler(), "supercap.Vl", probe.label);
+      return [params, vi, vd, vl](std::span<const double> x, std::span<const double>) {
+        const double v = x[vi];
+        return 0.5 * params.ci0 * v * v + params.ci1 * v * v * v / 3.0 +
+               0.5 * params.cd * x[vd] * x[vd] + 0.5 * params.cl * x[vl] * x[vl];
+      };
+    }
+  }
+  throw ModelError("probe '" + probe.label + "': unhandled kind");
+}
+
+}  // namespace
+
+void ProbeSpec::validate() const {
+  if (label.empty()) {
+    throw ModelError("ProbeSpec: label must not be empty");
+  }
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-' || c == '[' ||
+                    c == ']';
+    if (!ok) {
+      throw ModelError("ProbeSpec '" + label +
+                       "': labels are restricted to [A-Za-z0-9_.-[]] (CSV header safety)");
+    }
+  }
+  if (label == "time" || label == "Vc") {
+    throw ModelError("ProbeSpec: label '" + label +
+                     "' shadows a built-in trace column — pick another label");
+  }
+  if (needs_target(kind) && target.empty()) {
+    throw ModelError("ProbeSpec '" + label + "': kind '" + probe_kind_id(kind) +
+                     "' requires a target net/state name");
+  }
+  if (!needs_target(kind) && !target.empty()) {
+    throw ModelError("ProbeSpec '" + label + "': kind '" + probe_kind_id(kind) +
+                     "' does not take a target");
+  }
+  if (window_start < 0.0) {
+    throw ModelError("ProbeSpec '" + label + "': window_start must be >= 0");
+  }
+  if (window_end > 0.0 && !(window_end > window_start)) {
+    throw ModelError("ProbeSpec '" + label +
+                     "': window_end must exceed window_start (or be <= 0 for run end)");
+  }
+}
+
+const char* probe_kind_id(ProbeSpec::Kind kind) {
+  switch (kind) {
+    case ProbeSpec::Kind::kNodeVoltage:
+      return "node_voltage";
+    case ProbeSpec::Kind::kStateVariable:
+      return "state";
+    case ProbeSpec::Kind::kGeneratorPower:
+      return "generator_power";
+    case ProbeSpec::Kind::kHarvestedPower:
+      return "harvested_power";
+    case ProbeSpec::Kind::kStoredEnergy:
+      return "stored_energy";
+  }
+  return "?";
+}
+
+ProbeSpec::Kind probe_kind_from(const std::string& id) {
+  for (const auto kind :
+       {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
+        ProbeSpec::Kind::kGeneratorPower, ProbeSpec::Kind::kHarvestedPower,
+        ProbeSpec::Kind::kStoredEnergy}) {
+    if (id == probe_kind_id(kind)) {
+      return kind;
+    }
+  }
+  throw ModelError("probe kind '" + id +
+                   "' is not node_voltage | state | generator_power | harvested_power | "
+                   "stored_energy");
+}
+
+std::vector<std::string> probe_kind_ids() {
+  return {"node_voltage", "state", "generator_power", "harvested_power", "stored_energy"};
+}
+
+std::vector<std::string> probe_statistic_ids() {
+  return {"final", "min", "max", "mean", "rms", "duty_cycle", "crossings"};
+}
+
+double probe_statistic(const ProbeResult& result, const std::string& statistic) {
+  if (statistic == "final") {
+    return result.final_value;
+  }
+  if (statistic == "min") {
+    return result.minimum;
+  }
+  if (statistic == "max") {
+    return result.maximum;
+  }
+  if (statistic == "mean") {
+    return result.mean;
+  }
+  if (statistic == "rms") {
+    return result.rms;
+  }
+  if (statistic == "duty_cycle") {
+    if (!result.duty_cycle) {
+      throw ModelError("probe '" + result.label +
+                       "': duty_cycle requires a threshold on the probe");
+    }
+    return *result.duty_cycle;
+  }
+  if (statistic == "crossings") {
+    if (!result.crossings) {
+      throw ModelError("probe '" + result.label +
+                       "': crossings requires a threshold on the probe");
+    }
+    return static_cast<double>(*result.crossings);
+  }
+  throw ModelError("unknown probe statistic '" + statistic +
+                   "' (final | min | max | mean | rms | duty_cycle | crossings)");
+}
+
+void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>& probes) {
+  for (const ProbeSpec& probe : probes) {
+    probe.validate();
+    ValueFn value = make_value_fn(probe, session);
+    core::ProbeWindow window;
+    window.start = probe.window_start;
+    window.end =
+        probe.window_end > 0.0 ? probe.window_end : std::numeric_limits<double>::infinity();
+    session.probes().add_channel(
+        probe.label,
+        [value](double, std::span<const double> x, std::span<const double> y) {
+          return value(x, y);
+        },
+        window, probe.threshold);
+    if (probe.record) {
+      session.session().trace().probe_expression(probe.label, value);
+    }
+  }
+}
+
+std::vector<ProbeResult> collect_probe_results(sim::HarvesterSession& session,
+                                               const std::vector<ProbeSpec>& probes) {
+  std::vector<ProbeResult> results;
+  results.reserve(probes.size());
+  for (const ProbeSpec& probe : probes) {
+    const core::ProbeChannel* channel =
+        session.has_probes() ? session.probes().find(probe.label) : nullptr;
+    if (channel == nullptr) {
+      throw ModelError("collect_probe_results: probe '" + probe.label +
+                       "' was never installed on this session");
+    }
+    ProbeResult result;
+    result.label = probe.label;
+    result.samples = channel->samples();
+    result.covered_time = channel->covered_time();
+    result.final_value = channel->final_value();
+    result.minimum = channel->minimum();
+    result.maximum = channel->maximum();
+    result.mean = channel->mean();
+    result.rms = channel->rms();
+    if (channel->has_threshold()) {
+      result.duty_cycle = channel->duty_cycle();
+      result.crossings = channel->crossings();
+    }
+    if (probe.record) {
+      result.recorded = true;
+      result.trace = session.session().trace().column(probe.label);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace ehsim::experiments

@@ -74,6 +74,7 @@ ScenarioResult run_experiment(const ExperimentSpec& spec,
       [&power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
         power_bins.add(t, y[vm] * y[im]);
       });
+  install_probes(run, spec.probes);
 
   run.initialise(0.0);
   run.run_until(spec.duration);
@@ -90,6 +91,7 @@ ScenarioResult run_experiment(const ExperimentSpec& spec,
   result.vc = trace.column("Vc");
   result.final_vc = result.vc.empty() ? 0.0 : result.vc.back();
   result.final_resonance_hz = run.system().generator().resonant_frequency(spec.duration);
+  result.probes = collect_probe_results(run, spec.probes);
   if (run.system().mcu() != nullptr) {
     result.mcu_events = run.system().mcu()->events();
   }

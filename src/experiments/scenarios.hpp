@@ -63,6 +63,10 @@ struct ScenarioResult {
   std::vector<double> power_mean;  ///< mean generator output power per bin [W]
   std::vector<double> power_rms;   ///< RMS power per bin [W]
 
+  /// Per-probe statistics (and recorded columns) in spec order; empty when
+  /// the spec declared no probes.
+  std::vector<ProbeResult> probes;
+
   std::vector<harvester::McuEvent> mcu_events;
   double final_resonance_hz = 0.0;
   double final_vc = 0.0;

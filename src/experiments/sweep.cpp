@@ -91,6 +91,17 @@ void set_spec_value(ExperimentSpec& spec, const std::string& path, double value)
   }
 }
 
+std::vector<std::string> spec_field_paths() {
+  // Keep in lock-step with set_spec_value above.
+  return {"spec.duration",
+          "spec.pre_tuned_hz",
+          "spec.trace_interval",
+          "spec.power_bin_width",
+          "excitation.initial_frequency_hz",
+          "excitation.initial_amplitude",
+          "excitation.event[K].{time,duration,frequency_hz,amplitude}"};
+}
+
 void SweepSpec::validate() const {
   base.validate();
   if (axes.empty()) {

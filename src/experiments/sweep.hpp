@@ -64,6 +64,11 @@ struct SweepSpec {
 /// the registry). Throws ModelError for unknown paths.
 void set_spec_value(ExperimentSpec& spec, const std::string& path, double value);
 
+/// The spec-level paths set_spec_value understands besides device
+/// parameters (CLI discoverability, docs). Event fields are listed in
+/// "excitation.event[K].{...}" placeholder form.
+[[nodiscard]] std::vector<std::string> spec_field_paths();
+
 /// Expand and execute a sweep through run_scenario_batch. \p threads
 /// overrides spec.threads when non-zero.
 [[nodiscard]] std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep,

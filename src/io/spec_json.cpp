@@ -1,5 +1,6 @@
 #include "io/spec_json.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <fstream>
@@ -14,7 +15,12 @@ namespace {
 using experiments::ExcitationEvent;
 using experiments::ExcitationSchedule;
 using experiments::ExperimentSpec;
+using experiments::OptimiseEvaluation;
+using experiments::OptimiseResult;
+using experiments::OptimiseSpec;
 using experiments::ParamOverride;
+using experiments::ProbeResult;
+using experiments::ProbeSpec;
 using experiments::RandomWalkParams;
 using experiments::ScenarioResult;
 using experiments::SweepAxis;
@@ -177,6 +183,49 @@ ExcitationEvent event_from_json(const JsonValue& json) {
 
 }  // namespace
 
+JsonValue to_json(const ProbeSpec& probe) {
+  JsonValue json = JsonValue::make_object();
+  json.set("label", probe.label);
+  json.set("kind", experiments::probe_kind_id(probe.kind));
+  if (!probe.target.empty()) {
+    json.set("target", probe.target);
+  }
+  if (probe.window_start != 0.0) {
+    json.set("window_start", probe.window_start);
+  }
+  if (probe.window_end > 0.0) {
+    json.set("window_end", probe.window_end);
+  }
+  if (probe.threshold) {
+    json.set("threshold", *probe.threshold);
+  }
+  if (!probe.record) {
+    json.set("record", false);
+  }
+  return json;
+}
+
+ProbeSpec probe_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"label", "kind", "target", "window_start", "window_end", "threshold",
+              "record"},
+             "probe");
+  ProbeSpec probe;
+  probe.label = json.at("label").as_string();
+  probe.kind = experiments::probe_kind_from(json.at("kind").as_string());
+  if (const JsonValue* target = json.find("target")) {
+    probe.target = target->as_string();
+  }
+  probe.window_start = number_or(json, "window_start", probe.window_start);
+  probe.window_end = number_or(json, "window_end", probe.window_end);
+  if (const JsonValue* threshold = json.find("threshold")) {
+    probe.threshold = threshold->as_number();
+  }
+  probe.record = bool_or(json, "record", probe.record);
+  probe.validate();
+  return probe;
+}
+
 JsonValue to_json(const ExcitationSchedule& schedule) {
   JsonValue json = JsonValue::make_object();
   json.set("initial_frequency_hz", schedule.initial_frequency_hz);
@@ -228,13 +277,20 @@ JsonValue to_json(const ExperimentSpec& spec) {
     }
     json.set("overrides", std::move(overrides));
   }
+  if (!spec.probes.empty()) {
+    JsonValue probes = JsonValue::make_array();
+    for (const ProbeSpec& probe : spec.probes) {
+      probes.push_back(to_json(probe));
+    }
+    json.set("probes", std::move(probes));
+  }
   return json;
 }
 
 ExperimentSpec experiment_from_json(const JsonValue& json) {
   check_keys(json,
              {"type", "name", "duration", "pre_tuned_hz", "with_mcu", "trace_interval",
-              "power_bin_width", "engine", "excitation", "overrides"},
+              "power_bin_width", "engine", "excitation", "overrides", "probes"},
              "experiment spec");
   ExperimentSpec spec;
   if (const JsonValue* name = json.find("name")) {
@@ -256,6 +312,11 @@ ExperimentSpec experiment_from_json(const JsonValue& json) {
       check_keys(entry, {"param", "value"}, "override");
       spec.overrides.push_back(
           ParamOverride{entry.at("param").as_string(), entry.at("value").as_number()});
+    }
+  }
+  if (const JsonValue* probes = json.find("probes")) {
+    for (const JsonValue& entry : probes->as_array()) {
+      spec.probes.push_back(probe_from_json(entry));
     }
   }
   spec.validate();
@@ -340,6 +401,64 @@ SweepSpec sweep_from_json(const JsonValue& json) {
   return sweep;
 }
 
+JsonValue to_json(const OptimiseSpec& spec) {
+  JsonValue json = JsonValue::make_object();
+  json.set("type", "optimise");
+  json.set("name", spec.name);
+  JsonValue base = to_json(spec.base);
+  auto& base_members = base.as_object();
+  for (auto it = base_members.begin(); it != base_members.end(); ++it) {
+    if (it->first == "type") {  // redundant inside an optimise document
+      base_members.erase(it);
+      break;
+    }
+  }
+  json.set("base", std::move(base));
+  json.set("variable", spec.variable);
+  json.set("lower", spec.lower);
+  json.set("upper", spec.upper);
+  json.set("objective", spec.objective);
+  json.set("statistic", spec.statistic);
+  json.set("maximise", spec.maximise);
+  json.set("max_evaluations", static_cast<double>(spec.max_evaluations));
+  json.set("x_tolerance", spec.x_tolerance);
+  return json;
+}
+
+OptimiseSpec optimise_from_json(const JsonValue& json) {
+  // The allowed keys are the schema itself (optimise_spec_keys) plus the
+  // document discriminator.
+  const auto allowed = experiments::optimise_spec_keys();
+  for (const auto& [key, value] : json.as_object()) {
+    if (key != "type" &&
+        std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw ModelError("optimise spec: unknown key '" + key + "'");
+    }
+  }
+  OptimiseSpec spec;
+  if (const JsonValue* name = json.find("name")) {
+    spec.name = name->as_string();
+  }
+  spec.base = experiment_from_json(json.at("base"));
+  spec.variable = json.at("variable").as_string();
+  spec.lower = json.at("lower").as_number();
+  spec.upper = json.at("upper").as_number();
+  spec.objective = json.at("objective").as_string();
+  if (const JsonValue* statistic = json.find("statistic")) {
+    spec.statistic = statistic->as_string();
+  }
+  spec.maximise = bool_or(json, "maximise", spec.maximise);
+  const double budget = number_or(json, "max_evaluations",
+                                  static_cast<double>(spec.max_evaluations));
+  if (budget < 0.0 || budget != std::floor(budget)) {
+    throw ModelError("optimise max_evaluations must be a non-negative integer");
+  }
+  spec.max_evaluations = static_cast<std::size_t>(budget);
+  spec.x_tolerance = number_or(json, "x_tolerance", spec.x_tolerance);
+  spec.validate();
+  return spec;
+}
+
 SpecFile spec_from_json(const JsonValue& json) {
   const std::string& type = json.at("type").as_string();
   SpecFile file;
@@ -347,8 +466,10 @@ SpecFile spec_from_json(const JsonValue& json) {
     file.experiment = experiment_from_json(json);
   } else if (type == "sweep") {
     file.sweep = sweep_from_json(json);
+  } else if (type == "optimise") {
+    file.optimise = optimise_from_json(json);
   } else {
-    throw ModelError("spec type '" + type + "' is not experiment | sweep");
+    throw ModelError("spec type '" + type + "' is not experiment | sweep | optimise");
   }
   return file;
 }
@@ -383,6 +504,29 @@ JsonValue to_json(const ScenarioResult& result) {
   json.set("final_resonance_hz", result.final_resonance_hz);
   json.set("rms_power_before", result.rms_power_before);
   json.set("rms_power_after", result.rms_power_after);
+
+  if (!result.probes.empty()) {
+    JsonValue probes = JsonValue::make_array();
+    for (const ProbeResult& probe : result.probes) {
+      JsonValue entry = JsonValue::make_object();
+      entry.set("label", probe.label);
+      entry.set("samples", static_cast<double>(probe.samples));
+      entry.set("covered_time", probe.covered_time);
+      entry.set("final", probe.final_value);
+      entry.set("min", probe.minimum);
+      entry.set("max", probe.maximum);
+      entry.set("mean", probe.mean);
+      entry.set("rms", probe.rms);
+      if (probe.duty_cycle) {
+        entry.set("duty_cycle", *probe.duty_cycle);
+      }
+      if (probe.crossings) {
+        entry.set("crossings", static_cast<double>(*probe.crossings));
+      }
+      probes.push_back(std::move(entry));
+    }
+    json.set("probes", std::move(probes));
+  }
 
   JsonValue events = JsonValue::make_array();
   for (const harvester::McuEvent& event : result.mcu_events) {
@@ -433,20 +577,65 @@ JsonValue to_json(const ScenarioResult& result) {
   return json;
 }
 
+JsonValue to_json(const OptimiseResult& result) {
+  JsonValue json = JsonValue::make_object();
+  json.set("optimise", result.name);
+  json.set("variable", result.variable);
+  json.set("statistic", result.statistic);
+  json.set("maximise", result.maximise);
+
+  JsonValue best = JsonValue::make_object();
+  best.set("x", result.best.x);
+  best.set("objective", result.best.value);
+  best.set("evaluations", static_cast<double>(result.best.evaluations));
+  json.set("best", std::move(best));
+
+  JsonValue evaluations = JsonValue::make_array();
+  for (const OptimiseEvaluation& evaluation : result.evaluations) {
+    JsonValue entry = JsonValue::make_object();
+    entry.set("x", evaluation.x);
+    entry.set("objective", evaluation.objective);
+    evaluations.push_back(std::move(entry));
+  }
+  json.set("evaluations", std::move(evaluations));
+
+  json.set("best_run", to_json(result.best_run));
+  return json;
+}
+
 void write_trace_csv(std::ostream& os, const ScenarioResult& result) {
-  os << "time,Vc\n";
-  char buffer[64];
-  for (std::size_t i = 0; i < result.time.size(); ++i) {
-    auto write_number = [&](double value, char trailer) {
-      const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
-      if (ec != std::errc{}) {
-        throw ModelError("trace CSV: number formatting failed");
+  // Recorded probe columns ride next to the built-in Vc trace; all columns
+  // come from the same decimated recorder, so they are time-aligned.
+  std::vector<const ProbeResult*> recorded;
+  for (const ProbeResult& probe : result.probes) {
+    if (probe.recorded) {
+      if (probe.trace.size() != result.time.size()) {
+        throw ModelError("trace CSV: probe column '" + probe.label +
+                         "' is not aligned with the time base");
       }
-      *ptr = trailer;
-      os.write(buffer, ptr - buffer + 1);
-    };
+      recorded.push_back(&probe);
+    }
+  }
+  os << "time,Vc";
+  for (const ProbeResult* probe : recorded) {
+    os << ',' << probe->label;
+  }
+  os << '\n';
+  char buffer[64];
+  auto write_number = [&](double value, char trailer) {
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (ec != std::errc{}) {
+      throw ModelError("trace CSV: number formatting failed");
+    }
+    *ptr = trailer;
+    os.write(buffer, ptr - buffer + 1);
+  };
+  for (std::size_t i = 0; i < result.time.size(); ++i) {
     write_number(result.time[i], ',');
-    write_number(result.vc[i], '\n');
+    write_number(result.vc[i], recorded.empty() ? '\n' : ',');
+    for (std::size_t p = 0; p < recorded.size(); ++p) {
+      write_number(recorded[p]->trace[i], p + 1 == recorded.size() ? '\n' : ',');
+    }
   }
 }
 

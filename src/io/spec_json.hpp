@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/sweep.hpp"
 #include "io/json.hpp"
@@ -24,17 +25,24 @@ namespace ehsim::io {
 [[nodiscard]] JsonValue to_json(const experiments::ExcitationSchedule& schedule);
 [[nodiscard]] experiments::ExcitationSchedule schedule_from_json(const JsonValue& json);
 
+[[nodiscard]] JsonValue to_json(const experiments::ProbeSpec& probe);
+[[nodiscard]] experiments::ProbeSpec probe_from_json(const JsonValue& json);
+
 [[nodiscard]] JsonValue to_json(const experiments::ExperimentSpec& spec);
 [[nodiscard]] experiments::ExperimentSpec experiment_from_json(const JsonValue& json);
 
 [[nodiscard]] JsonValue to_json(const experiments::SweepSpec& sweep);
 [[nodiscard]] experiments::SweepSpec sweep_from_json(const JsonValue& json);
 
-/// A parsed spec file: exactly one of the two is set, per the top-level
-/// "type" member ("experiment" | "sweep").
+[[nodiscard]] JsonValue to_json(const experiments::OptimiseSpec& spec);
+[[nodiscard]] experiments::OptimiseSpec optimise_from_json(const JsonValue& json);
+
+/// A parsed spec file: exactly one member is set, per the top-level "type"
+/// ("experiment" | "sweep" | "optimise").
 struct SpecFile {
   std::optional<experiments::ExperimentSpec> experiment;
   std::optional<experiments::SweepSpec> sweep;
+  std::optional<experiments::OptimiseSpec> optimise;
 };
 
 [[nodiscard]] SpecFile spec_from_json(const JsonValue& json);
@@ -42,12 +50,17 @@ struct SpecFile {
 
 // ---- results --------------------------------------------------------------
 
-/// Full result document: run summary, solver statistics, MCU events and the
-/// binned power waveform. The dense Vc trace goes to CSV (write_trace_csv),
-/// not JSON.
+/// Full result document: run summary, solver statistics, MCU events,
+/// per-probe statistics and the binned power waveform. The dense traces go
+/// to CSV (write_trace_csv), not JSON.
 [[nodiscard]] JsonValue to_json(const experiments::ScenarioResult& result);
 
-/// "time,Vc" CSV of the decimated supercapacitor trace (full precision).
+/// Optimise run document: the evaluation log, the optimum and the full
+/// best-run result (cpu fields excluded from golden compares via --ignore).
+[[nodiscard]] JsonValue to_json(const experiments::OptimiseResult& result);
+
+/// "time,Vc[,probe...]" CSV: the decimated supercapacitor trace plus one
+/// column per recorded probe, all at full (to_chars) precision.
 void write_trace_csv(std::ostream& os, const experiments::ScenarioResult& result);
 
 // ---- small file helpers (CLI, tests) --------------------------------------

@@ -45,6 +45,8 @@ class HarvesterSession {
   void add_observer(core::SolutionObserver observer) {
     session_.add_observer(std::move(observer));
   }
+  [[nodiscard]] core::ProbeHub& probes() { return session_.probes(); }
+  [[nodiscard]] bool has_probes() const noexcept { return session_.has_probes(); }
   void initialise(double t0 = 0.0) { session_.initialise(t0); }
   void run_until(double t_end) { session_.run_until(t_end); }
   [[nodiscard]] double time() const { return session_.time(); }

@@ -53,6 +53,14 @@ void Session::add_observer(core::SolutionObserver observer) {
   engine_->add_observer(std::move(observer));
 }
 
+core::ProbeHub& Session::probes() {
+  if (!probes_) {
+    probes_ = std::make_unique<core::ProbeHub>();
+    probes_->attach(*engine_);
+  }
+  return *probes_;
+}
+
 void Session::on_initialised(EngineHook hook) {
   if (!hook) {
     throw ModelError("Session: null ready hook");

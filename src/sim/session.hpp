@@ -23,6 +23,7 @@
 
 #include "core/engine.hpp"
 #include "core/mixed_signal.hpp"
+#include "core/probe.hpp"
 #include "core/solver_config.hpp"
 #include "core/trace.hpp"
 #include "digital/kernel.hpp"
@@ -67,6 +68,11 @@ class Session {
 
   /// Register an observer on the engine (before points are produced).
   void add_observer(core::SolutionObserver observer);
+  /// The probe hub, created (and attached to the engine) on first use —
+  /// every probe channel of the run rides this single engine observer. Add
+  /// channels before the run produces points.
+  [[nodiscard]] core::ProbeHub& probes();
+  [[nodiscard]] bool has_probes() const noexcept { return probes_ != nullptr; }
   /// Register a hook run right after initialise().
   void on_initialised(EngineHook hook);
 
@@ -93,6 +99,7 @@ class Session {
   digital::Kernel* kernel_;
   std::unique_ptr<core::AnalogEngine> engine_;
   std::unique_ptr<core::TraceRecorder> trace_;
+  std::unique_ptr<core::ProbeHub> probes_;
   std::optional<core::MixedSignalSimulator> scheduler_;
   std::vector<EngineHook> ready_hooks_;
   bool initialised_ = false;

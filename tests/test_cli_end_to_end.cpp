@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 
+#include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "io/json.hpp"
 #include "io/spec_json.hpp"
@@ -58,6 +59,67 @@ TEST(EhsimCli, Scenario1SpecBitIdenticalToCompatibilityShim) {
   EXPECT_EQ(json.at("final_vc").as_number(), shim.final_vc);
   EXPECT_EQ(json.at("final_resonance_hz").as_number(), shim.final_resonance_hz);
   EXPECT_EQ(json.at("mcu_events").as_array().size(), shim.mcu_events.size());
+
+  std::filesystem::remove_all(out_dir);
+}
+
+/// `ehsim echo` must canonicalise all three spec types (it used to fall
+/// through to the experiment member for optimise files).
+TEST(EhsimCli, EchoCanonicalisesOptimiseSpecs) {
+  const std::string spec_path =
+      std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario1_tuning.json";
+  const std::filesystem::path echo_path =
+      std::filesystem::temp_directory_path() / "ehsim_cli_echo_optimise.json";
+  const std::string command = std::string("\"") + EHSIM_CLI_PATH + "\" echo \"" +
+                              spec_path + "\" > \"" + echo_path.string() + "\"";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const auto file = ehsim::io::load_spec_file(spec_path);
+  ASSERT_TRUE(file.optimise.has_value());
+  const auto echoed =
+      ehsim::io::JsonValue::parse(ehsim::io::read_file(echo_path.string()));
+  EXPECT_EQ(echoed, ehsim::io::to_json(*file.optimise));
+  std::filesystem::remove(echo_path);
+}
+
+/// Acceptance: `ehsim optimise examples/specs/scenario1_tuning.json`
+/// reproduces the in-process declarative driver bit-identically through the
+/// CLI binary and the JSON result document (io numbers round-trip exactly
+/// via to_chars / exact parse). Together with the hand-coded-loop test in
+/// test_experiments_optimise this pins CLI == driver == C++ API.
+TEST(EhsimCli, OptimiseSpecBitIdenticalToInProcessDriver) {
+  const std::string spec_path =
+      std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario1_tuning.json";
+  const std::filesystem::path out_dir =
+      std::filesystem::temp_directory_path() / "ehsim_cli_optimise";
+  std::filesystem::remove_all(out_dir);
+
+  const std::string command = std::string("\"") + EHSIM_CLI_PATH + "\" optimise \"" +
+                              spec_path + "\" --out \"" + out_dir.string() + "\" --quiet";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  const auto file = ehsim::io::load_spec_file(spec_path);
+  ASSERT_TRUE(file.optimise.has_value());
+  const ScenarioResult proof = run_experiment(file.optimise->base);
+  ASSERT_EQ(proof.probes.size(), 1u);  // the spec's objective probe is live
+  const OptimiseResult driver = ehsim::experiments::run_optimise(*file.optimise);
+
+  const auto json = ehsim::io::JsonValue::parse(ehsim::io::read_file(
+      (out_dir / (file.optimise->name + ".optimise.json")).string()));
+  EXPECT_EQ(json.at("best").at("x").as_number(), driver.best.x);
+  EXPECT_EQ(json.at("best").at("objective").as_number(), driver.best.value);
+  EXPECT_EQ(json.at("best").at("evaluations").as_number(),
+            static_cast<double>(driver.best.evaluations));
+  const auto& evaluations = json.at("evaluations").as_array();
+  ASSERT_EQ(evaluations.size(), driver.evaluations.size());
+  for (std::size_t i = 0; i < evaluations.size(); ++i) {
+    EXPECT_EQ(evaluations[i].at("x").as_number(), driver.evaluations[i].x) << i;
+    EXPECT_EQ(evaluations[i].at("objective").as_number(), driver.evaluations[i].objective)
+        << i;
+  }
+  EXPECT_EQ(json.at("best_run").at("final_vc").as_number(), driver.best_run.final_vc);
+  EXPECT_EQ(json.at("best_run").at("stats").at("steps").as_number(),
+            static_cast<double>(driver.best_run.stats.steps));
 
   std::filesystem::remove_all(out_dir);
 }

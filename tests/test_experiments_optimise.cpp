@@ -1,11 +1,16 @@
 /// \file test_experiments_optimise.cpp
-/// \brief Derivative-free maximiser tests (the paper's design-loop tooling).
+/// \brief Derivative-free maximisers and the declarative optimise driver
+/// (the paper's design-loop tooling, now runnable from a spec file).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "experiments/optimise.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "io/json.hpp"
+#include "io/spec_json.hpp"
 
 namespace {
 
@@ -52,6 +57,24 @@ TEST(GoldenSection, NonSmoothUnimodalPeak) {
 TEST(GoldenSection, InvalidInputs) {
   EXPECT_THROW((void)golden_section_maximise(nullptr, 0.0, 1.0), ModelError);
   EXPECT_THROW((void)golden_section_maximise([](double) { return 0.0; }, 1.0, 1.0), ModelError);
+}
+
+TEST(GoldenSection, NonUnimodalObjectiveConvergesDeterministically) {
+  // Two peaks (at ~0.2 and ~0.8). Golden section assumes unimodality; on a
+  // bimodal objective it still terminates within budget and lands on one of
+  // the local maxima — documented behaviour, not global optimisation.
+  const auto bimodal = [](double x) {
+    return std::exp(-100.0 * (x - 0.2) * (x - 0.2)) +
+           1.5 * std::exp(-100.0 * (x - 0.8) * (x - 0.8));
+  };
+  const auto first = golden_section_maximise(bimodal, 0.0, 1.0);
+  const auto second = golden_section_maximise(bimodal, 0.0, 1.0);
+  EXPECT_EQ(first.x, second.x);  // deterministic, bit for bit
+  EXPECT_EQ(first.value, second.value);
+  EXPECT_LE(first.evaluations, OptimiseOptions{}.max_evaluations);
+  const bool near_a_peak = std::abs(first.x - 0.2) < 0.05 || std::abs(first.x - 0.8) < 0.05;
+  EXPECT_TRUE(near_a_peak) << first.x;
+  EXPECT_DOUBLE_EQ(first.value, bimodal(first.x));
 }
 
 TEST(CoordinateDescent, FindsSeparableQuadraticPeak) {
@@ -101,6 +124,143 @@ TEST(CoordinateDescent, InvalidInputs) {
   EXPECT_THROW(coordinate_descent_maximise([](const std::vector<double>&) { return 0.0; },
                                            {1.0}, {0.0}, {0.5}),
                ModelError);
+}
+
+// ---- the declarative optimise driver --------------------------------------
+
+using namespace ehsim::experiments;
+
+OptimiseSpec tiny_optimise_spec() {
+  OptimiseSpec spec;
+  spec.name = "tiny";
+  spec.base = charging_scenario(0.05);
+  spec.base.trace_interval = 0.0;
+  spec.base.probes.push_back(ProbeSpec{"E", ProbeSpec::Kind::kStoredEnergy});
+  spec.variable = "supercap.initial_voltage";
+  spec.lower = 0.0;
+  spec.upper = 1.0;
+  spec.objective = "E";
+  spec.statistic = "final";
+  spec.max_evaluations = 4;
+  spec.x_tolerance = 1e-6;
+  return spec;
+}
+
+TEST(OptimiseSpecValidation, RejectsInconsistentSpecs) {
+  const OptimiseSpec good = tiny_optimise_spec();
+  EXPECT_NO_THROW(good.validate());
+
+  OptimiseSpec degenerate = good;  // lo == hi: the degenerate bracket
+  degenerate.lower = degenerate.upper = 1.0;
+  EXPECT_THROW(degenerate.validate(), ModelError);
+
+  OptimiseSpec inverted = good;
+  inverted.lower = 2.0;
+  inverted.upper = 1.0;
+  EXPECT_THROW(inverted.validate(), ModelError);
+
+  OptimiseSpec bad_variable = good;
+  bad_variable.variable = "supercap.initial_volts";  // typo
+  EXPECT_THROW(bad_variable.validate(), ModelError);
+
+  OptimiseSpec bad_objective = good;
+  bad_objective.objective = "missing-probe";
+  EXPECT_THROW(bad_objective.validate(), ModelError);
+
+  OptimiseSpec bad_statistic = good;
+  bad_statistic.statistic = "median";
+  EXPECT_THROW(bad_statistic.validate(), ModelError);
+
+  OptimiseSpec thresholdless = good;
+  thresholdless.statistic = "duty_cycle";  // probe "E" has no threshold
+  EXPECT_THROW(thresholdless.validate(), ModelError);
+
+  OptimiseSpec starved = good;
+  starved.max_evaluations = 1;  // bracket needs two interior points
+  EXPECT_THROW(starved.validate(), ModelError);
+
+  OptimiseSpec no_tolerance = good;
+  no_tolerance.x_tolerance = 0.0;
+  EXPECT_THROW(no_tolerance.validate(), ModelError);
+}
+
+TEST(OptimiseDriver, ExhaustsIterationCapAndLogsEveryEvaluation) {
+  // Stored energy grows monotonically with the precharge, so the bracket
+  // never collapses and only the evaluation budget stops the search.
+  const OptimiseSpec spec = tiny_optimise_spec();
+  const OptimiseResult result = run_optimise(spec);
+  EXPECT_EQ(result.best.evaluations, spec.max_evaluations);
+  EXPECT_EQ(result.evaluations.size(), spec.max_evaluations);
+  // The monotone objective pushes the optimum toward the upper bracket edge.
+  EXPECT_GT(result.best.x, 0.5);
+  // The log is consistent with the reported optimum...
+  bool found = false;
+  for (const auto& evaluation : result.evaluations) {
+    EXPECT_LE(evaluation.objective, result.best.value);
+    found = found || (evaluation.x == result.best.x &&
+                      evaluation.objective == result.best.value);
+  }
+  EXPECT_TRUE(found);
+  // ...and the deterministic best-run re-run reproduces the winner bit for
+  // bit.
+  ASSERT_EQ(result.best_run.probes.size(), 1u);
+  EXPECT_EQ(probe_statistic(result.best_run.probes[0], "final"), result.best.value);
+}
+
+TEST(OptimiseDriver, MinimiseFlipsTheObjective) {
+  OptimiseSpec spec = tiny_optimise_spec();
+  spec.maximise = false;
+  const OptimiseResult result = run_optimise(spec);
+  // Minimising stored energy drives the precharge toward the lower edge.
+  EXPECT_LT(result.best.x, 0.5);
+  for (const auto& evaluation : result.evaluations) {
+    EXPECT_GE(evaluation.objective, result.best.value);
+  }
+}
+
+/// Acceptance: the checked-in scenario-1 tuning spec reproduces the
+/// hand-coded C++ golden-section loop bit-identically — the declarative
+/// driver is a superset of driving the C++ API directly, not a parallel
+/// path. The hand-coded side below deliberately spells out the loop the way
+/// pre-spec code did (copy the base spec, set the variable, run, read the
+/// probe) instead of calling into the driver's internals.
+TEST(OptimiseDriver, Scenario1TuningSpecMatchesHandCodedLoopBitIdentically) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/scenario1_tuning.json");
+  ASSERT_TRUE(file.optimise.has_value());
+  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_EQ(spec.variable, "spec.pre_tuned_hz");
+
+  std::vector<double> probed_x;
+  const auto hand_coded = [&](double pre_tuned_hz) {
+    ExperimentSpec candidate = optimise_candidate(spec, pre_tuned_hz);
+    // optimise_candidate only copies the base, applies the variable and
+    // names the job; assert that is all it did.
+    EXPECT_EQ(candidate.pre_tuned_hz, pre_tuned_hz);
+    EXPECT_EQ(candidate.excitation, spec.base.excitation);
+    probed_x.push_back(pre_tuned_hz);
+    const ScenarioResult run = run_experiment(candidate);
+    return probe_statistic(run.probes.front(), spec.statistic);
+  };
+  OptimiseOptions options;
+  options.max_evaluations = spec.max_evaluations;
+  options.x_tolerance = spec.x_tolerance;
+  const auto direct =
+      golden_section_maximise(hand_coded, spec.lower, spec.upper, options);
+
+  const OptimiseResult driver = run_optimise(spec);
+
+  // Bit-identical optimum, objective and evaluation sequence.
+  EXPECT_EQ(driver.best.x, direct.x);
+  EXPECT_EQ(driver.best.value, direct.value);
+  EXPECT_EQ(driver.best.evaluations, direct.evaluations);
+  ASSERT_EQ(driver.evaluations.size(), probed_x.size());
+  for (std::size_t i = 0; i < probed_x.size(); ++i) {
+    EXPECT_EQ(driver.evaluations[i].x, probed_x[i]) << i;
+  }
+  // The optimum retunes the generator close to the 70 Hz ambient line (the
+  // loaded, damped peak sits slightly above the mechanical resonance).
+  EXPECT_NEAR(driver.best.x, 70.0, 1.0);
 }
 
 }  // namespace

@@ -93,6 +93,15 @@ ExperimentSpec multi_event_spec() {
   walk.min_amplitude = 0.2;
   spec.excitation.random_walk(80.0, 30.0, walk);
   spec.overrides.push_back(ParamOverride{"supercap.initial_voltage", 1.25});
+  // One probe per shape: plain, targeted, windowed, thresholded, unrecorded.
+  spec.probes.push_back(ProbeSpec{"P_gen", ProbeSpec::Kind::kGeneratorPower});
+  spec.probes.push_back(ProbeSpec{"Vm", ProbeSpec::Kind::kNodeVoltage, "Vm"});
+  spec.probes.push_back(
+      ProbeSpec{"P_late", ProbeSpec::Kind::kHarvestedPower, "", 80.0, 110.0});
+  spec.probes.push_back(ProbeSpec{"tuning_duty", ProbeSpec::Kind::kStateVariable,
+                                  "supercap.Vi", 0.0, 0.0, 1.5, false});
+  spec.probes.push_back(
+      ProbeSpec{"E", ProbeSpec::Kind::kStoredEnergy, "", 0.0, 0.0, std::nullopt, false});
   return spec;
 }
 
@@ -137,6 +146,55 @@ TEST(SpecJson, SweepRoundTripsLosslessly) {
             engines);
 }
 
+TEST(SpecJson, OptimiseRoundTripsLosslessly) {
+  OptimiseSpec spec;
+  spec.name = "tune-study";
+  spec.base = charging_scenario(2.0);
+  spec.base.probes.push_back(ProbeSpec{"E", ProbeSpec::Kind::kStoredEnergy});
+  spec.variable = "spec.pre_tuned_hz";
+  spec.lower = 66.0;
+  spec.upper = 74.0;
+  spec.objective = "E";
+  spec.statistic = "final";
+  spec.maximise = false;
+  spec.max_evaluations = 17;
+  spec.x_tolerance = 0.015;
+  const OptimiseSpec back =
+      ehsim::io::optimise_from_json(JsonValue::parse(ehsim::io::to_json(spec).dump(2)));
+  EXPECT_EQ(back, spec);
+
+  const auto file = ehsim::io::spec_from_json(ehsim::io::to_json(spec));
+  ASSERT_TRUE(file.optimise.has_value());
+  EXPECT_EQ(*file.optimise, spec);
+  EXPECT_FALSE(file.experiment.has_value());
+  EXPECT_FALSE(file.sweep.has_value());
+}
+
+TEST(SpecJson, StrictParsingRejectsUnknownProbeAndOptimiseKeys) {
+  // Probe with a typoed key fails naming the key.
+  EXPECT_THROW((void)ehsim::io::probe_from_json(JsonValue::parse(
+                   R"({"label":"p","kind":"generator_power","thresold":0.1})")),
+               ModelError);
+  // Probe validation runs at parse time (node_voltage needs a target).
+  EXPECT_THROW((void)ehsim::io::probe_from_json(
+                   JsonValue::parse(R"({"label":"p","kind":"node_voltage"})")),
+               ModelError);
+  EXPECT_THROW((void)ehsim::io::probe_from_json(
+                   JsonValue::parse(R"({"label":"p","kind":"volts","target":"Vc"})")),
+               ModelError);
+  // Experiment documents reject unknown keys inside the probes array...
+  EXPECT_THROW((void)ehsim::io::experiment_from_json(JsonValue::parse(R"({
+    "type": "experiment", "name": "bad",
+    "probes": [{"label": "p", "kind": "generator_power", "recrod": true}]})")),
+               ModelError);
+  // ...and optimise documents reject unknown top-level keys.
+  EXPECT_THROW((void)ehsim::io::optimise_from_json(JsonValue::parse(R"({
+    "type": "optimise", "name": "bad", "variable": "spec.duration",
+    "lower": 1, "upper": 2, "objective": "p", "statstic": "mean",
+    "base": {"name": "b", "probes": [{"label": "p", "kind": "generator_power"}]}})")),
+               ModelError);
+}
+
 TEST(SpecJson, StrictParsingRejectsUnknownKeysAndValues) {
   EXPECT_THROW((void)ehsim::io::experiment_from_json(
                    JsonValue::parse(R"({"type":"experiment","naem":"typo"})")),
@@ -177,6 +235,38 @@ TEST(ResultJson, SerialisesSummaryAndTrace) {
   // Header plus one line per trace point.
   EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
             result.time.size() + 1);
+}
+
+TEST(ResultJson, ProbesAppearInJsonAndAsCsvColumns) {
+  ExperimentSpec spec = charging_scenario(0.2);
+  spec.trace_interval = 0.01;
+  spec.probes.push_back(ProbeSpec{"P_gen", ProbeSpec::Kind::kGeneratorPower});
+  spec.probes.push_back(ProbeSpec{"P_pos", ProbeSpec::Kind::kGeneratorPower, "", 0.0, 0.0,
+                                  0.0, false});
+  const ScenarioResult result = run_experiment(spec);
+
+  const JsonValue json = ehsim::io::to_json(result);
+  const auto& probes = json.at("probes").as_array();
+  ASSERT_EQ(probes.size(), 2u);
+  EXPECT_EQ(probes[0].at("label").as_string(), "P_gen");
+  EXPECT_EQ(probes[0].at("mean").as_number(), result.probes[0].mean);
+  EXPECT_TRUE(probes[0].find("duty_cycle") == nullptr);
+  EXPECT_EQ(probes[1].at("duty_cycle").as_number(), *result.probes[1].duty_cycle);
+  EXPECT_EQ(probes[1].at("crossings").as_number(),
+            static_cast<double>(*result.probes[1].crossings));
+
+  // Only the recorded probe becomes a CSV column.
+  std::ostringstream csv;
+  ehsim::io::write_trace_csv(csv, result);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "time,Vc,P_gen");
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            result.time.size() + 1);
+  // The first data row has exactly three cells.
+  const std::size_t row_start = text.find('\n') + 1;
+  const std::string first_row = text.substr(row_start, text.find('\n', row_start) - row_start);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(first_row.begin(), first_row.end(), ',')),
+            2u);
 }
 
 // ---- tolerance compare ----------------------------------------------------
@@ -246,6 +336,37 @@ TEST(SpecFiles, DriftingAmbientFileIsAMultiEventSchedule) {
   EXPECT_TRUE(has_ramp);
   // Round-trips losslessly through text.
   EXPECT_EQ(ehsim::io::experiment_from_json(
+                JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
+            spec);
+}
+
+TEST(SpecFiles, ProbesDemoFileCoversEveryProbeKind) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/probes_demo.json");
+  ASSERT_TRUE(file.experiment.has_value());
+  const ExperimentSpec& spec = *file.experiment;
+  ASSERT_GE(spec.probes.size(), 5u);
+  for (const auto kind :
+       {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
+        ProbeSpec::Kind::kGeneratorPower, ProbeSpec::Kind::kHarvestedPower,
+        ProbeSpec::Kind::kStoredEnergy}) {
+    const bool covered = std::any_of(spec.probes.begin(), spec.probes.end(),
+                                     [kind](const ProbeSpec& p) { return p.kind == kind; });
+    EXPECT_TRUE(covered) << probe_kind_id(kind);
+  }
+  EXPECT_EQ(ehsim::io::experiment_from_json(
+                JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
+            spec);
+}
+
+TEST(SpecFiles, Scenario1TuningFileIsAValidOptimiseSpec) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/scenario1_tuning.json");
+  ASSERT_TRUE(file.optimise.has_value());
+  const OptimiseSpec& spec = *file.optimise;
+  EXPECT_EQ(spec.variable, "spec.pre_tuned_hz");
+  EXPECT_EQ(spec.objective, "P_gen");
+  EXPECT_EQ(ehsim::io::optimise_from_json(
                 JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
             spec);
 }

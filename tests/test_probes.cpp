@@ -1,0 +1,240 @@
+/// \file test_probes.cpp
+/// \brief Streaming probe channels (core), declarative ProbeSpecs
+/// (experiments) and their ride-along on batch jobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/probe.hpp"
+#include "experiments/scenarios.hpp"
+
+namespace {
+
+using ehsim::ModelError;
+using ehsim::core::ProbeChannel;
+using ehsim::core::ProbeHub;
+using ehsim::core::ProbeWindow;
+using namespace ehsim::experiments;
+
+/// A channel fed by hand — no engine involved.
+struct ManualProbe {
+  double value = 0.0;
+  ProbeChannel channel;
+
+  explicit ManualProbe(ProbeWindow window = {},
+                       std::optional<double> threshold = std::nullopt)
+      : channel(
+            "probe",
+            [this](double, std::span<const double>, std::span<const double>) {
+              return value;
+            },
+            window, threshold) {}
+
+  void push(double t, double v) {
+    value = v;
+    channel.sample(t, {}, {});
+  }
+};
+
+// ---- core streaming statistics --------------------------------------------
+
+TEST(ProbeChannel, RampStatisticsAreExact) {
+  ManualProbe probe;
+  for (const double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    probe.push(t, t);  // v(t) = t
+  }
+  EXPECT_EQ(probe.channel.samples(), 5u);
+  EXPECT_DOUBLE_EQ(probe.channel.covered_time(), 1.0);
+  EXPECT_DOUBLE_EQ(probe.channel.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(probe.channel.rms(), std::sqrt(1.0 / 3.0));  // RMS of t on [0,1]
+  EXPECT_DOUBLE_EQ(probe.channel.minimum(), 0.0);
+  EXPECT_DOUBLE_EQ(probe.channel.maximum(), 1.0);
+  EXPECT_DOUBLE_EQ(probe.channel.final_value(), 1.0);
+}
+
+TEST(ProbeChannel, WindowClipsPartialSegments) {
+  // Window [0.25, 0.75] of v(t) = t sampled only at 0, 0.5 and 1: both
+  // window edges land mid-segment and must be clipped by interpolation.
+  ManualProbe probe(ProbeWindow{0.25, 0.75});
+  for (const double t : {0.0, 0.5, 1.0}) {
+    probe.push(t, t);
+  }
+  EXPECT_EQ(probe.channel.samples(), 1u);  // only t = 0.5 lies inside
+  EXPECT_DOUBLE_EQ(probe.channel.covered_time(), 0.5);
+  EXPECT_DOUBLE_EQ(probe.channel.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(probe.channel.minimum(), 0.25);
+  EXPECT_DOUBLE_EQ(probe.channel.maximum(), 0.75);
+  EXPECT_DOUBLE_EQ(probe.channel.final_value(), 0.75);
+}
+
+TEST(ProbeChannel, ThresholdCountsUpwardCrossingsAndDuty) {
+  // Triangle wave around the 0.5 threshold: up, down, up again.
+  ManualProbe probe(ProbeWindow{}, 0.5);
+  probe.push(0.0, 0.0);
+  probe.push(1.0, 1.0);
+  probe.push(2.0, 0.0);
+  probe.push(3.0, 1.0);
+  EXPECT_EQ(probe.channel.crossings(), 2u);
+  // Above-threshold time: half of each of the three segments.
+  EXPECT_DOUBLE_EQ(probe.channel.time_above(), 1.5);
+  EXPECT_DOUBLE_EQ(probe.channel.duty_cycle(), 0.5);
+}
+
+TEST(ProbeChannel, SinglePointHasZeroMeasure) {
+  ManualProbe probe;
+  probe.push(1.0, 42.0);
+  EXPECT_EQ(probe.channel.samples(), 1u);
+  EXPECT_DOUBLE_EQ(probe.channel.covered_time(), 0.0);
+  EXPECT_DOUBLE_EQ(probe.channel.mean(), 0.0);  // no covered time yet
+  EXPECT_DOUBLE_EQ(probe.channel.final_value(), 42.0);
+  EXPECT_DOUBLE_EQ(probe.channel.minimum(), 42.0);
+  EXPECT_DOUBLE_EQ(probe.channel.maximum(), 42.0);
+}
+
+TEST(ProbeHub, RejectsDuplicateLabelsAndBadIndices) {
+  ProbeHub hub;
+  const auto zero = [](double, std::span<const double>, std::span<const double>) {
+    return 0.0;
+  };
+  hub.add_channel("a", zero);
+  EXPECT_THROW(hub.add_channel("a", zero), ModelError);
+  ASSERT_NE(hub.find("a"), nullptr);
+  EXPECT_EQ(hub.find("a")->label(), "a");
+  EXPECT_EQ(hub.find("missing"), nullptr);
+  EXPECT_EQ(hub.size(), 1u);
+  EXPECT_THROW((void)hub.channel(1), ModelError);
+}
+
+// ---- spec validation ------------------------------------------------------
+
+TEST(ProbeSpec, ValidationRejectsInconsistentSpecs) {
+  ProbeSpec probe;
+  probe.label = "ok";
+  probe.kind = ProbeSpec::Kind::kGeneratorPower;
+  EXPECT_NO_THROW(probe.validate());
+
+  ProbeSpec unlabeled = probe;
+  unlabeled.label.clear();
+  EXPECT_THROW(unlabeled.validate(), ModelError);
+
+  ProbeSpec unsafe = probe;
+  unsafe.label = "bad,label";
+  EXPECT_THROW(unsafe.validate(), ModelError);
+
+  ProbeSpec shadowing = probe;
+  shadowing.label = "Vc";
+  EXPECT_THROW(shadowing.validate(), ModelError);
+
+  ProbeSpec targetless = probe;
+  targetless.kind = ProbeSpec::Kind::kNodeVoltage;
+  EXPECT_THROW(targetless.validate(), ModelError);
+
+  ProbeSpec extra_target = probe;
+  extra_target.target = "Vm";
+  EXPECT_THROW(extra_target.validate(), ModelError);
+
+  ProbeSpec bad_window = probe;
+  bad_window.window_start = 2.0;
+  bad_window.window_end = 1.0;
+  EXPECT_THROW(bad_window.validate(), ModelError);
+}
+
+TEST(ProbeSpec, ExperimentSpecRejectsDuplicateProbeLabels) {
+  ExperimentSpec spec = charging_scenario(1.0);
+  spec.probes.push_back(ProbeSpec{"p", ProbeSpec::Kind::kGeneratorPower});
+  spec.probes.push_back(ProbeSpec{"p", ProbeSpec::Kind::kHarvestedPower});
+  EXPECT_THROW(spec.validate(), ModelError);
+}
+
+TEST(ProbeSpec, UnknownNetAndStateFailAtInstallTime) {
+  ExperimentSpec spec = charging_scenario(0.1);
+  spec.probes.push_back(ProbeSpec{"ghost", ProbeSpec::Kind::kNodeVoltage, "Vxyz"});
+  EXPECT_THROW((void)run_experiment(spec), ModelError);
+  spec.probes.back() = ProbeSpec{"ghost", ProbeSpec::Kind::kStateVariable, "supercap.Vq"};
+  EXPECT_THROW((void)run_experiment(spec), ModelError);
+}
+
+// ---- end-to-end on the real model -----------------------------------------
+
+ExperimentSpec probed_charging(double duration) {
+  ExperimentSpec spec = charging_scenario(duration);
+  spec.trace_interval = 0.01;
+  spec.probes.push_back(ProbeSpec{"Vm", ProbeSpec::Kind::kNodeVoltage, "Vm"});
+  spec.probes.push_back(ProbeSpec{"Vi", ProbeSpec::Kind::kStateVariable, "supercap.Vi",
+                                  0.0, 0.0, std::nullopt, false});
+  spec.probes.push_back(ProbeSpec{"P_gen", ProbeSpec::Kind::kGeneratorPower});
+  spec.probes.push_back(ProbeSpec{"P_store", ProbeSpec::Kind::kHarvestedPower});
+  spec.probes.push_back(ProbeSpec{"E_store", ProbeSpec::Kind::kStoredEnergy});
+  spec.probes.push_back(
+      ProbeSpec{"Vm_pos", ProbeSpec::Kind::kNodeVoltage, "Vm", 0.0, 0.0, 0.0, false});
+  return spec;
+}
+
+TEST(Probes, EveryKindProducesConsistentStatistics) {
+  const ScenarioResult result = run_experiment(probed_charging(0.5));
+  ASSERT_EQ(result.probes.size(), 6u);
+
+  for (const ProbeResult& probe : result.probes) {
+    EXPECT_GT(probe.samples, 10u) << probe.label;
+    EXPECT_LE(probe.minimum, probe.mean) << probe.label;
+    EXPECT_LE(probe.mean, probe.maximum) << probe.label;
+    EXPECT_GE(probe.rms, 0.0) << probe.label;
+  }
+
+  // Recorded probes carry columns aligned with the Vc trace.
+  EXPECT_EQ(result.probes[0].trace.size(), result.time.size());
+  EXPECT_TRUE(result.probes[0].recorded);
+  EXPECT_FALSE(result.probes[1].recorded);  // record = false
+  EXPECT_TRUE(result.probes[1].trace.empty());
+
+  // The AC input sees both polarities; the stored energy only grows from a
+  // discharged start.
+  const ProbeResult& vm = result.probes[0];
+  EXPECT_LT(vm.minimum, 0.0);
+  EXPECT_GT(vm.maximum, 0.0);
+  const ProbeResult& energy = result.probes[4];
+  EXPECT_GE(energy.minimum, 0.0);
+  EXPECT_GT(energy.final_value, 0.0);
+  EXPECT_GE(energy.maximum, energy.final_value);
+
+  // Threshold statistics: the AC waveform spends about half its time above
+  // zero and crosses upward roughly once per excitation period (70 Hz).
+  const ProbeResult& duty = result.probes[5];
+  ASSERT_TRUE(duty.duty_cycle.has_value());
+  ASSERT_TRUE(duty.crossings.has_value());
+  EXPECT_NEAR(*duty.duty_cycle, 0.5, 0.1);
+  EXPECT_NEAR(static_cast<double>(*duty.crossings), 35.0, 5.0);
+
+  // No-threshold probes report no threshold statistics.
+  EXPECT_FALSE(vm.duty_cycle.has_value());
+  EXPECT_THROW((void)probe_statistic(vm, "duty_cycle"), ModelError);
+  EXPECT_THROW((void)probe_statistic(vm, "bogus"), ModelError);
+  EXPECT_DOUBLE_EQ(probe_statistic(duty, "crossings"),
+                   static_cast<double>(*duty.crossings));
+  EXPECT_DOUBLE_EQ(probe_statistic(vm, "mean"), vm.mean);
+  EXPECT_DOUBLE_EQ(probe_statistic(vm, "final"), vm.final_value);
+}
+
+TEST(Probes, DeterministicAcrossRunsAndBatchThreads) {
+  const ExperimentSpec spec = probed_charging(0.3);
+  const ScenarioResult serial = run_experiment(spec);
+
+  const std::vector<ScenarioJob> jobs(2, ScenarioJob{spec, std::nullopt});
+  const auto parallel = run_scenario_batch(jobs, 2);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (const ScenarioResult& result : parallel) {
+    ASSERT_EQ(result.probes.size(), serial.probes.size());
+    for (std::size_t i = 0; i < serial.probes.size(); ++i) {
+      const ProbeResult& a = serial.probes[i];
+      const ProbeResult& b = result.probes[i];
+      EXPECT_EQ(a.samples, b.samples) << a.label;
+      EXPECT_EQ(a.mean, b.mean) << a.label;  // bit-identical
+      EXPECT_EQ(a.rms, b.rms) << a.label;
+      EXPECT_EQ(a.final_value, b.final_value) << a.label;
+      EXPECT_EQ(a.trace, b.trace) << a.label;
+    }
+  }
+}
+
+}  // namespace

@@ -6,19 +6,23 @@
 /// axes, and this driver executes it through the same run_experiment /
 /// BatchRunner path the C++ API uses.
 ///
-///   ehsim run spec.json [--threads N] [--out DIR] [--quiet]
-///   ehsim sweep sweep.json [--threads N] [--out DIR] [--quiet]
+///   ehsim run spec.json [--threads N] [--out DIR] [--probes LIST] [--quiet]
+///   ehsim sweep sweep.json [--threads N] [--out DIR] [--probes LIST] [--quiet]
+///   ehsim optimise optimise.json [--out DIR] [--quiet]
 ///   ehsim echo spec.json
 ///   ehsim compare expected actual [--rtol R] [--atol A] [--ignore k1,k2,...]
 ///   ehsim params
 ///
-/// `run` accepts both spec types; `sweep` insists on a sweep file. Results
-/// land as <name>.result.json plus <name>.trace.csv per job under --out
-/// (default: current directory). `compare` diffs two result files
-/// (tolerance-aware, .json or .csv by extension) and exits non-zero on
-/// mismatch — the golden-output CI test is exactly `ehsim run` + `ehsim
-/// compare`. `echo` parses and re-serialises a spec (round-trip check /
-/// canonical formatting).
+/// `run` accepts experiment and sweep spec types; `sweep` insists on a sweep
+/// file; `optimise` insists on an optimise file and writes the search log +
+/// optimum as <name>.optimise.json. Results land as <name>.result.json plus
+/// <name>.trace.csv per job under --out (default: current directory).
+/// `--probes` appends quick probe shorthands (`net:Vm`, `state:supercap.Vi`,
+/// `power`, `harvested`, `energy`) to the spec before running. `compare`
+/// diffs two result files (tolerance-aware, .json or .csv by extension) and
+/// exits non-zero on mismatch — the golden-output CI tests are exactly
+/// `ehsim run`/`ehsim optimise` + `ehsim compare`. `echo` parses and
+/// re-serialises a spec (round-trip check / canonical formatting).
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -28,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/sweep.hpp"
 #include "experiments/table_printer.hpp"
@@ -43,18 +49,25 @@ int usage(std::FILE* where = stderr) {
   std::fprintf(where,
                "usage: ehsim <command> [args]\n"
                "\n"
-               "  run <spec.json> [--threads N] [--out DIR] [--quiet]\n"
+               "  run <spec.json> [--threads N] [--out DIR] [--probes LIST] [--quiet]\n"
                "      Execute an experiment or sweep spec; write per-job\n"
                "      <name>.result.json and <name>.trace.csv under --out (default .).\n"
-               "  sweep <sweep.json> [--threads N] [--out DIR] [--quiet]\n"
+               "      --probes appends quick probes (comma list of net:<name>,\n"
+               "      state:<block.state>, power, harvested, energy) to the spec.\n"
+               "  sweep <sweep.json> [--threads N] [--out DIR] [--probes LIST] [--quiet]\n"
                "      Like run, but requires a sweep spec.\n"
+               "  optimise <optimise.json> [--out DIR] [--quiet]\n"
+               "      Run a declarative golden-section optimisation; write the\n"
+               "      search log + optimum as <name>.optimise.json and the best\n"
+               "      run's result/trace files under --out.\n"
                "  echo <spec.json>\n"
                "      Parse a spec and print its canonical JSON to stdout.\n"
                "  compare <expected> <actual> [--rtol R] [--atol A] [--ignore k1,k2]\n"
                "      Tolerance-aware diff of two .json or .csv result files;\n"
                "      exits 2 when they differ.\n"
                "  params\n"
-               "      List the addressable device parameter paths.\n");
+               "      List device parameter paths, spec fields, probe kinds,\n"
+               "      probe statistics and optimise-spec keys.\n");
   return where == stdout ? 0 : 1;
 }
 
@@ -62,6 +75,7 @@ struct RunArgs {
   std::string spec_path;
   std::size_t threads = 0;
   std::string out_dir = ".";
+  std::string probes;  ///< comma list of --probes shorthands (may be empty)
   bool quiet = false;
 };
 
@@ -73,6 +87,8 @@ std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
       run.threads = static_cast<std::size_t>(std::stoul(args[++i]));
     } else if (arg == "--out" && i + 1 < args.size()) {
       run.out_dir = args[++i];
+    } else if (arg == "--probes" && i + 1 < args.size()) {
+      run.probes = args[++i];
     } else if (arg == "--quiet") {
       run.quiet = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -90,6 +106,59 @@ std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
     return std::nullopt;
   }
   return run;
+}
+
+/// Expand one --probes shorthand into a ProbeSpec: `net:<name>`,
+/// `state:<block.state>`, `power`, `harvested` or `energy`. Labels default
+/// to the target (net/state) or the kind id, so shorthand columns are
+/// self-describing.
+experiments::ProbeSpec probe_from_shorthand(const std::string& item) {
+  experiments::ProbeSpec probe;
+  const std::size_t colon = item.find(':');
+  const std::string head = item.substr(0, colon);
+  const std::string target = colon == std::string::npos ? "" : item.substr(colon + 1);
+  if (head == "net") {
+    probe.kind = experiments::ProbeSpec::Kind::kNodeVoltage;
+    probe.target = target;
+    probe.label = target;
+  } else if (head == "state") {
+    probe.kind = experiments::ProbeSpec::Kind::kStateVariable;
+    probe.target = target;
+    probe.label = target;
+  } else if (head == "power" && target.empty()) {
+    probe.kind = experiments::ProbeSpec::Kind::kGeneratorPower;
+    probe.label = "generator_power";
+  } else if (head == "harvested" && target.empty()) {
+    probe.kind = experiments::ProbeSpec::Kind::kHarvestedPower;
+    probe.label = "harvested_power";
+  } else if (head == "energy" && target.empty()) {
+    probe.kind = experiments::ProbeSpec::Kind::kStoredEnergy;
+    probe.label = "stored_energy";
+  } else {
+    throw ehsim::ModelError("--probes item '" + item +
+                            "' is not net:<name> | state:<block.state> | power | "
+                            "harvested | energy");
+  }
+  probe.validate();
+  return probe;
+}
+
+/// Append the --probes shorthands to an experiment spec (a sweep applies
+/// them to its base, so every expanded job carries them).
+void apply_probe_flag(experiments::ExperimentSpec& spec, const std::string& list) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(start, comma - start);
+    if (!item.empty()) {
+      spec.probes.push_back(probe_from_shorthand(item));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  spec.validate();  // catches duplicate labels against the spec's own probes
 }
 
 /// Job names contain sweep separators ("base/param=value"); keep file names
@@ -145,11 +214,19 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
   if (!run) {
     return 1;
   }
-  const io::SpecFile file = io::load_spec_file(run->spec_path);
+  io::SpecFile file = io::load_spec_file(run->spec_path);
+  if (file.optimise) {
+    std::fprintf(stderr, "ehsim run: '%s' is an optimise spec (use `ehsim optimise`)\n",
+                 run->spec_path.c_str());
+    return 1;
+  }
   if (require_sweep && !file.sweep) {
     std::fprintf(stderr, "ehsim sweep: '%s' is not a sweep spec (use `ehsim run`)\n",
                  run->spec_path.c_str());
     return 1;
+  }
+  if (!run->probes.empty()) {
+    apply_probe_flag(file.sweep ? file.sweep->base : *file.experiment, run->probes);
   }
 
   std::vector<experiments::ScenarioResult> results;
@@ -167,14 +244,59 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
   return 0;
 }
 
+int cmd_optimise(const std::vector<std::string>& args) {
+  const auto run = parse_run_args(args);
+  if (!run) {
+    return 1;
+  }
+  if (!run->probes.empty()) {
+    std::fprintf(stderr,
+                 "ehsim optimise: --probes is not supported (declare probes in the "
+                 "spec's base experiment)\n");
+    return 1;
+  }
+  if (run->threads != 0) {
+    std::fprintf(stderr,
+                 "ehsim optimise: --threads is not supported (every golden-section "
+                 "probe depends on the previous bracket)\n");
+    return 1;
+  }
+  const io::SpecFile file = io::load_spec_file(run->spec_path);
+  if (!file.optimise) {
+    std::fprintf(stderr, "ehsim optimise: '%s' is not an optimise spec (use `ehsim run`)\n",
+                 run->spec_path.c_str());
+    return 1;
+  }
+
+  const experiments::OptimiseResult result = experiments::run_optimise(*file.optimise);
+  std::filesystem::create_directories(run->out_dir);
+  const std::string stem =
+      (std::filesystem::path(run->out_dir) / safe_file_stem(result.name)).string();
+  io::write_file(stem + ".optimise.json", io::to_json(result).dump(2) + "\n");
+  write_results({result.best_run}, *run);
+  if (!run->quiet) {
+    std::printf("wrote %s.optimise.json (%zu evaluations)\n", stem.c_str(),
+                result.evaluations.size());
+    std::printf("%s %s: best %s = %s at %s (%s of probe '%s')\n",
+                result.maximise ? "maximised" : "minimised", result.name.c_str(),
+                result.statistic.c_str(),
+                experiments::format_double(result.best.value, 6).c_str(),
+                (result.variable + " = " + experiments::format_double(result.best.x, 6))
+                    .c_str(),
+                result.statistic.c_str(), file.optimise->objective.c_str());
+  }
+  return 0;
+}
+
 int cmd_echo(const std::vector<std::string>& args) {
   if (args.size() != 1) {
     std::fprintf(stderr, "ehsim echo: expected exactly one spec file\n");
     return 1;
   }
   const io::SpecFile file = io::load_spec_file(args[0]);
-  const io::JsonValue json =
-      file.sweep ? io::to_json(*file.sweep) : io::to_json(*file.experiment);
+  const io::JsonValue json = file.sweep      ? io::to_json(*file.sweep)
+                             : file.optimise ? io::to_json(*file.optimise)
+                                             : io::to_json(*file.experiment);
   std::printf("%s\n", json.dump(2).c_str());
   return 0;
 }
@@ -243,8 +365,27 @@ int cmd_compare(const std::vector<std::string>& args) {
 }
 
 int cmd_params() {
+  std::printf("device parameters (overrides, sweep axes, optimise variables):\n");
   for (const std::string& path : experiments::param_paths()) {
-    std::printf("%s\n", path.c_str());
+    std::printf("  %s\n", path.c_str());
+  }
+  std::printf("\nspec fields (sweep axes, optimise variables):\n");
+  for (const std::string& path : experiments::spec_field_paths()) {
+    std::printf("  %s\n", path.c_str());
+  }
+  std::printf("\nprobe kinds (spec \"probes\" entries; keys: label, kind, target,\n"
+              "window_start, window_end, threshold, record):\n");
+  for (const std::string& kind : experiments::probe_kind_ids()) {
+    std::printf("  %s\n", kind.c_str());
+  }
+  std::printf("\nprobe statistics (optimise \"statistic\"; duty_cycle/crossings need a\n"
+              "threshold on the probe):\n");
+  for (const std::string& statistic : experiments::probe_statistic_ids()) {
+    std::printf("  %s\n", statistic.c_str());
+  }
+  std::printf("\noptimise spec keys (type \"optimise\"):\n");
+  for (const std::string& key : experiments::optimise_spec_keys()) {
+    std::printf("  %s\n", key.c_str());
   }
   return 0;
 }
@@ -263,6 +404,9 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") {
       return cmd_run(args, /*require_sweep=*/true);
+    }
+    if (command == "optimise" || command == "optimize") {
+      return cmd_optimise(args);
     }
     if (command == "echo") {
       return cmd_echo(args);
