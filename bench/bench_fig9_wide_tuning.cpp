@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "experiments/cpu_timer.hpp"
 #include "experiments/metrics.hpp"
 #include "experiments/reference_data.hpp"
@@ -22,16 +23,22 @@ namespace {
 
 /// Wide-tuning design sweep: the scenario-2 retune repeated for a fan of
 /// target frequencies, expressed as a declarative SweepSpec over the shift
-/// event's target frequency and executed once serially and once across a
-/// 4-thread BatchRunner pool. Parallel results must be bit-identical to
-/// serial.
+/// event's target frequency and executed serially, across a 4-thread
+/// BatchRunner pool, and once more with cross-job operating-point warm
+/// starts. Parallel and warm-started results must be bit-identical to
+/// serial (the sweep only varies a mid-run event, so every job shares one
+/// structural signature and seeds converge to the exact cold operating
+/// point).
 void run_batch_sweep() {
   using namespace ehsim::experiments;
 
   SweepSpec sweep;
   sweep.base = scenario2();
   sweep.base.name = "wide-tuning";
-  sweep.base.duration = 120.0;
+  // CI smoke keeps the sweep seconds-scale; the counters (steps, consistency
+  // iterations, warm-start hits) stay deterministic at any span.
+  sweep.base.duration =
+      ehsim::benchio::bench_span() == ehsim::benchio::BenchSpan::kSmoke ? 40.0 : 120.0;
   sweep.base.excitation.events.front().time = 20.0;
   sweep.axes.push_back(
       SweepAxis{"excitation.event[0].frequency_hz", {66.0, 69.0, 72.0, 75.0, 78.0, 81.0}, {}});
@@ -40,19 +47,28 @@ void run_batch_sweep() {
   std::printf("\n=== wide-tuning SweepSpec through sim::BatchRunner (%zu jobs) ===\n",
               jobs.size());
 
+  BatchStats cold_batch;
   WallTimer serial_timer;
-  const auto serial = run_sweep(sweep, 1);
+  const auto serial = run_sweep(sweep, BatchOptions{.threads = 1}, &cold_batch);
   const double serial_wall = serial_timer.elapsed_seconds();
 
   BatchStats batch;
   WallTimer parallel_timer;
-  const auto parallel = run_sweep(sweep, 4, &batch);
+  const auto parallel = run_sweep(sweep, BatchOptions{.threads = 4}, &batch);
   const double parallel_wall = parallel_timer.elapsed_seconds();
 
-  bool identical = serial.size() == parallel.size();
+  BatchStats warm_batch;
+  WallTimer warm_timer;
+  const auto warm =
+      run_sweep(sweep, BatchOptions{.threads = 4, .warm_start = true}, &warm_batch);
+  const double warm_wall = warm_timer.elapsed_seconds();
+
+  bool identical = serial.size() == parallel.size() && serial.size() == warm.size();
   for (std::size_t i = 0; identical && i < serial.size(); ++i) {
     identical = serial[i].time == parallel[i].time && serial[i].vc == parallel[i].vc &&
-                serial[i].final_resonance_hz == parallel[i].final_resonance_hz;
+                serial[i].final_resonance_hz == parallel[i].final_resonance_hz &&
+                serial[i].time == warm[i].time && serial[i].vc == warm[i].vc &&
+                serial[i].final_resonance_hz == warm[i].final_resonance_hz;
   }
 
   std::printf("# target[Hz]  final_f0r[Hz]  final_Vc[V]  steps\n");
@@ -68,10 +84,35 @@ void run_batch_sweep() {
               std::thread::hardware_concurrency());
   std::printf("shared diode-table hits in the parallel batch: %zu of %zu jobs\n",
               batch.shared_table_hits, batch.jobs);
-  std::printf("parallel traces bit-identical to serial: %s\n", identical ? "YES" : "NO");
-  if (!identical) {
+  std::printf("warm starts (4 threads): %.2f s wall, %zu/%zu jobs seeded, %zu rejected\n",
+              warm_wall, warm_batch.warm_start_hits, warm_batch.jobs,
+              warm_batch.warm_start_rejects);
+  std::printf("consistency iterations: %llu cold -> %llu warm-started\n",
+              static_cast<unsigned long long>(cold_batch.init_iterations),
+              static_cast<unsigned long long>(warm_batch.init_iterations));
+  std::printf("parallel+warm traces bit-identical to serial: %s\n",
+              identical ? "YES" : "NO");
+  if (!identical || warm_batch.init_iterations >= cold_batch.init_iterations) {
     std::exit(EXIT_FAILURE);
   }
+
+  // CI perf artifact: the warm-start counters ride the BENCH_*.json
+  // trajectory next to the wall-clock numbers.
+  namespace io = ehsim::io;
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("bench", "fig9_wide_tuning_sweep");
+  doc.set("jobs", static_cast<double>(batch.jobs));
+  doc.set("serial_wall_seconds", serial_wall);
+  doc.set("parallel_wall_seconds", parallel_wall);
+  doc.set("warm_wall_seconds", warm_wall);
+  doc.set("shared_table_hits", static_cast<double>(batch.shared_table_hits));
+  io::JsonValue warm_json = io::JsonValue::make_object();
+  warm_json.set("hits", static_cast<double>(warm_batch.warm_start_hits));
+  warm_json.set("rejects", static_cast<double>(warm_batch.warm_start_rejects));
+  warm_json.set("init_iterations_cold", cold_batch.init_iterations);
+  warm_json.set("init_iterations_warm", warm_batch.init_iterations);
+  doc.set("warm_start", std::move(warm_json));
+  ehsim::benchio::maybe_write_bench_json(doc);
 }
 
 }  // namespace
@@ -80,7 +121,9 @@ int main() {
   using namespace ehsim::experiments;
 
   ExperimentSpec spec = scenario2();
-  if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
+  if (ehsim::benchio::bench_span() == ehsim::benchio::BenchSpan::kSmoke) {
+    spec.duration = 120.0;  // seconds-scale CI smoke span (shift + burst start)
+  } else if (std::getenv("EHSIM_BENCH_FULL") == nullptr) {
     spec.duration = 330.0;  // covers shift + the long actuation burst + recovery
   }
   const ExcitationEvent& shift = spec.excitation.events.front();

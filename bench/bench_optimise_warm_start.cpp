@@ -1,0 +1,95 @@
+/// \file bench_optimise_warm_start.cpp
+/// \brief Cross-evaluation operating-point warm starts in the optimise
+/// driver — the paper's §V workload ("optimal parameters of energy
+/// harvester ... obtained iteratively using multiple simulations").
+///
+/// A golden-section tuning study evaluates the same model at a sequence of
+/// nearby parameter values; every evaluation used to pay the full cold-start
+/// consistency iterations for its t=0 operating point. With
+/// OptimiseSpec::warm_start the driver caches converged operating points by
+/// structural signature and seeds later evaluations, which must reproduce
+/// the same optimum (seeded solves converge to the engine's own init
+/// tolerance) with measurably fewer total consistency iterations.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_json.hpp"
+#include "experiments/cpu_timer.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "experiments/scenarios.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+
+  OptimiseSpec spec;
+  spec.name = "tuning-study";
+  spec.base = scenario1();
+  spec.base.name = "tuning-point";
+  spec.base.with_mcu = false;
+  spec.base.excitation.events.clear();  // steady 70 Hz ambient per candidate
+  spec.base.duration =
+      ehsim::benchio::bench_span() == ehsim::benchio::BenchSpan::kSmoke ? 1.5 : 6.0;
+  spec.base.trace_interval = 0.0;
+  spec.base.probes.push_back(
+      ProbeSpec{"P_gen", ProbeSpec::Kind::kGeneratorPower, "", spec.base.duration * 0.5});
+  spec.variable = "spec.pre_tuned_hz";
+  spec.lower = 66.0;
+  spec.upper = 74.0;
+  spec.objective = "P_gen";
+  spec.statistic = "mean";
+  spec.max_evaluations = 24;
+  spec.x_tolerance = 1e-4;
+
+  std::printf("=== optimise warm starts: golden-section tuning study ===\n");
+  std::printf("variable %s in [%.1f, %.1f] Hz, objective mean %s, %zu evaluations max\n\n",
+              spec.variable.c_str(), spec.lower, spec.upper, spec.objective.c_str(),
+              spec.max_evaluations);
+
+  WallTimer cold_timer;
+  const OptimiseResult cold = run_optimise(spec);
+  const double cold_wall = cold_timer.elapsed_seconds();
+
+  OptimiseSpec warm_spec = spec;
+  warm_spec.warm_start = true;
+  WallTimer warm_timer;
+  const OptimiseResult warm = run_optimise(warm_spec);
+  const double warm_wall = warm_timer.elapsed_seconds();
+
+  std::printf("cold:        best %s = %.4f Hz (objective %.6e), %zu evaluations, "
+              "%llu consistency iterations, %.2f s wall\n",
+              spec.variable.c_str(), cold.best.x, cold.best.value,
+              cold.evaluations.size(),
+              static_cast<unsigned long long>(cold.init_iterations), cold_wall);
+  std::printf("warm-start:  best %s = %.4f Hz (objective %.6e), %zu evaluations, "
+              "%llu consistency iterations (%zu seeded, %zu rejected), %.2f s wall\n",
+              spec.variable.c_str(), warm.best.x, warm.best.value,
+              warm.evaluations.size(),
+              static_cast<unsigned long long>(warm.init_iterations),
+              warm.warm_start_hits, warm.warm_start_rejects, warm_wall);
+
+  const double dx = std::abs(warm.best.x - cold.best.x);
+  std::printf("\n|Δbest.x| = %.2e Hz (bracket tolerance %.1e)\n", dx, spec.x_tolerance);
+  const bool ok = warm.init_iterations < cold.init_iterations &&
+                  warm.warm_start_hits > 0 && dx <= spec.x_tolerance * spec.upper;
+  std::printf("warm start saves consistency iterations at the same optimum: %s\n",
+              ok ? "YES" : "NO");
+
+  namespace io = ehsim::io;
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("bench", "optimise_warm_start");
+  doc.set("evaluations", static_cast<double>(cold.evaluations.size()));
+  doc.set("cold_wall_seconds", cold_wall);
+  doc.set("warm_wall_seconds", warm_wall);
+  doc.set("best_x_cold", cold.best.x);
+  doc.set("best_x_warm", warm.best.x);
+  io::JsonValue warm_json = io::JsonValue::make_object();
+  warm_json.set("hits", static_cast<double>(warm.warm_start_hits));
+  warm_json.set("rejects", static_cast<double>(warm.warm_start_rejects));
+  warm_json.set("init_iterations_cold", cold.init_iterations);
+  warm_json.set("init_iterations_warm", warm.init_iterations);
+  doc.set("warm_start", std::move(warm_json));
+  ehsim::benchio::maybe_write_bench_json(doc);
+
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

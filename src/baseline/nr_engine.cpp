@@ -65,11 +65,13 @@ void NrEngine::add_observer(core::SolutionObserver observer) {
 
 void NrEngine::solve_initial_terminals() {
   // DC-consistent terminals for the fixed initial state: Newton on y only,
-  // using the algebraic block Jyy.
+  // using the algebraic block Jyy. A warm-started solve begins at the seeded
+  // terminals instead of zero but converges to the identical tolerance.
   auto x = std::span<double>(u_.data(), num_states_);
   auto y = std::span<double>(u_.data() + num_states_, num_nets_);
   linalg::LuFactorization lu;
   std::vector<double> dy(num_nets_);
+  init_iterations_ = 0;
   bool converged = num_nets_ == 0;
   for (std::size_t it = 0; it < 80 && !converged; ++it) {
     system_->eval(t_, x, y, std::span<double>(fx_scratch_), std::span<double>(fy_scratch_));
@@ -81,6 +83,7 @@ void NrEngine::solve_initial_terminals() {
       converged = true;
       break;
     }
+    ++init_iterations_;
     system_->jacobians(t_, x, y, jxx_, jxy_, jyx_, jyy_);
     if (!lu.factor(jyy_)) {
       throw SolverError("NrEngine: singular Jyy during initialisation");
@@ -105,10 +108,23 @@ void NrEngine::solve_initial_terminals() {
   }
 }
 
+bool NrEngine::seed_initial_terminals(std::span<const double> y) {
+  if (y.size() != num_nets_) {
+    return false;
+  }
+  init_seed_.assign(y.begin(), y.end());
+  init_seed_armed_ = true;
+  return true;
+}
+
 void NrEngine::initialise(double t0) {
   t_ = t0;
   std::fill(u_.begin(), u_.end(), 0.0);
   system_->initial_state(std::span<double>(u_.data(), num_states_));
+  if (init_seed_armed_) {
+    std::copy(init_seed_.begin(), init_seed_.end(), u_.begin() + static_cast<std::ptrdiff_t>(num_states_));
+    init_seed_armed_ = false;
+  }
   solve_initial_terminals();
 
   std::copy(u_.begin(), u_.end(), u_prev_.begin());
@@ -120,6 +136,7 @@ void NrEngine::initialise(double t0) {
   last_epoch_ = system_->total_epoch();
   last_notify_time_ = -std::numeric_limits<double>::infinity();
   stats_ = core::SolverStats{};
+  stats_.init_iterations = init_iterations_;
   initialised_ = true;
 }
 

@@ -55,6 +55,13 @@ class ProbeChannel {
   [[nodiscard]] bool has_threshold() const noexcept { return threshold_.has_value(); }
   [[nodiscard]] double threshold() const noexcept { return threshold_.value_or(0.0); }
 
+  /// No point or segment has intersected the window yet. All statistics of
+  /// an empty channel are *defined* (0 / 0 crossings), never NaN: the
+  /// time-weighted reductions guard their covered-time divisions, so a
+  /// window the run never reaches cannot leak non-finite values into result
+  /// documents. The spec layer additionally rejects windows that can never
+  /// intersect the simulated span (see experiments::install_probes).
+  [[nodiscard]] bool empty() const noexcept { return !seen_; }
   /// Accepted points whose time fell inside the window.
   [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
   /// Value at the last in-window point (0 when the window saw none).

@@ -47,6 +47,17 @@ void OptimiseSpec::validate() const {
   // simulation runs (same eager check as sweep axes).
   ExperimentSpec scratch = base;
   set_spec_value(scratch, variable, lower);
+  // Golden section is a continuous search: over an integer-backed path it
+  // would evaluate fractional candidates that set_param silently rounds,
+  // turning the objective into a step function with spurious plateaus.
+  // (Spec fields are all continuous; a device-parameter variable is exactly
+  // one that set_spec_value recorded as an extra override.)
+  const bool is_device_param = scratch.overrides.size() > base.overrides.size();
+  if (is_device_param && is_integer_param(variable)) {
+    throw ModelError("OptimiseSpec '" + name + "': variable '" + variable +
+                     "' is integer-valued — golden section would evaluate fractional "
+                     "values that set_param silently rounds; sweep it instead");
+  }
   if (objective.empty()) {
     throw ModelError("OptimiseSpec '" + name + "': objective probe label is required");
   }
@@ -78,8 +89,8 @@ ExperimentSpec optimise_candidate(const OptimiseSpec& spec, double x) {
 }
 
 std::vector<std::string> optimise_spec_keys() {
-  return {"name",      "base",     "variable", "lower",           "upper",
-          "objective", "statistic", "maximise", "max_evaluations", "x_tolerance"};
+  return {"name",      "base",      "variable", "lower",           "upper",      "objective",
+          "statistic", "maximise",  "warm_start", "max_evaluations", "x_tolerance"};
 }
 
 OptimiseResult run_optimise(const OptimiseSpec& spec) {
@@ -90,9 +101,56 @@ OptimiseResult run_optimise(const OptimiseSpec& spec) {
   result.variable = spec.variable;
   result.statistic = spec.statistic;
   result.maximise = spec.maximise;
+  result.warm_start = spec.warm_start;
 
-  const auto evaluate = [&spec, &result](double x) {
-    const ScenarioResult run = run_experiment(optimise_candidate(spec, x));
+  // Golden-section candidates are structurally identical models at nearby
+  // parameter values — the ideal warm-start consumer. The cache is local to
+  // this (strictly serial) search, so the seed any evaluation sees is a pure
+  // function of the evaluation sequence: the run stays deterministic.
+  // \p count_counters: the final best_run re-run accumulates iterations but
+  // not hit/reject counts — those are documented per *evaluation*.
+  OperatingPointCache cache;
+  const auto run_candidate = [&spec, &result, &cache](const ExperimentSpec& candidate,
+                                                      bool count_counters) {
+    RunOptions options;
+    std::uint64_t signature = 0;
+    if (spec.warm_start) {
+      signature = operating_point_signature(candidate, experiment_params(candidate));
+      if (const std::vector<double>* seed = cache.find(signature)) {
+        options.initial_terminals = *seed;
+      }
+    }
+    ScenarioResult run = run_experiment(candidate, options);
+    result.init_iterations += run.stats.init_iterations;
+    if (spec.warm_start) {
+      switch (run.warm_start) {
+        case WarmStartOutcome::kSeeded:
+          if (count_counters) {
+            ++result.warm_start_hits;
+          }
+          break;
+        case WarmStartOutcome::kRejected:
+          if (count_counters) {
+            ++result.warm_start_rejects;
+          }
+          // The seed failed for this signature but the cold fallback did
+          // converge — evict the bad seed so later same-signature
+          // evaluations don't repeat the identical deterministic failure.
+          // Serial driver: replacement keeps the run deterministic.
+          cache.replace(signature, run.initial_terminals);
+          break;
+        case WarmStartOutcome::kCold:
+          // First visit to this signature: its converged operating point
+          // seeds every later candidate that collides with it.
+          cache.store(signature, run.initial_terminals);
+          break;
+      }
+    }
+    return run;
+  };
+
+  const auto evaluate = [&spec, &result, &run_candidate](double x) {
+    const ScenarioResult run = run_candidate(optimise_candidate(spec, x), true);
     double value = 0.0;
     for (const ProbeResult& probe : run.probes) {
       if (probe.label == spec.objective) {
@@ -112,8 +170,10 @@ OptimiseResult run_optimise(const OptimiseSpec& spec) {
     result.best.value = -result.best.value;
   }
   // Re-run the winner for the full result document; the simulation is
-  // deterministic, so this reproduces the search's evaluation bit for bit.
-  result.best_run = run_experiment(optimise_candidate(spec, result.best.x));
+  // deterministic, so this reproduces the search's evaluation bit for bit
+  // (under warm starts: including the identical seed, which the cache still
+  // holds for the winning candidate's signature).
+  result.best_run = run_candidate(optimise_candidate(spec, result.best.x), false);
   return result;
 }
 

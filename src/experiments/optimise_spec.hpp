@@ -40,10 +40,18 @@ struct OptimiseSpec {
   /// golden_section_maximise budget/tolerance (see OptimiseOptions).
   std::size_t max_evaluations = 32;
   double x_tolerance = 1e-3;
+  /// Opt-in operating-point warm starts across the evaluation sequence:
+  /// golden-section candidates are structurally identical models evaluated
+  /// at nearby parameter values, so converged t=0 operating points are
+  /// cached by structural signature (see warm_start.hpp) and seed later
+  /// evaluations' consistency iterations. Every seeded solve still
+  /// converges to the engine's init tolerance. Default off: the evaluation
+  /// sequence is byte-identical to the cold driver.
+  bool warm_start = false;
 
   /// Throws ModelError naming the first inconsistency (degenerate bracket,
-  /// unknown variable path, unknown objective probe/statistic, threshold
-  /// statistics on a threshold-less probe, ...).
+  /// unknown variable path, integer-valued variable path, unknown objective
+  /// probe/statistic, threshold statistics on a threshold-less probe, ...).
   void validate() const;
 
   [[nodiscard]] bool operator==(const OptimiseSpec&) const = default;
@@ -68,6 +76,14 @@ struct OptimiseResult {
   /// The full experiment re-run at best.x — deterministic, so bit-identical
   /// to the evaluation the search saw.
   ScenarioResult best_run{};
+
+  /// Warm-start bookkeeping (all zero when the spec ran cold).
+  bool warm_start = false;            ///< the spec enabled warm starts
+  std::size_t warm_start_hits = 0;    ///< evaluations seeded from the cache
+  std::size_t warm_start_rejects = 0; ///< seeds rejected → cold fallback
+  /// Total consistency iterations across every evaluation and the best-run
+  /// re-run (the quantity warm starts reduce).
+  std::uint64_t init_iterations = 0;
 };
 
 /// Execute the optimisation loop serially (every bracket depends on the

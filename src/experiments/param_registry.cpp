@@ -14,6 +14,8 @@ struct Entry {
   const char* path;
   std::function<double(const harvester::HarvesterParams&)> get;
   std::function<void(harvester::HarvesterParams&, double)> set;
+  /// set writes by rounding (std::size_t-backed field).
+  bool integral = false;
 };
 
 #define EHSIM_PARAM(path, expr)                                                       \
@@ -30,7 +32,8 @@ struct Entry {
         },                                                                            \
         [](harvester::HarvesterParams& p, double v) {                                 \
           p.expr = static_cast<std::size_t>(std::llround(v));                         \
-        }}
+        },                                                                            \
+        /*integral=*/true}
 
 const std::vector<Entry>& registry() {
   static const std::vector<Entry> entries = {
@@ -110,6 +113,8 @@ std::vector<std::string> param_paths() {
 double get_param(const harvester::HarvesterParams& params, const std::string& path) {
   return find_entry(path).get(params);
 }
+
+bool is_integer_param(const std::string& path) { return find_entry(path).integral; }
 
 void set_param(harvester::HarvesterParams& params, const std::string& path, double value) {
   find_entry(path).set(params, value);

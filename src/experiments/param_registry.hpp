@@ -31,6 +31,13 @@ struct ParamOverride {
 [[nodiscard]] double get_param(const harvester::HarvesterParams& params,
                                const std::string& path);
 
+/// True when \p path addresses an integer-backed field (multiplier.stages,
+/// multiplier.table_segments) that set_param writes by rounding. Continuous
+/// optimisers must reject such paths: a fractional candidate would be
+/// silently rounded, making the objective a step function of the variable.
+/// Throws ModelError for unknown paths.
+[[nodiscard]] bool is_integer_param(const std::string& path);
+
 /// Write a parameter by path; throws ModelError naming the bad path.
 void set_param(harvester::HarvesterParams& params, const std::string& path, double value);
 

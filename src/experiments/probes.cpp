@@ -185,9 +185,19 @@ double probe_statistic(const ProbeResult& result, const std::string& statistic) 
                    "' (final | min | max | mean | rms | duty_cycle | crossings)");
 }
 
-void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>& probes) {
+void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>& probes,
+                    double duration) {
   for (const ProbeSpec& probe : probes) {
     probe.validate();
+    if (duration > 0.0 && probe.window_start >= duration) {
+      // An empty window would silently report the defined-but-misleading
+      // all-zero statistics (mean/rms/duty_cycle of an empty window are 0
+      // by definition, see ProbeChannel); fail loudly instead.
+      throw ModelError("probe '" + probe.label + "': window_start " +
+                       std::to_string(probe.window_start) +
+                       " is at or past the end of the simulated span (duration " +
+                       std::to_string(duration) + ") — the window can never be reached");
+    }
     ValueFn value = make_value_fn(probe, session);
     core::ProbeWindow window;
     window.start = probe.window_start;

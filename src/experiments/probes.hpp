@@ -90,8 +90,14 @@ struct ProbeResult {
 
 /// Install probe channels (and trace columns for recorded probes) on a built
 /// experiment session. Must run before the session produces points; throws
-/// ModelError for unknown nets/states, naming the probe.
-void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>& probes);
+/// ModelError for unknown nets/states, naming the probe. \p duration is the
+/// simulated span the run will cover: a reduction window that can never
+/// intersect [0, duration] (window_start at or past the end of the run) is
+/// rejected up front — silently reporting all-zero statistics for a window
+/// the run never reaches would be indistinguishable from a real result.
+/// duration <= 0 skips the span check (open-ended sessions).
+void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>& probes,
+                    double duration = 0.0);
 
 /// Collect the per-probe results after the run, in spec order. The session
 /// must be the one the probes were installed on.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "core/trace.hpp"
@@ -63,7 +64,25 @@ sim::HarvesterSession make_experiment_session(const ExperimentSpec& spec,
 
 ScenarioResult run_experiment(const ExperimentSpec& spec,
                               const harvester::HarvesterParams* params_override) {
-  sim::HarvesterSession run = make_experiment_session(spec, params_override);
+  RunOptions options;
+  options.params_override = params_override;
+  return run_experiment(spec, options);
+}
+
+std::vector<double> compute_initial_operating_point(
+    const ExperimentSpec& spec, const harvester::HarvesterParams* params_override,
+    std::uint64_t* init_iterations) {
+  sim::HarvesterSession producer = make_experiment_session(spec, params_override);
+  producer.initialise(0.0);
+  if (init_iterations != nullptr) {
+    *init_iterations = producer.stats().init_iterations;
+  }
+  const std::span<const double> y = producer.terminals();
+  return {y.begin(), y.end()};
+}
+
+ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  sim::HarvesterSession run = make_experiment_session(spec, options.params_override);
 
   const std::size_t bins =
       static_cast<std::size_t>(std::ceil(spec.duration / spec.power_bin_width)) + 1;
@@ -74,9 +93,36 @@ ScenarioResult run_experiment(const ExperimentSpec& spec,
       [&power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
         power_bins.add(t, y[vm] * y[im]);
       });
-  install_probes(run, spec.probes);
+  install_probes(run, spec.probes, spec.duration);
 
-  run.initialise(0.0);
+  WarmStartOutcome warm_start = WarmStartOutcome::kCold;
+  if (!options.initial_terminals.empty()) {
+    bool seeded = run.seed_initial_terminals(options.initial_terminals);
+    if (seeded) {
+      try {
+        run.initialise(0.0);
+      } catch (const SolverError&) {
+        // The seeded consistency iterations failed to converge. Correctness
+        // first: rebuild the session and restart cold below — a warm start
+        // is only ever an accelerator.
+        seeded = false;
+      }
+    }
+    if (!seeded) {  // terminal-count mismatch or seeded non-convergence
+      RunOptions cold = options;
+      cold.initial_terminals = {};
+      ScenarioResult result = run_experiment(spec, cold);
+      result.warm_start = WarmStartOutcome::kRejected;
+      return result;
+    }
+    warm_start = WarmStartOutcome::kSeeded;
+  } else {
+    run.initialise(0.0);
+  }
+  const std::span<const double> y0 = run.terminals();
+  // The converged t=0 operating point, captured before the transient
+  // overwrites it (later warm starts reuse it).
+  const std::vector<double> initial_terminals(y0.begin(), y0.end());
   run.run_until(spec.duration);
 
   ScenarioResult result;
@@ -86,6 +132,8 @@ ScenarioResult run_experiment(const ExperimentSpec& spec,
   result.cpu_seconds = run.cpu_seconds();
   result.stats = run.stats();
   result.shared_diode_table = run.system().multiplier().table_shared();
+  result.warm_start = warm_start;
+  result.initial_terminals = initial_terminals;
   const core::TraceRecorder& trace = run.session().trace();
   result.time = trace.times();
   result.vc = trace.column("Vc");
@@ -131,6 +179,14 @@ ScenarioResult run_experiment(const ExperimentSpec& spec,
 
 std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
                                                std::size_t threads, BatchStats* stats) {
+  BatchOptions options;
+  options.threads = threads;
+  return run_scenario_batch(jobs, options, stats);
+}
+
+std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
+                                               const BatchOptions& options,
+                                               BatchStats* stats) {
   if (jobs.empty()) {
     // Nothing to fan out — don't spin up (and tear down) a thread pool.
     if (stats != nullptr) {
@@ -138,15 +194,68 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     }
     return {};
   }
-  sim::BatchRunner runner(threads);
-  auto results = runner.map_items(jobs, [](const ScenarioJob& job, std::size_t) {
-    return run_experiment(job.spec, job.params ? &*job.params : nullptr);
+
+  // Warm-start phase 1 (serial, opt-in): one cold "producer" init per
+  // structural signature *shared by at least two jobs*. Seeding from the
+  // producer — never from whichever job a worker happened to finish last —
+  // keeps the batch deterministic under any scheduling: every job's seed is
+  // a pure function of the job list. Singleton signatures run cold: a
+  // producer would pay the full cold init serially only for its one
+  // consumer to skip the same iterations — pure overhead.
+  std::uint64_t producer_iterations = 0;
+  std::vector<std::uint64_t> signatures;
+  OperatingPointCache cache;
+  if (options.warm_start) {
+    signatures.reserve(jobs.size());
+    std::unordered_map<std::uint64_t, std::size_t> multiplicity;
+    for (const ScenarioJob& job : jobs) {
+      const harvester::HarvesterParams params =
+          job.params ? *job.params : experiment_params(job.spec);
+      const std::uint64_t signature =
+          operating_point_signature(job.spec, params, options.warm_start_quantum);
+      signatures.push_back(signature);
+      ++multiplicity[signature];
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (multiplicity[signatures[i]] < 2 || cache.find(signatures[i]) != nullptr) {
+        continue;
+      }
+      std::uint64_t iterations = 0;
+      cache.store(signatures[i],
+                  compute_initial_operating_point(
+                      jobs[i].spec, jobs[i].params ? &*jobs[i].params : nullptr, &iterations));
+      producer_iterations += iterations;
+    }
+  }
+
+  sim::BatchRunner runner(options.threads);
+  auto results = runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
+    RunOptions run_options;
+    run_options.params_override = job.params ? &*job.params : nullptr;
+    if (options.warm_start) {
+      if (const std::vector<double>* seed = cache.find(signatures[index])) {
+        run_options.initial_terminals = *seed;
+      }
+    }
+    return run_experiment(job.spec, run_options);
   });
   if (stats != nullptr) {
     stats->jobs = results.size();
     stats->shared_table_hits = static_cast<std::size_t>(
         std::count_if(results.begin(), results.end(),
                       [](const ScenarioResult& r) { return r.shared_diode_table; }));
+    stats->warm_start_hits = static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
+          return r.warm_start == WarmStartOutcome::kSeeded;
+        }));
+    stats->warm_start_rejects = static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
+          return r.warm_start == WarmStartOutcome::kRejected;
+        }));
+    stats->init_iterations = producer_iterations;
+    for (const ScenarioResult& result : results) {
+      stats->init_iterations += result.stats.init_iterations;
+    }
   }
   return results;
 }

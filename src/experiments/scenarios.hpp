@@ -26,12 +26,15 @@
 /// sequences for every engine configuration equally.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "experiments/experiment_spec.hpp"
+#include "experiments/warm_start.hpp"
 #include "harvester/harvester_system.hpp"
 #include "sim/harvester_session.hpp"
 
@@ -46,6 +49,13 @@ namespace ehsim::experiments {
 /// no microcontroller activity.
 [[nodiscard]] ExperimentSpec charging_scenario(double duration);
 
+/// How a job's initial operating point was established.
+enum class WarmStartOutcome {
+  kCold,      ///< consistency iterations started from zero (the default)
+  kSeeded,    ///< started from a cached operating point (warm-start hit)
+  kRejected,  ///< a seed was offered but rejected/failed — cold fallback
+};
+
 struct ScenarioResult {
   std::string scenario;
   std::string engine;
@@ -55,6 +65,10 @@ struct ScenarioResult {
   /// This job's PWL diode table came out of the process-wide shared-table
   /// cache (see pwl/table_cache.hpp) instead of being built privately.
   bool shared_diode_table = false;
+  WarmStartOutcome warm_start = WarmStartOutcome::kCold;
+  /// Converged t=0 terminal vector, captured right after initialisation —
+  /// the operating point later warm starts reuse (not serialised).
+  std::vector<double> initial_terminals;
 
   std::vector<double> time;  ///< decimated trace times
   std::vector<double> vc;    ///< supercapacitor voltage trace
@@ -76,12 +90,37 @@ struct ScenarioResult {
   double rms_power_after = 0.0;
 };
 
+/// Per-run execution options beyond the spec itself.
+struct RunOptions {
+  /// Used instead of experiment_params(spec) when non-null (perturbed-plant
+  /// runs of the synthetic-measurement generator).
+  const harvester::HarvesterParams* params_override = nullptr;
+  /// Non-empty: seed the engine's initial consistency iterations from this
+  /// previously converged terminal vector. The seeded solve converges to the
+  /// engine's own init tolerance; if the engine rejects the seed or the
+  /// seeded solve fails to converge, the run falls back to a cold start and
+  /// the result reports WarmStartOutcome::kRejected.
+  std::span<const double> initial_terminals{};
+};
+
 /// Run an experiment spec on its engine. When \p params_override is non-null
 /// it is used instead of experiment_params(spec) (used by the synthetic-
 /// measurement generator, which perturbs the plant).
 [[nodiscard]] ScenarioResult run_experiment(const ExperimentSpec& spec,
                                             const harvester::HarvesterParams* params_override =
                                                 nullptr);
+
+/// Run an experiment spec with explicit execution options (warm starts).
+[[nodiscard]] ScenarioResult run_experiment(const ExperimentSpec& spec,
+                                            const RunOptions& options);
+
+/// Build a session for \p spec, establish the t=0 operating point and return
+/// the converged terminal vector — the warm-start seed producer (no
+/// transient is run). \p init_iterations, when non-null, receives the
+/// consistency iterations the cold solve spent.
+[[nodiscard]] std::vector<double> compute_initial_operating_point(
+    const ExperimentSpec& spec, const harvester::HarvesterParams* params_override = nullptr,
+    std::uint64_t* init_iterations = nullptr);
 
 /// Build (but do not run) the complete experiment session: harvester model,
 /// excitation schedule, engine and the decimated Vc trace are wired exactly
@@ -105,6 +144,34 @@ struct BatchStats {
   /// cache rather than rebuilt (ROADMAP hot-path item: identical model
   /// structure across a sweep pays for one table build).
   std::size_t shared_table_hits = 0;
+  /// Jobs whose initial operating point was seeded from the warm-start
+  /// cache (0 with BatchOptions::warm_start off).
+  std::size_t warm_start_hits = 0;
+  /// Jobs where a seed was offered but rejected or failed to converge (the
+  /// job fell back to a cold start — correctness unaffected).
+  std::size_t warm_start_rejects = 0;
+  /// Total consistency iterations spent establishing operating points
+  /// across the batch, *including* the warm-start seed producers — the
+  /// honest cost warm starts are measured against.
+  std::uint64_t init_iterations = 0;
+};
+
+/// Execution options of one run_scenario_batch call.
+struct BatchOptions {
+  /// Worker count: 0 picks the hardware concurrency, 1 runs serially.
+  std::size_t threads = 0;
+  /// Opt-in cross-job operating-point warm starts (see warm_start.hpp).
+  /// Before the fan-out, one cold "producer" init runs serially per distinct
+  /// structural signature; every job is then seeded from its signature's
+  /// producer. Seeds are assigned by signature — never by scheduling — so
+  /// parallel warm-started batches stay deterministic and job-order
+  /// reproducible; jobs with exactly equal parameter vectors are even
+  /// bit-identical to their cold runs. Default off: results are byte-
+  /// identical to the pre-warm-start behaviour.
+  bool warm_start = false;
+  /// Relative parameter quantum of the warm-start signature (<= 0: exact
+  /// parameter equality required to share a seed).
+  double warm_start_quantum = kWarmStartQuantum;
 };
 
 /// Execute a sweep of independent scenario jobs across a fixed thread pool.
@@ -114,6 +181,11 @@ struct BatchStats {
 /// empty job vector returns immediately without spinning up the pool.
 [[nodiscard]] std::vector<ScenarioResult> run_scenario_batch(
     const std::vector<ScenarioJob>& jobs, std::size_t threads = 0,
+    BatchStats* stats = nullptr);
+
+/// Batch execution with explicit options (warm starts, thread count).
+[[nodiscard]] std::vector<ScenarioResult> run_scenario_batch(
+    const std::vector<ScenarioJob>& jobs, const BatchOptions& options,
     BatchStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------

@@ -185,13 +185,25 @@ std::vector<ExperimentSpec> SweepSpec::expand() const {
 
 std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep, std::size_t threads,
                                       BatchStats* stats) {
+  BatchOptions options;
+  options.threads = threads;
+  options.warm_start = sweep.warm_start;
+  return run_sweep(sweep, options, stats);
+}
+
+std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep, const BatchOptions& options,
+                                      BatchStats* stats) {
   std::vector<ExperimentSpec> specs = sweep.expand();
   std::vector<ScenarioJob> jobs;
   jobs.reserve(specs.size());
   for (ExperimentSpec& spec : specs) {
     jobs.push_back(ScenarioJob{std::move(spec), std::nullopt});
   }
-  return run_scenario_batch(jobs, threads != 0 ? threads : sweep.threads, stats);
+  BatchOptions batch = options;
+  if (batch.threads == 0) {
+    batch.threads = sweep.threads;
+  }
+  return run_scenario_batch(jobs, batch, stats);
 }
 
 }  // namespace ehsim::experiments

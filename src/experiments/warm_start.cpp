@@ -1,0 +1,55 @@
+#include "experiments/warm_start.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "experiments/engine_kind.hpp"
+
+namespace ehsim::experiments {
+
+namespace {
+
+/// FNV-1a-style mix (the same construction the assembler's Jacobian
+/// signatures use): order-sensitive, cheap, 64-bit.
+void mix(std::uint64_t& hash, std::uint64_t value) {
+  hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+}
+
+/// Quantise one parameter onto a relative grid: values within ~quantum of
+/// each other (relatively) map to the same bucket, so near-identical jobs
+/// share seeds. quantum <= 0 demands exact bitwise equality.
+std::uint64_t quantised(double value, double quantum) {
+  if (!(quantum > 0.0) || !std::isfinite(value)) {
+    return std::bit_cast<std::uint64_t>(value);
+  }
+  if (value == 0.0) {
+    return 0;
+  }
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // |mantissa| in [0.5, 1)
+  const auto steps = static_cast<std::int64_t>(std::llround(mantissa / quantum));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(exponent)) << 32) ^
+         static_cast<std::uint64_t>(steps);
+}
+
+}  // namespace
+
+std::uint64_t operating_point_signature(const ExperimentSpec& spec,
+                                        const harvester::HarvesterParams& params,
+                                        double quantum) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  // Topology + device evaluation mode are functions of the engine kind, the
+  // digital-process flag and the parameter vector (stage counts change the
+  // net list), all hashed below.
+  mix(hash, static_cast<std::uint64_t>(spec.engine));
+  mix(hash, spec.with_mcu ? 1 : 0);
+  // The spec's own t=0 knobs are already folded into the parameter vector by
+  // experiment_params (initial frequency/amplitude, pre-tuned actuator gap),
+  // so hashing every registry path covers them too.
+  for (const std::string& path : param_paths()) {
+    mix(hash, quantised(get_param(params, path), quantum));
+  }
+  return hash;
+}
+
+}  // namespace ehsim::experiments

@@ -1,0 +1,78 @@
+/// \file warm_start.hpp
+/// \brief Cross-job operating-point warm starts for multi-scenario studies.
+///
+/// Parameter studies — the fig9 wide-tuning sweep, golden-section optimise
+/// loops — evaluate hundreds of structurally identical (or near-identical)
+/// models, each paying the full cold-start consistency iterations to
+/// establish the t=0 operating point. This module amortises that cost the
+/// same way the engine amortises Jacobian work across steps: a converged
+/// terminal vector from one job seeds the initial consistency iterations of
+/// the next job with the same *structural signature*.
+///
+/// The signature hashes everything the t=0 operating point depends on —
+/// engine kind (device evaluation mode differs per engine), the digital
+/// process flag, and the full device-parameter vector quantised to a
+/// relative grid — so near-identical jobs collide on purpose. Correctness
+/// never depends on signature quality: a seeded solve still iterates to the
+/// engine's own init tolerance, and a seed the engine cannot accept is
+/// rejected (cold fallback). Jobs whose parameter vectors are *exactly*
+/// equal converge to a bit-identical operating point (the producer's
+/// converged terminals already satisfy the tolerance check), which is what
+/// keeps warm-started parallel batches deterministic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "experiments/experiment_spec.hpp"
+
+namespace ehsim::experiments {
+
+/// Default relative quantum for the signature's parameter grid: jobs whose
+/// parameters agree to ~0.1% share operating-point seeds.
+inline constexpr double kWarmStartQuantum = 1e-3;
+
+/// Structural signature of the t=0 operating point a spec produces.
+/// \p params must be the device parameters the job will actually run with
+/// (experiment_params(spec) or the job's override). \p quantum is the
+/// relative parameter grid; <= 0 requires exact (bitwise) parameter
+/// equality.
+[[nodiscard]] std::uint64_t operating_point_signature(const ExperimentSpec& spec,
+                                                      const harvester::HarvesterParams& params,
+                                                      double quantum = kWarmStartQuantum);
+
+/// Converged-operating-point store keyed by structural signature. Plain
+/// value semantics: the batch layer owns one per batch (populated serially
+/// before the fan-out, read-only during it), the optimise driver owns one
+/// across its evaluation sequence.
+class OperatingPointCache {
+ public:
+  /// Terminal vector for \p signature; null when absent.
+  [[nodiscard]] const std::vector<double>* find(std::uint64_t signature) const {
+    const auto it = seeds_.find(signature);
+    return it == seeds_.end() ? nullptr : &it->second;
+  }
+
+  /// First store per signature wins (the producer's operating point stays
+  /// the seed for every later job, independent of execution order).
+  void store(std::uint64_t signature, std::vector<double> terminals) {
+    seeds_.emplace(signature, std::move(terminals));
+  }
+
+  /// Overwrite a signature's seed. For *serial* consumers only (the optimise
+  /// driver evicting a seed that was rejected, so the deterministic failure
+  /// is not repeated on every later same-signature evaluation); batch
+  /// consumers must keep first-store-wins or seeds would depend on
+  /// execution order.
+  void replace(std::uint64_t signature, std::vector<double> terminals) {
+    seeds_.insert_or_assign(signature, std::move(terminals));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return seeds_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<double>> seeds_;
+};
+
+}  // namespace ehsim::experiments

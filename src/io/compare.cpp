@@ -12,8 +12,22 @@ namespace {
 constexpr std::size_t kMaxDiffs = 64;  // enough to diagnose, bounded output
 
 bool numbers_match(double a, double b, const CompareOptions& options) {
+  // Non-finite values never satisfy a tolerance inequality, so they are
+  // handled deliberately: two NaNs agree (both sides say "undefined" — the
+  // CSV writer emits nan for undefined cells, and NaN != NaN would report a
+  // diff on every such cell), equal infinities agree through a == b, and a
+  // non-finite against anything else is a genuine mismatch.
+  if (std::isnan(a) && std::isnan(b)) {
+    return true;
+  }
   if (a == b) {
     return true;
+  }
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    // An unequal non-finite pair (inf vs -inf, inf vs number, nan vs number)
+    // is always a mismatch — the tolerance inequality below would otherwise
+    // accept anything against an infinity (rtol * inf == inf).
+    return false;
   }
   return std::abs(a - b) <= options.atol + options.rtol * std::max(std::abs(a), std::abs(b));
 }
@@ -166,6 +180,34 @@ std::vector<std::string> compare_json(const JsonValue& expected, const JsonValue
   return diffs;
 }
 
+namespace {
+
+/// A header line is one with at least one non-numeric, non-empty cell
+/// ("time,Vc,probe" qualifies; a pure data row does not).
+bool is_header(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    double value = 0.0;
+    if (!cell.empty() && !parse_number(cell, value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void compare_cell(const std::string& a, const std::string& b, const std::string& where,
+                  const CompareOptions& options, std::vector<std::string>& diffs) {
+  double a_value = 0.0;
+  double b_value = 0.0;
+  const bool a_num = parse_number(a, a_value);
+  const bool b_num = parse_number(b, b_value);
+  const bool match = (a_num && b_num) ? numbers_match(a_value, b_value, options) : a == b;
+  if (!match && diffs.size() < kMaxDiffs) {
+    diffs.push_back(where + ": '" + a + "' vs '" + b + "'");
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> compare_csv(const std::string& expected, const std::string& actual,
                                      const CompareOptions& options) {
   std::vector<std::string> diffs;
@@ -176,6 +218,55 @@ std::vector<std::string> compare_csv(const std::string& expected, const std::str
                     std::to_string(b_lines.size()));
     return diffs;
   }
+  if (a_lines.empty()) {
+    return diffs;
+  }
+
+  // Header-aware mode: multi-column traces ("time,Vc[,probe...]") are
+  // matched column-by-NAME, so a reordered or differing column set is
+  // reported once as missing/extra columns — with every shared column still
+  // compared over all rows — instead of drowning the report in positional
+  // cell diffs (or, worse, passing columns that merely line up by index).
+  const auto a_header = split_cells(a_lines[0]);
+  const auto b_header = split_cells(b_lines[0]);
+  if (is_header(a_header) || is_header(b_header)) {
+    // Shared columns, in expected order; set differences reported once.
+    std::vector<std::pair<std::size_t, std::size_t>> shared;  // (a col, b col)
+    std::vector<std::string> shared_names;
+    for (std::size_t a_col = 0; a_col < a_header.size(); ++a_col) {
+      const auto b_it = std::find(b_header.begin(), b_header.end(), a_header[a_col]);
+      if (b_it == b_header.end()) {
+        diffs.push_back("header: column '" + a_header[a_col] + "' missing in actual");
+      } else {
+        shared.emplace_back(a_col, static_cast<std::size_t>(b_it - b_header.begin()));
+        shared_names.push_back(a_header[a_col]);
+      }
+    }
+    for (const std::string& name : b_header) {
+      if (std::find(a_header.begin(), a_header.end(), name) == a_header.end()) {
+        diffs.push_back("header: column '" + name + "' unexpected in actual");
+      }
+    }
+    for (std::size_t row = 1; row < a_lines.size() && diffs.size() < kMaxDiffs; ++row) {
+      const auto a_cells = split_cells(a_lines[row]);
+      const auto b_cells = split_cells(b_lines[row]);
+      const std::string where = "line " + std::to_string(row + 1);
+      if (a_cells.size() != a_header.size() || b_cells.size() != b_header.size()) {
+        diffs.push_back(where + ": cell count " + std::to_string(a_cells.size()) + " vs " +
+                        std::to_string(b_cells.size()) + " (headers declare " +
+                        std::to_string(a_header.size()) + " vs " +
+                        std::to_string(b_header.size()) + ")");
+        continue;
+      }
+      for (std::size_t i = 0; i < shared.size(); ++i) {
+        compare_cell(a_cells[shared[i].first], b_cells[shared[i].second],
+                     where + " column '" + shared_names[i] + "'", options, diffs);
+      }
+    }
+    return diffs;
+  }
+
+  // Headerless CSV: positional cell-wise comparison.
   for (std::size_t row = 0; row < a_lines.size() && diffs.size() < kMaxDiffs; ++row) {
     const auto a_cells = split_cells(a_lines[row]);
     const auto b_cells = split_cells(b_lines[row]);
@@ -186,16 +277,8 @@ std::vector<std::string> compare_csv(const std::string& expected, const std::str
       continue;
     }
     for (std::size_t col = 0; col < a_cells.size(); ++col) {
-      double a_value = 0.0;
-      double b_value = 0.0;
-      const bool a_num = parse_number(a_cells[col], a_value);
-      const bool b_num = parse_number(b_cells[col], b_value);
-      const bool match = (a_num && b_num) ? numbers_match(a_value, b_value, options)
-                                          : a_cells[col] == b_cells[col];
-      if (!match && diffs.size() < kMaxDiffs) {
-        diffs.push_back(where + " column " + std::to_string(col + 1) + ": '" + a_cells[col] +
-                        "' vs '" + b_cells[col] + "'");
-      }
+      compare_cell(a_cells[col], b_cells[col], where + " column " + std::to_string(col + 1),
+                   options, diffs);
     }
   }
   return diffs;

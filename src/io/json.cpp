@@ -450,8 +450,17 @@ class Parser {
 
 JsonValue::JsonValue(double number) : value_(number) {
   if (!std::isfinite(number)) {
-    throw ModelError("JSON: numbers must be finite");
+    // nan and inf are not JSON tokens: passing them to the writer would
+    // produce an unparseable document, so they are rejected at construction
+    // with the offending value named (finite_or_null() opts into nulls).
+    const char* what = std::isnan(number) ? "nan" : (number > 0.0 ? "inf" : "-inf");
+    throw ModelError(std::string("JSON: numbers must be finite (got ") + what +
+                     "; use JsonValue::finite_or_null to null-encode undefined values)");
   }
+}
+
+JsonValue JsonValue::finite_or_null(double number) {
+  return std::isfinite(number) ? JsonValue(number) : JsonValue(nullptr);
 }
 
 bool JsonValue::as_bool() const {

@@ -30,7 +30,9 @@ class JsonValue {
   JsonValue() : value_(nullptr) {}
   JsonValue(std::nullptr_t) : value_(nullptr) {}
   JsonValue(bool b) : value_(b) {}
-  JsonValue(double number);  // throws ModelError on non-finite values
+  /// Throws ModelError naming the offending value (nan/inf) — JSON cannot
+  /// represent non-finite numbers. Use finite_or_null() to null-encode.
+  JsonValue(double number);
   /// Any other arithmetic type converts through double (beware that
   /// integers above 2^53 lose precision — serialise those as strings).
   template <typename T>
@@ -45,6 +47,14 @@ class JsonValue {
 
   [[nodiscard]] static JsonValue make_object() { return JsonValue(Object{}); }
   [[nodiscard]] static JsonValue make_array() { return JsonValue(Array{}); }
+
+  /// \p number as a JSON number, or null when it is not finite. JSON has no
+  /// nan/inf tokens — a writer that passed them through to_chars would emit
+  /// an unparseable document — so measured quantities that can legitimately
+  /// be undefined are encoded through this helper; everything else keeps the
+  /// throwing double constructor (a non-finite spec field is a bug worth a
+  /// loud error, not a silent null).
+  [[nodiscard]] static JsonValue finite_or_null(double number);
 
   [[nodiscard]] Type type() const noexcept { return static_cast<Type>(value_.index()); }
   [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }

@@ -337,6 +337,9 @@ JsonValue to_json(const SweepSpec& sweep) {
   json.set("base", std::move(base));
   json.set("mode", sweep.mode == SweepSpec::Mode::kGrid ? "grid" : "zip");
   json.set("threads", static_cast<double>(sweep.threads));
+  if (sweep.warm_start) {  // default-off: omitted so existing specs round-trip unchanged
+    json.set("warm_start", true);
+  }
   JsonValue axes = JsonValue::make_array();
   for (const SweepAxis& axis : sweep.axes) {
     JsonValue entry = JsonValue::make_object();
@@ -361,7 +364,7 @@ JsonValue to_json(const SweepSpec& sweep) {
 }
 
 SweepSpec sweep_from_json(const JsonValue& json) {
-  check_keys(json, {"type", "base", "mode", "threads", "axes"}, "sweep spec");
+  check_keys(json, {"type", "base", "mode", "threads", "warm_start", "axes"}, "sweep spec");
   SweepSpec sweep;
   sweep.base = experiment_from_json(json.at("base"));
   if (const JsonValue* mode = json.find("mode")) {
@@ -379,6 +382,7 @@ SweepSpec sweep_from_json(const JsonValue& json) {
     throw ModelError("sweep threads must be a non-negative integer");
   }
   sweep.threads = static_cast<std::size_t>(threads);
+  sweep.warm_start = bool_or(json, "warm_start", sweep.warm_start);
   for (const JsonValue& entry : json.at("axes").as_array()) {
     check_keys(entry, {"param", "values", "engines"}, "sweep axis");
     SweepAxis axis;
@@ -420,6 +424,9 @@ JsonValue to_json(const OptimiseSpec& spec) {
   json.set("objective", spec.objective);
   json.set("statistic", spec.statistic);
   json.set("maximise", spec.maximise);
+  if (spec.warm_start) {  // default-off: omitted so existing specs round-trip unchanged
+    json.set("warm_start", true);
+  }
   json.set("max_evaluations", static_cast<double>(spec.max_evaluations));
   json.set("x_tolerance", spec.x_tolerance);
   return json;
@@ -448,6 +455,7 @@ OptimiseSpec optimise_from_json(const JsonValue& json) {
     spec.statistic = statistic->as_string();
   }
   spec.maximise = bool_or(json, "maximise", spec.maximise);
+  spec.warm_start = bool_or(json, "warm_start", spec.warm_start);
   const double budget = number_or(json, "max_evaluations",
                                   static_cast<double>(spec.max_evaluations));
   if (budget < 0.0 || budget != std::floor(budget)) {
@@ -500,10 +508,23 @@ JsonValue to_json(const ScenarioResult& result) {
   stats.set("max_step", result.stats.max_step);
   json.set("stats", std::move(stats));
 
-  json.set("final_vc", result.final_vc);
-  json.set("final_resonance_hz", result.final_resonance_hz);
-  json.set("rms_power_before", result.rms_power_before);
-  json.set("rms_power_after", result.rms_power_after);
+  // Measured quantities are null-encoded when non-finite: a pathological
+  // run (diverged probe expression, empty reduction) must still produce a
+  // parseable result document instead of crashing the writer after the
+  // simulation already ran.
+  if (result.warm_start != experiments::WarmStartOutcome::kCold) {
+    JsonValue warm = JsonValue::make_object();
+    warm.set("outcome", result.warm_start == experiments::WarmStartOutcome::kSeeded
+                            ? "seeded"
+                            : "rejected");
+    warm.set("init_iterations", result.stats.init_iterations);
+    json.set("warm_start", std::move(warm));
+  }
+
+  json.set("final_vc", JsonValue::finite_or_null(result.final_vc));
+  json.set("final_resonance_hz", JsonValue::finite_or_null(result.final_resonance_hz));
+  json.set("rms_power_before", JsonValue::finite_or_null(result.rms_power_before));
+  json.set("rms_power_after", JsonValue::finite_or_null(result.rms_power_after));
 
   if (!result.probes.empty()) {
     JsonValue probes = JsonValue::make_array();
@@ -511,14 +532,14 @@ JsonValue to_json(const ScenarioResult& result) {
       JsonValue entry = JsonValue::make_object();
       entry.set("label", probe.label);
       entry.set("samples", static_cast<double>(probe.samples));
-      entry.set("covered_time", probe.covered_time);
-      entry.set("final", probe.final_value);
-      entry.set("min", probe.minimum);
-      entry.set("max", probe.maximum);
-      entry.set("mean", probe.mean);
-      entry.set("rms", probe.rms);
+      entry.set("covered_time", JsonValue::finite_or_null(probe.covered_time));
+      entry.set("final", JsonValue::finite_or_null(probe.final_value));
+      entry.set("min", JsonValue::finite_or_null(probe.minimum));
+      entry.set("max", JsonValue::finite_or_null(probe.maximum));
+      entry.set("mean", JsonValue::finite_or_null(probe.mean));
+      entry.set("rms", JsonValue::finite_or_null(probe.rms));
       if (probe.duty_cycle) {
-        entry.set("duty_cycle", *probe.duty_cycle);
+        entry.set("duty_cycle", JsonValue::finite_or_null(*probe.duty_cycle));
       }
       if (probe.crossings) {
         entry.set("crossings", static_cast<double>(*probe.crossings));
@@ -554,7 +575,7 @@ JsonValue to_json(const ScenarioResult& result) {
     }
     entry.set("time", event.time);
     entry.set("type", type);
-    entry.set("value", event.value);
+    entry.set("value", JsonValue::finite_or_null(event.value));
     events.push_back(std::move(entry));
   }
   json.set("mcu_events", std::move(events));
@@ -565,8 +586,8 @@ JsonValue to_json(const ScenarioResult& result) {
   JsonValue rms = JsonValue::make_array();
   for (std::size_t i = 0; i < result.power_time.size(); ++i) {
     time.push_back(result.power_time[i]);
-    mean.push_back(result.power_mean[i]);
-    rms.push_back(result.power_rms[i]);
+    mean.push_back(JsonValue::finite_or_null(result.power_mean[i]));
+    rms.push_back(JsonValue::finite_or_null(result.power_rms[i]));
   }
   power.set("time", std::move(time));
   power.set("mean", std::move(mean));
@@ -586,7 +607,7 @@ JsonValue to_json(const OptimiseResult& result) {
 
   JsonValue best = JsonValue::make_object();
   best.set("x", result.best.x);
-  best.set("objective", result.best.value);
+  best.set("objective", JsonValue::finite_or_null(result.best.value));
   best.set("evaluations", static_cast<double>(result.best.evaluations));
   json.set("best", std::move(best));
 
@@ -594,10 +615,18 @@ JsonValue to_json(const OptimiseResult& result) {
   for (const OptimiseEvaluation& evaluation : result.evaluations) {
     JsonValue entry = JsonValue::make_object();
     entry.set("x", evaluation.x);
-    entry.set("objective", evaluation.objective);
+    entry.set("objective", JsonValue::finite_or_null(evaluation.objective));
     evaluations.push_back(std::move(entry));
   }
   json.set("evaluations", std::move(evaluations));
+
+  if (result.warm_start) {
+    JsonValue warm = JsonValue::make_object();
+    warm.set("hits", static_cast<double>(result.warm_start_hits));
+    warm.set("rejects", static_cast<double>(result.warm_start_rejects));
+    warm.set("init_iterations", result.init_iterations);
+    json.set("warm_start", std::move(warm));
+  }
 
   json.set("best_run", to_json(result.best_run));
   return json;

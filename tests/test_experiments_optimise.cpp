@@ -184,6 +184,33 @@ TEST(OptimiseSpecValidation, RejectsInconsistentSpecs) {
   EXPECT_THROW(no_tolerance.validate(), ModelError);
 }
 
+/// Regression: golden section over an integer-backed device parameter used
+/// to evaluate fractional candidates that set_param silently rounds — the
+/// objective became a step function with spurious plateaus and the "optimum"
+/// a fractional stage count. Such variables are now rejected up front,
+/// naming the path.
+TEST(OptimiseSpecValidation, RejectsIntegerValuedVariablePaths) {
+  for (const char* path : {"multiplier.stages", "multiplier.table_segments"}) {
+    OptimiseSpec spec = tiny_optimise_spec();
+    spec.variable = path;
+    spec.lower = 2.0;
+    spec.upper = 9.0;
+    try {
+      spec.validate();
+      FAIL() << "expected ModelError for integer-valued variable " << path;
+    } catch (const ModelError& error) {
+      EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("integer-valued"), std::string::npos);
+    }
+  }
+  // Continuous device parameters and spec fields stay accepted.
+  OptimiseSpec continuous = tiny_optimise_spec();
+  continuous.variable = "multiplier.stage_capacitance";
+  continuous.lower = 1e-7;
+  continuous.upper = 1e-6;
+  EXPECT_NO_THROW(continuous.validate());
+}
+
 TEST(OptimiseDriver, ExhaustsIterationCapAndLogsEveryEvaluation) {
   // Stored energy grows monotonically with the precharge, so the bracket
   // never collapses and only the evaluation budget stops the search.

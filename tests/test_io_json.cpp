@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -144,6 +145,15 @@ TEST(SpecJson, SweepRoundTripsLosslessly) {
       SweepAxis{{}, {}, {EngineKind::kProposed, EngineKind::kPspice}});
   EXPECT_EQ(ehsim::io::sweep_from_json(JsonValue::parse(ehsim::io::to_json(engines).dump())),
             engines);
+
+  // warm_start round-trips, and — because it defaults off — is omitted from
+  // documents that never set it (existing spec files stay byte-identical).
+  sweep.warm_start = true;
+  const JsonValue warm_json = ehsim::io::to_json(sweep);
+  EXPECT_TRUE(warm_json.at("warm_start").as_bool());
+  EXPECT_EQ(ehsim::io::sweep_from_json(JsonValue::parse(warm_json.dump(2))), sweep);
+  sweep.warm_start = false;
+  EXPECT_FALSE(ehsim::io::to_json(sweep).contains("warm_start"));
 }
 
 TEST(SpecJson, OptimiseRoundTripsLosslessly) {
@@ -168,6 +178,13 @@ TEST(SpecJson, OptimiseRoundTripsLosslessly) {
   EXPECT_EQ(*file.optimise, spec);
   EXPECT_FALSE(file.experiment.has_value());
   EXPECT_FALSE(file.sweep.has_value());
+
+  // warm_start round-trips and is omitted while default-off.
+  EXPECT_FALSE(ehsim::io::to_json(spec).contains("warm_start"));
+  spec.warm_start = true;
+  EXPECT_EQ(ehsim::io::optimise_from_json(
+                JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
+            spec);
 }
 
 TEST(SpecJson, StrictParsingRejectsUnknownProbeAndOptimiseKeys) {
@@ -305,6 +322,86 @@ TEST(Compare, CsvCellwiseNumericTolerance) {
   EXPECT_FALSE(ehsim::io::compare_csv(a, c, options).empty());
   const std::string d = "time,Vc\n0,1\n";
   EXPECT_FALSE(ehsim::io::compare_csv(a, d, options).empty());
+}
+
+// ---- non-finite values: the writer policy and the compare policy ----------
+
+/// Regression: nan/inf are not JSON tokens. The number constructor rejects
+/// them naming the value; measured result quantities opt into null-encoding
+/// so a pathological run still yields a parseable document.
+TEST(Json, NonFiniteNumbersAreRejectedWithAClearErrorOrNullEncoded) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  try {
+    (void)JsonValue(nan);
+    FAIL() << "expected ModelError for a NaN JSON number";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("nan"), std::string::npos);
+  }
+  try {
+    (void)JsonValue(-inf);
+    FAIL() << "expected ModelError for an infinite JSON number";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("-inf"), std::string::npos);
+  }
+  EXPECT_TRUE(JsonValue::finite_or_null(nan).is_null());
+  EXPECT_TRUE(JsonValue::finite_or_null(inf).is_null());
+  EXPECT_EQ(JsonValue::finite_or_null(1.5).as_number(), 1.5);
+}
+
+TEST(ResultJson, NonFiniteMeasurementsNullEncodeIntoValidJson) {
+  ExperimentSpec spec = charging_scenario(0.05);
+  spec.trace_interval = 0.0;
+  ScenarioResult result = run_experiment(spec);
+  result.final_vc = std::nan("");
+  result.rms_power_after = std::numeric_limits<double>::infinity();
+  const JsonValue json = ehsim::io::to_json(result);
+  EXPECT_TRUE(json.at("final_vc").is_null());
+  EXPECT_TRUE(json.at("rms_power_after").is_null());
+  // The document stays valid JSON end to end.
+  EXPECT_EQ(JsonValue::parse(json.dump(2)), json);
+}
+
+/// Regression: NaN-vs-NaN used to report a diff on every undefined cell
+/// (NaN != NaN and no tolerance inequality holds); both sides agreeing the
+/// value is undefined is a match by policy. NaN against a number stays a
+/// mismatch.
+TEST(Compare, NanAgreesWithNanAndDisagreesWithNumbers) {
+  CompareOptions options;
+  EXPECT_TRUE(ehsim::io::compare_csv("v\nnan\n", "v\nnan\n", options).empty());
+  EXPECT_TRUE(ehsim::io::compare_csv("v\ninf\n", "v\ninf\n", options).empty());
+  EXPECT_FALSE(ehsim::io::compare_csv("v\nnan\n", "v\n1.0\n", options).empty());
+  EXPECT_FALSE(ehsim::io::compare_csv("v\ninf\n", "v\n-inf\n", options).empty());
+}
+
+/// Regression: the CSV compare predates multi-column `time,Vc[,probe...]`
+/// traces. It now matches columns by header name — reordered columns
+/// compare clean, and a differing column set is reported once as a header
+/// diff (with shared columns still compared) instead of drowning the report
+/// in positional cell mismatches.
+TEST(Compare, CsvComparesProbeColumnsByHeaderName) {
+  CompareOptions options;
+  // Same data, probe columns in a different order: a match.
+  const std::string expected = "time,Vc,P_gen\n0,1,5\n0.5,2,6\n";
+  const std::string reordered = "time,P_gen,Vc\n0,5,1\n0.5,6,2\n";
+  EXPECT_TRUE(ehsim::io::compare_csv(expected, reordered, options).empty());
+
+  // A probe column missing from actual: one header diff naming the column,
+  // and the shared columns are still compared (the Vc mismatch on line 3).
+  const std::string missing = "time,Vc\n0,1\n0.5,9\n";
+  const auto diffs = ehsim::io::compare_csv(expected, missing, options);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_NE(diffs[0].find("'P_gen' missing in actual"), std::string::npos);
+  EXPECT_NE(diffs[1].find("column 'Vc'"), std::string::npos);
+
+  // An extra column in actual is reported symmetrically.
+  const auto extra = ehsim::io::compare_csv(missing, expected, options);
+  ASSERT_EQ(extra.size(), 2u);
+  EXPECT_NE(extra[0].find("'P_gen' unexpected in actual"), std::string::npos);
+
+  // Headerless (all-numeric) CSV keeps the positional comparison.
+  EXPECT_TRUE(ehsim::io::compare_csv("1,2\n", "1,2\n", options).empty());
+  EXPECT_FALSE(ehsim::io::compare_csv("1,2\n", "2,1\n", options).empty());
 }
 
 // ---- the checked-in spec files match the canned C++ specs -----------------

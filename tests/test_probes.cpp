@@ -155,6 +155,46 @@ TEST(ProbeSpec, UnknownNetAndStateFailAtInstallTime) {
   EXPECT_THROW((void)run_experiment(spec), ModelError);
 }
 
+/// Regression: a reduction window starting at or past the end of the run can
+/// never be reached — it used to install silently and report all-zero
+/// statistics indistinguishable from a real result. It now fails at install
+/// time, naming the probe.
+TEST(ProbeSpec, WindowBeyondSimulatedSpanFailsAtInstallTime) {
+  ExperimentSpec spec = charging_scenario(0.2);
+  spec.probes.push_back(
+      ProbeSpec{"late", ProbeSpec::Kind::kGeneratorPower, "", /*window_start=*/1.0});
+  try {
+    (void)run_experiment(spec);
+    FAIL() << "expected ModelError for an unreachable probe window";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("late"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("never be reached"), std::string::npos);
+  }
+  // window_start exactly at the end of the span is equally unreachable as a
+  // *window* (zero measure); rejected too.
+  spec.probes.back().window_start = 0.2;
+  EXPECT_THROW((void)run_experiment(spec), ModelError);
+  // A window that merely extends past the end is fine — it is clipped.
+  spec.probes.back().window_start = 0.1;
+  spec.probes.back().window_end = 5.0;
+  EXPECT_NO_THROW((void)run_experiment(spec));
+}
+
+/// Empty-window statistics are defined (zeros), never NaN — the guard the
+/// window validation backs up for windows that are reachable but see no
+/// samples (and for direct core-layer users who bypass install_probes).
+TEST(ProbeChannel, EmptyWindowStatisticsAreDefined) {
+  ManualProbe probe(ProbeWindow{10.0, 20.0});
+  probe.push(0.0, 1.0);
+  probe.push(1.0, 2.0);  // entirely before the window
+  EXPECT_TRUE(probe.channel.empty());
+  EXPECT_EQ(probe.channel.covered_time(), 0.0);
+  EXPECT_EQ(probe.channel.mean(), 0.0);
+  EXPECT_EQ(probe.channel.rms(), 0.0);
+  EXPECT_EQ(probe.channel.duty_cycle(), 0.0);
+  EXPECT_TRUE(std::isfinite(probe.channel.mean()));
+}
+
 // ---- end-to-end on the real model -----------------------------------------
 
 ExperimentSpec probed_charging(double duration) {

@@ -1,0 +1,264 @@
+/// \file test_warm_start.cpp
+/// \brief Cross-job operating-point warm starts: engine seeding API,
+/// batch/optimise integration, counters and determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "experiments/scenarios.hpp"
+#include "experiments/warm_start.hpp"
+#include "sim/harvester_session.hpp"
+
+namespace {
+
+using namespace ehsim::experiments;
+using ehsim::ModelError;
+
+/// Fast MCU-less run: supercap charging with a mid-run ambient step that
+/// does NOT affect the t=0 operating point (so jobs differing only in the
+/// step frequency share one structural signature).
+ExperimentSpec charging_variant(double step_to_hz) {
+  ExperimentSpec spec = charging_scenario(0.4);
+  spec.name = "warm-start-charging-" + std::to_string(step_to_hz);
+  spec.trace_interval = 0.02;
+  spec.excitation.step_frequency(0.2, step_to_hz);
+  return spec;
+}
+
+bool results_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  return a.time == b.time && a.vc == b.vc && a.final_vc == b.final_vc &&
+         a.stats.steps == b.stats.steps && a.final_resonance_hz == b.final_resonance_hz;
+}
+
+// ---- engine / session seeding API -----------------------------------------
+
+TEST(WarmStartApi, SessionRejectsWrongSizeSeedAndConsumesGoodOnes) {
+  const ExperimentSpec spec = charging_scenario(0.1);
+  {
+    ehsim::sim::HarvesterSession session = make_experiment_session(spec);
+    const std::vector<double> wrong(3, 0.0);
+    EXPECT_FALSE(session.seed_initial_terminals(wrong));
+    session.initialise(0.0);
+    // Seeding after initialise is a lifecycle error, not a silent no-op.
+    const std::vector<double> late(session.terminals().size(), 0.0);
+    EXPECT_THROW((void)session.seed_initial_terminals(late), ModelError);
+  }
+  {
+    ehsim::sim::HarvesterSession cold = make_experiment_session(spec);
+    cold.initialise(0.0);
+    const std::vector<double> seed(cold.terminals().begin(), cold.terminals().end());
+
+    ehsim::sim::HarvesterSession warm = make_experiment_session(spec);
+    EXPECT_TRUE(warm.seed_initial_terminals(seed));
+    warm.initialise(0.0);
+    // Seeded with an already-converged operating point, the consistency
+    // check passes immediately: zero iterations and the exact same vector.
+    EXPECT_EQ(warm.stats().init_iterations, 0u);
+    EXPECT_GT(cold.stats().init_iterations, 0u);
+    const auto y_cold = cold.terminals();
+    const auto y_warm = warm.terminals();
+    ASSERT_EQ(y_cold.size(), y_warm.size());
+    for (std::size_t i = 0; i < y_cold.size(); ++i) {
+      EXPECT_EQ(y_cold[i], y_warm[i]) << i;
+    }
+  }
+}
+
+TEST(WarmStartApi, SeededRunMatchesColdBitForBit) {
+  const ExperimentSpec spec = charging_variant(71.0);
+  const ScenarioResult cold = run_experiment(spec);
+  EXPECT_EQ(cold.warm_start, WarmStartOutcome::kCold);
+  EXPECT_GT(cold.stats.init_iterations, 0u);
+  ASSERT_FALSE(cold.initial_terminals.empty());
+
+  RunOptions options;
+  options.initial_terminals = cold.initial_terminals;
+  const ScenarioResult warm = run_experiment(spec, options);
+  EXPECT_EQ(warm.warm_start, WarmStartOutcome::kSeeded);
+  EXPECT_EQ(warm.stats.init_iterations, 0u);
+  // A seed that is exactly this job's converged operating point leaves the
+  // whole transient bit-identical to the cold run.
+  EXPECT_TRUE(results_bit_identical(cold, warm));
+}
+
+TEST(WarmStartApi, RejectedSeedFallsBackToColdRun) {
+  const ExperimentSpec spec = charging_variant(71.0);
+  const ScenarioResult cold = run_experiment(spec);
+
+  const std::vector<double> wrong_size(3, 0.0);
+  RunOptions options;
+  options.initial_terminals = wrong_size;
+  const ScenarioResult fallback = run_experiment(spec, options);
+  EXPECT_EQ(fallback.warm_start, WarmStartOutcome::kRejected);
+  EXPECT_TRUE(results_bit_identical(cold, fallback));
+}
+
+// ---- structural signatures ------------------------------------------------
+
+TEST(WarmStartSignature, CollidesOnStructureAndSplitsOnParameters) {
+  const ExperimentSpec a = charging_variant(69.0);
+  const ExperimentSpec b = charging_variant(75.0);  // differs mid-run only
+  const auto params_a = experiment_params(a);
+  const auto params_b = experiment_params(b);
+  EXPECT_EQ(operating_point_signature(a, params_a), operating_point_signature(b, params_b));
+
+  ExperimentSpec other_engine = a;
+  other_engine.engine = EngineKind::kSystemCA;
+  EXPECT_NE(operating_point_signature(other_engine, experiment_params(other_engine)),
+            operating_point_signature(a, params_a));
+
+  ExperimentSpec precharged = a;
+  precharged.overrides.back().value = 2.0;  // supercap.initial_voltage 0 -> 2
+  EXPECT_NE(operating_point_signature(precharged, experiment_params(precharged)),
+            operating_point_signature(a, params_a));
+
+  // Near-identical parameters collide on the quantised grid; far ones split.
+  ExperimentSpec nudged = a;
+  nudged.pre_tuned_hz = 70.0 * (1.0 + 1e-6);
+  EXPECT_EQ(operating_point_signature(nudged, experiment_params(nudged)),
+            operating_point_signature(a, params_a));
+  // quantum <= 0 demands exact parameter equality.
+  EXPECT_NE(operating_point_signature(nudged, experiment_params(nudged), 0.0),
+            operating_point_signature(a, params_a, 0.0));
+}
+
+// ---- batch integration ----------------------------------------------------
+
+TEST(WarmStartBatch, CountersShowTheWinAndResultsStayBitIdentical) {
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {69.0, 71.0, 73.0, 75.0}) {
+    jobs.push_back(ScenarioJob{charging_variant(hz), std::nullopt});
+  }
+
+  BatchStats cold_stats;
+  const auto cold = run_scenario_batch(jobs, BatchOptions{.threads = 1}, &cold_stats);
+  EXPECT_EQ(cold_stats.warm_start_hits, 0u);
+  EXPECT_EQ(cold_stats.warm_start_rejects, 0u);
+  EXPECT_GT(cold_stats.init_iterations, 0u);
+
+  BatchStats warm_stats;
+  const auto warm = run_scenario_batch(
+      jobs, BatchOptions{.threads = 1, .warm_start = true}, &warm_stats);
+  ASSERT_EQ(warm.size(), cold.size());
+  EXPECT_EQ(warm_stats.warm_start_hits, jobs.size());
+  EXPECT_EQ(warm_stats.warm_start_rejects, 0u);
+  // The honest accounting (including the one serial producer init) still
+  // beats paying the full cold start in every job.
+  EXPECT_LT(warm_stats.init_iterations, cold_stats.init_iterations);
+
+  // Identical initial parameter vectors: every seeded job converges to the
+  // producer's operating point exactly, so the transients are bit-identical
+  // to their cold runs.
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].warm_start, WarmStartOutcome::kSeeded) << i;
+    EXPECT_TRUE(results_bit_identical(cold[i], warm[i])) << i;
+  }
+}
+
+TEST(WarmStartBatch, ParallelWarmStartedBatchIsDeterministic) {
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {68.0, 70.5, 73.0, 75.5}) {
+    jobs.push_back(ScenarioJob{charging_variant(hz), std::nullopt});
+  }
+  const auto serial = run_scenario_batch(
+      jobs, BatchOptions{.threads = 1, .warm_start = true}, nullptr);
+  const auto parallel = run_scenario_batch(
+      jobs, BatchOptions{.threads = 4, .warm_start = true}, nullptr);
+  ASSERT_EQ(serial.size(), parallel.size());
+  // Seeds are assigned by structural signature before the fan-out — never by
+  // worker scheduling — so the parallel batch is bit-identical to serial.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(results_bit_identical(serial[i], parallel[i])) << i;
+  }
+}
+
+TEST(WarmStartBatch, MixedSignaturesSeedWithinTheirGroupOnly) {
+  // Two structural groups: empty supercap and 2 V precharge. Each group's
+  // producer must seed only its own members — a cross-group seed would still
+  // converge, but the hit counters pin the intended grouping.
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {70.0, 72.0}) {
+    jobs.push_back(ScenarioJob{charging_variant(hz), std::nullopt});
+    ExperimentSpec precharged = charging_variant(hz);
+    precharged.name += "-precharged";
+    precharged.overrides.back().value = 2.0;
+    jobs.push_back(ScenarioJob{precharged, std::nullopt});
+  }
+  BatchStats stats;
+  const auto results =
+      run_scenario_batch(jobs, BatchOptions{.threads = 1, .warm_start = true}, &stats);
+  EXPECT_EQ(stats.warm_start_hits, jobs.size());
+  EXPECT_EQ(stats.warm_start_rejects, 0u);
+  // Every job was seeded with its own group's exact operating point, so all
+  // four are bit-identical to their cold runs.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ScenarioResult cold = run_experiment(jobs[i].spec);
+    EXPECT_TRUE(results_bit_identical(cold, results[i])) << i;
+  }
+}
+
+TEST(WarmStartBatch, SingletonSignaturesRunColdWithoutProducerOverhead) {
+  // Jobs that differ beyond the quantum share nothing: a producer would pay
+  // the full cold init serially only for its one consumer to skip the same
+  // iterations. Such jobs run cold — the option must never make a batch pay
+  // more consistency iterations than cold-start.
+  std::vector<ScenarioJob> jobs;
+  for (const double precharge : {0.0, 1.0, 2.0, 3.0}) {
+    ExperimentSpec spec = charging_variant(71.0);
+    spec.name += "-v" + std::to_string(precharge);
+    spec.overrides.back().value = precharge;
+    jobs.push_back(ScenarioJob{spec, std::nullopt});
+  }
+  BatchStats cold_stats;
+  const auto cold = run_scenario_batch(jobs, BatchOptions{.threads = 1}, &cold_stats);
+  BatchStats warm_stats;
+  const auto warm = run_scenario_batch(
+      jobs, BatchOptions{.threads = 1, .warm_start = true}, &warm_stats);
+  EXPECT_EQ(warm_stats.warm_start_hits, 0u);
+  EXPECT_EQ(warm_stats.warm_start_rejects, 0u);
+  EXPECT_EQ(warm_stats.init_iterations, cold_stats.init_iterations);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].warm_start, WarmStartOutcome::kCold) << i;
+    EXPECT_TRUE(results_bit_identical(cold[i], warm[i])) << i;
+  }
+}
+
+// ---- optimise integration -------------------------------------------------
+
+TEST(WarmStartOptimise, GoldenSectionEvaluationsReuseOperatingPoints) {
+  OptimiseSpec spec;
+  spec.name = "warm-start-optimise";
+  spec.base = charging_scenario(0.05);
+  spec.base.trace_interval = 0.0;
+  spec.base.probes.push_back(ProbeSpec{"E", ProbeSpec::Kind::kStoredEnergy});
+  spec.variable = "supercap.initial_voltage";
+  spec.lower = 0.99;
+  spec.upper = 1.01;
+  spec.objective = "E";
+  spec.statistic = "final";
+  spec.max_evaluations = 10;
+  spec.x_tolerance = 1e-6;
+
+  const OptimiseResult cold = run_optimise(spec);
+  EXPECT_FALSE(cold.warm_start);
+  EXPECT_EQ(cold.warm_start_hits, 0u);
+  EXPECT_GT(cold.init_iterations, 0u);
+
+  OptimiseSpec warm_spec = spec;
+  warm_spec.warm_start = true;
+  const OptimiseResult warm = run_optimise(warm_spec);
+  EXPECT_TRUE(warm.warm_start);
+  EXPECT_GT(warm.warm_start_hits, 0u);
+  EXPECT_LT(warm.init_iterations, cold.init_iterations);
+  // Seeded evaluations converge to the same tolerance as cold ones: the
+  // search must land on the same optimum to within its own bracket width.
+  EXPECT_EQ(warm.evaluations.size(), cold.evaluations.size());
+  EXPECT_NEAR(warm.best.x, cold.best.x, 1e-4);
+  const double scale = std::max(std::abs(cold.best.value), 1e-12);
+  EXPECT_LT(std::abs(warm.best.value - cold.best.value) / scale, 1e-6);
+}
+
+}  // namespace

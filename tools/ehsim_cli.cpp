@@ -6,9 +6,9 @@
 /// axes, and this driver executes it through the same run_experiment /
 /// BatchRunner path the C++ API uses.
 ///
-///   ehsim run spec.json [--threads N] [--out DIR] [--probes LIST] [--quiet]
-///   ehsim sweep sweep.json [--threads N] [--out DIR] [--probes LIST] [--quiet]
-///   ehsim optimise optimise.json [--out DIR] [--quiet]
+///   ehsim run spec.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
+///   ehsim sweep sweep.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
+///   ehsim optimise optimise.json [--warm-start] [--out DIR] [--quiet]
 ///   ehsim echo spec.json
 ///   ehsim compare expected actual [--rtol R] [--atol A] [--ignore k1,k2,...]
 ///   ehsim params
@@ -49,14 +49,19 @@ int usage(std::FILE* where = stderr) {
   std::fprintf(where,
                "usage: ehsim <command> [args]\n"
                "\n"
-               "  run <spec.json> [--threads N] [--out DIR] [--probes LIST] [--quiet]\n"
+               "  run <spec.json> [--threads N] [--warm-start] [--out DIR] [--probes LIST]\n"
+               "      [--quiet]\n"
                "      Execute an experiment or sweep spec; write per-job\n"
                "      <name>.result.json and <name>.trace.csv under --out (default .).\n"
                "      --probes appends quick probes (comma list of net:<name>,\n"
                "      state:<block.state>, power, harvested, energy) to the spec.\n"
-               "  sweep <sweep.json> [--threads N] [--out DIR] [--probes LIST] [--quiet]\n"
+               "      --warm-start seeds each job's initial operating point from a\n"
+               "      structurally identical prior job (same results within solver\n"
+               "      tolerance, fewer consistency iterations; off by default).\n"
+               "  sweep <sweep.json> [--threads N] [--warm-start] [--out DIR]\n"
+               "      [--probes LIST] [--quiet]\n"
                "      Like run, but requires a sweep spec.\n"
-               "  optimise <optimise.json> [--out DIR] [--quiet]\n"
+               "  optimise <optimise.json> [--warm-start] [--out DIR] [--quiet]\n"
                "      Run a declarative golden-section optimisation; write the\n"
                "      search log + optimum as <name>.optimise.json and the best\n"
                "      run's result/trace files under --out.\n"
@@ -76,6 +81,7 @@ struct RunArgs {
   std::size_t threads = 0;
   std::string out_dir = ".";
   std::string probes;  ///< comma list of --probes shorthands (may be empty)
+  bool warm_start = false;
   bool quiet = false;
 };
 
@@ -89,6 +95,8 @@ std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
       run.out_dir = args[++i];
     } else if (arg == "--probes" && i + 1 < args.size()) {
       run.probes = args[++i];
+    } else if (arg == "--warm-start") {
+      run.warm_start = true;
     } else if (arg == "--quiet") {
       run.quiet = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -207,6 +215,12 @@ void print_summary(const std::vector<experiments::ScenarioResult>& results,
     std::printf("%zu jobs, %zu shared diode-table hits\n", batch->jobs,
                 batch->shared_table_hits);
   }
+  if (batch != nullptr && (batch->warm_start_hits > 0 || batch->warm_start_rejects > 0)) {
+    std::printf("warm starts: %zu seeded, %zu rejected, %llu total consistency "
+                "iterations\n",
+                batch->warm_start_hits, batch->warm_start_rejects,
+                static_cast<unsigned long long>(batch->init_iterations));
+  }
 }
 
 int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
@@ -231,11 +245,18 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
 
   std::vector<experiments::ScenarioResult> results;
   experiments::BatchStats batch;
+  experiments::BatchOptions options;
+  options.threads = run->threads;
+  options.warm_start = run->warm_start;
   if (file.sweep) {
-    results = experiments::run_sweep(*file.sweep, run->threads, &batch);
+    options.warm_start = options.warm_start || file.sweep->warm_start;
+    results = experiments::run_sweep(*file.sweep, options, &batch);
   } else {
-    results.push_back(experiments::run_experiment(*file.experiment));
-    batch.jobs = 1;
+    // Single experiments route through the batch layer too, so --warm-start
+    // and the counters behave uniformly (one job: the producer seeds it).
+    options.threads = 1;  // one job — run inline, never spin up a pool
+    results = experiments::run_scenario_batch(
+        {experiments::ScenarioJob{*file.experiment, std::nullopt}}, options, &batch);
   }
   write_results(results, *run);
   if (!run->quiet) {
@@ -261,11 +282,14 @@ int cmd_optimise(const std::vector<std::string>& args) {
                  "probe depends on the previous bracket)\n");
     return 1;
   }
-  const io::SpecFile file = io::load_spec_file(run->spec_path);
+  io::SpecFile file = io::load_spec_file(run->spec_path);
   if (!file.optimise) {
     std::fprintf(stderr, "ehsim optimise: '%s' is not an optimise spec (use `ehsim run`)\n",
                  run->spec_path.c_str());
     return 1;
+  }
+  if (run->warm_start) {
+    file.optimise->warm_start = true;
   }
 
   const experiments::OptimiseResult result = experiments::run_optimise(*file.optimise);
@@ -277,6 +301,12 @@ int cmd_optimise(const std::vector<std::string>& args) {
   if (!run->quiet) {
     std::printf("wrote %s.optimise.json (%zu evaluations)\n", stem.c_str(),
                 result.evaluations.size());
+    if (result.warm_start) {
+      std::printf("warm starts: %zu seeded, %zu rejected, %llu total consistency "
+                  "iterations\n",
+                  result.warm_start_hits, result.warm_start_rejects,
+                  static_cast<unsigned long long>(result.init_iterations));
+    }
     std::printf("%s %s: best %s = %s at %s (%s of probe '%s')\n",
                 result.maximise ? "maximised" : "minimised", result.name.c_str(),
                 result.statistic.c_str(),
