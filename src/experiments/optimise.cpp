@@ -1,5 +1,6 @@
 #include "experiments/optimise.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -71,21 +72,39 @@ OptimumND coordinate_descent_maximise(const ObjectiveND& objective, std::vector<
       throw ModelError("coordinate_descent_maximise: require upper > lower per axis");
     }
   }
+  if (!options.axis_tolerances.empty() && options.axis_tolerances.size() != n) {
+    throw ModelError("coordinate_descent_maximise: axis_tolerances must be empty or one "
+                     "per axis");
+  }
+  for (const double tolerance : options.axis_tolerances) {
+    if (!(tolerance > 0.0)) {
+      throw ModelError("coordinate_descent_maximise: axis tolerances must be positive");
+    }
+  }
 
   OptimumND best;
   best.x = std::move(start);
   best.value = objective(best.x);
   best.evaluations = 1;
+  best.axis_converged.assign(n, false);
 
   while (best.evaluations < options.max_evaluations) {
-    ++best.sweeps;
-    const double sweep_start_value = best.value;
+    // 1-based index of the sweep about to run; only counted into
+    // best.sweeps once it actually funds a line search, so a budget-starved
+    // re-entry that searches nothing is not reported as a sweep.
+    const std::size_t sweep = best.sweeps + 1;
+    std::size_t searched = 0;
     for (std::size_t axis = 0; axis < n && best.evaluations < options.max_evaluations;
          ++axis) {
-      OptimiseOptions line = options;
+      OptimiseOptions line;
+      line.x_tolerance = options.axis_tolerances.empty() ? options.x_tolerance
+                                                         : options.axis_tolerances[axis];
       line.max_evaluations = options.max_evaluations - best.evaluations;
       if (line.max_evaluations < 4) {
         break;  // not enough budget for a meaningful bracket
+      }
+      if (options.on_line_search) {
+        options.on_line_search(sweep, axis);
       }
       std::vector<double> probe = best.x;
       const auto line_result = golden_section_maximise(
@@ -94,14 +113,28 @@ OptimumND coordinate_descent_maximise(const ObjectiveND& objective, std::vector<
             return objective(probe);
           },
           lower[axis], upper[axis], line);
+      ++searched;
       best.evaluations += line_result.evaluations;
+      const double previous = best.x[axis];
       if (line_result.value > best.value) {
         best.value = line_result.value;
         best.x[axis] = line_result.x;
       }
+      best.axis_converged[axis] =
+          std::abs(best.x[axis] - previous) <= line.x_tolerance * (upper[axis] - lower[axis]);
     }
-    const double improvement = best.value - sweep_start_value;
-    if (improvement <= options.x_tolerance * std::max(1.0, std::abs(best.value))) {
+    if (searched == 0) {
+      break;  // the remaining budget cannot fund another line search
+    }
+    best.sweeps = sweep;
+    // Converged when a full sweep's line searches all kept their coordinate
+    // within the per-axis tolerance — an x-based criterion matching the
+    // inner golden-section stop (a value-based test would depend on the
+    // objective's magnitude, stopping microwatt-scale studies after one
+    // sweep no matter how far the coordinates still move).
+    if (searched == n && std::all_of(best.axis_converged.begin(),
+                                     best.axis_converged.end(),
+                                     [](bool converged) { return converged; })) {
       break;
     }
   }

@@ -26,6 +26,15 @@ using ObjectiveND = std::function<double(const std::vector<double>&)>;
 struct OptimiseOptions {
   std::size_t max_evaluations = 60;   ///< objective-call budget
   double x_tolerance = 1e-3;          ///< relative bracket width to stop at
+  /// Per-axis relative line-search tolerances for coordinate descent; empty
+  /// applies x_tolerance to every axis. Ignored by golden_section_maximise.
+  std::vector<double> axis_tolerances{};
+  /// Coordinate-descent progress hook, called immediately before each line
+  /// search with the 1-based sweep index and the axis about to be searched.
+  /// Lets callers (the declarative optimise driver) tag every objective
+  /// evaluation with its position in the search without changing the
+  /// evaluation sequence. Ignored by golden_section_maximise.
+  std::function<void(std::size_t sweep, std::size_t axis)> on_line_search{};
 };
 
 struct Optimum1D {
@@ -43,11 +52,18 @@ struct OptimumND {
   double value = 0.0;
   std::size_t evaluations = 0;
   std::size_t sweeps = 0;
+  /// axis_converged[i]: the most recent completed line search along axis i
+  /// moved the coordinate by no more than that axis's tolerance times its
+  /// bracket span (false for an axis the budget never let search).
+  std::vector<bool> axis_converged{};
 };
 
 /// Cyclic coordinate descent: golden-section line searches along each axis
-/// within [lower, upper], repeated until a full sweep improves the objective
-/// by less than `x_tolerance` relatively (or the evaluation budget runs out).
+/// within [lower, upper], repeated until a full sweep's line searches all
+/// move their coordinate by no more than that axis's tolerance times its
+/// bracket span (or the evaluation budget runs out). Per-axis tolerances
+/// come from `axis_tolerances` (empty: `x_tolerance` everywhere); the
+/// optional `on_line_search` hook observes the sweep/axis sequence.
 [[nodiscard]] OptimumND coordinate_descent_maximise(const ObjectiveND& objective,
                                                     std::vector<double> lower,
                                                     std::vector<double> upper,

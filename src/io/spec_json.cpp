@@ -18,6 +18,7 @@ using experiments::ExperimentSpec;
 using experiments::OptimiseEvaluation;
 using experiments::OptimiseResult;
 using experiments::OptimiseSpec;
+using experiments::OptimiseVariable;
 using experiments::ParamOverride;
 using experiments::ProbeResult;
 using experiments::ProbeSpec;
@@ -418,9 +419,26 @@ JsonValue to_json(const OptimiseSpec& spec) {
     }
   }
   json.set("base", std::move(base));
-  json.set("variable", spec.variable);
-  json.set("lower", spec.lower);
-  json.set("upper", spec.upper);
+  if (spec.variables.empty()) {
+    // Single-variable alias: the original schema, byte-identical for
+    // existing specs.
+    json.set("variable", spec.variable);
+    json.set("lower", spec.lower);
+    json.set("upper", spec.upper);
+  } else {
+    JsonValue variables = JsonValue::make_array();
+    for (const OptimiseVariable& axis : spec.variables) {
+      JsonValue entry = JsonValue::make_object();
+      entry.set("path", axis.path);
+      entry.set("lower", axis.lower);
+      entry.set("upper", axis.upper);
+      if (axis.x_tolerance) {
+        entry.set("x_tolerance", *axis.x_tolerance);
+      }
+      variables.push_back(std::move(entry));
+    }
+    json.set("variables", std::move(variables));
+  }
   json.set("objective", spec.objective);
   json.set("statistic", spec.statistic);
   json.set("maximise", spec.maximise);
@@ -447,9 +465,38 @@ OptimiseSpec optimise_from_json(const JsonValue& json) {
     spec.name = name->as_string();
   }
   spec.base = experiment_from_json(json.at("base"));
-  spec.variable = json.at("variable").as_string();
-  spec.lower = json.at("lower").as_number();
-  spec.upper = json.at("upper").as_number();
+  if (const JsonValue* variables = json.find("variables")) {
+    for (const char* alias : {"variable", "lower", "upper"}) {
+      if (json.contains(alias)) {
+        throw ModelError(std::string("optimise spec: '") + alias +
+                         "' cannot be combined with the 'variables' array");
+      }
+    }
+    const auto variable_keys = experiments::optimise_variable_keys();
+    for (const JsonValue& entry : variables->as_array()) {
+      for (const auto& [key, value] : entry.as_object()) {
+        if (std::find(variable_keys.begin(), variable_keys.end(), key) ==
+            variable_keys.end()) {
+          throw ModelError("optimise variable: unknown key '" + key + "'");
+        }
+      }
+      OptimiseVariable axis;
+      axis.path = entry.at("path").as_string();
+      axis.lower = entry.at("lower").as_number();
+      axis.upper = entry.at("upper").as_number();
+      if (const JsonValue* tolerance = entry.find("x_tolerance")) {
+        axis.x_tolerance = tolerance->as_number();
+      }
+      spec.variables.push_back(std::move(axis));
+    }
+    if (spec.variables.empty()) {
+      throw ModelError("optimise spec: 'variables' must not be empty");
+    }
+  } else {
+    spec.variable = json.at("variable").as_string();
+    spec.lower = json.at("lower").as_number();
+    spec.upper = json.at("upper").as_number();
+  }
   spec.objective = json.at("objective").as_string();
   if (const JsonValue* statistic = json.find("statistic")) {
     spec.statistic = statistic->as_string();
@@ -599,22 +646,60 @@ JsonValue to_json(const ScenarioResult& result) {
 }
 
 JsonValue to_json(const OptimiseResult& result) {
+  // Two shapes: the 1-D golden-section document (unchanged — existing
+  // goldens stay byte-identical) and the multi-variable coordinate-descent
+  // document ("variables" + vector "x" + sweep/axis-tagged evaluations).
+  const bool multi = !result.variables.empty();
   JsonValue json = JsonValue::make_object();
   json.set("optimise", result.name);
-  json.set("variable", result.variable);
+  if (multi) {
+    JsonValue variables = JsonValue::make_array();
+    for (const std::string& path : result.variables) {
+      variables.push_back(path);
+    }
+    json.set("variables", std::move(variables));
+  } else {
+    json.set("variable", result.variable);
+  }
   json.set("statistic", result.statistic);
   json.set("maximise", result.maximise);
 
   JsonValue best = JsonValue::make_object();
-  best.set("x", result.best.x);
-  best.set("objective", JsonValue::finite_or_null(result.best.value));
-  best.set("evaluations", static_cast<double>(result.best.evaluations));
+  if (multi) {
+    JsonValue x = JsonValue::make_array();
+    for (const double value : result.best_nd.x) {
+      x.push_back(value);
+    }
+    best.set("x", std::move(x));
+    best.set("objective", JsonValue::finite_or_null(result.best_nd.value));
+    best.set("evaluations", static_cast<double>(result.best_nd.evaluations));
+    best.set("sweeps", static_cast<double>(result.best_nd.sweeps));
+    JsonValue converged = JsonValue::make_array();
+    for (const bool axis_converged : result.best_nd.axis_converged) {
+      converged.push_back(axis_converged);
+    }
+    best.set("axis_converged", std::move(converged));
+  } else {
+    best.set("x", result.best.x);
+    best.set("objective", JsonValue::finite_or_null(result.best.value));
+    best.set("evaluations", static_cast<double>(result.best.evaluations));
+  }
   json.set("best", std::move(best));
 
   JsonValue evaluations = JsonValue::make_array();
   for (const OptimiseEvaluation& evaluation : result.evaluations) {
     JsonValue entry = JsonValue::make_object();
-    entry.set("x", evaluation.x);
+    if (multi) {
+      JsonValue xs = JsonValue::make_array();
+      for (const double value : evaluation.xs) {
+        xs.push_back(value);
+      }
+      entry.set("x", std::move(xs));
+      entry.set("sweep", static_cast<double>(evaluation.sweep));
+      entry.set("axis", static_cast<double>(evaluation.axis));
+    } else {
+      entry.set("x", evaluation.x);
+    }
     entry.set("objective", JsonValue::finite_or_null(evaluation.objective));
     evaluations.push_back(std::move(entry));
   }

@@ -11,11 +11,15 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "experiments/optimise_spec.hpp"
+#include "experiments/param_registry.hpp"
+#include "experiments/probes.hpp"
 #include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
 #include "io/json.hpp"
 #include "io/spec_json.hpp"
 
@@ -122,6 +126,46 @@ TEST(EhsimCli, OptimiseSpecBitIdenticalToInProcessDriver) {
             static_cast<double>(driver.best_run.stats.steps));
 
   std::filesystem::remove_all(out_dir);
+}
+
+/// Regression: `ehsim params` must track the spec-key sources of truth
+/// automatically. Every addressable path/kind/statistic/key the C++ layer
+/// exports — including the multi-variable optimise keys and the per-axis
+/// `variables` entry keys — must appear verbatim in the output, so the CLI
+/// listing and the parser's allowed sets can never drift apart.
+TEST(EhsimCli, ParamsListsEverySpecKeySourceOfTruth) {
+  const std::filesystem::path out_path =
+      std::filesystem::temp_directory_path() / "ehsim_cli_params.txt";
+  const std::string command =
+      std::string("\"") + EHSIM_CLI_PATH + "\" params > \"" + out_path.string() + "\"";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  std::set<std::string> lines;
+  {
+    std::istringstream in(ehsim::io::read_file(out_path.string()));
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t begin = line.find_first_not_of(' ');
+      if (begin != std::string::npos) {
+        lines.insert(line.substr(begin));
+      }
+    }
+  }
+  const auto expect_listed = [&lines](const std::vector<std::string>& keys,
+                                      const char* what) {
+    for (const std::string& key : keys) {
+      EXPECT_TRUE(lines.count(key)) << what << " entry '" << key
+                                    << "' missing from `ehsim params` output";
+    }
+  };
+  expect_listed(param_paths(), "device parameter");
+  expect_listed(spec_field_paths(), "spec field");
+  expect_listed(probe_kind_ids(), "probe kind");
+  expect_listed(probe_statistic_ids(), "probe statistic");
+  expect_listed(optimise_spec_keys(), "optimise spec key");
+  expect_listed(optimise_variable_keys(), "optimise variables-entry key");
+
+  std::filesystem::remove(out_path);
 }
 
 }  // namespace

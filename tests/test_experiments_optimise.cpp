@@ -116,6 +116,48 @@ TEST(CoordinateDescent, StartValueCounted) {
   EXPECT_LE(calls, 4u);
 }
 
+TEST(CoordinateDescent, PerAxisTolerancesAndProgressHookObserveTheSearch) {
+  OptimiseOptions options;
+  options.max_evaluations = 60;
+  options.x_tolerance = 1e-3;
+  options.axis_tolerances = {1e-2, 1e-3};
+  std::vector<std::pair<std::size_t, std::size_t>> line_searches;
+  options.on_line_search = [&line_searches](std::size_t sweep, std::size_t axis) {
+    line_searches.emplace_back(sweep, axis);
+  };
+  const auto result = coordinate_descent_maximise(
+      [](const std::vector<double>& x) {
+        return -(x[0] - 1.0) * (x[0] - 1.0) - (x[1] + 0.5) * (x[1] + 0.5);
+      },
+      {-5.0, -5.0}, {5.0, 5.0}, {0.0, 0.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 0.15);  // coarse axis-0 tolerance
+  EXPECT_NEAR(result.x[1], -0.5, 0.05);
+  // The hook saw every line search, in cyclic axis order per sweep.
+  ASSERT_GE(line_searches.size(), 2u);
+  for (std::size_t i = 0; i < line_searches.size(); ++i) {
+    EXPECT_EQ(line_searches[i].first, i / 2 + 1) << i;
+    EXPECT_EQ(line_searches[i].second, i % 2) << i;
+  }
+  // Converged by the per-axis displacement criterion on both axes.
+  ASSERT_EQ(result.axis_converged.size(), 2u);
+  EXPECT_TRUE(result.axis_converged[0]);
+  EXPECT_TRUE(result.axis_converged[1]);
+  EXPECT_LT(result.evaluations, options.max_evaluations);
+
+  OptimiseOptions bad_count = options;
+  bad_count.axis_tolerances = {1e-2};
+  EXPECT_THROW((void)coordinate_descent_maximise(
+                   [](const std::vector<double>&) { return 0.0; }, {0.0, 0.0}, {1.0, 1.0},
+                   {0.5, 0.5}, bad_count),
+               ModelError);
+  OptimiseOptions bad_sign = options;
+  bad_sign.axis_tolerances = {1e-2, 0.0};
+  EXPECT_THROW((void)coordinate_descent_maximise(
+                   [](const std::vector<double>&) { return 0.0; }, {0.0, 0.0}, {1.0, 1.0},
+                   {0.5, 0.5}, bad_sign),
+               ModelError);
+}
+
 TEST(CoordinateDescent, InvalidInputs) {
   EXPECT_THROW(coordinate_descent_maximise(nullptr, {0.0}, {1.0}, {0.5}), ModelError);
   EXPECT_THROW(coordinate_descent_maximise([](const std::vector<double>&) { return 0.0; },
@@ -211,6 +253,83 @@ TEST(OptimiseSpecValidation, RejectsIntegerValuedVariablePaths) {
   EXPECT_NO_THROW(continuous.validate());
 }
 
+/// Multi-variable form of tiny_optimise_spec: same base, a second continuous
+/// axis (the equivalent sleep-mode load) next to the precharge.
+OptimiseSpec tiny_joint_spec() {
+  OptimiseSpec spec = tiny_optimise_spec();
+  spec.variables.push_back(
+      OptimiseVariable{spec.variable, spec.lower, spec.upper, std::nullopt});
+  spec.variables.push_back(OptimiseVariable{"load.sleep_ohms", 100.0, 1000.0, 0.05});
+  spec.variable.clear();
+  spec.lower = spec.upper = 0.0;
+  spec.max_evaluations = 12;
+  return spec;
+}
+
+TEST(OptimiseSpecValidation, MultiVariableFormRejectsInconsistentSpecs) {
+  const OptimiseSpec good = tiny_joint_spec();
+  EXPECT_NO_THROW(good.validate());
+
+  OptimiseSpec both_forms = good;
+  both_forms.variable = "supercap.initial_voltage";
+  both_forms.lower = 0.0;
+  both_forms.upper = 1.0;
+  EXPECT_THROW(both_forms.validate(), ModelError);
+
+  OptimiseSpec bad_axis_bracket = good;
+  bad_axis_bracket.variables[1].lower = bad_axis_bracket.variables[1].upper;
+  EXPECT_THROW(bad_axis_bracket.validate(), ModelError);
+
+  OptimiseSpec bad_axis_path = good;
+  bad_axis_path.variables[1].path = "load.sleep_omhs";  // typo
+  EXPECT_THROW(bad_axis_path.validate(), ModelError);
+
+  OptimiseSpec duplicate_path = good;
+  duplicate_path.variables[1].path = duplicate_path.variables[0].path;
+  EXPECT_THROW(duplicate_path.validate(), ModelError);
+
+  OptimiseSpec integer_axis = good;
+  integer_axis.variables[1] = OptimiseVariable{"multiplier.stages", 2.0, 9.0, std::nullopt};
+  try {
+    integer_axis.validate();
+    FAIL() << "expected ModelError for an integer-valued axis";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("multiplier.stages"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("variables[1]"), std::string::npos);
+  }
+
+  OptimiseSpec bad_tolerance = good;
+  bad_tolerance.variables[1].x_tolerance = 0.0;
+  EXPECT_THROW(bad_tolerance.validate(), ModelError);
+
+  OptimiseSpec starved = good;
+  starved.max_evaluations = 4;  // the start point plus a meaningful line search
+  EXPECT_THROW(starved.validate(), ModelError);
+}
+
+TEST(OptimiseDriver, OneElementVariablesArrayMatchesTheAliasBitIdentically) {
+  const OptimiseSpec alias = tiny_optimise_spec();
+  OptimiseSpec array = alias;
+  array.variables.push_back(
+      OptimiseVariable{alias.variable, alias.lower, alias.upper, std::nullopt});
+  array.variable.clear();
+  array.lower = array.upper = 0.0;
+
+  const OptimiseResult a = run_optimise(alias);
+  const OptimiseResult b = run_optimise(array);
+  // One axis dispatches to the same golden-section search either way.
+  EXPECT_EQ(a.variable, b.variable);
+  EXPECT_TRUE(b.variables.empty());
+  EXPECT_EQ(a.best.x, b.best.x);
+  EXPECT_EQ(a.best.value, b.best.value);
+  EXPECT_EQ(a.best.evaluations, b.best.evaluations);
+  ASSERT_EQ(a.evaluations.size(), b.evaluations.size());
+  for (std::size_t i = 0; i < a.evaluations.size(); ++i) {
+    EXPECT_EQ(a.evaluations[i].x, b.evaluations[i].x) << i;
+    EXPECT_EQ(a.evaluations[i].objective, b.evaluations[i].objective) << i;
+  }
+}
+
 TEST(OptimiseDriver, ExhaustsIterationCapAndLogsEveryEvaluation) {
   // Stored energy grows monotonically with the precharge, so the bracket
   // never collapses and only the evaluation budget stops the search.
@@ -288,6 +407,82 @@ TEST(OptimiseDriver, Scenario1TuningSpecMatchesHandCodedLoopBitIdentically) {
   // The optimum retunes the generator close to the 70 Hz ambient line (the
   // loaded, damped peak sits slightly above the mechanical resonance).
   EXPECT_NEAR(driver.best.x, 70.0, 1.0);
+}
+
+/// Acceptance (multi-variable): the checked-in joint-tuning spec reproduces
+/// a hand-coded C++ coordinate-descent loop bit-identically — the last
+/// hand-coded experiment loop the declarative layer could not express. The
+/// hand-coded side spells the loop out the way pre-spec code did: copy the
+/// base, set each variable, run, read the probe, and drive
+/// coordinate_descent_maximise directly with the spec's budget/tolerances
+/// and the bracket-midpoint start.
+TEST(OptimiseDriver, JointTuningSpecMatchesHandCodedCoordinateDescentBitIdentically) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/scenario1_joint_tuning.json");
+  ASSERT_TRUE(file.optimise.has_value());
+  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_EQ(spec.variables.size(), 2u);
+  ASSERT_EQ(spec.variables[0].path, "spec.pre_tuned_hz");
+
+  std::vector<std::vector<double>> probed;
+  const auto hand_coded = [&](const std::vector<double>& xs) {
+    ExperimentSpec candidate = spec.base;
+    for (std::size_t i = 0; i < spec.variables.size(); ++i) {
+      set_spec_value(candidate, spec.variables[i].path, xs[i]);
+    }
+    probed.push_back(xs);
+    const ScenarioResult run = run_experiment(candidate);
+    return probe_statistic(run.probes.front(), spec.statistic);
+  };
+  OptimiseOptions options;
+  options.max_evaluations = spec.max_evaluations;
+  options.x_tolerance = spec.x_tolerance;
+  std::vector<double> lower, upper, start;
+  for (const OptimiseVariable& axis : spec.variables) {
+    lower.push_back(axis.lower);
+    upper.push_back(axis.upper);
+    start.push_back(0.5 * (axis.lower + axis.upper));
+    options.axis_tolerances.push_back(axis.x_tolerance.value_or(spec.x_tolerance));
+  }
+  const auto direct = coordinate_descent_maximise(hand_coded, lower, upper, start, options);
+
+  const OptimiseResult driver = run_optimise(spec);
+
+  // Bit-identical joint optimum, objective and evaluation sequence.
+  ASSERT_EQ(driver.variables.size(), 2u);
+  EXPECT_TRUE(driver.variable.empty());
+  ASSERT_EQ(driver.best_nd.x.size(), direct.x.size());
+  for (std::size_t i = 0; i < direct.x.size(); ++i) {
+    EXPECT_EQ(driver.best_nd.x[i], direct.x[i]) << i;
+  }
+  EXPECT_EQ(driver.best_nd.value, direct.value);
+  EXPECT_EQ(driver.best_nd.evaluations, direct.evaluations);
+  EXPECT_EQ(driver.best_nd.sweeps, direct.sweeps);
+  EXPECT_EQ(driver.best_nd.axis_converged, direct.axis_converged);
+  ASSERT_EQ(driver.evaluations.size(), probed.size());
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    EXPECT_EQ(driver.evaluations[i].xs, probed[i]) << i;
+  }
+  // The sweep/axis tags follow the cyclic coordinate-descent order: the
+  // start point is (0, 0), then sweeps count up and axes cycle within them.
+  EXPECT_EQ(driver.evaluations.front().sweep, 0u);
+  std::size_t last_sweep = 0;
+  for (std::size_t i = 1; i < driver.evaluations.size(); ++i) {
+    const auto& evaluation = driver.evaluations[i];
+    EXPECT_GE(evaluation.sweep, last_sweep) << i;
+    EXPECT_GE(evaluation.sweep, 1u) << i;
+    EXPECT_LT(evaluation.axis, 2u) << i;
+    last_sweep = evaluation.sweep;
+  }
+  // The deterministic best-run re-run reproduces the winner's objective.
+  ASSERT_FALSE(driver.best_run.probes.empty());
+  EXPECT_EQ(probe_statistic(driver.best_run.probes.front(), spec.statistic),
+            driver.best_nd.value);
+  // The joint optimum retunes the generator near the 70 Hz line; the load
+  // axis is live (it moved off its start) and inside its bracket.
+  EXPECT_NEAR(driver.best_nd.x[0], 70.0, 1.0);
+  EXPECT_GE(driver.best_nd.x[1], spec.variables[1].lower);
+  EXPECT_LE(driver.best_nd.x[1], spec.variables[1].upper);
 }
 
 }  // namespace

@@ -187,6 +187,90 @@ TEST(SpecJson, OptimiseRoundTripsLosslessly) {
             spec);
 }
 
+TEST(SpecJson, OptimiseVariablesArrayRoundTripsLosslessly) {
+  OptimiseSpec spec;
+  spec.name = "joint-study";
+  spec.base = charging_scenario(2.0);
+  spec.base.probes.push_back(ProbeSpec{"E", ProbeSpec::Kind::kStoredEnergy});
+  spec.variables.push_back(
+      OptimiseVariable{"spec.pre_tuned_hz", 66.0, 74.0, std::nullopt});
+  spec.variables.push_back(OptimiseVariable{"load.sleep_ohms", 20.0, 2000.0, 0.05});
+  spec.objective = "E";
+  spec.statistic = "final";
+  spec.max_evaluations = 20;
+  spec.x_tolerance = 0.02;
+  const JsonValue json = ehsim::io::to_json(spec);
+  // The array form serialises "variables" and omits the alias keys...
+  EXPECT_TRUE(json.contains("variables"));
+  EXPECT_FALSE(json.contains("variable"));
+  EXPECT_FALSE(json.contains("lower"));
+  EXPECT_FALSE(json.contains("upper"));
+  // ...and the optional per-axis tolerance is omitted when unset.
+  const auto& variables = json.at("variables").as_array();
+  ASSERT_EQ(variables.size(), 2u);
+  EXPECT_FALSE(variables[0].contains("x_tolerance"));
+  EXPECT_EQ(variables[1].at("x_tolerance").as_number(), 0.05);
+  EXPECT_EQ(ehsim::io::optimise_from_json(JsonValue::parse(json.dump(2))), spec);
+
+  // The single-variable alias keeps serialising with its original keys, so
+  // pre-multi-variable documents round-trip byte-identically.
+  OptimiseSpec alias;
+  alias.name = "alias-study";
+  alias.base = spec.base;
+  alias.variable = "spec.pre_tuned_hz";
+  alias.lower = 66.0;
+  alias.upper = 74.0;
+  alias.objective = "E";
+  alias.statistic = "final";
+  const JsonValue alias_json = ehsim::io::to_json(alias);
+  EXPECT_TRUE(alias_json.contains("variable"));
+  EXPECT_FALSE(alias_json.contains("variables"));
+  const std::string text = alias_json.dump(2);
+  EXPECT_EQ(ehsim::io::to_json(
+                ehsim::io::optimise_from_json(JsonValue::parse(text))).dump(2),
+            text);
+}
+
+TEST(SpecJson, OptimiseVariablesArrayRejectsMalformedDocuments) {
+  const char* base = R"("base": {"name": "b", "duration": 1,
+    "probes": [{"label": "p", "kind": "generator_power"}]})";
+  // Mixing the alias keys with the variables array is ambiguous.
+  EXPECT_THROW((void)ehsim::io::optimise_from_json(JsonValue::parse(std::string(R"({
+    "type": "optimise", "name": "bad", "lower": 1,
+    "variables": [{"path": "spec.duration", "lower": 1, "upper": 2}],
+    "objective": "p", )") + base + "}")),
+               ModelError);
+  // An empty variables array declares no search axis.
+  EXPECT_THROW((void)ehsim::io::optimise_from_json(JsonValue::parse(std::string(R"({
+    "type": "optimise", "name": "bad", "variables": [],
+    "objective": "p", )") + base + "}")),
+               ModelError);
+  // Unknown keys inside a variables entry fail naming the key.
+  try {
+    (void)ehsim::io::optimise_from_json(JsonValue::parse(std::string(R"({
+      "type": "optimise", "name": "bad",
+      "variables": [{"path": "spec.duration", "lower": 1, "upper": 2, "tolerance": 0.1}],
+      "objective": "p", )") + base + "}"));
+    FAIL() << "expected ModelError for an unknown variables-entry key";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("tolerance"), std::string::npos);
+  }
+}
+
+TEST(SpecFiles, JointTuningFileIsAValidMultiVariableSpec) {
+  const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
+                                              "/examples/specs/scenario1_joint_tuning.json");
+  ASSERT_TRUE(file.optimise.has_value());
+  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_EQ(spec.variables.size(), 2u);
+  EXPECT_EQ(spec.variables[0].path, "spec.pre_tuned_hz");
+  EXPECT_EQ(spec.variables[1].path, "load.sleep_ohms");
+  EXPECT_TRUE(spec.variable.empty());
+  EXPECT_EQ(ehsim::io::optimise_from_json(
+                JsonValue::parse(ehsim::io::to_json(spec).dump(2))),
+            spec);
+}
+
 TEST(SpecJson, StrictParsingRejectsUnknownProbeAndOptimiseKeys) {
   // Probe with a typoed key fails naming the key.
   EXPECT_THROW((void)ehsim::io::probe_from_json(JsonValue::parse(

@@ -195,6 +195,69 @@ TEST(ProbeChannel, EmptyWindowStatisticsAreDefined) {
   EXPECT_TRUE(std::isfinite(probe.channel.mean()));
 }
 
+// ---- analytic oracles: the statistics match hand-derived closed forms ------
+
+/// Windowed statistics of a linear signal are *exact* under the trapezoidal
+/// convention (piecewise-linear interpolation of a linear function is the
+/// function), so every reduction can be checked against calculus, not
+/// against a recorded behaviour pin. v(t) = 3t - 1 on non-uniform samples,
+/// window [0.2, 0.9] with both edges mid-segment, threshold 0.5.
+TEST(ProbeOracle, RampOnNonUniformStepsMatchesClosedFormsExactly) {
+  const double w0 = 0.2;
+  const double w1 = 0.9;
+  ManualProbe probe(ProbeWindow{w0, w1}, 0.5);
+  for (const double t : {0.0, 0.13, 0.4, 0.77, 1.0}) {
+    probe.push(t, 3.0 * t - 1.0);
+  }
+  EXPECT_DOUBLE_EQ(probe.channel.covered_time(), w1 - w0);
+  // mean = (1/(w1-w0)) ∫ (3t-1) dt = 3(w0+w1)/2 - 1 (midpoint value).
+  EXPECT_NEAR(probe.channel.mean(), 3.0 * (w0 + w1) / 2.0 - 1.0, 1e-12);
+  // rms² = (1/(w1-w0)) ∫ (3t-1)² dt = [(3t-1)³/9] / (w1-w0).
+  const auto cube = [](double v) { return v * v * v; };
+  const double mean_square =
+      (cube(3.0 * w1 - 1.0) - cube(3.0 * w0 - 1.0)) / 9.0 / (w1 - w0);
+  EXPECT_NEAR(probe.channel.rms(), std::sqrt(mean_square), 1e-12);
+  // Window-clipped extremes are the ramp evaluated at the window edges.
+  EXPECT_NEAR(probe.channel.minimum(), 3.0 * w0 - 1.0, 1e-12);
+  EXPECT_NEAR(probe.channel.maximum(), 3.0 * w1 - 1.0, 1e-12);
+  EXPECT_NEAR(probe.channel.final_value(), 3.0 * w1 - 1.0, 1e-12);
+  // 3t - 1 crosses 0.5 upward exactly once, at t = 0.5; above-threshold time
+  // inside the window is w1 - 0.5.
+  EXPECT_EQ(probe.channel.crossings(), 1u);
+  EXPECT_NEAR(probe.channel.time_above(), w1 - 0.5, 1e-12);
+  EXPECT_NEAR(probe.channel.duty_cycle(), (w1 - 0.5) / (w1 - w0), 1e-12);
+}
+
+/// v(t) = sin(2πt) sampled on deterministic non-uniform steps (0.6–1.8 ms),
+/// window [0.25, 1.5]. The trapezoidal reductions converge to the continuous
+/// integrals at O(h²) ≈ 1e-6, so the oracle is the calculus value with a
+/// 1e-5-scale tolerance — the maths, not a pinned behaviour.
+TEST(ProbeOracle, SampledSineMatchesContinuousIntegralsToTightTolerance) {
+  constexpr double kPi = 3.14159265358979323846;
+  const double w0 = 0.25;
+  const double w1 = 1.5;
+  ManualProbe probe(ProbeWindow{w0, w1}, 0.0);
+  double t = 0.0;
+  std::size_t i = 0;
+  while (t <= 2.0) {
+    probe.push(t, std::sin(2.0 * kPi * t));
+    t += (3.0 + static_cast<double>(i % 7)) * 2e-4;  // non-uniform, 0.6–1.8 ms
+    ++i;
+  }
+  EXPECT_NEAR(probe.channel.covered_time(), w1 - w0, 2e-3);
+  // ∫ sin(2πt) dt over [0.25, 1.5] = (cos(π/2) - cos(3π)) / 2π = 1/(2π).
+  EXPECT_NEAR(probe.channel.mean(), 1.0 / (2.0 * kPi) / (w1 - w0), 1e-5);
+  // ∫ sin² = [t/2 - sin(4πt)/(8π)] over [0.25, 1.5] = 0.625 ⇒ rms = √0.5.
+  EXPECT_NEAR(probe.channel.rms(), std::sqrt(0.5), 1e-5);
+  EXPECT_NEAR(probe.channel.minimum(), -1.0, 1e-5);
+  EXPECT_NEAR(probe.channel.maximum(), 1.0, 1e-5);
+  // sin(2πt) > 0 on (0.25, 0.5) ∪ (1, 1.5) inside the window: 0.75 s above
+  // a zero threshold, one upward crossing (at t = 1).
+  EXPECT_EQ(probe.channel.crossings(), 1u);
+  EXPECT_NEAR(probe.channel.time_above(), 0.75, 1e-4);
+  EXPECT_NEAR(probe.channel.duty_cycle(), 0.75 / (w1 - w0), 1e-4);
+}
+
 // ---- end-to-end on the real model -----------------------------------------
 
 ExperimentSpec probed_charging(double duration) {

@@ -175,6 +175,38 @@ TEST(WarmStartBatch, ParallelWarmStartedBatchIsDeterministic) {
   }
 }
 
+/// Determinism matrix: the same warm-started batch at pool sizes 1, 2 and 8
+/// must be bit-identical across thread counts — and, because these jobs'
+/// t=0 parameter vectors are exactly equal, bit-identical to the serial
+/// *cold* run too (the seeded consistency check accepts the producer's
+/// converged operating point unchanged). Strengthens the single 1-vs-4
+/// parallel-determinism test to a pool-size matrix: seeds are assigned by
+/// structural signature before the fan-out, so no scheduling order at any
+/// worker count may leak into results.
+TEST(WarmStartBatch, DeterministicAcrossPoolSizesAndBitIdenticalToSerialCold) {
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {68.0, 69.5, 70.5, 71.5, 73.0, 75.5}) {
+    jobs.push_back(ScenarioJob{charging_variant(hz), std::nullopt});
+  }
+  const auto cold = run_scenario_batch(jobs, BatchOptions{.threads = 1}, nullptr);
+  ASSERT_EQ(cold.size(), jobs.size());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    BatchStats stats;
+    const auto warm = run_scenario_batch(
+        jobs, BatchOptions{.threads = threads, .warm_start = true}, &stats);
+    ASSERT_EQ(warm.size(), cold.size()) << threads;
+    EXPECT_EQ(stats.warm_start_hits, jobs.size()) << threads;
+    EXPECT_EQ(stats.warm_start_rejects, 0u) << threads;
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(warm[i].warm_start, WarmStartOutcome::kSeeded)
+          << threads << " threads, job " << i;
+      EXPECT_TRUE(results_bit_identical(cold[i], warm[i]))
+          << threads << " threads, job " << i;
+    }
+  }
+}
+
 TEST(WarmStartBatch, MixedSignaturesSeedWithinTheirGroupOnly) {
   // Two structural groups: empty supercap and 2 V precharge. Each group's
   // producer must seed only its own members — a cross-group seed would still

@@ -62,9 +62,10 @@ int usage(std::FILE* where = stderr) {
                "      [--probes LIST] [--quiet]\n"
                "      Like run, but requires a sweep spec.\n"
                "  optimise <optimise.json> [--warm-start] [--out DIR] [--quiet]\n"
-               "      Run a declarative golden-section optimisation; write the\n"
-               "      search log + optimum as <name>.optimise.json and the best\n"
-               "      run's result/trace files under --out.\n"
+               "      Run a declarative optimisation — golden section over one\n"
+               "      variable, cyclic coordinate descent over a \"variables\"\n"
+               "      array; write the search log + optimum as <name>.optimise.json\n"
+               "      and the best run's result/trace files under --out.\n"
                "  echo <spec.json>\n"
                "      Parse a spec and print its canonical JSON to stdout.\n"
                "  compare <expected> <actual> [--rtol R] [--atol A] [--ignore k1,k2]\n"
@@ -278,7 +279,7 @@ int cmd_optimise(const std::vector<std::string>& args) {
   }
   if (run->threads != 0) {
     std::fprintf(stderr,
-                 "ehsim optimise: --threads is not supported (every golden-section "
+                 "ehsim optimise: --threads is not supported (every line-search "
                  "probe depends on the previous bracket)\n");
     return 1;
   }
@@ -307,13 +308,31 @@ int cmd_optimise(const std::vector<std::string>& args) {
                   result.warm_start_hits, result.warm_start_rejects,
                   static_cast<unsigned long long>(result.init_iterations));
     }
-    std::printf("%s %s: best %s = %s at %s (%s of probe '%s')\n",
-                result.maximise ? "maximised" : "minimised", result.name.c_str(),
-                result.statistic.c_str(),
-                experiments::format_double(result.best.value, 6).c_str(),
-                (result.variable + " = " + experiments::format_double(result.best.x, 6))
-                    .c_str(),
-                result.statistic.c_str(), file.optimise->objective.c_str());
+    if (!result.variables.empty()) {
+      // Multi-variable coordinate descent: one "path = value" per axis.
+      std::string point;
+      for (std::size_t i = 0; i < result.variables.size(); ++i) {
+        if (i > 0) {
+          point += ", ";
+        }
+        point += result.variables[i] + " = " +
+                 experiments::format_double(result.best_nd.x[i], 6);
+      }
+      std::printf("%s %s: best %s = %s at %s (%zu sweeps, %s of probe '%s')\n",
+                  result.maximise ? "maximised" : "minimised", result.name.c_str(),
+                  result.statistic.c_str(),
+                  experiments::format_double(result.best_nd.value, 6).c_str(),
+                  point.c_str(), result.best_nd.sweeps, result.statistic.c_str(),
+                  file.optimise->objective.c_str());
+    } else {
+      std::printf("%s %s: best %s = %s at %s (%s of probe '%s')\n",
+                  result.maximise ? "maximised" : "minimised", result.name.c_str(),
+                  result.statistic.c_str(),
+                  experiments::format_double(result.best.value, 6).c_str(),
+                  (result.variable + " = " + experiments::format_double(result.best.x, 6))
+                      .c_str(),
+                  result.statistic.c_str(), file.optimise->objective.c_str());
+    }
   }
   return 0;
 }
@@ -413,8 +432,13 @@ int cmd_params() {
   for (const std::string& statistic : experiments::probe_statistic_ids()) {
     std::printf("  %s\n", statistic.c_str());
   }
-  std::printf("\noptimise spec keys (type \"optimise\"):\n");
+  std::printf("\noptimise spec keys (type \"optimise\"; one variable via\n"
+              "variable/lower/upper, or several via the \"variables\" array):\n");
   for (const std::string& key : experiments::optimise_spec_keys()) {
+    std::printf("  %s\n", key.c_str());
+  }
+  std::printf("\noptimise \"variables\" entry keys (per search axis):\n");
+  for (const std::string& key : experiments::optimise_variable_keys()) {
     std::printf("  %s\n", key.c_str());
   }
   return 0;
