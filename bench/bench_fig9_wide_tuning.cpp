@@ -6,6 +6,8 @@
 /// presents a more challenging simulation case due to the wider frequency
 /// range. Yet there is close correlation between simulation and
 /// experimental waveforms."
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -36,10 +38,13 @@ void run_batch_sweep() {
   sweep.base = scenario2();
   sweep.base.name = "wide-tuning";
   // CI smoke keeps the sweep seconds-scale; the counters (steps, consistency
-  // iterations, warm-start hits) stay deterministic at any span.
+  // iterations, warm-start hits) stay deterministic at any span. The shift
+  // sits at 3/4 of the span: until then every job is a clone of job 0, which
+  // is the regime the lockstep kernel amortises (one integration drives the
+  // whole batch).
   sweep.base.duration =
       ehsim::benchio::bench_span() == ehsim::benchio::BenchSpan::kSmoke ? 40.0 : 120.0;
-  sweep.base.excitation.events.front().time = 20.0;
+  sweep.base.excitation.events.front().time = 0.75 * sweep.base.duration;
   sweep.axes.push_back(
       SweepAxis{"excitation.event[0].frequency_hz", {66.0, 69.0, 72.0, 75.0, 78.0, 81.0}, {}});
   const std::vector<ExperimentSpec> jobs = sweep.expand();
@@ -62,6 +67,30 @@ void run_batch_sweep() {
   const auto warm =
       run_sweep(sweep, BatchOptions{.threads = 4, .warm_start = true}, &warm_batch);
   const double warm_wall = warm_timer.elapsed_seconds();
+
+  // Lockstep arms run the same sweep serially on one global clock; the
+  // pre-shift clone prefix costs one integration instead of six. Bounded
+  // error vs the per-job reference once the jobs diverge.
+  BatchStats lockstep_batch;
+  WallTimer lockstep_timer;
+  const auto lockstep = run_sweep(
+      sweep, BatchOptions{.threads = 1, .batch_kernel = BatchKernel::kLockstep},
+      &lockstep_batch);
+  const double lockstep_wall = lockstep_timer.elapsed_seconds();
+
+  BatchStats expm_batch;
+  WallTimer expm_timer;
+  const auto expm = run_sweep(
+      sweep, BatchOptions{.threads = 1, .batch_kernel = BatchKernel::kLockstepExpm},
+      &expm_batch);
+  const double expm_wall = expm_timer.elapsed_seconds();
+
+  bool lockstep_bounded = lockstep.size() == serial.size() && expm.size() == serial.size();
+  for (std::size_t i = 0; lockstep_bounded && i < serial.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(serial[i].final_vc));
+    lockstep_bounded = std::abs(lockstep[i].final_vc - serial[i].final_vc) <= 1e-3 * scale &&
+                       std::abs(expm[i].final_vc - serial[i].final_vc) <= 1e-3 * scale;
+  }
 
   bool identical = serial.size() == parallel.size() && serial.size() == warm.size();
   for (std::size_t i = 0; identical && i < serial.size(); ++i) {
@@ -92,7 +121,27 @@ void run_batch_sweep() {
               static_cast<unsigned long long>(warm_batch.init_iterations));
   std::printf("parallel+warm traces bit-identical to serial: %s\n",
               identical ? "YES" : "NO");
+  const double lockstep_speedup = serial_wall / lockstep_wall;
+  std::printf("\nlockstep (1 thread):      %.2f s wall  (%.2fx vs per-job serial)\n",
+              lockstep_wall, lockstep_speedup);
+  std::printf("  %llu shared groups, %llu shared factorisations\n",
+              static_cast<unsigned long long>(lockstep_batch.lockstep_groups),
+              static_cast<unsigned long long>(lockstep_batch.shared_factorisations));
+  std::printf("lockstep_expm (1 thread): %.2f s wall  (%.2fx), %llu expm segments\n",
+              expm_wall, serial_wall / expm_wall,
+              static_cast<unsigned long long>(expm_batch.expm_segments));
+  std::printf("lockstep finals within 1e-3 of per-job serial: %s\n",
+              lockstep_bounded ? "YES" : "NO");
   if (!identical || warm_batch.init_iterations >= cold_batch.init_iterations) {
+    std::exit(EXIT_FAILURE);
+  }
+  // The lockstep kernel earns its keep or the bench fails: the clone-prefix
+  // sweep must run at least 2x faster than the per-job serial reference,
+  // with real sharing and bounded error.
+  if (!lockstep_bounded || lockstep_batch.shared_factorisations == 0 ||
+      lockstep_speedup < 2.0) {
+    std::printf("FAIL: lockstep speedup %.2fx < 2x (or unbounded error / no sharing)\n",
+                lockstep_speedup);
     std::exit(EXIT_FAILURE);
   }
 
@@ -112,6 +161,14 @@ void run_batch_sweep() {
   warm_json.set("init_iterations_cold", cold_batch.init_iterations);
   warm_json.set("init_iterations_warm", warm_batch.init_iterations);
   doc.set("warm_start", std::move(warm_json));
+  io::JsonValue lockstep_json = io::JsonValue::make_object();
+  lockstep_json.set("wall_seconds", lockstep_wall);
+  lockstep_json.set("speedup_vs_serial", lockstep_speedup);
+  lockstep_json.set("groups", lockstep_batch.lockstep_groups);
+  lockstep_json.set("shared_factorisations", lockstep_batch.shared_factorisations);
+  lockstep_json.set("expm_wall_seconds", expm_wall);
+  lockstep_json.set("expm_segments", expm_batch.expm_segments);
+  doc.set("lockstep", std::move(lockstep_json));
   ehsim::benchio::maybe_write_bench_json(doc);
 }
 

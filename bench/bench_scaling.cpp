@@ -9,11 +9,15 @@
 /// offer a speed advantage when applied to strongly stiff systems" — the
 /// Eq. 13 coil variant with decreasing inductance adds a progressively
 /// faster parasitic mode and the explicit step count grows accordingly.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "baseline/nr_engine.hpp"
+#include "bench_json.hpp"
 #include "core/linearised_solver.hpp"
 #include "experiments/cpu_timer.hpp"
 #include "experiments/scenarios.hpp"
@@ -80,5 +84,82 @@ int main() {
   std::printf("\nsmaller Lc shortens the coil time constant; the Eq. 7 cap forces more\n"
               "explicit steps (see the step column) while the implicit baseline's step\n"
               "count is stability-immune — the paper's stiff-system caveat, quantified.\n");
+
+  // (c) Batch-size scaling of the lockstep kernel: N identical jobs cost one
+  // integration plus N-1 state copies, so the speedup over the per-job serial
+  // reference approaches N. Identical members stay bit-identical; the expm
+  // arm is bounded-error by construction.
+  std::printf("\n--- (c) lockstep batch-size scaling: N identical jobs, 1 thread ---\n");
+  TablePrinter lockstep_table(
+      {"jobs", "per-job wall", "lockstep wall", "speed-up", "expm wall", "expm segments"});
+  namespace io = ehsim::io;
+  io::JsonValue rows = io::JsonValue::make_array();
+  double speedup_at_four = 0.0;
+  bool exact = true;
+  bool bounded = true;
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const std::vector<ScenarioJob> jobs(n, ScenarioJob{charging_scenario(span), std::nullopt});
+
+    WallTimer serial_timer;
+    const auto serial = run_scenario_batch(jobs, BatchOptions{.threads = 1});
+    const double serial_wall = serial_timer.elapsed_seconds();
+
+    BatchStats lockstep_stats;
+    WallTimer lockstep_timer;
+    const auto lockstep = run_scenario_batch(
+        jobs, BatchOptions{.threads = 1, .batch_kernel = BatchKernel::kLockstep},
+        &lockstep_stats);
+    const double lockstep_wall = lockstep_timer.elapsed_seconds();
+
+    BatchStats expm_stats;
+    WallTimer expm_timer;
+    const auto expm = run_scenario_batch(
+        jobs, BatchOptions{.threads = 1, .batch_kernel = BatchKernel::kLockstepExpm},
+        &expm_stats);
+    const double expm_wall = expm_timer.elapsed_seconds();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      exact = exact && lockstep[i].final_vc == serial[i].final_vc &&
+              lockstep[i].vc == serial[i].vc;
+      bounded = bounded && std::abs(expm[i].final_vc - serial[i].final_vc) <=
+                               1e-3 * std::max(1.0, std::abs(serial[i].final_vc));
+    }
+    const double speedup = serial_wall / lockstep_wall;
+    if (n == 4u) {
+      speedup_at_four = speedup;
+    }
+    lockstep_table.add_row({std::to_string(n), format_duration(serial_wall),
+                            format_duration(lockstep_wall),
+                            format_double(speedup, 3) + "x", format_duration(expm_wall),
+                            std::to_string(expm_stats.expm_segments)});
+
+    io::JsonValue row = io::JsonValue::make_object();
+    row.set("jobs", static_cast<double>(n));
+    row.set("serial_wall_seconds", serial_wall);
+    row.set("lockstep_wall_seconds", lockstep_wall);
+    row.set("speedup_vs_serial", speedup);
+    row.set("shared_factorisations", lockstep_stats.shared_factorisations);
+    row.set("expm_wall_seconds", expm_wall);
+    row.set("expm_segments", expm_stats.expm_segments);
+    rows.push_back(std::move(row));
+  }
+  lockstep_table.print(std::cout);
+  std::printf("\nlockstep bit-identical to per-job on identical batches: %s\n",
+              exact ? "YES" : "NO");
+  std::printf("expm finals within 1e-3 of per-job: %s\n", bounded ? "YES" : "NO");
+
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("bench", "scaling_lockstep_batch");
+  doc.set("rows", std::move(rows));
+  ehsim::benchio::maybe_write_bench_json(doc);
+
+  // A 4-member identical batch must come in at least 2x over per-job serial
+  // (it deletes 3 of 4 integrations) and must not trade away correctness.
+  if (!exact || !bounded || speedup_at_four < 2.0) {
+    std::printf("FAIL: lockstep identical-batch speedup %.2fx < 2x at 4 jobs "
+                "(or exactness lost)\n",
+                speedup_at_four);
+    return EXIT_FAILURE;
+  }
   return EXIT_SUCCESS;
 }

@@ -50,6 +50,13 @@ class LinearisedSolver final : public AnalogEngine {
 
   [[nodiscard]] const SolverConfig& config() const noexcept { return config_; }
 
+  /// Access port for the lockstep batch kernel (core/lockstep_port.hpp):
+  /// static wrappers that decompose advance_to()/refresh() into the phases a
+  /// batch-of-solvers march interleaves, preserving the exact per-member
+  /// arithmetic. Nested so it reaches the private march state without
+  /// widening the public API.
+  struct Lockstep;
+
   /// Current stability step cap from Eq. 7 (infinity when uncapped).
   [[nodiscard]] double stability_step_cap() const noexcept { return h_stability_; }
   /// Last drift reported by the LLE monitor.

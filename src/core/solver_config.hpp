@@ -53,6 +53,8 @@ struct SolverConfig {
   /// point (the march itself never iterates).
   std::size_t max_init_iterations = 50;
   double init_tolerance = 1e-10;
+
+  [[nodiscard]] bool operator==(const SolverConfig&) const = default;
 };
 
 /// Run statistics of either engine.

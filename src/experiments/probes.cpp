@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "harvester/harvester_system.hpp"
+#include "harvester/mcu.hpp"
 
 namespace ehsim::experiments {
 
@@ -12,7 +13,20 @@ namespace {
 
 /// Kinds that address a model entity through `target`.
 bool needs_target(ProbeSpec::Kind kind) {
-  return kind == ProbeSpec::Kind::kNodeVoltage || kind == ProbeSpec::Kind::kStateVariable;
+  return kind == ProbeSpec::Kind::kNodeVoltage || kind == ProbeSpec::Kind::kStateVariable ||
+         kind == ProbeSpec::Kind::kMcuState;
+}
+
+/// Valid `target` values of a kMcuState probe, in documentation order.
+constexpr const char* kMcuStateTargets[] = {"sleep", "measuring", "tuning", "awake"};
+
+bool is_mcu_state_target(const std::string& target) {
+  for (const char* candidate : kMcuStateTargets) {
+    if (target == candidate) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// The shared value function behind both the hub channel and the trace
@@ -59,6 +73,31 @@ ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
         return y[vc] * y[ic];
       };
     }
+    case ProbeSpec::Kind::kMcuState: {
+      const harvester::McuController* mcu = system.mcu();
+      if (mcu == nullptr) {
+        throw ModelError("probe '" + probe.label +
+                         "': mcu_state requires an experiment with the MCU enabled "
+                         "(with_mcu)");
+      }
+      // The controller is purely digital; the indicator reads its state at
+      // sample time, which the session advances in lockstep with the
+      // analogue solution, so the probe is deterministic per accepted step.
+      if (probe.target == "awake") {
+        return [mcu](std::span<const double>, std::span<const double>) {
+          return mcu->state() != harvester::McuState::kSleep ? 1.0 : 0.0;
+        };
+      }
+      harvester::McuState wanted = harvester::McuState::kSleep;
+      if (probe.target == "measuring") {
+        wanted = harvester::McuState::kMeasuring;
+      } else if (probe.target == "tuning") {
+        wanted = harvester::McuState::kTuning;
+      }
+      return [mcu, wanted](std::span<const double>, std::span<const double>) {
+        return mcu->state() == wanted ? 1.0 : 0.0;
+      };
+    }
     case ProbeSpec::Kind::kStoredEnergy: {
       // Field energy of the three supercapacitor branches. The immediate
       // branch's capacitance is voltage-dependent (Ci = Ci0 + Ci1*Vi), so
@@ -100,6 +139,10 @@ void ProbeSpec::validate() const {
     throw ModelError("ProbeSpec '" + label + "': kind '" + probe_kind_id(kind) +
                      "' requires a target net/state name");
   }
+  if (kind == Kind::kMcuState && !is_mcu_state_target(target)) {
+    throw ModelError("ProbeSpec '" + label + "': mcu_state target '" + target +
+                     "' is not sleep | measuring | tuning | awake");
+  }
   if (!needs_target(kind) && !target.empty()) {
     throw ModelError("ProbeSpec '" + label + "': kind '" + probe_kind_id(kind) +
                      "' does not take a target");
@@ -125,6 +168,8 @@ const char* probe_kind_id(ProbeSpec::Kind kind) {
       return "harvested_power";
     case ProbeSpec::Kind::kStoredEnergy:
       return "stored_energy";
+    case ProbeSpec::Kind::kMcuState:
+      return "mcu_state";
   }
   return "?";
 }
@@ -133,18 +178,19 @@ ProbeSpec::Kind probe_kind_from(const std::string& id) {
   for (const auto kind :
        {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
         ProbeSpec::Kind::kGeneratorPower, ProbeSpec::Kind::kHarvestedPower,
-        ProbeSpec::Kind::kStoredEnergy}) {
+        ProbeSpec::Kind::kStoredEnergy, ProbeSpec::Kind::kMcuState}) {
     if (id == probe_kind_id(kind)) {
       return kind;
     }
   }
   throw ModelError("probe kind '" + id +
                    "' is not node_voltage | state | generator_power | harvested_power | "
-                   "stored_energy");
+                   "stored_energy | mcu_state");
 }
 
 std::vector<std::string> probe_kind_ids() {
-  return {"node_voltage", "state", "generator_power", "harvested_power", "stored_energy"};
+  return {"node_voltage",    "state",         "generator_power",
+          "harvested_power", "stored_energy", "mcu_state"};
 }
 
 std::vector<std::string> probe_statistic_ids() {

@@ -4,7 +4,8 @@
 /// A ProbeSpec names one derived quantity of the harvester model — a
 /// terminal net voltage/current, a block state, the instantaneous
 /// microgenerator power Vm*Im, the power delivered into the storage Vc*Ic,
-/// or the energy stored in the supercapacitor — plus an optional reduction
+/// the energy stored in the supercapacitor, or an MCU state-occupancy
+/// indicator (sleep/measuring/tuning duty) — plus an optional reduction
 /// window and threshold. Installed on an experiment session it becomes (a)
 /// a streaming core::ProbeChannel producing scalar statistics (time-weighted
 /// mean/RMS, extremes, final value, duty cycle, upward-crossing count) and
@@ -30,14 +31,21 @@ struct ProbeSpec {
     kGeneratorPower,  ///< instantaneous microgenerator output power Vm*Im [W]
     kHarvestedPower,  ///< power delivered into the storage branch Vc*Ic [W]
     kStoredEnergy,    ///< field energy of the supercapacitor's branches [J]
+    /// MCU duty indicator: 1 while the controller occupies the targeted
+    /// state, else 0 (`target`: "sleep" | "measuring" | "tuning" | "awake",
+    /// where "awake" is any non-sleep state). Its time-weighted mean is the
+    /// occupancy fraction of that state over the reduction window. Requires
+    /// an experiment with the MCU enabled (install-time ModelError
+    /// otherwise).
+    kMcuState,
   };
 
   /// Unique column/result label. Must be CSV-header-safe and must not shadow
   /// the built-in "time"/"Vc" columns.
   std::string label;
   Kind kind = Kind::kNodeVoltage;
-  /// Net or qualified state name for the kinds that address one; must stay
-  /// empty for the derived kinds.
+  /// Net, qualified state, or MCU state name for the kinds that address
+  /// one; must stay empty for the derived kinds.
   std::string target{};
   /// Reduction window [window_start, window_end] for the scalar statistics;
   /// window_end <= 0 extends to the end of the run. The recorded trace

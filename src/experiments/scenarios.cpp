@@ -1,15 +1,43 @@
 #include "experiments/scenarios.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/linearised_solver.hpp"
 #include "core/trace.hpp"
 #include "experiments/metrics.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/lockstep_batch.hpp"
 
 namespace ehsim::experiments {
+
+const char* batch_kernel_id(BatchKernel kernel) {
+  switch (kernel) {
+    case BatchKernel::kJobs:
+      return "jobs";
+    case BatchKernel::kLockstep:
+      return "lockstep";
+    case BatchKernel::kLockstepExpm:
+      return "lockstep_expm";
+  }
+  return "?";
+}
+
+BatchKernel parse_batch_kernel(std::string_view id) {
+  for (const BatchKernel kernel :
+       {BatchKernel::kJobs, BatchKernel::kLockstep, BatchKernel::kLockstepExpm}) {
+    if (id == batch_kernel_id(kernel)) {
+      return kernel;
+    }
+  }
+  throw ModelError("unknown batch kernel '" + std::string(id) +
+                   "' (expected jobs | lockstep | lockstep_expm)");
+}
 
 ExperimentSpec scenario1() {
   ExperimentSpec spec;
@@ -81,59 +109,86 @@ std::vector<double> compute_initial_operating_point(
   return {y.begin(), y.end()};
 }
 
-ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
-  sim::HarvesterSession run = make_experiment_session(spec, options.params_override);
+namespace {
 
-  const std::size_t bins =
-      static_cast<std::size_t>(std::ceil(spec.duration / spec.power_bin_width)) + 1;
-  BinnedAccumulator power_bins(0.0, spec.power_bin_width, bins);
+/// A session wired and initialised for run_experiment, stopped right before
+/// the transient. run_experiment drives it through Session::run_until; the
+/// lockstep batch kernels march a whole vector of these on one clock. The
+/// session and the power accumulator live on the heap so the observer
+/// installed into the session survives moves of the struct.
+struct PreparedExperiment {
+  std::unique_ptr<sim::HarvesterSession> session;
+  std::unique_ptr<BinnedAccumulator> power_bins;
+  std::size_t bins = 0;
+  WarmStartOutcome warm_start = WarmStartOutcome::kCold;
+  /// A warm seed was offered but rejected or failed to converge; the caller
+  /// must rebuild and restart cold (correctness first — a warm start is
+  /// only ever an accelerator).
+  bool seed_failed = false;
+  /// Converged t=0 terminal vector, captured before the transient
+  /// overwrites it (later warm starts reuse it).
+  std::vector<double> initial_terminals;
+};
+
+PreparedExperiment prepare_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  PreparedExperiment prep;
+  prep.session = std::make_unique<sim::HarvesterSession>(
+      make_experiment_session(spec, options.params_override));
+  sim::HarvesterSession& run = *prep.session;
+
+  prep.bins = static_cast<std::size_t>(std::ceil(spec.duration / spec.power_bin_width)) + 1;
+  prep.power_bins =
+      std::make_unique<BinnedAccumulator>(0.0, spec.power_bin_width, prep.bins);
+  BinnedAccumulator* power_bins = prep.power_bins.get();
   const std::size_t vm = run.system().vm_index();
   const std::size_t im = run.system().im_index();
   run.add_observer(
-      [&power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
-        power_bins.add(t, y[vm] * y[im]);
+      [power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
+        power_bins->add(t, y[vm] * y[im]);
       });
   install_probes(run, spec.probes, spec.duration);
 
-  WarmStartOutcome warm_start = WarmStartOutcome::kCold;
   if (!options.initial_terminals.empty()) {
     bool seeded = run.seed_initial_terminals(options.initial_terminals);
     if (seeded) {
       try {
         run.initialise(0.0);
       } catch (const SolverError&) {
-        // The seeded consistency iterations failed to converge. Correctness
-        // first: rebuild the session and restart cold below — a warm start
-        // is only ever an accelerator.
+        // The seeded consistency iterations failed to converge.
         seeded = false;
       }
     }
     if (!seeded) {  // terminal-count mismatch or seeded non-convergence
-      RunOptions cold = options;
-      cold.initial_terminals = {};
-      ScenarioResult result = run_experiment(spec, cold);
-      result.warm_start = WarmStartOutcome::kRejected;
-      return result;
+      prep.seed_failed = true;
+      return prep;
     }
-    warm_start = WarmStartOutcome::kSeeded;
+    prep.warm_start = WarmStartOutcome::kSeeded;
   } else {
     run.initialise(0.0);
   }
   const std::span<const double> y0 = run.terminals();
-  // The converged t=0 operating point, captured before the transient
-  // overwrites it (later warm starts reuse it).
-  const std::vector<double> initial_terminals(y0.begin(), y0.end());
-  run.run_until(spec.duration);
+  prep.initial_terminals.assign(y0.begin(), y0.end());
+  return prep;
+}
+
+/// Assemble the ScenarioResult of a prepared session whose transient has
+/// completed. \p cpu_seconds is passed explicitly because the lockstep
+/// kernels advance members outside Session::run_until (the shared march
+/// wall-clock is attributed evenly across the batch).
+ScenarioResult collect_experiment(const ExperimentSpec& spec, PreparedExperiment& prep,
+                                  double cpu_seconds) {
+  sim::HarvesterSession& run = *prep.session;
+  BinnedAccumulator& power_bins = *prep.power_bins;
 
   ScenarioResult result;
   result.scenario = spec.name;
   result.engine = run.engine().engine_name();
   result.sim_seconds = spec.duration;
-  result.cpu_seconds = run.cpu_seconds();
+  result.cpu_seconds = cpu_seconds;
   result.stats = run.stats();
   result.shared_diode_table = run.system().multiplier().table_shared();
-  result.warm_start = warm_start;
-  result.initial_terminals = initial_terminals;
+  result.warm_start = prep.warm_start;
+  result.initial_terminals = prep.initial_terminals;
   const core::TraceRecorder& trace = run.session().trace();
   result.time = trace.times();
   result.vc = trace.column("Vc");
@@ -144,10 +199,10 @@ ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& opti
     result.mcu_events = run.system().mcu()->events();
   }
 
-  result.power_time.reserve(bins);
-  result.power_mean.reserve(bins);
-  result.power_rms.reserve(bins);
-  for (std::size_t i = 0; i < bins; ++i) {
+  result.power_time.reserve(prep.bins);
+  result.power_mean.reserve(prep.bins);
+  result.power_rms.reserve(prep.bins);
+  for (std::size_t i = 0; i < prep.bins; ++i) {
     if (power_bins.bin_center(i) > spec.duration) {
       break;
     }
@@ -175,6 +230,182 @@ ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& opti
       power_bins.mean_over(std::min(after_start, spec.duration - spec.power_bin_width),
                            spec.duration);
   return result;
+}
+
+/// Dynamics-relevant spec equality for clone detection: everything that
+/// shapes the trajectory except the excitation event list. The name and the
+/// trace / power-binning / probe settings are per-member observers and may
+/// differ freely between clones.
+bool clone_compatible_specs(const ExperimentSpec& a, const ExperimentSpec& b) {
+  return a.duration == b.duration && a.pre_tuned_hz == b.pre_tuned_hz &&
+         a.with_mcu == b.with_mcu && a.engine == b.engine && a.overrides == b.overrides &&
+         a.excitation.initial_frequency_hz == b.excitation.initial_frequency_hz &&
+         a.excitation.initial_amplitude == b.excitation.initial_amplitude;
+}
+
+/// First time the excitation event lists of two clone-compatible specs stop
+/// agreeing; +inf when they are identical. Before this time the two systems
+/// receive bitwise-identical inputs.
+double excitation_divergence(const ExcitationSchedule& a, const ExcitationSchedule& b) {
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    if (!(a.events[k] == b.events[k])) {
+      return std::min(a.events[k].time, b.events[k].time);
+    }
+  }
+  if (a.events.size() > common) {
+    return a.events[common].time;
+  }
+  if (b.events.size() > common) {
+    return b.events[common].time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// The lockstep execution path of run_scenario_batch: prepare every job
+/// serially (warm seeds compose exactly as under kJobs), derive the clone /
+/// sharing structure from the job list, march the whole batch on one clock
+/// and collect results in job order.
+std::vector<ScenarioResult> run_lockstep_batch(const std::vector<ScenarioJob>& jobs,
+                                               const BatchOptions& options,
+                                               const std::vector<std::uint64_t>& signatures,
+                                               OperatingPointCache& cache,
+                                               sim::LockstepCounters* counters_out) {
+  const std::string kernel_id = batch_kernel_id(options.batch_kernel);
+  for (const ScenarioJob& job : jobs) {
+    if (job.spec.engine != EngineKind::kProposed) {
+      throw ModelError("batch_kernel '" + kernel_id + "': job '" + job.spec.name +
+                       "' uses engine '" + engine_kind_id(job.spec.engine) +
+                       "' — the lockstep kernels require the proposed linearised engine");
+    }
+  }
+
+  const std::size_t n = jobs.size();
+  std::vector<PreparedExperiment> prepared;
+  prepared.reserve(n);
+  std::vector<harvester::HarvesterParams> params;
+  params.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScenarioJob& job = jobs[i];
+    params.push_back(job.params ? *job.params : experiment_params(job.spec));
+    RunOptions run_options;
+    run_options.params_override = job.params ? &*job.params : nullptr;
+    if (options.warm_start) {
+      if (const std::vector<double>* seed = cache.find(signatures[i])) {
+        run_options.initial_terminals = *seed;
+      }
+    }
+    PreparedExperiment prep = prepare_experiment(job.spec, run_options);
+    if (prep.seed_failed) {
+      // Mirror the per-job path: rebuild the session and restart cold.
+      RunOptions cold;
+      cold.params_override = run_options.params_override;
+      prep = prepare_experiment(job.spec, cold);
+      prep.warm_start = WarmStartOutcome::kRejected;
+    }
+    prepared.push_back(std::move(prep));
+  }
+
+  // Equivalence classes of bitwise-identical device parameters — the
+  // lockstep kernel only shares linearisations within a class.
+  std::vector<std::size_t> param_class(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    param_class[i] = i;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (param_class[j] == j && params[j] == params[i]) {
+        param_class[i] = j;
+        break;
+      }
+    }
+  }
+
+  // Clone relations and sharing horizons. Two jobs are clones up to time d
+  // when their dynamics-relevant spec fields agree, their excitation event
+  // lists agree before d, and they demonstrably started from the same
+  // operating point (bitwise-equal t=0 terminals, same warm-start outcome).
+  // share_after is the earliest time this member's trajectory is allowed to
+  // deviate from its per-job reference: +inf while every same-class peer is
+  // a bitwise duplicate, so such batches stay exact end to end.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> clone_leader(n, sim::LockstepMember::kNoLeader);
+  std::vector<double> diverges_at(n, 0.0);
+  std::vector<double> share_after(n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || param_class[j] != param_class[i]) {
+        continue;
+      }
+      double divergence = 0.0;
+      if (clone_compatible_specs(jobs[i].spec, jobs[j].spec) &&
+          prepared[i].warm_start == prepared[j].warm_start &&
+          prepared[i].initial_terminals == prepared[j].initial_terminals) {
+        divergence = excitation_divergence(jobs[i].spec.excitation, jobs[j].spec.excitation);
+      }
+      share_after[i] = std::min(share_after[i], divergence);
+      if (j < i && divergence > 0.0 &&
+          clone_leader[i] == sim::LockstepMember::kNoLeader) {
+        clone_leader[i] = j;
+        diverges_at[i] = divergence;
+      }
+    }
+  }
+
+  std::vector<sim::LockstepMember> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* solver = dynamic_cast<core::LinearisedSolver*>(&prepared[i].session->engine());
+    if (solver == nullptr) {
+      throw ModelError("batch_kernel '" + kernel_id + "': job '" + jobs[i].spec.name +
+                       "' did not produce a LinearisedSolver engine");
+    }
+    members[i].solver = solver;
+    members[i].kernel = prepared[i].session->session().kernel();
+    members[i].t_end = jobs[i].spec.duration;
+    members[i].profile = &prepared[i].session->system().vibration();
+    members[i].param_class = param_class[i];
+    members[i].share_after = share_after[i];
+    members[i].clone_leader = clone_leader[i];
+    members[i].diverges_at = diverges_at[i];
+  }
+
+  sim::LockstepOptions lockstep_options;
+  lockstep_options.use_expm = options.batch_kernel == BatchKernel::kLockstepExpm;
+  sim::LockstepBatch batch(std::move(members), lockstep_options);
+  const auto march_begin = std::chrono::steady_clock::now();
+  batch.run();
+  const double march_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - march_begin).count();
+  if (counters_out != nullptr) {
+    *counters_out = batch.counters();
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The march wall-clock is shared work; attribute it evenly.
+    ScenarioResult result =
+        collect_experiment(jobs[i].spec, prepared[i], march_seconds / static_cast<double>(n));
+    result.batch_kernel = options.batch_kernel;
+    result.lockstep_groups = batch.counters().lockstep_groups;
+    result.shared_factorisations = batch.counters().shared_factorisations;
+    result.expm_segments = batch.counters().expm_segments;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace
+
+ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  PreparedExperiment prep = prepare_experiment(spec, options);
+  if (prep.seed_failed) {
+    RunOptions cold = options;
+    cold.initial_terminals = {};
+    ScenarioResult result = run_experiment(spec, cold);
+    result.warm_start = WarmStartOutcome::kRejected;
+    return result;
+  }
+  prep.session->run_until(spec.duration);
+  return collect_experiment(spec, prep, prep.session->cpu_seconds());
 }
 
 std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
@@ -228,17 +459,23 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     }
   }
 
-  sim::BatchRunner runner(options.threads);
-  auto results = runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
-    RunOptions run_options;
-    run_options.params_override = job.params ? &*job.params : nullptr;
-    if (options.warm_start) {
-      if (const std::vector<double>* seed = cache.find(signatures[index])) {
-        run_options.initial_terminals = *seed;
+  std::vector<ScenarioResult> results;
+  sim::LockstepCounters lockstep_counters;
+  if (options.batch_kernel == BatchKernel::kJobs) {
+    sim::BatchRunner runner(options.threads);
+    results = runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
+      RunOptions run_options;
+      run_options.params_override = job.params ? &*job.params : nullptr;
+      if (options.warm_start) {
+        if (const std::vector<double>* seed = cache.find(signatures[index])) {
+          run_options.initial_terminals = *seed;
+        }
       }
-    }
-    return run_experiment(job.spec, run_options);
-  });
+      return run_experiment(job.spec, run_options);
+    });
+  } else {
+    results = run_lockstep_batch(jobs, options, signatures, cache, &lockstep_counters);
+  }
   if (stats != nullptr) {
     stats->jobs = results.size();
     stats->shared_table_hits = static_cast<std::size_t>(
@@ -256,6 +493,9 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     for (const ScenarioResult& result : results) {
       stats->init_iterations += result.stats.init_iterations;
     }
+    stats->lockstep_groups = lockstep_counters.lockstep_groups;
+    stats->shared_factorisations = lockstep_counters.shared_factorisations;
+    stats->expm_segments = lockstep_counters.expm_segments;
   }
   return results;
 }

@@ -31,6 +31,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "experiments/experiment_spec.hpp"
@@ -48,6 +49,35 @@ namespace ehsim::experiments {
 /// Table I: supercapacitor charging from empty at fixed 70 Hz excitation,
 /// no microcontroller activity.
 [[nodiscard]] ExperimentSpec charging_scenario(double duration);
+
+/// How run_scenario_batch executes the jobs of a batch.
+enum class BatchKernel {
+  /// Independent jobs over the thread pool (the default; bit-identical to a
+  /// serial run of the same jobs).
+  kJobs,
+  /// Lockstep SoA march (sim/lockstep_batch.hpp): every job advances on one
+  /// global clock and jobs with coinciding linearisation signatures share
+  /// one Jacobian assembly + LU factorisation per step. Requires
+  /// EngineKind::kProposed on every job. Batches of identical jobs (and the
+  /// identical prefix of sweep points that differ only in later excitation
+  /// events) reproduce the per-job trajectories bit for bit; once members
+  /// diverge, shared linearisations keep results within the documented
+  /// io::compare tolerances of the per-job reference. The march is serial —
+  /// BatchOptions::threads is ignored, and results are identical for any
+  /// requested thread count.
+  kLockstep,
+  /// kLockstep plus exact matrix-exponential propagation of stretches where
+  /// every member's linearisation holds still on a fixed-frequency
+  /// excitation segment (bounded error by construction of the exact
+  /// segment solution).
+  kLockstepExpm,
+};
+
+/// Stable identifier ("jobs" | "lockstep" | "lockstep_expm") — the JSON /
+/// CLI vocabulary.
+[[nodiscard]] const char* batch_kernel_id(BatchKernel kernel);
+/// Inverse of batch_kernel_id; throws ModelError on unknown ids.
+[[nodiscard]] BatchKernel parse_batch_kernel(std::string_view id);
 
 /// How a job's initial operating point was established.
 enum class WarmStartOutcome {
@@ -69,6 +99,15 @@ struct ScenarioResult {
   /// Converged t=0 terminal vector, captured right after initialisation —
   /// the operating point later warm starts reuse (not serialised).
   std::vector<double> initial_terminals;
+  /// Batch kernel that produced this result, plus the batch-wide lockstep
+  /// work-sharing counters mirrored onto every result of the batch (see
+  /// sim/lockstep_batch.hpp). Serialised as an optional "batch" block only
+  /// when a lockstep kernel ran, so kJobs results are byte-identical to the
+  /// pre-lockstep output.
+  BatchKernel batch_kernel = BatchKernel::kJobs;
+  std::uint64_t lockstep_groups = 0;
+  std::uint64_t shared_factorisations = 0;
+  std::uint64_t expm_segments = 0;
 
   std::vector<double> time;  ///< decimated trace times
   std::vector<double> vc;    ///< supercapacitor voltage trace
@@ -154,6 +193,11 @@ struct BatchStats {
   /// across the batch, *including* the warm-start seed producers — the
   /// honest cost warm starts are measured against.
   std::uint64_t init_iterations = 0;
+  /// Lockstep work-sharing counters (all 0 under BatchKernel::kJobs); exact
+  /// semantics in sim/lockstep_batch.hpp (LockstepCounters).
+  std::uint64_t lockstep_groups = 0;
+  std::uint64_t shared_factorisations = 0;
+  std::uint64_t expm_segments = 0;
 };
 
 /// Execution options of one run_scenario_batch call.
@@ -172,6 +216,12 @@ struct BatchOptions {
   /// Relative parameter quantum of the warm-start signature (<= 0: exact
   /// parameter equality required to share a seed).
   double warm_start_quantum = kWarmStartQuantum;
+  /// Batch execution kernel. The lockstep kernels require every job to run
+  /// EngineKind::kProposed (ModelError otherwise) and march serially; the
+  /// shared march wall-clock is attributed evenly across the jobs'
+  /// ScenarioResult::cpu_seconds. Warm starts compose: the seed phase runs
+  /// before the march exactly as under kJobs.
+  BatchKernel batch_kernel = BatchKernel::kJobs;
 };
 
 /// Execute a sweep of independent scenario jobs across a fixed thread pool.

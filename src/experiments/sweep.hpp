@@ -49,6 +49,10 @@ struct SweepSpec {
   /// (see BatchOptions::warm_start). Off by default: results stay
   /// byte-identical to the cold path.
   bool warm_start = false;
+  /// Batch execution kernel for the expanded jobs (see
+  /// BatchOptions::batch_kernel). The default runs independent jobs; the
+  /// lockstep kernels require the proposed engine on every job.
+  BatchKernel batch_kernel = BatchKernel::kJobs;
 
   /// Throws ModelError on empty/inconsistent axes or unknown paths.
   void validate() const;

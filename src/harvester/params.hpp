@@ -42,6 +42,8 @@ struct MicrogeneratorParams {
 
   /// Effective spring stiffness ks [N/m] of the untuned cantilever.
   [[nodiscard]] double spring_stiffness() const noexcept;
+
+  [[nodiscard]] bool operator==(const MicrogeneratorParams&) const = default;
 };
 
 /// Magnetic tuning mechanism (paper Eq. 12 and Fig. 4a).
@@ -52,12 +54,16 @@ struct TuningParams {
   double gap_offset = 2.0e-3;       ///< d0 [m], magnet-centre offset
   double gap_min = 0.5e-3;          ///< actuator travel limits [m]
   double gap_max = 8.0e-3;
+
+  [[nodiscard]] bool operator==(const TuningParams&) const = default;
 };
 
 /// Linear actuator moving the tuning magnet.
 struct ActuatorParams {
   double speed = 1.0e-3;            ///< [m/s]
   double initial_gap = 8.0e-3;      ///< fully relaxed (untuned) position [m]
+
+  [[nodiscard]] bool operator==(const ActuatorParams&) const = default;
 };
 
 /// 5-stage Dickson voltage multiplier (paper Eq. 14, Fig. 5).
@@ -79,6 +85,8 @@ struct MultiplierParams {
   /// to a privately built table (pwl/table_cache.hpp). Disable to force a
   /// private build (ablation / cache bit-identity tests).
   bool share_diode_table = true;
+
+  [[nodiscard]] bool operator==(const MultiplierParams&) const = default;
 };
 
 /// Supercapacitor three-branch model (paper Eq. 15; Zubieta-Bonert [11])
@@ -93,6 +101,8 @@ struct SupercapacitorParams {
   double cl = 0.07;       ///< long-term branch [F]
   double initial_voltage = 3.45;  ///< precharge [V]
   double leakage_resistance = 0.0;  ///< parallel leakage [Ohm]; 0 = none
+
+  [[nodiscard]] bool operator==(const SupercapacitorParams&) const = default;
 };
 
 /// Equivalent load resistances (paper Eq. 16).
@@ -100,6 +110,8 @@ struct LoadParams {
   double sleep_ohms = 1.0e9;   ///< microcontroller in sleep mode
   double awake_ohms = 33.0;    ///< microcontroller awake
   double tuning_ohms = 16.7;   ///< actuator performing tuning
+
+  [[nodiscard]] bool operator==(const LoadParams&) const = default;
 };
 
 /// Microcontroller control process (paper Fig. 7).
@@ -109,12 +121,16 @@ struct McuParams {
   double frequency_tolerance = 0.25;  ///< |f_ambient - f_res| considered matched [Hz]
   double energy_threshold_voltage = 2.1;  ///< "enough energy" check [V]
   double abort_voltage = 1.8;         ///< pause tuning below this [V]
+
+  [[nodiscard]] bool operator==(const McuParams&) const = default;
 };
 
 /// Ambient vibration excitation.
 struct VibrationParams {
   double acceleration_amplitude = 0.59;  ///< [m/s^2] (paper [2])
   double initial_frequency_hz = 70.0;
+
+  [[nodiscard]] bool operator==(const VibrationParams&) const = default;
 };
 
 /// Complete harvester parameter set.
@@ -127,6 +143,8 @@ struct HarvesterParams {
   LoadParams load{};
   McuParams mcu{};
   VibrationParams vibration{};
+
+  [[nodiscard]] bool operator==(const HarvesterParams&) const = default;
 };
 
 }  // namespace ehsim::harvester

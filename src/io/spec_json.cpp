@@ -341,6 +341,9 @@ JsonValue to_json(const SweepSpec& sweep) {
   if (sweep.warm_start) {  // default-off: omitted so existing specs round-trip unchanged
     json.set("warm_start", true);
   }
+  if (sweep.batch_kernel != experiments::BatchKernel::kJobs) {  // default omitted likewise
+    json.set("batch_kernel", experiments::batch_kernel_id(sweep.batch_kernel));
+  }
   JsonValue axes = JsonValue::make_array();
   for (const SweepAxis& axis : sweep.axes) {
     JsonValue entry = JsonValue::make_object();
@@ -365,7 +368,8 @@ JsonValue to_json(const SweepSpec& sweep) {
 }
 
 SweepSpec sweep_from_json(const JsonValue& json) {
-  check_keys(json, {"type", "base", "mode", "threads", "warm_start", "axes"}, "sweep spec");
+  check_keys(json, {"type", "base", "mode", "threads", "warm_start", "batch_kernel", "axes"},
+             "sweep spec");
   SweepSpec sweep;
   sweep.base = experiment_from_json(json.at("base"));
   if (const JsonValue* mode = json.find("mode")) {
@@ -384,6 +388,9 @@ SweepSpec sweep_from_json(const JsonValue& json) {
   }
   sweep.threads = static_cast<std::size_t>(threads);
   sweep.warm_start = bool_or(json, "warm_start", sweep.warm_start);
+  if (const JsonValue* kernel = json.find("batch_kernel")) {
+    sweep.batch_kernel = experiments::parse_batch_kernel(kernel->as_string());
+  }
   for (const JsonValue& entry : json.at("axes").as_array()) {
     check_keys(entry, {"param", "values", "engines"}, "sweep axis");
     SweepAxis axis;
@@ -566,6 +573,18 @@ JsonValue to_json(const ScenarioResult& result) {
                             : "rejected");
     warm.set("init_iterations", result.stats.init_iterations);
     json.set("warm_start", std::move(warm));
+  }
+
+  // Lockstep batches record their kernel and batch-wide sharing counters;
+  // plain per-job batches omit the block so their documents stay
+  // byte-identical to the pre-lockstep output.
+  if (result.batch_kernel != experiments::BatchKernel::kJobs) {
+    JsonValue batch = JsonValue::make_object();
+    batch.set("kernel", experiments::batch_kernel_id(result.batch_kernel));
+    batch.set("lockstep_groups", result.lockstep_groups);
+    batch.set("shared_factorisations", result.shared_factorisations);
+    batch.set("expm_segments", result.expm_segments);
+    json.set("batch", std::move(batch));
   }
 
   json.set("final_vc", JsonValue::finite_or_null(result.final_vc));

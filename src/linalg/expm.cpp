@@ -1,0 +1,58 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+
+namespace ehsim::linalg {
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) {
+    throw ModelError("expm: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    return Matrix{};
+  }
+
+  // Scale so that ||A / 2^s||_inf <= 1/2; the [6/6] Pade approximant is
+  // accurate to ~1e-16 on that ball.
+  const double norm = norm_inf(a);
+  int s = 0;
+  if (std::isfinite(norm) && norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+  }
+  Matrix scaled = a;
+  if (s > 0) {
+    scaled.scale(std::ldexp(1.0, -s));
+  }
+
+  // Diagonal Pade [p/p], p = 6: N(A) = sum c_k A^k, D(A) = N(-A) with the
+  // standard coefficient recurrence c_k = c_{k-1} (p + 1 - k) / (k (2p + 1 - k)).
+  constexpr int p = 6;
+  Matrix numerator = Matrix::identity(n);
+  Matrix denominator = Matrix::identity(n);
+  Matrix power = Matrix::identity(n);
+  double coefficient = 1.0;
+  for (int k = 1; k <= p; ++k) {
+    coefficient *= static_cast<double>(p + 1 - k) / static_cast<double>(k * (2 * p + 1 - k));
+    power = power * scaled;
+    numerator.add_scaled(coefficient, power);
+    denominator.add_scaled((k % 2 == 0) ? coefficient : -coefficient, power);
+  }
+
+  LuFactorization lu(denominator);
+  if (!lu.ok()) {
+    throw SolverError("expm: singular Pade denominator");
+  }
+  Matrix result(n, n);
+  lu.solve_matrix(numerator, result);
+
+  for (int k = 0; k < s; ++k) {
+    result = result * result;
+  }
+  return result;
+}
+
+}  // namespace ehsim::linalg

@@ -1,0 +1,29 @@
+/// \file expm.hpp
+/// \brief Dense matrix exponential via scaling-and-squaring.
+///
+/// The paper's linearised technique freezes the Jacobians between segment
+/// crossings, so within one linear segment the eliminated system
+/// x' = A x + e(t) is exactly LTI — the paper's own idea taken to its limit
+/// is to *propagate* the segment with exp(A h) instead of stepping through
+/// it. This header provides that propagator: the classic scaling-and-
+/// squaring algorithm with a diagonal Pade approximant (Moler & Van Loan's
+/// "method 3", the workhorse of every dense expm implementation). The
+/// harvester systems are small (the augmented lockstep propagator is
+/// ~14x14), so the O(n^3) squaring passes are microseconds-scale and the
+/// propagator is cached per linearisation signature by the lockstep batch
+/// kernel (sim/lockstep_batch.hpp).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace ehsim::linalg {
+
+/// exp(a) for a square matrix. Scaling-and-squaring with a [6/6] diagonal
+/// Pade approximant: a is scaled by 2^-s so its infinity norm falls below
+/// 1/2, the approximant is evaluated with one LU solve, and the result is
+/// squared s times. Throws SolverError when the Pade denominator is
+/// singular (does not occur for the scaled norms used here) and ModelError
+/// when \p a is not square.
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+}  // namespace ehsim::linalg

@@ -33,6 +33,8 @@ struct DiodeParams {
   [[nodiscard]] double vte() const noexcept {
     return emission_coefficient * thermal_voltage;
   }
+
+  [[nodiscard]] bool operator==(const DiodeParams&) const = default;
 };
 
 /// Exact Shockley current Id(Vd) = Is (exp(Vd/nVt) - 1) + g_min Vd.

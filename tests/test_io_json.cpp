@@ -530,7 +530,7 @@ TEST(SpecFiles, ProbesDemoFileCoversEveryProbeKind) {
   for (const auto kind :
        {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
         ProbeSpec::Kind::kGeneratorPower, ProbeSpec::Kind::kHarvestedPower,
-        ProbeSpec::Kind::kStoredEnergy}) {
+        ProbeSpec::Kind::kStoredEnergy, ProbeSpec::Kind::kMcuState}) {
     const bool covered = std::any_of(spec.probes.begin(), spec.probes.end(),
                                      [kind](const ProbeSpec& p) { return p.kind == kind; });
     EXPECT_TRUE(covered) << probe_kind_id(kind);

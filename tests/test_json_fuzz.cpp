@@ -157,7 +157,7 @@ const SafeParam kSafeParams[] = {
 ProbeSpec random_probe(SplitMix64& rng, std::size_t index) {
   ProbeSpec probe;
   probe.label = "p" + std::to_string(index);
-  switch (rng.below(5)) {
+  switch (rng.below(6)) {
     case 0:
       probe.kind = ProbeSpec::Kind::kNodeVoltage;
       probe.target = std::vector<std::string>{"Vm", "Im", "Vc", "Ic"}[rng.below(4)];
@@ -171,6 +171,11 @@ ProbeSpec random_probe(SplitMix64& rng, std::size_t index) {
       break;
     case 3:
       probe.kind = ProbeSpec::Kind::kHarvestedPower;
+      break;
+    case 4:
+      probe.kind = ProbeSpec::Kind::kMcuState;
+      probe.target =
+          std::vector<std::string>{"sleep", "measuring", "tuning", "awake"}[rng.below(4)];
       break;
     default:
       probe.kind = ProbeSpec::Kind::kStoredEnergy;
@@ -253,6 +258,8 @@ SweepSpec random_sweep(SplitMix64& rng) {
   sweep.mode = rng.chance(0.5) ? SweepSpec::Mode::kGrid : SweepSpec::Mode::kZip;
   sweep.threads = rng.below(5);
   sweep.warm_start = rng.chance(0.3);
+  sweep.batch_kernel = std::vector<BatchKernel>{BatchKernel::kJobs, BatchKernel::kLockstep,
+                                                BatchKernel::kLockstepExpm}[rng.below(3)];
   const std::size_t axes = 1 + rng.below(3);
   const std::size_t zip_length = 1 + rng.below(4);
   for (std::size_t a = 0; a < axes; ++a) {

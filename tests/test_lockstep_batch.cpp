@@ -1,0 +1,263 @@
+/// \file test_lockstep_batch.cpp
+/// \brief Lockstep SoA batch kernel: exactness, divergence and expm bounds.
+///
+/// The contract under test (sim/lockstep_batch.hpp, docs/spec_format.md):
+///  * a batch of bitwise-identical jobs marches bit-for-bit like the per-job
+///    path, and so does the shared prefix of sweep points that differ only
+///    in excitation events after t = 0;
+///  * once members diverge, shared linearisations keep every result within
+///    the documented io::compare tolerances of its per-job reference;
+///  * lockstep_expm stays within the same bounds while taking exact
+///    matrix-exponential stretches;
+///  * the march is serial, so results are identical for any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+#include "experiments/scenarios.hpp"
+
+namespace {
+
+using namespace ehsim::experiments;
+using ehsim::ModelError;
+using ehsim::linalg::Matrix;
+
+// ---- linalg::expm ---------------------------------------------------------
+
+TEST(Expm, IdentityAndDiagonal) {
+  Matrix zero(3, 3);
+  const Matrix ez = ehsim::linalg::expm(zero);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(ez(r, c), r == c ? 1.0 : 0.0, 1e-15);
+    }
+  }
+
+  Matrix diag(2, 2);
+  diag(0, 0) = -1.5;
+  diag(1, 1) = 2.0;
+  const Matrix ed = ehsim::linalg::expm(diag);
+  EXPECT_NEAR(ed(0, 0), std::exp(-1.5), 1e-13);
+  EXPECT_NEAR(ed(1, 1), std::exp(2.0), 1e-12);
+  EXPECT_NEAR(ed(0, 1), 0.0, 1e-14);
+  EXPECT_NEAR(ed(1, 0), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationMatchesTrig) {
+  // exp([[0,-w],[w,0]]) = [[cos w, -sin w],[sin w, cos w]] — the oscillator
+  // propagation the lockstep expm path builds on (needs squaring: |w| > 1/2).
+  const double w = 2.75;
+  Matrix a(2, 2);
+  a(0, 1) = -w;
+  a(1, 0) = w;
+  const Matrix e = ehsim::linalg::expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(w), 1e-12);
+  EXPECT_NEAR(e(0, 1), -std::sin(w), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(w), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::cos(w), 1e-12);
+}
+
+TEST(Expm, DampedOscillatorMatchesClosedForm) {
+  // exp(t*[[a,-b],[b,a]]) = e^{a t} R(b t).
+  const double alpha = -0.4;
+  const double beta = 1.9;
+  Matrix m(2, 2);
+  m(0, 0) = alpha;
+  m(0, 1) = -beta;
+  m(1, 0) = beta;
+  m(1, 1) = alpha;
+  const Matrix e = ehsim::linalg::expm(m);
+  const double scale = std::exp(alpha);
+  EXPECT_NEAR(e(0, 0), scale * std::cos(beta), 1e-12);
+  EXPECT_NEAR(e(0, 1), -scale * std::sin(beta), 1e-12);
+  EXPECT_NEAR(e(1, 0), scale * std::sin(beta), 1e-12);
+  EXPECT_NEAR(e(1, 1), scale * std::cos(beta), 1e-12);
+}
+
+TEST(Expm, RejectsNonSquare) {
+  EXPECT_THROW((void)ehsim::linalg::expm(Matrix(2, 3)), ModelError);
+}
+
+// ---- lockstep batch end-to-end --------------------------------------------
+
+ExperimentSpec lockstep_spec(double duration) {
+  ExperimentSpec spec;
+  spec.name = "lockstep-test";
+  spec.duration = duration;
+  spec.pre_tuned_hz = 70.0;
+  spec.excitation.initial_frequency_hz = 70.0;
+  spec.with_mcu = true;
+  spec.trace_interval = 0.05;
+  spec.power_bin_width = 0.5;
+  return spec;
+}
+
+std::vector<ScenarioResult> run_with_kernel(const std::vector<ScenarioJob>& jobs,
+                                            BatchKernel kernel, BatchStats* stats = nullptr,
+                                            std::size_t threads = 1) {
+  BatchOptions options;
+  options.threads = threads;
+  options.batch_kernel = kernel;
+  return run_scenario_batch(jobs, options, stats);
+}
+
+/// Largest |a-b| / max(1, |a|, |b|) over two traces of (nearly) equal
+/// length; differing step sequences may decimate one extra sample.
+double max_rel_error(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_LE(a.size() > b.size() ? a.size() - b.size() : b.size() - a.size(), 1u);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+TEST(LockstepBatch, DuplicateBatchBitIdenticalToPerJob) {
+  std::vector<ScenarioJob> jobs(4);
+  for (auto& job : jobs) {
+    job.spec = lockstep_spec(1.5);
+    job.spec.excitation.step_frequency(0.75, 72.0);
+  }
+
+  BatchStats lockstep_stats;
+  const auto per_job = run_with_kernel(jobs, BatchKernel::kJobs);
+  const auto lockstep = run_with_kernel(jobs, BatchKernel::kLockstep, &lockstep_stats);
+
+  ASSERT_EQ(per_job.size(), jobs.size());
+  ASSERT_EQ(lockstep.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(per_job[i].stats.steps, lockstep[i].stats.steps) << "job " << i;
+    EXPECT_EQ(per_job[i].time, lockstep[i].time) << "job " << i;
+    EXPECT_EQ(per_job[i].vc, lockstep[i].vc) << "job " << i;  // bit-identical
+    EXPECT_EQ(per_job[i].final_vc, lockstep[i].final_vc) << "job " << i;
+    EXPECT_EQ(per_job[i].power_mean, lockstep[i].power_mean) << "job " << i;
+    EXPECT_EQ(per_job[i].mcu_events.size(), lockstep[i].mcu_events.size()) << "job " << i;
+  }
+  // Followers rode the leader's refreshes instead of assembling their own.
+  EXPECT_GT(lockstep_stats.shared_factorisations, 0u);
+  EXPECT_EQ(lockstep_stats.expm_segments, 0u);
+}
+
+TEST(LockstepBatch, SingleJobBitIdenticalToPerJob) {
+  std::vector<ScenarioJob> jobs(1);
+  jobs[0].spec = lockstep_spec(1.0);
+
+  const auto per_job = run_with_kernel(jobs, BatchKernel::kJobs);
+  const auto lockstep = run_with_kernel(jobs, BatchKernel::kLockstep);
+  ASSERT_EQ(lockstep.size(), 1u);
+  EXPECT_EQ(per_job[0].stats.steps, lockstep[0].stats.steps);
+  EXPECT_EQ(per_job[0].vc, lockstep[0].vc);
+  EXPECT_EQ(per_job[0].final_vc, lockstep[0].final_vc);
+}
+
+TEST(LockstepBatch, SplitAndRemergeAcrossSegmentCrossing) {
+  // Sweep points share the prefix [0, 1.0) and then step to different
+  // frequencies: clones follow the leader exactly, peel off at t = 1.0 and
+  // re-merge into signature groups afterwards.
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {69.0, 71.0, 73.0}) {
+    ScenarioJob job;
+    job.spec = lockstep_spec(2.0);
+    job.spec.excitation.step_frequency(1.0, hz);
+    jobs.push_back(std::move(job));
+  }
+
+  BatchStats stats;
+  const auto per_job = run_with_kernel(jobs, BatchKernel::kJobs);
+  const auto lockstep = run_with_kernel(jobs, BatchKernel::kLockstep, &stats);
+
+  ASSERT_EQ(lockstep.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Identical prefix: before the divergence time every member still steps
+    // exactly like its per-job self, so the decimated trace is bit-for-bit
+    // equal there. Past the split the global step agreement changes the
+    // step sequence, so only bounded error is promised.
+    const std::size_t common = std::min(per_job[i].time.size(), lockstep[i].time.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      if (per_job[i].time[k] >= 1.0 || lockstep[i].time[k] >= 1.0) {
+        break;
+      }
+      EXPECT_EQ(per_job[i].time[k], lockstep[i].time[k]) << "job " << i << " sample " << k;
+      EXPECT_EQ(per_job[i].vc[k], lockstep[i].vc[k]) << "job " << i << " t=" << per_job[i].time[k];
+    }
+    // After the split: bounded error against the per-job reference (the
+    // documented compare tolerance for diverged lockstep batches). Vc is
+    // slow, so comparing per decimated sample is meaningful even though the
+    // sample times differ in their low bits.
+    EXPECT_LT(max_rel_error(per_job[i].vc, lockstep[i].vc), 1e-3) << "job " << i;
+    EXPECT_NEAR(per_job[i].final_vc, lockstep[i].final_vc,
+                1e-3 * std::max(1.0, std::abs(per_job[i].final_vc)))
+        << "job " << i;
+  }
+  EXPECT_GT(stats.shared_factorisations, 0u);
+}
+
+TEST(LockstepBatch, ExpmKernelStaysWithinBounds) {
+  std::vector<ScenarioJob> jobs(3);
+  for (auto& job : jobs) {
+    job.spec = lockstep_spec(1.5);
+  }
+  // Distinct trace decimation must not break clone detection (observers are
+  // per-member).
+  jobs[1].spec.trace_interval = 0.05;
+
+  BatchStats stats;
+  const auto per_job = run_with_kernel(jobs, BatchKernel::kJobs);
+  const auto expm = run_with_kernel(jobs, BatchKernel::kLockstepExpm, &stats);
+
+  ASSERT_EQ(expm.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_LT(max_rel_error(per_job[i].vc, expm[i].vc), 1e-3) << "job " << i;
+    EXPECT_NEAR(per_job[i].rms_power_before, expm[i].rms_power_before,
+                1e-3 * std::max(1.0, std::abs(per_job[i].rms_power_before)))
+        << "job " << i;
+  }
+  EXPECT_GT(stats.expm_segments, 0u) << "expm never engaged on a still, sinusoidal stretch";
+}
+
+TEST(LockstepBatch, DeterministicAcrossThreadCounts) {
+  // The lockstep march is serial by construction; the threads option must
+  // not change a single bit.
+  std::vector<ScenarioJob> jobs;
+  for (const double hz : {70.0, 74.0}) {
+    ScenarioJob job;
+    job.spec = lockstep_spec(1.0);
+    job.spec.excitation.step_frequency(0.5, hz);
+    jobs.push_back(std::move(job));
+  }
+
+  const auto t1 = run_with_kernel(jobs, BatchKernel::kLockstep, nullptr, 1);
+  const auto t2 = run_with_kernel(jobs, BatchKernel::kLockstep, nullptr, 2);
+  const auto t8 = run_with_kernel(jobs, BatchKernel::kLockstep, nullptr, 8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(t1[i].vc, t2[i].vc) << "job " << i;
+    EXPECT_EQ(t1[i].vc, t8[i].vc) << "job " << i;
+    EXPECT_EQ(t1[i].stats.steps, t8[i].stats.steps) << "job " << i;
+  }
+}
+
+TEST(LockstepBatch, BaselineEngineJobRejected) {
+  std::vector<ScenarioJob> jobs(2);
+  jobs[0].spec = lockstep_spec(0.5);
+  jobs[1].spec = lockstep_spec(0.5);
+  jobs[1].spec.engine = EngineKind::kPspice;
+
+  BatchOptions options;
+  options.batch_kernel = BatchKernel::kLockstep;
+  EXPECT_THROW((void)run_scenario_batch(jobs, options, nullptr), ModelError);
+}
+
+TEST(LockstepBatch, KernelIdsRoundTrip) {
+  for (const BatchKernel kernel :
+       {BatchKernel::kJobs, BatchKernel::kLockstep, BatchKernel::kLockstepExpm}) {
+    EXPECT_EQ(parse_batch_kernel(batch_kernel_id(kernel)), kernel);
+  }
+  EXPECT_THROW((void)parse_batch_kernel("simd"), ModelError);
+}
+
+}  // namespace

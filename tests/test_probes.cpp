@@ -319,6 +319,67 @@ TEST(Probes, EveryKindProducesConsistentStatistics) {
   EXPECT_DOUBLE_EQ(probe_statistic(vm, "final"), vm.final_value);
 }
 
+/// The MCU duty probe samples the controller's state machine as a 0/1
+/// indicator; the time-weighted mean is the occupancy fraction. A short
+/// watchdog period plus a deliberate frequency mismatch forces the full
+/// sleep -> measuring -> tuning cycle inside the simulated span.
+TEST(Probes, McuStateDutyTracksControllerOccupancy) {
+  ExperimentSpec spec = charging_scenario(1.5);
+  spec.with_mcu = true;
+  spec.trace_interval = 0.01;
+  spec.excitation.initial_frequency_hz = 72.0;  // mismatched -> tuning burst
+  spec.overrides.push_back(ParamOverride{"supercap.initial_voltage", 3.3});
+  spec.overrides.push_back(ParamOverride{"mcu.watchdog_period", 0.3});
+  spec.probes.push_back(ProbeSpec{"sleep_duty", ProbeSpec::Kind::kMcuState, "sleep"});
+  spec.probes.push_back(ProbeSpec{"awake_duty", ProbeSpec::Kind::kMcuState, "awake", 0.0, 0.0,
+                                  std::nullopt, false});
+  spec.probes.push_back(ProbeSpec{"tuning_duty", ProbeSpec::Kind::kMcuState, "tuning", 0.0,
+                                  0.0, std::nullopt, false});
+
+  const ScenarioResult result = run_experiment(spec);
+  ASSERT_EQ(result.probes.size(), 3u);
+  const ProbeResult& sleep = result.probes[0];
+  const ProbeResult& awake = result.probes[1];
+  const ProbeResult& tuning = result.probes[2];
+
+  // The sleep/awake indicators partition the run: their occupancies sum to
+  // one, and every recorded sample is exactly 0 or 1.
+  EXPECT_NEAR(sleep.mean + awake.mean, 1.0, 1e-9);
+  for (const double v : sleep.trace) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+  EXPECT_EQ(sleep.minimum, 0.0);
+  EXPECT_EQ(sleep.maximum, 1.0);
+
+  // The mismatch triggered at least one tuning burst, so the controller
+  // spent real time tuning — but still slept most of the run.
+  EXPECT_GT(tuning.mean, 0.0);
+  EXPECT_LE(tuning.mean, awake.mean + 1e-12);
+  EXPECT_GT(sleep.mean, 0.5);
+  EXPECT_GT(result.mcu_events.size(), 0u);
+}
+
+TEST(Probes, McuStateProbeRejectsBadTargetAndMissingMcu) {
+  ProbeSpec probe{"duty", ProbeSpec::Kind::kMcuState, "running"};
+  EXPECT_THROW(probe.validate(), ModelError);
+  probe.target.clear();
+  EXPECT_THROW(probe.validate(), ModelError);
+  probe.target = "awake";
+  EXPECT_NO_THROW(probe.validate());
+
+  // Installing on an experiment without the MCU fails loudly, naming the
+  // missing switch.
+  ExperimentSpec spec = charging_scenario(0.1);
+  spec.with_mcu = false;
+  spec.probes.push_back(probe);
+  try {
+    (void)run_experiment(spec);
+    FAIL() << "expected ModelError for an mcu_state probe without an MCU";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("with_mcu"), std::string::npos);
+  }
+}
+
 TEST(Probes, DeterministicAcrossRunsAndBatchThreads) {
   const ExperimentSpec spec = probed_charging(0.3);
   const ScenarioResult serial = run_experiment(spec);

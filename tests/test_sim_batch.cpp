@@ -133,6 +133,55 @@ TEST(BatchRunner, FourWayParallelSweepBitIdenticalToSerial) {
   EXPECT_NE(parallel[0].final_vc, parallel[3].final_vc);
 }
 
+/// The default kernel never reports lockstep activity: plain per-job batches
+/// keep their counters at zero, which is also what keeps the result JSON
+/// (and every existing golden document) byte-identical.
+TEST(BatchRunner, JobsKernelReportsNoLockstepActivity) {
+  using namespace ehsim::experiments;
+  std::vector<ScenarioJob> jobs(2, ScenarioJob{charging_scenario(0.3), std::nullopt});
+  BatchStats stats;
+  const auto results = run_scenario_batch(jobs, 2, &stats);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(stats.lockstep_groups, 0u);
+  EXPECT_EQ(stats.shared_factorisations, 0u);
+  EXPECT_EQ(stats.expm_segments, 0u);
+  for (const ScenarioResult& result : results) {
+    EXPECT_EQ(result.batch_kernel, BatchKernel::kJobs);
+    EXPECT_EQ(result.lockstep_groups, 0u);
+    EXPECT_EQ(result.shared_factorisations, 0u);
+    EXPECT_EQ(result.expm_segments, 0u);
+  }
+}
+
+/// Warm starts and the lockstep kernel compose: the seeds are computed the
+/// same way as in the per-job path, and a batch of identical jobs stays
+/// bit-identical to its per-job warm-started run.
+TEST(BatchRunner, WarmStartComposesWithLockstepKernel) {
+  using namespace ehsim::experiments;
+  std::vector<ScenarioJob> jobs(3, ScenarioJob{charging_scenario(0.6), std::nullopt});
+
+  BatchOptions warm_jobs;
+  warm_jobs.threads = 1;
+  warm_jobs.warm_start = true;
+  BatchStats jobs_stats;
+  const auto per_job = run_scenario_batch(jobs, warm_jobs, &jobs_stats);
+
+  BatchOptions warm_lockstep = warm_jobs;
+  warm_lockstep.batch_kernel = BatchKernel::kLockstep;
+  BatchStats lockstep_stats;
+  const auto lockstep = run_scenario_batch(jobs, warm_lockstep, &lockstep_stats);
+
+  ASSERT_EQ(per_job.size(), lockstep.size());
+  EXPECT_EQ(jobs_stats.warm_start_hits, lockstep_stats.warm_start_hits);
+  EXPECT_GT(lockstep_stats.shared_factorisations, 0u);
+  for (std::size_t i = 0; i < per_job.size(); ++i) {
+    EXPECT_EQ(per_job[i].stats.steps, lockstep[i].stats.steps) << "job " << i;
+    EXPECT_EQ(per_job[i].vc, lockstep[i].vc) << "job " << i;  // bit-identical
+    EXPECT_EQ(per_job[i].final_vc, lockstep[i].final_vc) << "job " << i;
+    EXPECT_EQ(lockstep[i].batch_kernel, BatchKernel::kLockstep) << "job " << i;
+  }
+}
+
 // ---- Session lifecycle ----------------------------------------------------
 
 struct RcModel {

@@ -49,8 +49,8 @@ int usage(std::FILE* where = stderr) {
   std::fprintf(where,
                "usage: ehsim <command> [args]\n"
                "\n"
-               "  run <spec.json> [--threads N] [--warm-start] [--out DIR] [--probes LIST]\n"
-               "      [--quiet]\n"
+               "  run <spec.json> [--threads N] [--warm-start] [--batch-kernel K]\n"
+               "      [--out DIR] [--probes LIST] [--quiet]\n"
                "      Execute an experiment or sweep spec; write per-job\n"
                "      <name>.result.json and <name>.trace.csv under --out (default .).\n"
                "      --probes appends quick probes (comma list of net:<name>,\n"
@@ -58,8 +58,14 @@ int usage(std::FILE* where = stderr) {
                "      --warm-start seeds each job's initial operating point from a\n"
                "      structurally identical prior job (same results within solver\n"
                "      tolerance, fewer consistency iterations; off by default).\n"
-               "  sweep <sweep.json> [--threads N] [--warm-start] [--out DIR]\n"
-               "      [--probes LIST] [--quiet]\n"
+               "      --batch-kernel picks jobs | lockstep | lockstep_expm: lockstep\n"
+               "      marches the whole batch on one clock sharing Jacobian\n"
+               "      factorisations (proposed engine only; identical jobs stay\n"
+               "      bit-identical, diverged ones within compare tolerances);\n"
+               "      lockstep_expm adds exact matrix-exponential segment\n"
+               "      propagation. Overrides the sweep spec's batch_kernel.\n"
+               "  sweep <sweep.json> [--threads N] [--warm-start] [--batch-kernel K]\n"
+               "      [--out DIR] [--probes LIST] [--quiet]\n"
                "      Like run, but requires a sweep spec.\n"
                "  optimise <optimise.json> [--warm-start] [--out DIR] [--quiet]\n"
                "      Run a declarative optimisation — golden section over one\n"
@@ -81,7 +87,8 @@ struct RunArgs {
   std::string spec_path;
   std::size_t threads = 0;
   std::string out_dir = ".";
-  std::string probes;  ///< comma list of --probes shorthands (may be empty)
+  std::string probes;        ///< comma list of --probes shorthands (may be empty)
+  std::string batch_kernel;  ///< jobs | lockstep | lockstep_expm (empty: spec's choice)
   bool warm_start = false;
   bool quiet = false;
 };
@@ -96,6 +103,8 @@ std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
       run.out_dir = args[++i];
     } else if (arg == "--probes" && i + 1 < args.size()) {
       run.probes = args[++i];
+    } else if (arg == "--batch-kernel" && i + 1 < args.size()) {
+      run.batch_kernel = args[++i];
     } else if (arg == "--warm-start") {
       run.warm_start = true;
     } else if (arg == "--quiet") {
@@ -222,6 +231,15 @@ void print_summary(const std::vector<experiments::ScenarioResult>& results,
                 batch->warm_start_hits, batch->warm_start_rejects,
                 static_cast<unsigned long long>(batch->init_iterations));
   }
+  if (batch != nullptr &&
+      (batch->lockstep_groups > 0 || batch->shared_factorisations > 0 ||
+       batch->expm_segments > 0)) {
+    std::printf("lockstep: %llu shared groups, %llu shared factorisations, "
+                "%llu expm segments\n",
+                static_cast<unsigned long long>(batch->lockstep_groups),
+                static_cast<unsigned long long>(batch->shared_factorisations),
+                static_cast<unsigned long long>(batch->expm_segments));
+  }
 }
 
 int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
@@ -249,8 +267,14 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
   experiments::BatchOptions options;
   options.threads = run->threads;
   options.warm_start = run->warm_start;
+  if (!run->batch_kernel.empty()) {
+    options.batch_kernel = experiments::parse_batch_kernel(run->batch_kernel);
+  }
   if (file.sweep) {
     options.warm_start = options.warm_start || file.sweep->warm_start;
+    if (run->batch_kernel.empty()) {
+      options.batch_kernel = file.sweep->batch_kernel;
+    }
     results = experiments::run_sweep(*file.sweep, options, &batch);
   } else {
     // Single experiments route through the batch layer too, so --warm-start
