@@ -153,7 +153,10 @@ void LockstepBatch::advance_to_barrier(std::vector<std::size_t>& live, double ta
     for (std::size_t i : live) {
       Port::commit_step(*members_[i].solver, h);
     }
-    clock_ = Port::time(*members_.front().solver);
+    // Read the new clock from a *live* member: a finished member's solver
+    // stops advancing once it leaves the live set, so members_.front() may
+    // be frozen at its own horizon while the rest march on.
+    clock_ = Port::time(*members_[live.front()].solver);
   }
 }
 
@@ -258,7 +261,11 @@ void LockstepBatch::refresh_all(const std::vector<std::size_t>& live,
       }
     }
     rebuilt[i] = 1;
-    Port::observe_drift(s, false);
+    // The drift observation follows the *signature* verdict, not the rebuild
+    // decision: with reuse disabled (ablation A6) a signature-stable refresh
+    // still rebuilds, but must observe zero drift exactly like the per-job
+    // refresh() does, or the LLE/controller sequence deviates.
+    Port::observe_drift(s, stable);
   }
 
   // Elimination. Groups back-substitute through one SoA multi-RHS solve —
@@ -459,6 +466,21 @@ bool LockstepBatch::try_expm_stretch(const std::vector<std::size_t>& live, doubl
       }
     }
     if (cell_index == expm_cache_.size()) {
+      // Slots already backing this stretch are pinned (MemberRuns hold their
+      // indices). A batch with more distinct cells than capacity can pin
+      // every slot — decline the stretch up front, before paying for the
+      // cell build, and fall back to time-stepping rather than spin hunting
+      // for a free slot.
+      std::vector<char> pinned;
+      if (expm_cache_.size() >= kExpmCacheCapacity) {
+        pinned.assign(kExpmCacheCapacity, 0);
+        for (std::size_t used : cells_this_stretch) {
+          pinned[used] = 1;
+        }
+        if (std::find(pinned.begin(), pinned.end(), char{0}) == pinned.end()) {
+          return false;
+        }
+      }
       const std::size_t n = s.state().size();
       const std::size_t alg = s.terminals().size();
 
@@ -586,11 +608,12 @@ bool LockstepBatch::try_expm_stretch(const std::vector<std::size_t>& live, doubl
         cell_index = expm_cache_.size();
         expm_cache_.push_back(std::move(fresh));
       } else {
+        // The guard above proved at least one unpinned slot exists, so this
+        // round-robin scan terminates.
         do {
           cell_index = expm_cursor_ % kExpmCacheCapacity;
           ++expm_cursor_;
-        } while (std::find(cells_this_stretch.begin(), cells_this_stretch.end(),
-                           cell_index) != cells_this_stretch.end());
+        } while (pinned[cell_index] != 0);
         expm_cache_[cell_index] = std::move(fresh);
       }
     }
