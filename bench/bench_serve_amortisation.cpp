@@ -1,0 +1,136 @@
+/// \file bench_serve_amortisation.cpp
+/// \brief Cross-request amortisation in the `ehsim serve` daemon.
+///
+/// The paper's design-study workload ("optimal parameters of energy
+/// harvester ... obtained iteratively using multiple simulations") rarely
+/// arrives as one batch: interactive tools re-issue near-identical optimise
+/// requests one at a time. A cold CLI pays the PWL diode-table build and
+/// every t=0 consistency iteration on each invocation; the daemon keeps the
+/// process-wide diode-table cache and the exact-signature operating-point
+/// cache warm across requests, so request k>1 is seeded by request 1's
+/// converged points while staying bit-identical to a cold run.
+///
+/// This bench issues N identical optimise requests through an in-process
+/// Server (stringstream transport, exactly what the CLI wraps) and compares
+/// against N cold run_optimise() calls with the diode-table cache reset
+/// between them. It fails unless the daemon's cross-request optimise cache
+/// actually hit and both paths agree on the optimum.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "experiments/cpu_timer.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "experiments/scenarios.hpp"
+#include "pwl/table_cache.hpp"
+#include "serve/server.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+  namespace io = ehsim::io;
+
+  const bool smoke = ehsim::benchio::bench_span() == ehsim::benchio::BenchSpan::kSmoke;
+  const std::size_t requests = smoke ? 3 : 5;
+
+  OptimiseSpec spec;
+  spec.name = "serve-tuning-study";
+  spec.base = scenario1();
+  spec.base.name = "serve-tuning-point";
+  spec.base.with_mcu = false;
+  spec.base.excitation.events.clear();  // steady 70 Hz ambient per candidate
+  spec.base.duration = smoke ? 1.0 : 3.0;
+  spec.base.trace_interval = 0.0;
+  spec.base.probes.push_back(
+      ProbeSpec{"P_gen", ProbeSpec::Kind::kGeneratorPower, "", spec.base.duration * 0.5});
+  spec.variable = "spec.pre_tuned_hz";
+  spec.lower = 66.0;
+  spec.upper = 74.0;
+  spec.objective = "P_gen";
+  spec.statistic = "mean";
+  spec.max_evaluations = smoke ? 10 : 16;
+  spec.x_tolerance = 1e-3;
+
+  std::printf("=== serve amortisation: %zu repeated optimise requests ===\n\n", requests);
+
+  // Baseline: each request is a fresh process as far as the caches are
+  // concerned — reset the process-wide diode-table cache before every call.
+  WallTimer cold_timer;
+  std::vector<double> cold_best;
+  for (std::size_t i = 0; i < requests; ++i) {
+    ehsim::pwl::reset_diode_table_cache();
+    cold_best.push_back(run_optimise(spec).best.x);
+  }
+  const double cold_wall = cold_timer.elapsed_seconds();
+
+  // Daemon: the same N requests through one long-lived Server.
+  const std::string spec_json = io::to_json(spec).dump(-1);
+  std::ostringstream script;
+  for (std::size_t i = 0; i < requests; ++i) {
+    script << "{\"id\": " << (i + 1) << ", \"type\": \"optimise\", \"spec\": " << spec_json
+           << "}\n";
+  }
+  script << "{\"id\": " << (requests + 1) << ", \"type\": \"stats\"}\n";
+  script << "{\"id\": " << (requests + 2) << ", \"type\": \"shutdown\"}\n";
+
+  ehsim::pwl::reset_diode_table_cache();
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  WallTimer warm_timer;
+  ehsim::serve::Server server(in, out, {});
+  const int rc = server.run();
+  const double warm_wall = warm_timer.elapsed_seconds();
+
+  // Pull the per-request optima and the final cache counters off the wire.
+  std::vector<double> warm_best;
+  double cross_hits = 0.0;
+  double diode_hits = 0.0;
+  std::istringstream events(out.str());
+  std::string line;
+  while (std::getline(events, line)) {
+    const io::JsonValue event = io::JsonValue::parse(line);
+    const std::string& kind = event.at("event").as_string();
+    if (kind == "result") {
+      warm_best.push_back(event.at("result").at("best").at("x").as_number());
+    } else if (kind == "stats") {
+      cross_hits = event.at("optimise_cache").at("hits").as_number();
+      diode_hits = event.at("diode_table").at("hits").as_number();
+    } else if (kind == "error") {
+      std::printf("unexpected error event: %s\n", line.c_str());
+    }
+  }
+
+  bool identical = rc == 0 && warm_best.size() == cold_best.size();
+  for (std::size_t i = 0; identical && i < warm_best.size(); ++i) {
+    identical = warm_best[i] == cold_best[i];  // bit-identical optimum per request
+  }
+
+  std::printf("cold one-shots: %zu requests, %.2f s wall (%.2f s/request)\n", requests,
+              cold_wall, cold_wall / static_cast<double>(requests));
+  std::printf("serve daemon:   %zu requests, %.2f s wall (%.2f s/request), "
+              "%.0f cross-request seed hits, %.0f diode-table hits\n",
+              requests, warm_wall, warm_wall / static_cast<double>(requests), cross_hits,
+              diode_hits);
+  std::printf("speedup: %.2fx\n", cold_wall / warm_wall);
+
+  // The first request must fill the caches and every later one must draw on
+  // them; one-shot parity in the optimum is the determinism contract.
+  const bool ok = identical && cross_hits > 0.0 && diode_hits > 0.0;
+  std::printf("\ncross-request caches amortise at a bit-identical optimum: %s\n",
+              ok ? "YES" : "NO");
+
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("bench", "serve_amortisation");
+  doc.set("requests", static_cast<double>(requests));
+  doc.set("cold_wall_seconds", cold_wall);
+  doc.set("serve_wall_seconds", warm_wall);
+  doc.set("speedup", cold_wall / warm_wall);
+  doc.set("optimise_cache_hits", cross_hits);
+  doc.set("diode_table_hits", diode_hits);
+  doc.set("bit_identical", identical);
+  ehsim::benchio::maybe_write_bench_json(doc);
+
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

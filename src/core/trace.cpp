@@ -26,7 +26,7 @@ void TraceRecorder::probe_state(const std::string& qualified_name) {
   const auto index = static_cast<std::size_t>(it - names.begin());
   columns_.push_back(Column{
       qualified_name,
-      [index](std::span<const double> x, std::span<const double>) { return x[index]; },
+      [index](double, std::span<const double> x, std::span<const double>) { return x[index]; },
       {}});
 }
 
@@ -38,13 +38,27 @@ void TraceRecorder::probe_net(const std::string& net_name) {
   const std::size_t index = net->index;
   columns_.push_back(Column{
       net_name,
-      [index](std::span<const double>, std::span<const double> y) { return y[index]; },
+      [index](double, std::span<const double>, std::span<const double> y) { return y[index]; },
       {}});
 }
 
 void TraceRecorder::probe_expression(
     std::string label,
     std::function<double(std::span<const double>, std::span<const double>)> expression) {
+  if (!expression) {
+    throw ModelError("TraceRecorder: null expression");
+  }
+  probe_expression(std::move(label),
+                   [expression = std::move(expression)](double, std::span<const double> x,
+                                                        std::span<const double> y) {
+                     return expression(x, y);
+                   });
+}
+
+void TraceRecorder::probe_expression(
+    std::string label,
+    std::function<double(double, std::span<const double>, std::span<const double>)>
+        expression) {
   if (!expression) {
     throw ModelError("TraceRecorder: null expression");
   }
@@ -77,7 +91,7 @@ void TraceRecorder::on_point(double t, std::span<const double> x, std::span<cons
   last_recorded_ = t;
   times_.push_back(t);
   for (auto& col : columns_) {
-    col.data.push_back(col.extract(x, y));
+    col.data.push_back(col.extract(t, x, y));
   }
 }
 

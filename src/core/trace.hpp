@@ -35,9 +35,15 @@ class TraceRecorder {
   void probe_state(const std::string& qualified_name);
   /// Probe a terminal net by name (e.g. "Vc").
   void probe_net(const std::string& net_name);
-  /// Probe a derived quantity.
+  /// Probe a derived quantity of the solution point.
   void probe_expression(std::string label,
                         std::function<double(std::span<const double> x,
+                                             std::span<const double> y)> expression);
+  /// Probe a derived quantity that also depends on time (actuator
+  /// kinematics, scheduled excitation terms, ...). \p t is the accepted
+  /// point's time, so the column stays a pure function of (t, x, y).
+  void probe_expression(std::string label,
+                        std::function<double(double t, std::span<const double> x,
                                              std::span<const double> y)> expression);
 
   [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
@@ -53,7 +59,7 @@ class TraceRecorder {
  private:
   struct Column {
     std::string label;
-    std::function<double(std::span<const double>, std::span<const double>)> extract;
+    std::function<double(double, std::span<const double>, std::span<const double>)> extract;
     std::vector<double> data;
   };
 

@@ -166,6 +166,10 @@ std::vector<std::string> optimise_variable_keys() {
 }
 
 OptimiseResult run_optimise(const OptimiseSpec& spec) {
+  return run_optimise(spec, nullptr);
+}
+
+OptimiseResult run_optimise(const OptimiseSpec& spec, OptimiseRuntime* runtime) {
   spec.validate();
 
   OptimiseResult result;
@@ -181,14 +185,32 @@ OptimiseResult run_optimise(const OptimiseSpec& spec) {
   // \p count_counters: the final best_run re-run accumulates iterations but
   // not hit/reject counts — those are documented per *evaluation*.
   OperatingPointCache cache;
-  const auto run_candidate = [&spec, &result, &cache](const ExperimentSpec& candidate,
-                                                      bool count_counters) {
+  OperatingPointCache* cross = runtime != nullptr ? runtime->cross_cache : nullptr;
+  const auto run_candidate = [&spec, &result, &cache, cross,
+                              runtime](const ExperimentSpec& candidate, bool count_counters) {
     RunOptions options;
     std::uint64_t signature = 0;
+    std::uint64_t exact_signature = 0;
+    bool cross_seeded = false;
+    if (cross != nullptr) {
+      // Cross-request seeds are keyed by *exact* parameter bits and hold
+      // only cold-converged points, so a hit seeds this candidate with its
+      // own cold operating point: the seeded solve reproduces the cold run
+      // bit for bit. Takes precedence over the per-search quantised cache —
+      // an exact seed is never worse than a neighbour's.
+      exact_signature =
+          operating_point_signature(candidate, experiment_params(candidate), 0.0);
+      if (const std::vector<double>* seed = cross->find(exact_signature)) {
+        options.initial_terminals = *seed;
+        cross_seeded = true;
+      }
+    }
     if (spec.warm_start) {
       signature = operating_point_signature(candidate, experiment_params(candidate));
-      if (const std::vector<double>* seed = cache.find(signature)) {
-        options.initial_terminals = *seed;
+      if (!cross_seeded) {
+        if (const std::vector<double>* seed = cache.find(signature)) {
+          options.initial_terminals = *seed;
+        }
       }
     }
     ScenarioResult run = run_experiment(candidate, options);
@@ -198,6 +220,13 @@ OptimiseResult run_optimise(const OptimiseSpec& spec) {
         case WarmStartOutcome::kSeeded:
           if (count_counters) {
             ++result.warm_start_hits;
+          }
+          if (cross_seeded && cache.find(signature) == nullptr) {
+            // The per-search cache must still learn this signature exactly
+            // as a cold first visit would have (the terminals are the same
+            // bits either way), or later quantised collisions would run
+            // cold where the one-shot search seeds them.
+            cache.store(signature, run.initial_terminals);
           }
           break;
         case WarmStartOutcome::kRejected:
@@ -215,6 +244,26 @@ OptimiseResult run_optimise(const OptimiseSpec& spec) {
           // seeds every later candidate that collides with it.
           cache.store(signature, run.initial_terminals);
           break;
+      }
+    }
+    if (cross != nullptr) {
+      if (cross_seeded) {
+        if (run.warm_start == WarmStartOutcome::kSeeded) {
+          ++runtime->cross_hits;
+        } else {
+          // The exact seed was rejected (the stored point no longer
+          // converges — e.g. solver knobs changed between requests): heal
+          // the entry with the fresh cold point.
+          cross->replace(exact_signature, run.initial_terminals);
+        }
+      } else if (run.warm_start == WarmStartOutcome::kCold &&
+                 !run.initial_terminals.empty() &&
+                 cross->find(exact_signature) == nullptr) {
+        // Only cold-converged points enter the cross cache (bit-identity
+        // contract — see OptimiseRuntime); a quantised-seeded evaluation's
+        // terminals are its neighbour's point, not this candidate's.
+        cross->store(exact_signature, run.initial_terminals);
+        ++runtime->cross_stores;
       }
     }
     return run;

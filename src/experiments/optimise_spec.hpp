@@ -130,6 +130,25 @@ struct OptimiseResult {
   std::uint64_t init_iterations = 0;
 };
 
+/// Cross-request execution context for run_optimise — what the serve daemon
+/// threads through repeated optimise requests. `cross_cache`, when non-null,
+/// is a caller-owned operating-point cache keyed by *exact* signatures
+/// (warm_start_quantum 0): an evaluation whose exact parameter vector is
+/// already cached is seeded from it — the seed is that candidate's own
+/// cold-converged point, so the seeded solve is bit-identical to cold — and
+/// evaluations that converge cold store their point back. The evaluation
+/// *sequence* (and hence the result document) is unchanged whether the
+/// cross cache is present, empty or warm; only consistency-iteration work
+/// shrinks. Works with or without spec.warm_start (whose per-search
+/// quantised cache and counters behave exactly as before). `cross_hits` /
+/// `cross_stores` report what this call consumed from and contributed to
+/// the cache.
+struct OptimiseRuntime {
+  OperatingPointCache* cross_cache = nullptr;
+  std::size_t cross_hits = 0;    ///< evaluations seeded from cross_cache
+  std::size_t cross_stores = 0;  ///< cold operating points stored back
+};
+
 /// Execute the optimisation loop serially (every evaluation depends on the
 /// previous one). One search axis dispatches to golden_section_maximise —
 /// bit-identical to the pre-multi-variable driver. Two or more axes dispatch
@@ -140,6 +159,12 @@ struct OptimiseResult {
 /// is bit-identical to driving the C++ API directly. Throws ModelError on an
 /// invalid spec.
 [[nodiscard]] OptimiseResult run_optimise(const OptimiseSpec& spec);
+
+/// run_optimise with a cross-request runtime (see OptimiseRuntime). A null
+/// \p runtime (or a null cross_cache inside it) behaves exactly like the
+/// plain overload.
+[[nodiscard]] OptimiseResult run_optimise(const OptimiseSpec& spec,
+                                          OptimiseRuntime* runtime);
 
 /// Top-level document keys of an optimise spec (besides "type"), in schema
 /// order — the io parser's allowed set and `ehsim params` both derive from

@@ -14,7 +14,7 @@ namespace {
 /// Kinds that address a model entity through `target`.
 bool needs_target(ProbeSpec::Kind kind) {
   return kind == ProbeSpec::Kind::kNodeVoltage || kind == ProbeSpec::Kind::kStateVariable ||
-         kind == ProbeSpec::Kind::kMcuState;
+         kind == ProbeSpec::Kind::kMcuState || kind == ProbeSpec::Kind::kActuator;
 }
 
 /// Valid `target` values of a kMcuState probe, in documentation order.
@@ -29,9 +29,22 @@ bool is_mcu_state_target(const std::string& target) {
   return false;
 }
 
+/// Valid `target` values of a kActuator probe, in documentation order.
+constexpr const char* kActuatorTargets[] = {"gap", "speed", "work"};
+
+bool is_actuator_target(const std::string& target) {
+  for (const char* candidate : kActuatorTargets) {
+    if (target == candidate) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// The shared value function behind both the hub channel and the trace
-/// column — every quantity is a pure function of the solution point.
-using ValueFn = std::function<double(std::span<const double> x, std::span<const double> y)>;
+/// column — every quantity is a pure function of the sample point (t, x, y).
+using ValueFn = std::function<double(double t, std::span<const double> x,
+                                     std::span<const double> y)>;
 
 std::size_t state_index_of(const core::SystemAssembler& system, const std::string& name,
                            const std::string& probe_label) {
@@ -53,23 +66,27 @@ ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
         throw ModelError("probe '" + probe.label + "': unknown net '" + probe.target + "'");
       }
       const std::size_t index = net->index;
-      return [index](std::span<const double>, std::span<const double> y) { return y[index]; };
+      return [index](double, std::span<const double>, std::span<const double> y) {
+        return y[index];
+      };
     }
     case ProbeSpec::Kind::kStateVariable: {
       const std::size_t index = state_index_of(system.assembler(), probe.target, probe.label);
-      return [index](std::span<const double> x, std::span<const double>) { return x[index]; };
+      return [index](double, std::span<const double> x, std::span<const double>) {
+        return x[index];
+      };
     }
     case ProbeSpec::Kind::kGeneratorPower: {
       const std::size_t vm = system.vm_index();
       const std::size_t im = system.im_index();
-      return [vm, im](std::span<const double>, std::span<const double> y) {
+      return [vm, im](double, std::span<const double>, std::span<const double> y) {
         return y[vm] * y[im];
       };
     }
     case ProbeSpec::Kind::kHarvestedPower: {
       const std::size_t vc = system.vc_index();
       const std::size_t ic = system.ic_index();
-      return [vc, ic](std::span<const double>, std::span<const double> y) {
+      return [vc, ic](double, std::span<const double>, std::span<const double> y) {
         return y[vc] * y[ic];
       };
     }
@@ -84,7 +101,7 @@ ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
       // sample time, which the session advances in lockstep with the
       // analogue solution, so the probe is deterministic per accepted step.
       if (probe.target == "awake") {
-        return [mcu](std::span<const double>, std::span<const double>) {
+        return [mcu](double, std::span<const double>, std::span<const double>) {
           return mcu->state() != harvester::McuState::kSleep ? 1.0 : 0.0;
         };
       }
@@ -94,8 +111,36 @@ ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
       } else if (probe.target == "tuning") {
         wanted = harvester::McuState::kTuning;
       }
-      return [mcu, wanted](std::span<const double>, std::span<const double>) {
+      return [mcu, wanted](double, std::span<const double>, std::span<const double>) {
         return mcu->state() == wanted ? 1.0 : 0.0;
+      };
+    }
+    case ProbeSpec::Kind::kActuator: {
+      // The actuator's position profile is a closed-form function of time
+      // (constant-speed piecewise-linear, see LinearActuator), so all three
+      // targets are pure functions of the sample time — deterministic per
+      // accepted step like every other probe.
+      const harvester::LinearActuator* actuator = &system.actuator();
+      if (probe.target == "gap") {
+        return [actuator](double t, std::span<const double>, std::span<const double>) {
+          return actuator->position(t);
+        };
+      }
+      if (probe.target == "speed") {
+        return [actuator](double t, std::span<const double>, std::span<const double>) {
+          return actuator->moving(t) ? actuator->speed() : 0.0;
+        };
+      }
+      // "work": instantaneous mechanical power the actuator exchanges with
+      // the magnetic tuning force while a move is in progress — the force
+      // magnitude Ft(gap(t)) times the travel rate. Its time integral over a
+      // retune equals the closed-form |∫ Ft dg| between the endpoint gaps,
+      // the actuation-energy bookkeeping quantity.
+      const harvester::TuningMechanism* tuning = &system.tuning();
+      return [actuator, tuning](double t, std::span<const double>, std::span<const double>) {
+        return actuator->moving(t)
+                   ? tuning->force_at_gap(actuator->position(t)) * actuator->speed()
+                   : 0.0;
       };
     }
     case ProbeSpec::Kind::kStoredEnergy: {
@@ -106,7 +151,7 @@ ValueFn make_value_fn(const ProbeSpec& probe, sim::HarvesterSession& session) {
       const std::size_t vi = state_index_of(system.assembler(), "supercap.Vi", probe.label);
       const std::size_t vd = state_index_of(system.assembler(), "supercap.Vd", probe.label);
       const std::size_t vl = state_index_of(system.assembler(), "supercap.Vl", probe.label);
-      return [params, vi, vd, vl](std::span<const double> x, std::span<const double>) {
+      return [params, vi, vd, vl](double, std::span<const double> x, std::span<const double>) {
         const double v = x[vi];
         return 0.5 * params.ci0 * v * v + params.ci1 * v * v * v / 3.0 +
                0.5 * params.cd * x[vd] * x[vd] + 0.5 * params.cl * x[vl] * x[vl];
@@ -143,6 +188,10 @@ void ProbeSpec::validate() const {
     throw ModelError("ProbeSpec '" + label + "': mcu_state target '" + target +
                      "' is not sleep | measuring | tuning | awake");
   }
+  if (kind == Kind::kActuator && !is_actuator_target(target)) {
+    throw ModelError("ProbeSpec '" + label + "': actuator target '" + target +
+                     "' is not gap | speed | work");
+  }
   if (!needs_target(kind) && !target.empty()) {
     throw ModelError("ProbeSpec '" + label + "': kind '" + probe_kind_id(kind) +
                      "' does not take a target");
@@ -170,6 +219,8 @@ const char* probe_kind_id(ProbeSpec::Kind kind) {
       return "stored_energy";
     case ProbeSpec::Kind::kMcuState:
       return "mcu_state";
+    case ProbeSpec::Kind::kActuator:
+      return "actuator";
   }
   return "?";
 }
@@ -178,19 +229,20 @@ ProbeSpec::Kind probe_kind_from(const std::string& id) {
   for (const auto kind :
        {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
         ProbeSpec::Kind::kGeneratorPower, ProbeSpec::Kind::kHarvestedPower,
-        ProbeSpec::Kind::kStoredEnergy, ProbeSpec::Kind::kMcuState}) {
+        ProbeSpec::Kind::kStoredEnergy, ProbeSpec::Kind::kMcuState,
+        ProbeSpec::Kind::kActuator}) {
     if (id == probe_kind_id(kind)) {
       return kind;
     }
   }
   throw ModelError("probe kind '" + id +
                    "' is not node_voltage | state | generator_power | harvested_power | "
-                   "stored_energy | mcu_state");
+                   "stored_energy | mcu_state | actuator");
 }
 
 std::vector<std::string> probe_kind_ids() {
-  return {"node_voltage",    "state",         "generator_power",
-          "harvested_power", "stored_energy", "mcu_state"};
+  return {"node_voltage",    "state",         "generator_power", "harvested_power",
+          "stored_energy",   "mcu_state",     "actuator"};
 }
 
 std::vector<std::string> probe_statistic_ids() {
@@ -249,12 +301,7 @@ void install_probes(sim::HarvesterSession& session, const std::vector<ProbeSpec>
     window.start = probe.window_start;
     window.end =
         probe.window_end > 0.0 ? probe.window_end : std::numeric_limits<double>::infinity();
-    session.probes().add_channel(
-        probe.label,
-        [value](double, std::span<const double> x, std::span<const double> y) {
-          return value(x, y);
-        },
-        window, probe.threshold);
+    session.probes().add_channel(probe.label, value, window, probe.threshold);
     if (probe.record) {
       session.session().trace().probe_expression(probe.label, value);
     }

@@ -4,9 +4,10 @@
 /// A ProbeSpec names one derived quantity of the harvester model — a
 /// terminal net voltage/current, a block state, the instantaneous
 /// microgenerator power Vm*Im, the power delivered into the storage Vc*Ic,
-/// the energy stored in the supercapacitor, or an MCU state-occupancy
-/// indicator (sleep/measuring/tuning duty) — plus an optional reduction
-/// window and threshold. Installed on an experiment session it becomes (a)
+/// the energy stored in the supercapacitor, an MCU state-occupancy
+/// indicator (sleep/measuring/tuning duty), or the tuning actuator's
+/// travel/energy bookkeeping (gap, slew rate, mechanical actuation power) —
+/// plus an optional reduction window and threshold. Installed on an experiment session it becomes (a)
 /// a streaming core::ProbeChannel producing scalar statistics (time-weighted
 /// mean/RMS, extremes, final value, duty cycle, upward-crossing count) and
 /// (b), when `record` is set, a decimated TraceRecorder column emitted as an
@@ -38,6 +39,18 @@ struct ProbeSpec {
     /// an experiment with the MCU enabled (install-time ModelError
     /// otherwise).
     kMcuState,
+    /// Actuator travel/energy bookkeeping (`target`: "gap" | "speed" |
+    /// "work"). "gap" samples the magnet gap [m] the tuning actuator holds
+    /// at sample time; "speed" the actuator's signed-magnitude travel rate
+    /// [m/s] (the constant slew rate while a move is in progress, else 0) —
+    /// its time-weighted mean times covered_time is the total travel; "work"
+    /// the instantaneous mechanical power |Ft(gap(t))| * speed [W] the
+    /// actuator exchanges with the magnetic tuning force while moving — its
+    /// time integral is the actuation energy budget of a retune. All three
+    /// are pure functions of sample time (the actuator's position profile is
+    /// closed-form), so they ride batches deterministically like every other
+    /// probe.
+    kActuator,
   };
 
   /// Unique column/result label. Must be CSV-header-safe and must not shadow

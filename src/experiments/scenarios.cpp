@@ -395,17 +395,61 @@ std::vector<ScenarioResult> run_lockstep_batch(const std::vector<ScenarioJob>& j
 
 }  // namespace
 
-ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
-  PreparedExperiment prep = prepare_experiment(spec, options);
-  if (prep.seed_failed) {
+struct PreparedRun::Impl {
+  PreparedExperiment prep;
+};
+
+PreparedRun::PreparedRun() noexcept = default;
+PreparedRun::PreparedRun(PreparedRun&&) noexcept = default;
+PreparedRun& PreparedRun::operator=(PreparedRun&&) noexcept = default;
+PreparedRun::~PreparedRun() = default;
+
+bool PreparedRun::valid() const noexcept { return impl_ != nullptr; }
+
+WarmStartOutcome PreparedRun::warm_start() const {
+  if (impl_ == nullptr) {
+    throw ModelError("PreparedRun: warm_start() on an invalid run");
+  }
+  return impl_->prep.warm_start;
+}
+
+const std::vector<double>& PreparedRun::initial_terminals() const {
+  if (impl_ == nullptr) {
+    throw ModelError("PreparedRun: initial_terminals() on an invalid run");
+  }
+  return impl_->prep.initial_terminals;
+}
+
+PreparedRun prepare_run(const ExperimentSpec& spec, const RunOptions& options) {
+  PreparedRun run;
+  run.impl_ = std::make_unique<PreparedRun::Impl>();
+  run.impl_->prep = prepare_experiment(spec, options);
+  if (run.impl_->prep.seed_failed) {
+    // Same fallback as run_experiment: rebuild the session and restart cold
+    // (a warm start is only ever an accelerator), remembering the rejection.
     RunOptions cold = options;
     cold.initial_terminals = {};
-    ScenarioResult result = run_experiment(spec, cold);
-    result.warm_start = WarmStartOutcome::kRejected;
-    return result;
+    run.impl_->prep = prepare_experiment(spec, cold);
+    run.impl_->prep.warm_start = WarmStartOutcome::kRejected;
   }
+  return run;
+}
+
+ScenarioResult finish_run(const ExperimentSpec& spec, PreparedRun& run) {
+  if (!run.valid()) {
+    throw ModelError("finish_run: run is not prepared (default-constructed, moved-from or "
+                     "already finished)");
+  }
+  PreparedExperiment& prep = run.impl_->prep;
   prep.session->run_until(spec.duration);
-  return collect_experiment(spec, prep, prep.session->cpu_seconds());
+  ScenarioResult result = collect_experiment(spec, prep, prep.session->cpu_seconds());
+  run.impl_.reset();  // the transient has consumed the session
+  return result;
+}
+
+ScenarioResult run_experiment(const ExperimentSpec& spec, const RunOptions& options) {
+  PreparedRun run = prepare_run(spec, options);
+  return finish_run(spec, run);
 }
 
 std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
@@ -435,7 +479,13 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
   // consumer to skip the same iterations — pure overhead.
   std::uint64_t producer_iterations = 0;
   std::vector<std::uint64_t> signatures;
-  OperatingPointCache cache;
+  OperatingPointCache local_cache;
+  // A caller-owned cache (serve) persists entries across batches; entries it
+  // already holds make the producer phase skip those signatures and let even
+  // singleton jobs seed (cache.find covers both below).
+  OperatingPointCache& cache =
+      (options.warm_start && options.warm_cache != nullptr) ? *options.warm_cache
+                                                            : local_cache;
   if (options.warm_start) {
     signatures.reserve(jobs.size());
     std::unordered_map<std::uint64_t, std::size_t> multiplicity;
@@ -475,6 +525,27 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     });
   } else {
     results = run_lockstep_batch(jobs, options, signatures, cache, &lockstep_counters);
+  }
+  if (options.warm_start && options.warm_cache != nullptr) {
+    // Persist this batch's operating points for later batches, in job order
+    // (scheduling-independent). Only *cold*-converged points are stored — a
+    // seeded job's terminals equal its seed, and a quantised seed is merely
+    // tolerance-converged for this exact parameter vector; storing it would
+    // let a later exact-signature consumer inherit a neighbour's point and
+    // silently lose bit-identity with its cold run.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].initial_terminals.empty()) {
+        continue;
+      }
+      if (results[i].warm_start == WarmStartOutcome::kRejected) {
+        // The cached seed failed but the cold fallback converged — evict the
+        // bad seed so later batches don't repeat the deterministic failure.
+        cache.replace(signatures[i], results[i].initial_terminals);
+      } else if (results[i].warm_start == WarmStartOutcome::kCold &&
+                 cache.find(signatures[i]) == nullptr) {
+        cache.store(signatures[i], results[i].initial_terminals);
+      }
+    }
   }
   if (stats != nullptr) {
     stats->jobs = results.size();

@@ -153,6 +153,55 @@ struct RunOptions {
 [[nodiscard]] ScenarioResult run_experiment(const ExperimentSpec& spec,
                                             const RunOptions& options);
 
+/// A fully wired, initialised (but not yet run) experiment: the model,
+/// excitation, probes/observers and the converged t=0 operating point of one
+/// run_experiment call, stopped right before the transient. prepare_run /
+/// finish_run split run_experiment in two so long-lived callers (the serve
+/// session pool) can keep assembled-and-initialised models warm across
+/// requests; for any spec and options,
+/// `finish_run(spec, prepare_run(spec, options))` is bit-identical to
+/// `run_experiment(spec, options)`. Move-only; a prepared run is one-shot —
+/// finish_run consumes it.
+class PreparedRun {
+ public:
+  PreparedRun() noexcept;
+  PreparedRun(PreparedRun&&) noexcept;
+  PreparedRun& operator=(PreparedRun&&) noexcept;
+  PreparedRun(const PreparedRun&) = delete;
+  PreparedRun& operator=(const PreparedRun&) = delete;
+  ~PreparedRun();
+
+  /// False for a default-constructed, moved-from or finished run.
+  [[nodiscard]] bool valid() const noexcept;
+  /// How the t=0 operating point was established. kRejected means a seed was
+  /// offered but failed — prepare_run already restarted cold, so the run is
+  /// usable either way.
+  [[nodiscard]] WarmStartOutcome warm_start() const;
+  /// Converged t=0 terminal vector (the seed later warm starts reuse).
+  [[nodiscard]] const std::vector<double>& initial_terminals() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  friend PreparedRun prepare_run(const ExperimentSpec&, const RunOptions&);
+  friend ScenarioResult finish_run(const ExperimentSpec&, PreparedRun&);
+};
+
+/// First half of run_experiment: build the session, install probes and the
+/// power-bin observer, establish the t=0 operating point (seeded when
+/// RunOptions::initial_terminals is non-empty, with the same
+/// rejected-seed-restarts-cold fallback as run_experiment). Throws what
+/// run_experiment would throw for the same spec.
+[[nodiscard]] PreparedRun prepare_run(const ExperimentSpec& spec,
+                                      const RunOptions& options = {});
+
+/// Second half of run_experiment: march the prepared session to
+/// spec.duration and collect the ScenarioResult. \p spec must be the spec
+/// the run was prepared with (the split exists to separate *when* the two
+/// halves execute, not to mix specs). Consumes the run (valid() turns
+/// false); throws ModelError on an invalid one.
+[[nodiscard]] ScenarioResult finish_run(const ExperimentSpec& spec, PreparedRun& run);
+
 /// Build a session for \p spec, establish the t=0 operating point and return
 /// the converged terminal vector — the warm-start seed producer (no
 /// transient is run). \p init_iterations, when non-null, receives the
@@ -222,6 +271,20 @@ struct BatchOptions {
   /// ScenarioResult::cpu_seconds. Warm starts compose: the seed phase runs
   /// before the march exactly as under kJobs.
   BatchKernel batch_kernel = BatchKernel::kJobs;
+  /// Cross-batch operating-point cache (the serve daemon's cross-request
+  /// store). When non-null and warm_start is on, seeds are looked up in this
+  /// caller-owned cache instead of a per-call one: entries persist across
+  /// calls, so even singleton-signature jobs get seeded when an earlier
+  /// batch already converged their signature. After the batch, every job
+  /// that converged *cold* stores its operating point back (first store per
+  /// signature wins, in job order — scheduling-independent), and rejected
+  /// seeds are replaced by the cold fallback's point. Only cold-converged
+  /// points are ever stored, so with warm_start_quantum <= 0 (exact
+  /// signatures) a seeded job is bit-identical to its cold run and the cache
+  /// can never serve a tolerance-converged point under an exact key.
+  /// Ignored when warm_start is false. Not synchronised — one batch at a
+  /// time per cache.
+  OperatingPointCache* warm_cache = nullptr;
 };
 
 /// Execute a sweep of independent scenario jobs across a fixed thread pool.

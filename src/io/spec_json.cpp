@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -794,6 +795,29 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out.good()) {
     throw ModelError("failed writing '" + path + "'");
   }
+}
+
+std::string safe_file_stem(const std::string& name) {
+  std::string stem;
+  stem.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_' || c == '=';
+    stem.push_back(ok ? c : '_');
+  }
+  return stem;
+}
+
+std::string write_result_files(const std::string& dir,
+                               const experiments::ScenarioResult& result) {
+  std::filesystem::create_directories(dir);
+  const std::string stem =
+      (std::filesystem::path(dir) / safe_file_stem(result.scenario)).string();
+  write_file(stem + ".result.json", to_json(result).dump(2) + "\n");
+  std::ostringstream csv;
+  write_trace_csv(csv, result);
+  write_file(stem + ".trace.csv", std::move(csv).str());
+  return stem;
 }
 
 }  // namespace ehsim::io

@@ -68,4 +68,17 @@ void write_trace_csv(std::ostream& os, const experiments::ScenarioResult& result
 [[nodiscard]] std::string read_file(const std::string& path);
 void write_file(const std::string& path, const std::string& content);
 
+/// Flatten a job name ("base/param=value" sweep separators and all) into a
+/// shell-safe file stem — the naming convention of every result file the CLI
+/// and the serve daemon write.
+[[nodiscard]] std::string safe_file_stem(const std::string& name);
+
+/// Write <dir>/<stem>.result.json (pretty-printed, trailing newline) and
+/// <dir>/<stem>.trace.csv for one result, creating \p dir as needed; returns
+/// the stem path (without extension). One shared writer keeps the one-shot
+/// CLI and the serve daemon byte-identical on disk — the serve determinism
+/// contract compares exactly these files.
+std::string write_result_files(const std::string& dir,
+                               const experiments::ScenarioResult& result);
+
 }  // namespace ehsim::io

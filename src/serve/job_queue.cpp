@@ -1,0 +1,66 @@
+#include "serve/job_queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ehsim::serve {
+
+JobQueue::JobQueue(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0)
+    throw ModelError("JobQueue capacity must be at least 1");
+}
+
+bool JobQueue::enqueue(Request request) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [this] {
+    return depth_ < ring_.size() || state_ != State::kAccepting;
+  });
+  if (state_ != State::kAccepting) return false;
+  ring_[(head_ + depth_) % ring_.size()] = std::move(request);
+  ++depth_;
+  ++enqueued_;
+  if (depth_ > max_depth_) max_depth_ = depth_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> JobQueue::dequeue() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock,
+                  [this] { return depth_ > 0 || state_ != State::kAccepting; });
+  if (depth_ == 0) {
+    // close() raced in before any backlog built up, or the backlog is gone:
+    // the drain is complete.
+    state_ = State::kClosed;
+    return std::nullopt;
+  }
+  std::optional<Request> request = std::move(ring_[head_]);
+  ring_[head_].reset();
+  head_ = (head_ + 1) % ring_.size();
+  --depth_;
+  ++dequeued_;
+  if (state_ == State::kDraining && depth_ == 0) state_ = State::kClosed;
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ == State::kAccepting) state_ = State::kDraining;
+    if (depth_ == 0) state_ = State::kClosed;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{ring_.size(), depth_,     enqueued_,
+               dequeued_,    max_depth_, state_};
+}
+
+}  // namespace ehsim::serve

@@ -1,0 +1,86 @@
+/// \file job_queue.hpp
+/// \brief Bounded ring-buffer job queue between the serve reader and worker.
+///
+/// The classic producer/consumer tone-queue shape: a fixed-capacity circular
+/// buffer with a head the consumer dequeues from and a tail the producer
+/// enqueues at, two condition variables (not_full / not_empty) and an
+/// explicit lifecycle state machine instead of ad-hoc boolean flags:
+///
+///     kAccepting --close()--> kDraining --(queue empties)--> kClosed
+///
+/// While kAccepting, enqueue blocks when the ring is full and dequeue blocks
+/// when it is empty. close() is the shutdown sentinel: producers are turned
+/// away (enqueue returns false), consumers keep draining what is already
+/// queued, and the first dequeue that finds the ring empty flips the state
+/// to kClosed and returns std::nullopt — the consumer's signal to exit.
+/// Counters (enqueued / dequeued / max_depth) feed the daemon's `stats`
+/// response.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ehsim::serve {
+
+/// Thread-safe bounded MPMC queue of serve requests (the daemon uses it
+/// SPSC: one stdin reader, one simulation worker).
+class JobQueue {
+ public:
+  enum class State {
+    kAccepting,  ///< normal operation: enqueue and dequeue both live
+    kDraining,   ///< close() called: no new jobs, backlog still served
+    kClosed,     ///< drained after close(): dequeue returns nullopt
+  };
+
+  /// Queue monitor counters, snapshotted under the lock.
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t depth = 0;      ///< jobs currently waiting
+    std::size_t enqueued = 0;   ///< total accepted
+    std::size_t dequeued = 0;   ///< total handed to the worker
+    std::size_t max_depth = 0;  ///< high-water mark
+    State state = State::kAccepting;
+  };
+
+  /// Throws ModelError when \p capacity is zero — a capacity-0 ring cannot
+  /// hold the job an enqueue/dequeue pair would need to hand over.
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Block until a slot frees up, then append \p request at the tail.
+  /// Returns false (dropping the request) once the queue is closing —
+  /// enqueue never blocks forever on a queue that will not drain.
+  bool enqueue(Request request);
+
+  /// Pop the head job. Blocks while the queue is empty but still accepting;
+  /// returns std::nullopt once the queue is closed and drained.
+  [[nodiscard]] std::optional<Request> dequeue();
+
+  /// Stop accepting (kAccepting -> kDraining) and wake every waiter. Queued
+  /// jobs are still dequeued; the state reaches kClosed when the backlog is
+  /// gone. Idempotent.
+  void close();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::optional<Request>> ring_;
+  std::size_t head_ = 0;   ///< next dequeue slot
+  std::size_t depth_ = 0;  ///< occupied slots (tail = head + depth mod cap)
+  State state_ = State::kAccepting;
+  std::size_t enqueued_ = 0;
+  std::size_t dequeued_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace ehsim::serve

@@ -1,0 +1,152 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "io/json.hpp"
+
+namespace ehsim::serve {
+namespace {
+
+constexpr const char* kTypeIds[] = {"run",    "sweep", "optimise",
+                                    "cancel", "stats", "shutdown"};
+
+RequestType request_type_from(const std::string& id) {
+  for (std::size_t i = 0; i < std::size(kTypeIds); ++i) {
+    if (id == kTypeIds[i]) return static_cast<RequestType>(i);
+  }
+  throw ProtocolError("request 'type' '" + id +
+                          "' is not run | sweep | optimise | cancel | stats | "
+                          "shutdown",
+                      "type");
+}
+
+bool is_job_type(RequestType type) {
+  return type == RequestType::kRun || type == RequestType::kSweep ||
+         type == RequestType::kOptimise;
+}
+
+std::uint64_t parse_id(const io::JsonValue& envelope) {
+  const io::JsonValue* id = envelope.find("id");
+  if (id == nullptr) throw ProtocolError("request is missing 'id'", "id");
+  if (!id->is_number())
+    throw ProtocolError("request 'id' must be a non-negative integer", "id");
+  const double value = id->as_number();
+  if (!(value >= 0.0) || value != std::floor(value) || value > 9.007199254740992e15)
+    throw ProtocolError("request 'id' must be a non-negative integer", "id");
+  return static_cast<std::uint64_t>(value);
+}
+
+/// The payload must be the spec flavour the envelope type announces — a
+/// "run" envelope carrying a sweep spec is a client bug worth naming, not
+/// something to silently reinterpret.
+void check_payload_matches(RequestType type, const io::SpecFile& spec,
+                           const std::string& key) {
+  const char* expected = nullptr;
+  bool matches = false;
+  switch (type) {
+    case RequestType::kRun:
+      expected = "experiment";
+      matches = spec.experiment.has_value();
+      break;
+    case RequestType::kSweep:
+      expected = "sweep";
+      matches = spec.sweep.has_value();
+      break;
+    case RequestType::kOptimise:
+      expected = "optimise";
+      matches = spec.optimise.has_value();
+      break;
+    default:
+      return;
+  }
+  if (!matches) {
+    const char* actual = spec.experiment ? "experiment"
+                         : spec.sweep    ? "sweep"
+                                         : "optimise";
+    throw ProtocolError(std::string("request type '") + request_type_id(type) +
+                            "' needs a spec of type '" + expected +
+                            "', but '" + key + "' holds a '" + actual +
+                            "' spec",
+                        key);
+  }
+}
+
+}  // namespace
+
+const char* request_type_id(RequestType type) {
+  return kTypeIds[static_cast<std::size_t>(type)];
+}
+
+Request parse_request(const std::string& line) {
+  io::JsonValue envelope;
+  try {
+    envelope = io::JsonValue::parse(line);
+  } catch (const ModelError& error) {
+    throw ProtocolError(std::string("request is not valid JSON: ") +
+                            error.what(),
+                        "");
+  }
+  if (!envelope.is_object())
+    throw ProtocolError("request must be a JSON object envelope", "");
+  for (const auto& [key, value] : envelope.as_object()) {
+    (void)value;
+    if (key != "id" && key != "type" && key != "spec" && key != "spec_path")
+      throw ProtocolError("request has unknown key '" + key + "'", key);
+  }
+
+  Request request;
+  request.id = parse_id(envelope);
+
+  const io::JsonValue* type = envelope.find("type");
+  if (type == nullptr) throw ProtocolError("request is missing 'type'", "type");
+  if (!type->is_string())
+    throw ProtocolError("request 'type' must be a string", "type");
+  request.type = request_type_from(type->as_string());
+
+  const io::JsonValue* spec = envelope.find("spec");
+  const io::JsonValue* spec_path = envelope.find("spec_path");
+  if (!is_job_type(request.type)) {
+    if (spec != nullptr || spec_path != nullptr)
+      throw ProtocolError(std::string("request type '") +
+                              request_type_id(request.type) +
+                              "' does not take a spec",
+                          spec != nullptr ? "spec" : "spec_path");
+    return request;
+  }
+
+  if ((spec == nullptr) == (spec_path == nullptr))
+    throw ProtocolError(std::string("request type '") +
+                            request_type_id(request.type) +
+                            "' needs exactly one of 'spec' and 'spec_path'",
+                        "spec");
+  if (spec != nullptr) {
+    if (!spec->is_object())
+      throw ProtocolError("request 'spec' must be a spec object", "spec");
+    try {
+      request.spec = io::spec_from_json(*spec);
+    } catch (const ProtocolError&) {
+      throw;
+    } catch (const ModelError& error) {
+      throw ProtocolError(std::string("request 'spec' is invalid: ") +
+                              error.what(),
+                          "spec");
+    }
+    check_payload_matches(request.type, request.spec, "spec");
+  } else {
+    if (!spec_path->is_string())
+      throw ProtocolError("request 'spec_path' must be a file path string",
+                          "spec_path");
+    try {
+      request.spec = io::load_spec_file(spec_path->as_string());
+    } catch (const std::exception& error) {
+      throw ProtocolError(std::string("request 'spec_path' failed to load: ") +
+                              error.what(),
+                          "spec_path");
+    }
+    check_payload_matches(request.type, request.spec, "spec_path");
+  }
+  return request;
+}
+
+}  // namespace ehsim::serve

@@ -1,0 +1,74 @@
+/// \file protocol.hpp
+/// \brief Request envelopes of the `ehsim serve` newline-delimited protocol.
+///
+/// One request per input line, one JSON document per line:
+///
+///     {"id": 1, "type": "run",      "spec": { ...experiment spec... }}
+///     {"id": 2, "type": "sweep",    "spec_path": "examples/specs/x.json"}
+///     {"id": 3, "type": "optimise", "spec": { ...optimise spec... }}
+///     {"id": 4, "type": "cancel"}   // cancels queued job with id 4
+///     {"id": 5, "type": "stats"}
+///     {"id": 6, "type": "shutdown"}
+///
+/// Envelopes are strict-keyed through the same io/json layer as spec files:
+/// unknown keys, missing fields, payload/type mismatches and malformed specs
+/// all throw ProtocolError naming the offending key — the daemon answers
+/// with a single-line error event instead of crashing or silently skipping.
+/// The full event vocabulary the daemon streams back is documented in
+/// docs/serve_protocol.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/spec_json.hpp"
+
+namespace ehsim::serve {
+
+/// What a request envelope asks the daemon to do.
+enum class RequestType {
+  kRun,       ///< execute one experiment spec
+  kSweep,     ///< execute a sweep spec
+  kOptimise,  ///< execute an optimise spec
+  kCancel,    ///< drop the queued (not yet started) job with this id
+  kStats,     ///< report queue/cache/pool counters
+  kShutdown,  ///< finish queued jobs, emit a shutdown event, exit
+};
+
+/// Stable wire identifier ("run" | "sweep" | "optimise" | "cancel" |
+/// "stats" | "shutdown").
+[[nodiscard]] const char* request_type_id(RequestType type);
+
+/// Envelope validation failure that knows which key/field it is about —
+/// the daemon copies \c key() into the error event so clients can point at
+/// the offending part of their request programmatically.
+class ProtocolError : public ModelError {
+ public:
+  ProtocolError(const std::string& message, std::string key)
+      : ModelError(message), key_(std::move(key)) {}
+
+  /// The envelope key the failure concerns ("id", "type", "spec", ...).
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+
+ private:
+  std::string key_;
+};
+
+/// One parsed request. For the job types (run/sweep/optimise) exactly the
+/// matching member of \c spec is set.
+struct Request {
+  std::uint64_t id = 0;
+  RequestType type = RequestType::kRun;
+  io::SpecFile spec{};
+};
+
+/// Parse and validate one envelope line. Strict keys: {"id", "type",
+/// "spec", "spec_path"}. "id" must be a non-negative integer; job types need
+/// exactly one of "spec" (inline object) / "spec_path" (file path, resolved
+/// relative to the daemon's working directory), and the payload's spec type
+/// must match the envelope type; control types (cancel/stats/shutdown) must
+/// carry neither. Throws ProtocolError naming the offending key.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+}  // namespace ehsim::serve

@@ -1,0 +1,397 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <exception>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "experiments/experiment_spec.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "experiments/probes.hpp"
+#include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
+#include "io/spec_json.hpp"
+#include "pwl/table_cache.hpp"
+
+namespace ehsim::serve {
+namespace {
+
+/// A line that failed full validation may still be well-formed enough to
+/// carry an id — recover it so the error event can be correlated with the
+/// request that caused it.
+std::optional<std::uint64_t> best_effort_id(const std::string& line) {
+  try {
+    const io::JsonValue envelope = io::JsonValue::parse(line);
+    if (!envelope.is_object()) return std::nullopt;
+    const io::JsonValue* id = envelope.find("id");
+    if (id == nullptr || !id->is_number()) return std::nullopt;
+    const double value = id->as_number();
+    if (!(value >= 0.0) || value != std::floor(value)) return std::nullopt;
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+io::JsonValue event_base(const char* event, std::uint64_t id) {
+  io::JsonValue json = io::JsonValue::make_object();
+  json.set("id", static_cast<double>(id));
+  json.set("event", event);
+  return json;
+}
+
+/// Per-probe summary block of the "probes" event: the reduced statistics
+/// only, not the trace — clients wanting the column read the result event.
+io::JsonValue probes_summary(const std::vector<experiments::ProbeResult>& probes) {
+  io::JsonValue array = io::JsonValue::make_array();
+  for (const auto& probe : probes) {
+    io::JsonValue entry = io::JsonValue::make_object();
+    entry.set("label", probe.label);
+    entry.set("final", io::JsonValue::finite_or_null(probe.final_value));
+    entry.set("mean", io::JsonValue::finite_or_null(probe.mean));
+    entry.set("rms", io::JsonValue::finite_or_null(probe.rms));
+    entry.set("min", io::JsonValue::finite_or_null(probe.minimum));
+    entry.set("max", io::JsonValue::finite_or_null(probe.maximum));
+    array.push_back(std::move(entry));
+  }
+  return array;
+}
+
+}  // namespace
+
+Server::Server(std::istream& in, std::ostream& out, ServerOptions options)
+    : in_(in),
+      out_(out),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      pool_(options_.cross_request_caches ? options_.pool_capacity : 0) {}
+
+void Server::emit(const io::JsonValue& event) {
+  const std::string line = event.dump(-1);
+  std::lock_guard lock(out_mutex_);
+  out_ << line << '\n' << std::flush;
+}
+
+void Server::emit_error(std::uint64_t id, bool has_id, const std::string& message,
+                        const std::string& key) {
+  io::JsonValue json = io::JsonValue::make_object();
+  if (has_id) json.set("id", static_cast<double>(id));
+  json.set("event", "error");
+  json.set("error", message);
+  if (!key.empty()) json.set("key", key);
+  ++errors_;
+  emit(json);
+}
+
+int Server::run() {
+  {
+    io::JsonValue ready = io::JsonValue::make_object();
+    ready.set("event", "ready");
+    ready.set("protocol", 1.0);
+    ready.set("cross_request_caches", caches_on());
+    emit(ready);
+  }
+
+  std::thread worker(&Server::worker_loop, this);
+
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtocolError& error) {
+      const std::optional<std::uint64_t> id = best_effort_id(line);
+      emit_error(id.value_or(0), id.has_value(), error.what(), error.key());
+      continue;
+    }
+    ++received_;
+    if (request.type == RequestType::kCancel) {
+      std::lock_guard lock(cancel_mutex_);
+      cancel_set_.insert(request.id);
+      continue;
+    }
+    const bool is_shutdown = request.type == RequestType::kShutdown;
+    queue_.enqueue(std::move(request));
+    if (is_shutdown) break;  // anything after a shutdown request is ignored
+  }
+
+  queue_.close();
+  worker.join();
+  return 0;
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::optional<Request> request = queue_.dequeue();
+    if (!request) return;
+    {
+      std::lock_guard lock(cancel_mutex_);
+      if (const auto it = cancel_set_.find(request->id); it != cancel_set_.end()) {
+        cancel_set_.erase(it);
+        ++cancelled_;
+        emit(event_base("cancelled", request->id));
+        continue;
+      }
+    }
+    execute(*request);
+  }
+}
+
+void Server::execute(const Request& request) {
+  try {
+    switch (request.type) {
+      case RequestType::kRun:
+        handle_run(request);
+        break;
+      case RequestType::kSweep:
+        handle_sweep(request);
+        break;
+      case RequestType::kOptimise:
+        handle_optimise(request);
+        break;
+      case RequestType::kStats:
+        emit_stats(request.id);
+        ++completed_;
+        break;
+      case RequestType::kShutdown:
+        emit(event_base("shutdown", request.id));
+        ++completed_;
+        break;
+      case RequestType::kCancel:
+        break;  // handled by the reader; never enqueued
+    }
+  } catch (const std::exception& error) {
+    emit_error(request.id, true, error.what(), "");
+  }
+}
+
+experiments::PreparedRun Server::prepare_seeded(const experiments::ExperimentSpec& spec) {
+  experiments::RunOptions options;
+  std::uint64_t signature = 0;
+  if (caches_on()) {
+    signature =
+        experiments::operating_point_signature(spec, experiments::experiment_params(spec),
+                                               /*quantum=*/0.0);
+    if (const std::vector<double>* seed = op_cache_.find(signature)) {
+      options.initial_terminals = *seed;
+    }
+  }
+  experiments::PreparedRun run = experiments::prepare_run(spec, options);
+  if (caches_on()) note_outcome(signature, run);
+  return run;
+}
+
+void Server::note_outcome(std::uint64_t signature, const experiments::PreparedRun& run) {
+  switch (run.warm_start()) {
+    case experiments::WarmStartOutcome::kSeeded:
+      ++op_seeded_runs_;
+      break;
+    case experiments::WarmStartOutcome::kRejected:
+      // Heal the entry so the deterministic rejection is not replayed on
+      // every later request for this signature.
+      op_cache_.replace(signature, run.initial_terminals());
+      break;
+    case experiments::WarmStartOutcome::kCold:
+      if (!run.initial_terminals().empty() && op_cache_.find(signature) == nullptr) {
+        op_cache_.store(signature, run.initial_terminals());
+        ++op_stored_points_;
+      }
+      break;
+  }
+}
+
+void Server::write_scenario_files(const experiments::ScenarioResult& result) {
+  if (options_.out_dir.empty()) return;
+  io::write_result_files(options_.out_dir, result);
+}
+
+void Server::handle_run(const Request& request) {
+  const experiments::ExperimentSpec& spec = *request.spec.experiment;
+  io::JsonValue started = event_base("started", request.id);
+  started.set("type", "run");
+  started.set("name", spec.name);
+  emit(started);
+
+  const std::string key = io::to_json(spec).dump(-1);
+  experiments::ScenarioResult result;
+  std::optional<experiments::PreparedRun> pooled = pool_.take(key);
+  if (pooled && pooled->valid()) {
+    result = experiments::finish_run(spec, *pooled);
+  } else {
+    experiments::PreparedRun run = prepare_seeded(spec);
+    result = experiments::finish_run(spec, run);
+  }
+  if (caches_on() && options_.pool_capacity > 0) {
+    // Speculatively re-prepare so the next identical request skips model
+    // assembly and initialisation entirely (the pool hit the stats report).
+    pool_.put(key, prepare_seeded(spec));
+  }
+
+  if (!result.probes.empty()) {
+    io::JsonValue probes = event_base("probes", request.id);
+    probes.set("scenario", result.scenario);
+    probes.set("probes", probes_summary(result.probes));
+    emit(probes);
+  }
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", "run");
+  done.set("result", io::to_json(result));
+  emit(done);
+  write_scenario_files(result);
+  ++completed_;
+}
+
+void Server::handle_sweep(const Request& request) {
+  const experiments::SweepSpec& sweep = *request.spec.sweep;
+  sweep.validate();
+  io::JsonValue started = event_base("started", request.id);
+  started.set("type", "sweep");
+  started.set("name", sweep.base.name);
+  emit(started);
+
+  const std::size_t total = sweep.job_count();
+  {
+    io::JsonValue progress = event_base("progress", request.id);
+    progress.set("jobs", static_cast<double>(total));
+    emit(progress);
+  }
+
+  experiments::BatchOptions batch;
+  batch.threads = options_.threads;
+  batch.batch_kernel = sweep.batch_kernel;
+  const bool use_cross_cache = !sweep.warm_start && caches_on();
+  if (sweep.warm_start) {
+    // The spec opted into quantised warm starts: run them exactly as the
+    // one-shot CLI would (per-batch cache, default quantum) so the response
+    // stays bit-identical to `ehsim run sweep.json`.
+    batch.warm_start = true;
+  } else if (use_cross_cache) {
+    // Exact signatures only: a cross-request seed is the job's own
+    // cold-converged point, so seeded jobs stay bit-identical to cold ones.
+    batch.warm_start = true;
+    batch.warm_start_quantum = 0.0;
+    batch.warm_cache = &op_cache_;
+  }
+  const std::size_t entries_before = op_cache_.size();
+  experiments::BatchStats stats;
+  const std::vector<experiments::ScenarioResult> results =
+      experiments::run_sweep(sweep, batch, &stats);
+  if (use_cross_cache) {
+    op_seeded_runs_ += stats.warm_start_hits;
+    op_stored_points_ += op_cache_.size() - entries_before;
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const experiments::ScenarioResult& result = results[i];
+    if (!result.probes.empty()) {
+      io::JsonValue probes = event_base("probes", request.id);
+      probes.set("scenario", result.scenario);
+      probes.set("probes", probes_summary(result.probes));
+      emit(probes);
+    }
+    io::JsonValue done = event_base("result", request.id);
+    done.set("type", "sweep");
+    done.set("job", static_cast<double>(i));
+    done.set("jobs", static_cast<double>(total));
+    done.set("result", io::to_json(result));
+    emit(done);
+    write_scenario_files(result);
+  }
+  ++completed_;
+}
+
+void Server::handle_optimise(const Request& request) {
+  const experiments::OptimiseSpec& spec = *request.spec.optimise;
+  io::JsonValue started = event_base("started", request.id);
+  started.set("type", "optimise");
+  started.set("name", spec.name);
+  emit(started);
+
+  experiments::OptimiseRuntime runtime;
+  if (caches_on()) runtime.cross_cache = &op_cache_;
+  const experiments::OptimiseResult result = experiments::run_optimise(spec, &runtime);
+  optimise_cross_hits_ += runtime.cross_hits;
+  optimise_cross_stores_ += runtime.cross_stores;
+  op_stored_points_ += runtime.cross_stores;
+
+  if (!result.best_run.probes.empty()) {
+    io::JsonValue probes = event_base("probes", request.id);
+    probes.set("scenario", result.best_run.scenario);
+    probes.set("probes", probes_summary(result.best_run.probes));
+    emit(probes);
+  }
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", "optimise");
+  done.set("evaluations", static_cast<double>(result.evaluations.size()));
+  done.set("result", io::to_json(result));
+  emit(done);
+  if (!options_.out_dir.empty()) {
+    // Mirror `ehsim optimise --out`: the search document plus the best
+    // run's result/trace files.
+    std::filesystem::create_directories(options_.out_dir);
+    const std::string stem = (std::filesystem::path(options_.out_dir) /
+                              io::safe_file_stem(result.name))
+                                 .string();
+    io::write_file(stem + ".optimise.json", io::to_json(result).dump(2) + "\n");
+    io::write_result_files(options_.out_dir, result.best_run);
+  }
+  ++completed_;
+}
+
+void Server::emit_stats(std::uint64_t id) {
+  io::JsonValue json = event_base("stats", id);
+
+  io::JsonValue requests = io::JsonValue::make_object();
+  requests.set("received", static_cast<double>(received_.load()));
+  requests.set("completed", static_cast<double>(completed_.load()));
+  requests.set("errors", static_cast<double>(errors_.load()));
+  requests.set("cancelled", static_cast<double>(cancelled_.load()));
+  json.set("requests", std::move(requests));
+
+  const JobQueue::Stats queue = queue_.stats();
+  io::JsonValue queue_json = io::JsonValue::make_object();
+  queue_json.set("capacity", static_cast<double>(queue.capacity));
+  queue_json.set("enqueued", static_cast<double>(queue.enqueued));
+  queue_json.set("dequeued", static_cast<double>(queue.dequeued));
+  queue_json.set("max_depth", static_cast<double>(queue.max_depth));
+  json.set("queue", std::move(queue_json));
+
+  const SessionPool::Stats pool = pool_.stats();
+  io::JsonValue pool_json = io::JsonValue::make_object();
+  pool_json.set("capacity", static_cast<double>(pool.capacity));
+  pool_json.set("entries", static_cast<double>(pool.entries));
+  pool_json.set("hits", static_cast<double>(pool.hits));
+  pool_json.set("misses", static_cast<double>(pool.misses));
+  pool_json.set("inserts", static_cast<double>(pool.inserts));
+  pool_json.set("evictions", static_cast<double>(pool.evictions));
+  json.set("session_pool", std::move(pool_json));
+
+  io::JsonValue op_json = io::JsonValue::make_object();
+  op_json.set("entries", static_cast<double>(op_cache_.size()));
+  op_json.set("seeded_runs", static_cast<double>(op_seeded_runs_));
+  op_json.set("stored_points", static_cast<double>(op_stored_points_));
+  json.set("op_cache", std::move(op_json));
+
+  io::JsonValue optimise_json = io::JsonValue::make_object();
+  optimise_json.set("hits", static_cast<double>(optimise_cross_hits_));
+  optimise_json.set("stores", static_cast<double>(optimise_cross_stores_));
+  json.set("optimise_cache", std::move(optimise_json));
+
+  const pwl::TableCacheStats diode = pwl::diode_table_cache_stats();
+  io::JsonValue diode_json = io::JsonValue::make_object();
+  diode_json.set("entries", static_cast<double>(diode.entries));
+  diode_json.set("hits", static_cast<double>(diode.hits));
+  diode_json.set("misses", static_cast<double>(diode.misses));
+  json.set("diode_table", std::move(diode_json));
+
+  emit(json);
+}
+
+}  // namespace ehsim::serve

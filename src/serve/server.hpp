@@ -1,0 +1,134 @@
+/// \file server.hpp
+/// \brief The `ehsim serve` daemon: a long-lived simulation service.
+///
+/// One Server instance reads newline-delimited request envelopes (see
+/// protocol.hpp) from an input stream, schedules the job types through a
+/// bounded JobQueue onto a single simulation worker thread, and streams
+/// newline-delimited JSON events back: progress, per-probe summaries, full
+/// result documents and cache statistics, each tagged with the request id.
+///
+/// What makes the daemon worth running over repeated one-shot `ehsim`
+/// invocations is the cross-request state it keeps warm:
+///   - the process-wide PWL diode-table cache (pwl/table_cache.hpp) now
+///     amortises across *requests*, not just across the jobs of one sweep;
+///   - a cross-request OperatingPointCache keyed by *exact* operating-point
+///     signatures seeds the t=0 consistency iterations of any request whose
+///     parameter vector was converged before (runs, sweep jobs and optimise
+///     evaluations all share it);
+///   - a bounded SessionPool of fully prepared sessions lets a repeated
+///     spec skip model assembly and initialisation entirely.
+///
+/// Determinism contract: because cross-request seeds use exact signatures
+/// (warm_start_quantum 0), a seeded solve converges to the very operating
+/// point it was seeded with, so every response is bit-identical to a cold
+/// one-shot `ehsim run|sweep|optimise` of the same spec — modulo the
+/// explicitly run-dependent fields "cpu_seconds", "warm_start" and
+/// "shared_diode_table" (the golden serve ctest pins exactly this with
+/// `compare --ignore`). Wire protocol reference: docs/serve_protocol.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "experiments/warm_start.hpp"
+#include "io/json.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/session_pool.hpp"
+
+namespace ehsim::serve {
+
+struct ServerOptions {
+  /// Sweep worker threads (0: the sweep spec's own setting, then hardware
+  /// concurrency). Runs and optimise loops are inherently serial.
+  std::size_t threads = 0;
+  /// Non-empty: also write each result to disk exactly as the one-shot CLI
+  /// would (<stem>.result.json / .trace.csv / .optimise.json under this
+  /// directory) via io::write_result_files.
+  std::string out_dir{};
+  /// Job-queue ring capacity (blocking back-pressure past this depth).
+  std::size_t queue_capacity = 16;
+  /// Prepared-session pool capacity (0 disables pooling).
+  std::size_t pool_capacity = 8;
+  /// Master switch for the cross-request caches (`--cold` clears it): off,
+  /// every request runs exactly like an isolated one-shot invocation —
+  /// useful for A/B-ing the caches and for the amortisation benchmark's
+  /// baseline.
+  bool cross_request_caches = true;
+};
+
+/// The daemon. Construct over any istream/ostream pair (the CLI passes
+/// stdin/stdout; tests and the amortisation benchmark drive it in-process
+/// over stringstreams).
+class Server {
+ public:
+  Server(std::istream& in, std::ostream& out, ServerOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until a shutdown request or end of input; returns the process
+  /// exit code (0). The calling thread becomes the protocol reader; one
+  /// internal worker thread executes jobs strictly in queue order.
+  int run();
+
+ private:
+  [[nodiscard]] bool caches_on() const noexcept {
+    return options_.cross_request_caches;
+  }
+
+  void emit(const io::JsonValue& event);
+  void emit_error(std::uint64_t id, bool has_id, const std::string& message,
+                  const std::string& key);
+  void emit_stats(std::uint64_t id);
+
+  void worker_loop();
+  void execute(const Request& request);
+  void handle_run(const Request& request);
+  void handle_sweep(const Request& request);
+  void handle_optimise(const Request& request);
+
+  /// Cross-request operating-point bookkeeping after prepare_run: seeded
+  /// runs count a hit, rejected seeds are healed with the cold fallback's
+  /// point, and cold-converged points are stored (first store wins).
+  void note_outcome(std::uint64_t signature, const experiments::PreparedRun& run);
+
+  /// Prepare a fresh run for \p spec, seeding from the cross-request
+  /// operating-point cache when possible.
+  [[nodiscard]] experiments::PreparedRun prepare_seeded(
+      const experiments::ExperimentSpec& spec);
+
+  void write_scenario_files(const experiments::ScenarioResult& result);
+
+  std::istream& in_;
+  std::ostream& out_;
+  ServerOptions options_;
+
+  JobQueue queue_;
+  SessionPool pool_;
+  /// Exact-signature (quantum 0) operating-point store shared by runs,
+  /// sweeps and optimise evaluations. Touched only by the worker thread.
+  experiments::OperatingPointCache op_cache_;
+
+  std::mutex out_mutex_;
+
+  std::mutex cancel_mutex_;
+  std::unordered_set<std::uint64_t> cancel_set_;
+
+  // Request counters (reader and worker threads both write).
+  std::atomic<std::size_t> received_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> errors_{0};
+  std::atomic<std::size_t> cancelled_{0};
+  // Cross-request cache counters (worker thread only).
+  std::size_t op_seeded_runs_ = 0;
+  std::size_t op_stored_points_ = 0;
+  std::size_t optimise_cross_hits_ = 0;
+  std::size_t optimise_cross_stores_ = 0;
+};
+
+}  // namespace ehsim::serve

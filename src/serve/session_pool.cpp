@@ -1,0 +1,42 @@
+#include "serve/session_pool.hpp"
+
+namespace ehsim::serve {
+
+std::optional<experiments::PreparedRun> SessionPool::take(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      experiments::PreparedRun run = std::move(it->second);
+      entries_.erase(it);
+      ++hits_;
+      return run;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void SessionPool::put(const std::string& key, experiments::PreparedRun run) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry.first == key) {
+      entry.second = std::move(run);
+      ++inserts_;
+      return;
+    }
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.pop_front();
+    ++evictions_;
+  }
+  entries_.emplace_back(key, std::move(run));
+  ++inserts_;
+}
+
+SessionPool::Stats SessionPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{capacity_, entries_.size(), hits_, misses_, inserts_, evictions_};
+}
+
+}  // namespace ehsim::serve

@@ -1,0 +1,65 @@
+/// \file session_pool.hpp
+/// \brief Bounded keyed pool of prepared simulation sessions.
+///
+/// Assembling a HarvesterSession for a spec — building the state-space
+/// model, factorising it, converging the t=0 operating point — is the
+/// expensive front half of a run. The daemon keeps a small pool of prepared
+/// sessions keyed by the spec's canonical JSON, so a repeated request skips
+/// straight to time stepping. A pooled session is single-use (finish_run
+/// consumes it), so take() removes the entry; after serving the request the
+/// daemon speculatively re-prepares and put()s the key back. Eviction is
+/// deterministic FIFO by insertion order — capacity pressure drops the
+/// oldest key first, never a random victim — and hit/miss/evict counters
+/// surface in the daemon's `stats` response.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "experiments/scenarios.hpp"
+
+namespace ehsim::serve {
+
+/// Thread-safe FIFO-evicting pool of PreparedRun keyed by canonical spec
+/// JSON. Capacity 0 disables pooling (every take misses, put is a no-op).
+class SessionPool {
+ public:
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t entries = 0;
+    std::size_t hits = 0;       ///< take() found the key
+    std::size_t misses = 0;     ///< take() did not
+    std::size_t inserts = 0;    ///< put() stored an entry
+    std::size_t evictions = 0;  ///< oldest entry dropped for capacity
+  };
+
+  explicit SessionPool(std::size_t capacity) : capacity_(capacity) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Remove and return the session prepared for \p key, if pooled.
+  [[nodiscard]] std::optional<experiments::PreparedRun> take(const std::string& key);
+
+  /// Pool \p run under \p key. An existing entry for the key is replaced in
+  /// place (keeping its eviction position); otherwise the run is appended
+  /// and, at capacity, the oldest entry is evicted first.
+  void put(const std::string& key, experiments::PreparedRun run);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<std::pair<std::string, experiments::PreparedRun>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t inserts_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace ehsim::serve

@@ -168,4 +168,71 @@ TEST(EhsimCli, ParamsListsEverySpecKeySourceOfTruth) {
   std::filesystem::remove(out_path);
 }
 
+/// Exit-code hygiene: an unknown subcommand must fail with a nonzero status
+/// and emit a single-line machine-parseable JSON error on stderr naming the
+/// offending command — scripts driving the CLI get a structured failure,
+/// not just prose.
+TEST(EhsimCli, UnknownCommandEmitsSingleLineJsonErrorAndNonzeroStatus) {
+  const std::filesystem::path err_path =
+      std::filesystem::temp_directory_path() / "ehsim_cli_unknown_cmd.txt";
+  const std::string command = std::string("\"") + EHSIM_CLI_PATH + "\" frobnicate 2> \"" +
+                              err_path.string() + "\"";
+  EXPECT_NE(std::system(command.c_str()), 0) << command;
+
+  std::istringstream err(ehsim::io::read_file(err_path.string()));
+  std::string first_line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(err, first_line)));
+  const auto json = ehsim::io::JsonValue::parse(first_line);  // one valid JSON line
+  EXPECT_EQ(json.at("error").as_string(), "unknown command");
+  EXPECT_EQ(json.at("command").as_string(), "frobnicate");
+  EXPECT_NE(json.at("expected").as_string().find("serve"), std::string::npos);
+
+  std::filesystem::remove(err_path);
+}
+
+/// The serve daemon end to end through the binary: a malformed envelope gets
+/// a per-job error event naming the bad key while the session keeps serving
+/// and still exits 0 (protocol errors are responses, not crashes).
+TEST(EhsimCli, ServeScriptSurvivesMalformedEnvelope) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ehsim_cli_serve";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path script = dir / "script.ndjson";
+  const std::filesystem::path out_path = dir / "events.ndjson";
+  ehsim::io::write_file(script.string(),
+                        "{\"id\": 1, \"type\": \"run\", \"speck\": {}}\n"
+                        "{\"id\": 2, \"type\": \"stats\"}\n"
+                        "{\"id\": 3, \"type\": \"shutdown\"}\n");
+
+  const std::string command = std::string("\"") + EHSIM_CLI_PATH + "\" serve --script \"" +
+                              script.string() + "\" > \"" + out_path.string() + "\"";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  bool saw_error = false;
+  bool saw_stats = false;
+  bool saw_shutdown = false;
+  std::istringstream events(ehsim::io::read_file(out_path.string()));
+  std::string line;
+  while (std::getline(events, line)) {
+    const auto event = ehsim::io::JsonValue::parse(line);
+    const std::string& kind = event.at("event").as_string();
+    if (kind == "error") {
+      saw_error = true;
+      EXPECT_EQ(event.at("key").as_string(), "speck");
+      EXPECT_EQ(event.at("id").as_number(), 1.0);
+    } else if (kind == "stats") {
+      saw_stats = true;
+      EXPECT_EQ(event.at("requests").at("errors").as_number(), 1.0);
+    } else if (kind == "shutdown") {
+      saw_shutdown = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_stats);
+  EXPECT_TRUE(saw_shutdown);
+
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace

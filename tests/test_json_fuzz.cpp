@@ -157,7 +157,7 @@ const SafeParam kSafeParams[] = {
 ProbeSpec random_probe(SplitMix64& rng, std::size_t index) {
   ProbeSpec probe;
   probe.label = "p" + std::to_string(index);
-  switch (rng.below(6)) {
+  switch (rng.below(7)) {
     case 0:
       probe.kind = ProbeSpec::Kind::kNodeVoltage;
       probe.target = std::vector<std::string>{"Vm", "Im", "Vc", "Ic"}[rng.below(4)];
@@ -176,6 +176,10 @@ ProbeSpec random_probe(SplitMix64& rng, std::size_t index) {
       probe.kind = ProbeSpec::Kind::kMcuState;
       probe.target =
           std::vector<std::string>{"sleep", "measuring", "tuning", "awake"}[rng.below(4)];
+      break;
+    case 5:
+      probe.kind = ProbeSpec::Kind::kActuator;
+      probe.target = std::vector<std::string>{"gap", "speed", "work"}[rng.below(3)];
       break;
     default:
       probe.kind = ProbeSpec::Kind::kStoredEnergy;

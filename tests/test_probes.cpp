@@ -7,7 +7,9 @@
 
 #include "common/error.hpp"
 #include "core/probe.hpp"
+#include "experiments/probes.hpp"
 #include "experiments/scenarios.hpp"
+#include "harvester/tuning.hpp"
 
 namespace {
 
@@ -378,6 +380,120 @@ TEST(Probes, McuStateProbeRejectsBadTargetAndMissingMcu) {
   } catch (const ModelError& error) {
     EXPECT_NE(std::string(error.what()).find("with_mcu"), std::string::npos);
   }
+}
+
+// ---- actuator travel / energy probes ---------------------------------------
+
+/// Analytic oracle for the actuator kinematics probes: command one move on
+/// an otherwise quiet charging run and check the time-weighted statistics
+/// against the closed-form trajectory — gap(t) is piecewise linear, the
+/// speed indicator is a top-hat whose time integral is the commanded travel,
+/// and the work rate integrates to the exact mechanical actuation energy
+/// W = integral of Ft(g) dg over the travelled gap interval.
+TEST(Probes, ActuatorProbesMatchCommandedMoveOracle) {
+  ExperimentSpec spec = charging_scenario(0.4);
+  spec.trace_interval = 0.01;
+  spec.probes.push_back(ProbeSpec{"gap", ProbeSpec::Kind::kActuator, "gap"});
+  spec.probes.push_back(ProbeSpec{"slew", ProbeSpec::Kind::kActuator, "speed", 0.0, 0.0,
+                                  std::nullopt, false});
+  spec.probes.push_back(ProbeSpec{"actuation", ProbeSpec::Kind::kActuator, "work", 0.0,
+                                  0.0, std::nullopt, false});
+
+  ehsim::sim::HarvesterSession session = make_experiment_session(spec);
+  install_probes(session, spec.probes, spec.duration);
+  const ehsim::harvester::LinearActuator& actuator = session.system().actuator();
+  const ehsim::harvester::TuningMechanism& tuning = session.system().tuning();
+
+  const double g0 = actuator.position(0.0);
+  const double g1 = g0 - 0.2e-3;  // close the gap by 0.2 mm
+  const double travel_time = std::abs(g1 - g0) / actuator.speed();
+  ASSERT_LT(travel_time, spec.duration);  // the move completes mid-run
+
+  session.system().actuator().command(g1, 0.0);
+  session.initialise();
+  session.run_until(spec.duration);
+  const std::vector<ProbeResult> probes = collect_probe_results(session, spec.probes);
+  ASSERT_EQ(probes.size(), 3u);
+  const ProbeResult& gap = probes[0];
+  const ProbeResult& slew = probes[1];
+  const ProbeResult& work = probes[2];
+
+  // Gap: arrives exactly at the target and stays; the time-weighted mean of
+  // the piecewise-linear trajectory is the ramp average plus the dwell.
+  EXPECT_DOUBLE_EQ(gap.final_value, g1);
+  EXPECT_DOUBLE_EQ(gap.maximum, g0);
+  EXPECT_DOUBLE_EQ(gap.minimum, g1);
+  const double expected_mean =
+      (0.5 * (g0 + g1) * travel_time + g1 * (spec.duration - travel_time)) / spec.duration;
+  EXPECT_NEAR(gap.mean, expected_mean, 1e-6 * expected_mean);
+  EXPECT_EQ(gap.trace.size(), gap.recorded ? gap.trace.size() : 0u);
+
+  // Speed indicator: slew rate while moving, zero after arrival — its time
+  // integral recovers the commanded travel distance.
+  EXPECT_DOUBLE_EQ(slew.maximum, actuator.speed());
+  EXPECT_DOUBLE_EQ(slew.minimum, 0.0);
+  EXPECT_DOUBLE_EQ(slew.final_value, 0.0);
+  EXPECT_NEAR(slew.mean * slew.covered_time, std::abs(g1 - g0),
+              1e-3 * std::abs(g1 - g0));
+
+  // Work rate: |Ft| x speed while moving; its time integral is the exact
+  // line integral of the magnetic tuning force over the travelled interval
+  // (Simpson quadrature as the independent oracle).
+  const std::size_t n = 2000;  // even
+  const double h = (g0 - g1) / static_cast<double>(n);
+  double energy = tuning.force_at_gap(g1) + tuning.force_at_gap(g0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double g = g1 + h * static_cast<double>(i);
+    energy += (i % 2 == 1 ? 4.0 : 2.0) * tuning.force_at_gap(g);
+  }
+  energy *= h / 3.0;
+  EXPECT_GT(energy, 0.0);
+  EXPECT_NEAR(work.mean * work.covered_time, energy, 1e-3 * energy);
+  EXPECT_DOUBLE_EQ(work.final_value, 0.0);  // not moving at the end
+}
+
+TEST(Probes, ActuatorProbeValidatesTargets) {
+  ProbeSpec probe{"travel", ProbeSpec::Kind::kActuator, "warp"};
+  EXPECT_THROW(probe.validate(), ModelError);
+  probe.target.clear();
+  EXPECT_THROW(probe.validate(), ModelError);
+  for (const char* target : {"gap", "speed", "work"}) {
+    probe.target = target;
+    EXPECT_NO_THROW(probe.validate()) << target;
+  }
+
+  // An idle actuator is a valid probe subject: constant gap, zero speed and
+  // work — the probes must not demand MCU activity to be installable.
+  ExperimentSpec spec = charging_scenario(0.05);
+  spec.probes.push_back(ProbeSpec{"gap", ProbeSpec::Kind::kActuator, "gap"});
+  spec.probes.push_back(ProbeSpec{"work", ProbeSpec::Kind::kActuator, "work", 0.0, 0.0,
+                                  std::nullopt, false});
+  const ScenarioResult result = run_experiment(spec);
+  ASSERT_EQ(result.probes.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.probes[0].minimum, result.probes[0].maximum);  // no motion
+  EXPECT_DOUBLE_EQ(result.probes[1].rms, 0.0);
+  EXPECT_DOUBLE_EQ(result.probes[1].mean, 0.0);
+}
+
+/// Scenario 1's retune is a real actuator move driven by the MCU: the work
+/// probe integrates to a strictly positive actuation energy and the gap
+/// probe records the tuning travel, tying the probe kind to the paper's
+/// tunable-harvester energy bookkeeping end to end.
+TEST(Probes, ActuatorWorkTracksMcuRetune) {
+  ExperimentSpec spec = scenario1();
+  spec.duration = 80.0;  // past the 60 s shift and the retune burst
+  spec.probes.push_back(ProbeSpec{"gap", ProbeSpec::Kind::kActuator, "gap"});
+  spec.probes.push_back(ProbeSpec{"actuation", ProbeSpec::Kind::kActuator, "work", 0.0,
+                                  0.0, std::nullopt, false});
+
+  const ScenarioResult result = run_experiment(spec);
+  ASSERT_EQ(result.probes.size(), 2u);
+  const ProbeResult& gap = result.probes[0];
+  const ProbeResult& work = result.probes[1];
+  EXPECT_GT(result.mcu_events.size(), 0u);
+  EXPECT_LT(gap.minimum, gap.maximum);  // the retune moved the magnets
+  EXPECT_GT(work.mean * work.covered_time, 0.0);
+  EXPECT_GE(work.minimum, 0.0);  // work rate is |Ft| x speed, never negative
 }
 
 TEST(Probes, DeterministicAcrossRunsAndBatchThreads) {

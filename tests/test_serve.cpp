@@ -1,0 +1,426 @@
+/// \file test_serve.cpp
+/// \brief The `ehsim serve` subsystem: protocol envelopes, the bounded job
+/// queue, the prepared-session pool and the daemon driven in-process.
+///
+/// The load-bearing assertions are the determinism ones: every response a
+/// warm daemon streams must be bit-identical (rtol 0, atol 0) to a cold
+/// one-shot execution of the same spec, ignoring only the run-dependent
+/// keys cpu_seconds / warm_start / shared_diode_table — and a mutated spec
+/// must never be served from another spec's cached state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "experiments/optimise_spec.hpp"
+#include "experiments/scenarios.hpp"
+#include "experiments/sweep.hpp"
+#include "io/compare.hpp"
+#include "io/json.hpp"
+#include "io/spec_json.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session_pool.hpp"
+
+namespace {
+
+using namespace ehsim;
+using namespace ehsim::serve;
+using ehsim::experiments::ExperimentSpec;
+using ehsim::io::JsonValue;
+
+ExperimentSpec tiny_spec(const std::string& name) {
+  ExperimentSpec spec = experiments::charging_scenario(0.05);
+  spec.name = name;
+  spec.trace_interval = 0.01;
+  return spec;
+}
+
+std::string envelope(std::uint64_t id, const char* type, const JsonValue& spec) {
+  JsonValue json = JsonValue::make_object();
+  json.set("id", static_cast<double>(id));
+  json.set("type", type);
+  json.set("spec", spec);
+  return json.dump(-1);
+}
+
+std::string control(std::uint64_t id, const char* type) {
+  JsonValue json = JsonValue::make_object();
+  json.set("id", static_cast<double>(id));
+  json.set("type", type);
+  return json.dump(-1);
+}
+
+/// Run a daemon over the script in-process and parse every emitted event.
+std::vector<JsonValue> serve_session(const std::string& script,
+                                     ServerOptions options = {}) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  Server server(in, out, options);
+  EXPECT_EQ(server.run(), 0);
+  std::vector<JsonValue> events;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    events.push_back(JsonValue::parse(line));
+  }
+  return events;
+}
+
+std::vector<JsonValue> events_of(const std::vector<JsonValue>& events, const char* kind,
+                                 std::uint64_t id) {
+  std::vector<JsonValue> matching;
+  for (const JsonValue& event : events) {
+    if (event.at("event").as_string() == kind && event.contains("id") &&
+        event.at("id").as_number() == static_cast<double>(id)) {
+      matching.push_back(event);
+    }
+  }
+  return matching;
+}
+
+/// Bit-identity modulo the documented run-dependent keys.
+void expect_identical(const JsonValue& expected, const JsonValue& actual) {
+  io::CompareOptions options;
+  options.rtol = 0.0;
+  options.atol = 0.0;
+  options.ignore_keys = {"cpu_seconds", "warm_start", "shared_diode_table"};
+  const std::vector<std::string> diffs = io::compare_json(expected, actual, options);
+  for (const std::string& diff : diffs) {
+    ADD_FAILURE() << diff;
+  }
+}
+
+// ---- protocol ---------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesJobAndControlEnvelopes) {
+  const ExperimentSpec spec = tiny_spec("proto");
+  const Request run = parse_request(envelope(7, "run", io::to_json(spec)));
+  EXPECT_EQ(run.id, 7u);
+  EXPECT_EQ(run.type, RequestType::kRun);
+  ASSERT_TRUE(run.spec.experiment.has_value());
+  EXPECT_EQ(*run.spec.experiment, spec);
+
+  const Request stats = parse_request(control(3, "stats"));
+  EXPECT_EQ(stats.type, RequestType::kStats);
+  EXPECT_EQ(parse_request(control(0, "shutdown")).type, RequestType::kShutdown);
+  EXPECT_EQ(parse_request(control(9, "cancel")).type, RequestType::kCancel);
+}
+
+TEST(ServeProtocol, RejectionsNameTheOffendingKey) {
+  const auto key_of = [](const std::string& line) {
+    try {
+      (void)parse_request(line);
+    } catch (const ProtocolError& error) {
+      return std::string(error.key());
+    }
+    return std::string("<accepted>");
+  };
+
+  EXPECT_EQ(key_of("this is not json"), "");
+  EXPECT_EQ(key_of("[1, 2]"), "");
+  EXPECT_EQ(key_of(R"({"type": "stats"})"), "id");
+  EXPECT_EQ(key_of(R"({"id": -1, "type": "stats"})"), "id");
+  EXPECT_EQ(key_of(R"({"id": 1.5, "type": "stats"})"), "id");
+  EXPECT_EQ(key_of(R"({"id": "one", "type": "stats"})"), "id");
+  EXPECT_EQ(key_of(R"({"id": 1})"), "type");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "launch"})"), "type");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "stats", "specc": 1})"), "specc");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "run"})"), "spec");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "run", "spec": {}, "spec_path": "x"})"), "spec");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "stats", "spec": {}})"), "spec");
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "run", "spec_path": "/no/such/file.json"})"),
+            "spec_path");
+  // A malformed payload names "spec"; a well-formed payload of the wrong
+  // flavour names it too (a run envelope cannot carry a sweep spec).
+  EXPECT_EQ(key_of(R"({"id": 1, "type": "run", "spec": {"type": "experiment", "nme": 1}})"),
+            "spec");
+  experiments::SweepSpec sweep;
+  sweep.base = tiny_spec("zip");
+  sweep.axes.push_back(experiments::SweepAxis{"spec.pre_tuned_hz", {69.0, 70.0}, {}});
+  EXPECT_EQ(key_of(envelope(1, "run", io::to_json(sweep))), "spec");
+  EXPECT_EQ(key_of(envelope(1, "sweep", io::to_json(tiny_spec("x")))), "spec");
+}
+
+// ---- job queue --------------------------------------------------------------
+
+TEST(ServeJobQueue, FifoOrderAndCounters) {
+  JobQueue queue(4);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Request request;
+    request.id = id;
+    request.type = RequestType::kStats;
+    EXPECT_TRUE(queue.enqueue(std::move(request)));
+  }
+  JobQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.depth, 3u);
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_EQ(stats.state, JobQueue::State::kAccepting);
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const std::optional<Request> request = queue.dequeue();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, id);  // strict FIFO through the ring
+  }
+  stats = queue.stats();
+  EXPECT_EQ(stats.enqueued, 3u);
+  EXPECT_EQ(stats.dequeued, 3u);
+  EXPECT_EQ(stats.depth, 0u);
+}
+
+TEST(ServeJobQueue, CloseDrainsBacklogThenSignalsClosed) {
+  JobQueue queue(4);
+  Request request;
+  request.type = RequestType::kStats;
+  request.id = 1;
+  EXPECT_TRUE(queue.enqueue(request));
+  request.id = 2;
+  EXPECT_TRUE(queue.enqueue(request));
+
+  queue.close();
+  EXPECT_EQ(queue.stats().state, JobQueue::State::kDraining);
+  request.id = 3;
+  EXPECT_FALSE(queue.enqueue(request));  // turned away, not blocked
+
+  EXPECT_EQ(queue.dequeue()->id, 1u);  // backlog still served
+  EXPECT_EQ(queue.dequeue()->id, 2u);
+  EXPECT_FALSE(queue.dequeue().has_value());  // drained -> closed sentinel
+  EXPECT_EQ(queue.stats().state, JobQueue::State::kClosed);
+}
+
+TEST(ServeJobQueue, BoundedRingBlocksProducerUntilSlotFrees) {
+  JobQueue queue(1);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (std::uint64_t id = 1; id <= 16; ++id) {
+      Request request;
+      request.id = id;
+      request.type = RequestType::kStats;
+      ASSERT_TRUE(queue.enqueue(std::move(request)));  // blocks while full
+      produced.fetch_add(1);
+    }
+  });
+  for (std::uint64_t id = 1; id <= 16; ++id) {
+    const std::optional<Request> request = queue.dequeue();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, id);
+  }
+  producer.join();
+  EXPECT_EQ(produced.load(), 16);
+  EXPECT_EQ(queue.stats().max_depth, 1u);  // the ring never grew past capacity
+}
+
+TEST(ServeJobQueue, ZeroCapacityIsRejected) {
+  EXPECT_THROW(JobQueue queue(0), ModelError);
+}
+
+// ---- session pool -----------------------------------------------------------
+
+TEST(ServeSessionPool, EvictionIsDeterministicFifo) {
+  SessionPool pool(2);
+  EXPECT_FALSE(pool.take("a").has_value());  // miss on empty
+
+  pool.put("a", experiments::prepare_run(tiny_spec("a")));
+  pool.put("b", experiments::prepare_run(tiny_spec("b")));
+  pool.put("c", experiments::prepare_run(tiny_spec("c")));  // evicts "a", the oldest
+
+  EXPECT_FALSE(pool.take("a").has_value());
+  std::optional<experiments::PreparedRun> b = pool.take("b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->valid());
+
+  const SessionPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 1u);  // "c" remains; "b" was consumed by take
+}
+
+TEST(ServeSessionPool, PutReplacesSameKeyInPlaceAndZeroCapacityDisables) {
+  SessionPool pool(2);
+  pool.put("a", experiments::prepare_run(tiny_spec("a")));
+  pool.put("b", experiments::prepare_run(tiny_spec("b")));
+  pool.put("a", experiments::prepare_run(tiny_spec("a")));  // replace, no evict
+  EXPECT_EQ(pool.stats().evictions, 0u);
+  EXPECT_EQ(pool.stats().entries, 2u);
+
+  SessionPool disabled(0);
+  disabled.put("a", experiments::prepare_run(tiny_spec("a")));
+  EXPECT_EQ(disabled.stats().entries, 0u);
+  EXPECT_FALSE(disabled.take("a").has_value());
+}
+
+// ---- the daemon in-process --------------------------------------------------
+
+TEST(ServeServer, RepeatedRunIsBitIdenticalAndHitsTheSessionPool) {
+  const ExperimentSpec spec = tiny_spec("repeat");
+  const std::string script = envelope(1, "run", io::to_json(spec)) + "\n" +
+                             envelope(2, "run", io::to_json(spec)) + "\n" +
+                             control(3, "stats") + "\n" + control(4, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  ASSERT_EQ(events_of(events, "result", 1).size(), 1u);
+  ASSERT_EQ(events_of(events, "result", 2).size(), 1u);
+  const JsonValue cold = io::to_json(experiments::run_experiment(spec));
+  expect_identical(cold, events_of(events, "result", 1)[0].at("result"));
+  expect_identical(cold, events_of(events, "result", 2)[0].at("result"));
+
+  const std::vector<JsonValue> stats = events_of(events, "stats", 3);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GE(stats[0].at("session_pool").at("hits").as_number(), 1.0);
+  EXPECT_GE(stats[0].at("op_cache").at("entries").as_number(), 1.0);
+  ASSERT_EQ(events_of(events, "shutdown", 4).size(), 1u);
+}
+
+/// Signature-split regression: a request whose parameters differ from a
+/// cached one must never reuse the stale entry — the mutated spec's response
+/// has to be bit-identical to its own cold run, and observably different
+/// from the original's.
+TEST(ServeServer, MutatedSpecDoesNotReuseStaleCachedState) {
+  const ExperimentSpec base = tiny_spec("split");
+  ExperimentSpec mutated = base;
+  mutated.overrides.push_back(
+      experiments::ParamOverride{"supercap.initial_voltage", 0.5});
+
+  const std::string script = envelope(1, "run", io::to_json(base)) + "\n" +
+                             envelope(2, "run", io::to_json(mutated)) + "\n" +
+                             control(3, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  const std::vector<JsonValue> first_events = events_of(events, "result", 1);
+  const std::vector<JsonValue> second_events = events_of(events, "result", 2);
+  ASSERT_EQ(first_events.size(), 1u);
+  ASSERT_EQ(second_events.size(), 1u);
+  const JsonValue first = first_events[0].at("result");
+  const JsonValue second = second_events[0].at("result");
+  expect_identical(io::to_json(experiments::run_experiment(base)), first);
+  expect_identical(io::to_json(experiments::run_experiment(mutated)), second);
+  // And the mutation is physically observable, so a stale reuse could not
+  // have produced the matching result by accident.
+  EXPECT_NE(first.at("final_vc").as_number(), second.at("final_vc").as_number());
+}
+
+TEST(ServeServer, SweepStreamsPerJobResultsBitIdenticalToOneShot) {
+  experiments::SweepSpec sweep;
+  sweep.base = tiny_spec("serve-sweep");
+  sweep.base.probes.push_back(experiments::ProbeSpec{
+      "P_gen", experiments::ProbeSpec::Kind::kGeneratorPower});
+  sweep.mode = experiments::SweepSpec::Mode::kZip;
+  sweep.axes.push_back(experiments::SweepAxis{"spec.pre_tuned_hz", {69.5, 70.5}, {}});
+
+  const std::string script =
+      envelope(1, "sweep", io::to_json(sweep)) + "\n" + control(2, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  const std::vector<JsonValue> progress = events_of(events, "progress", 1);
+  ASSERT_EQ(progress.size(), 1u);
+  EXPECT_EQ(progress[0].at("jobs").as_number(), 2.0);
+
+  const std::vector<JsonValue> results = events_of(events, "result", 1);
+  ASSERT_EQ(results.size(), 2u);
+  const std::vector<experiments::ScenarioResult> cold = experiments::run_sweep(sweep);
+  ASSERT_EQ(cold.size(), 2u);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(results[i].at("job").as_number(), static_cast<double>(i));
+    expect_identical(io::to_json(cold[i]), results[i].at("result"));
+  }
+  // Probe summaries ride along per job.
+  EXPECT_EQ(events_of(events, "probes", 1).size(), 2u);
+}
+
+TEST(ServeServer, RepeatedOptimiseConsumesTheCrossRequestCache) {
+  experiments::OptimiseSpec spec;
+  spec.name = "serve-optimise";
+  spec.base = tiny_spec("serve-optimise-point");
+  spec.base.probes.push_back(experiments::ProbeSpec{
+      "P_gen", experiments::ProbeSpec::Kind::kGeneratorPower});
+  spec.variable = "spec.pre_tuned_hz";
+  spec.lower = 69.0;
+  spec.upper = 71.0;
+  spec.objective = "P_gen";
+  spec.statistic = "mean";
+  spec.max_evaluations = 4;
+  spec.x_tolerance = 0.2;
+
+  const std::string script = envelope(1, "optimise", io::to_json(spec)) + "\n" +
+                             envelope(2, "optimise", io::to_json(spec)) + "\n" +
+                             control(3, "stats") + "\n" + control(4, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  const JsonValue cold = io::to_json(experiments::run_optimise(spec));
+  expect_identical(cold, events_of(events, "result", 1)[0].at("result"));
+  expect_identical(cold, events_of(events, "result", 2)[0].at("result"));
+
+  const std::vector<JsonValue> stats = events_of(events, "stats", 3);
+  ASSERT_EQ(stats.size(), 1u);
+  // The second search re-evaluates the exact candidates of the first, so
+  // every one of its evaluations must be seeded from the cross cache.
+  EXPECT_GE(stats[0].at("optimise_cache").at("hits").as_number(), 4.0);
+}
+
+TEST(ServeServer, MalformedEnvelopeEmitsErrorEventAndKeepsServing) {
+  const ExperimentSpec spec = tiny_spec("after-error");
+  const std::string script = std::string(R"({"id": 1, "type": "run", "speck": {}})") +
+                             "\n" + envelope(2, "run", io::to_json(spec)) + "\n" +
+                             control(3, "stats") + "\n" + control(4, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  const std::vector<JsonValue> errors = events_of(events, "error", 1);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("key").as_string(), "speck");  // names the bad field
+  ASSERT_EQ(events_of(events, "result", 2).size(), 1u);  // daemon kept serving
+  const std::vector<JsonValue> stats = events_of(events, "stats", 3);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].at("requests").at("errors").as_number(), 1.0);
+}
+
+TEST(ServeServer, CancelSkipsAQueuedJob) {
+  const ExperimentSpec spec = tiny_spec("cancel-me");
+  // The cancel line precedes the jobs, so id 2 is marked before the worker
+  // can reach it — it must be skipped with a cancelled event, no result.
+  const std::string script = control(2, "cancel") + "\n" +
+                             envelope(1, "run", io::to_json(spec)) + "\n" +
+                             envelope(2, "run", io::to_json(spec)) + "\n" +
+                             control(3, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+  EXPECT_EQ(events_of(events, "result", 1).size(), 1u);
+  EXPECT_EQ(events_of(events, "result", 2).size(), 0u);
+  EXPECT_EQ(events_of(events, "cancelled", 2).size(), 1u);
+}
+
+TEST(ServeServer, EndOfInputDrainsWithoutShutdownEvent) {
+  const ExperimentSpec spec = tiny_spec("eof");
+  const std::vector<JsonValue> events =
+      serve_session(envelope(1, "run", io::to_json(spec)) + "\n");
+  EXPECT_EQ(events_of(events, "result", 1).size(), 1u);
+  for (const JsonValue& event : events) {
+    EXPECT_NE(event.at("event").as_string(), "shutdown");
+  }
+}
+
+TEST(ServeServer, ColdModeMatchesOneShotWithAllCachesDisabled) {
+  const ExperimentSpec spec = tiny_spec("cold");
+  ServerOptions options;
+  options.cross_request_caches = false;
+  const std::string script = envelope(1, "run", io::to_json(spec)) + "\n" +
+                             envelope(2, "run", io::to_json(spec)) + "\n" +
+                             control(3, "stats") + "\n" + control(4, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script, options);
+
+  const JsonValue cold = io::to_json(experiments::run_experiment(spec));
+  expect_identical(cold, events_of(events, "result", 1)[0].at("result"));
+  expect_identical(cold, events_of(events, "result", 2)[0].at("result"));
+  const std::vector<JsonValue> stats = events_of(events, "stats", 3);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].at("session_pool").at("capacity").as_number(), 0.0);
+  EXPECT_EQ(stats[0].at("session_pool").at("hits").as_number(), 0.0);
+  EXPECT_EQ(stats[0].at("op_cache").at("entries").as_number(), 0.0);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 ///   ehsim run spec.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
 ///   ehsim sweep sweep.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
 ///   ehsim optimise optimise.json [--warm-start] [--out DIR] [--quiet]
+///   ehsim serve [--threads N] [--out DIR] [--script FILE] [--queue N] [--pool N] [--cold]
 ///   ehsim echo spec.json
 ///   ehsim compare expected actual [--rtol R] [--atol A] [--ignore k1,k2,...]
 ///   ehsim params
@@ -26,6 +27,7 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -40,6 +42,7 @@
 #include "io/compare.hpp"
 #include "io/json.hpp"
 #include "io/spec_json.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -72,6 +75,17 @@ int usage(std::FILE* where = stderr) {
                "      variable, cyclic coordinate descent over a \"variables\"\n"
                "      array; write the search log + optimum as <name>.optimise.json\n"
                "      and the best run's result/trace files under --out.\n"
+               "  serve [--threads N] [--out DIR] [--script FILE] [--queue N]\n"
+               "      [--pool N] [--cold]\n"
+               "      Long-lived simulation service: read newline-delimited request\n"
+               "      envelopes ({\"id\":..,\"type\":\"run|sweep|optimise|cancel|stats|\n"
+               "      shutdown\",\"spec\":{..}} or \"spec_path\") from stdin (or --script),\n"
+               "      stream JSON events to stdout, and keep diode tables, operating\n"
+               "      points and prepared sessions warm across requests. Responses are\n"
+               "      bit-identical to cold one-shot runs of the same specs (modulo\n"
+               "      cpu_seconds / warm_start / shared_diode_table). --cold disables\n"
+               "      the cross-request caches; docs/serve_protocol.md has the full\n"
+               "      protocol.\n"
                "  echo <spec.json>\n"
                "      Parse a spec and print its canonical JSON to stdout.\n"
                "  compare <expected> <actual> [--rtol R] [--atol A] [--ignore k1,k2]\n"
@@ -179,29 +193,12 @@ void apply_probe_flag(experiments::ExperimentSpec& spec, const std::string& list
   spec.validate();  // catches duplicate labels against the spec's own probes
 }
 
-/// Job names contain sweep separators ("base/param=value"); keep file names
-/// flat and shell-safe.
-std::string safe_file_stem(const std::string& name) {
-  std::string stem;
-  stem.reserve(name.size());
-  for (const char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_' || c == '=';
-    stem.push_back(ok ? c : '_');
-  }
-  return stem;
-}
-
 void write_results(const std::vector<experiments::ScenarioResult>& results,
                    const RunArgs& args) {
-  std::filesystem::create_directories(args.out_dir);
   for (const auto& result : results) {
-    const std::string stem =
-        (std::filesystem::path(args.out_dir) / safe_file_stem(result.scenario)).string();
-    io::write_file(stem + ".result.json", io::to_json(result).dump(2) + "\n");
-    std::ostringstream csv;
-    io::write_trace_csv(csv, result);
-    io::write_file(stem + ".trace.csv", std::move(csv).str());
+    // io::write_result_files is the single writer shared with the serve
+    // daemon — the serve determinism golden compares the files it produces.
+    const std::string stem = io::write_result_files(args.out_dir, result);
     if (!args.quiet) {
       std::printf("wrote %s.result.json (+ .trace.csv, %zu points)\n", stem.c_str(),
                   result.time.size());
@@ -320,7 +317,7 @@ int cmd_optimise(const std::vector<std::string>& args) {
   const experiments::OptimiseResult result = experiments::run_optimise(*file.optimise);
   std::filesystem::create_directories(run->out_dir);
   const std::string stem =
-      (std::filesystem::path(run->out_dir) / safe_file_stem(result.name)).string();
+      (std::filesystem::path(run->out_dir) / io::safe_file_stem(result.name)).string();
   io::write_file(stem + ".optimise.json", io::to_json(result).dump(2) + "\n");
   write_results({result.best_run}, *run);
   if (!run->quiet) {
@@ -359,6 +356,41 @@ int cmd_optimise(const std::vector<std::string>& args) {
     }
   }
   return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServerOptions options;
+  std::string script;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--threads" && i + 1 < args.size()) {
+      options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (arg == "--out" && i + 1 < args.size()) {
+      options.out_dir = args[++i];
+    } else if (arg == "--script" && i + 1 < args.size()) {
+      script = args[++i];
+    } else if (arg == "--queue" && i + 1 < args.size()) {
+      options.queue_capacity = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (arg == "--pool" && i + 1 < args.size()) {
+      options.pool_capacity = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (arg == "--cold") {
+      options.cross_request_caches = false;
+    } else {
+      std::fprintf(stderr, "ehsim serve: unknown option '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in) {
+      std::fprintf(stderr, "ehsim serve: cannot open script '%s'\n", script.c_str());
+      return 1;
+    }
+    serve::Server server(in, std::cout, options);
+    return server.run();
+  }
+  serve::Server server(std::cin, std::cout, options);
+  return server.run();
 }
 
 int cmd_echo(const std::vector<std::string>& args) {
@@ -486,6 +518,9 @@ int main(int argc, char** argv) {
     if (command == "optimise" || command == "optimize") {
       return cmd_optimise(args);
     }
+    if (command == "serve") {
+      return cmd_serve(args);
+    }
     if (command == "echo") {
       return cmd_echo(args);
     }
@@ -498,7 +533,14 @@ int main(int argc, char** argv) {
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(stdout);
     }
-    std::fprintf(stderr, "ehsim: unknown command '%s'\n", command.c_str());
+    // Machine-parseable failure: one JSON line naming the offending field,
+    // plus the human usage text; exit status stays nonzero either way.
+    io::JsonValue error = io::JsonValue::make_object();
+    error.set("error", "unknown command");
+    error.set("command", command);
+    error.set("expected",
+              "run | sweep | optimise | serve | echo | compare | params | help");
+    std::fprintf(stderr, "%s\n", error.dump(-1).c_str());
     return usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "ehsim: %s\n", error.what());
