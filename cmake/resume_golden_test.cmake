@@ -1,0 +1,77 @@
+# Kill/resume golden CI test: the checkpoint/restart acceptance gate.
+#
+# Runs the same experiment spec twice with an identical checkpoint cadence:
+# once straight through, once aborted after its first checkpoint (the CLI's
+# --abort-after-checkpoints kill hook, exit code 3) and finished with
+# `ehsim resume` from the files left on disk. The two result documents and
+# traces must agree bit for bit (--rtol 0 --atol 0), ignoring only
+# cpu_seconds — no tolerance games, a restored run IS the original run.
+#
+# Required -D variables: EHSIM (binary), SPEC (experiment spec file),
+# OUT_DIR (scratch), NAME (job name / file stem).
+# Optional: EVERY (checkpoint cadence in simulated seconds, default 0.15).
+
+foreach(required EHSIM SPEC OUT_DIR NAME)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "resume_golden_test.cmake: missing -D${required}")
+  endif()
+endforeach()
+if(NOT DEFINED EVERY)
+  set(EVERY 0.15)
+endif()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+
+# 1. The uninterrupted reference, checkpointing at the same cadence (chunk
+#    boundaries are part of the step trajectory, so both executions must
+#    cut at the same absolute simulated times).
+execute_process(
+  COMMAND ${EHSIM} run ${SPEC} --out ${OUT_DIR}/full --quiet
+          --checkpoint-dir ${OUT_DIR}/ckpt_full --checkpoint-every ${EVERY}
+  RESULT_VARIABLE full_rc)
+if(NOT full_rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted checkpointed run failed (${full_rc})")
+endif()
+
+# 2. The killed run: stop right after the first committed checkpoint file.
+execute_process(
+  COMMAND ${EHSIM} run ${SPEC} --out ${OUT_DIR}/killed --quiet
+          --checkpoint-dir ${OUT_DIR}/ckpt_kill --checkpoint-every ${EVERY}
+          --abort-after-checkpoints 1
+  RESULT_VARIABLE kill_rc)
+if(NOT kill_rc EQUAL 3)
+  message(FATAL_ERROR "aborted run should exit 3 (stopped), got ${kill_rc}")
+endif()
+if(EXISTS ${OUT_DIR}/killed/${NAME}.result.json)
+  message(FATAL_ERROR "aborted run must not write a result document")
+endif()
+
+# 3. Resume from the checkpoint files and finish.
+execute_process(
+  COMMAND ${EHSIM} resume ${SPEC} --out ${OUT_DIR}/resumed --quiet
+          --checkpoint-dir ${OUT_DIR}/ckpt_kill --checkpoint-every ${EVERY}
+  RESULT_VARIABLE resume_rc)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "ehsim resume failed (${resume_rc})")
+endif()
+
+# 4. Bit identity, modulo wall-clock cost.
+execute_process(
+  COMMAND ${EHSIM} compare
+          ${OUT_DIR}/full/${NAME}.result.json ${OUT_DIR}/resumed/${NAME}.result.json
+          --rtol 0 --atol 0 --ignore cpu_seconds
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+  message(FATAL_ERROR "resumed result diverged from the uninterrupted run (${json_rc})")
+endif()
+
+execute_process(
+  COMMAND ${EHSIM} compare
+          ${OUT_DIR}/full/${NAME}.trace.csv ${OUT_DIR}/resumed/${NAME}.trace.csv
+          --rtol 0 --atol 0
+  RESULT_VARIABLE csv_rc)
+if(NOT csv_rc EQUAL 0)
+  message(FATAL_ERROR "resumed trace diverged from the uninterrupted run (${csv_rc})")
+endif()
+
+message(STATUS "kill/resume output is bit-identical for ${NAME}")

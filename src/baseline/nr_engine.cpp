@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::baseline {
 
@@ -292,6 +293,90 @@ bool NrEngine::try_step(double h) {
     return false;
   }
   return true;
+}
+
+io::JsonValue NrEngine::checkpoint_state() const {
+  if (!initialised_) {
+    throw ModelError("NrEngine: cannot checkpoint before initialise");
+  }
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("engine", io::JsonValue(std::string(engine_name())));
+  doc.set("t", io::real_to_json(t_));
+  doc.set("u", io::reals_to_json(u_));
+  doc.set("u_prev", io::reals_to_json(u_prev_));
+  doc.set("h_prev", io::real_to_json(h_prev_));
+  doc.set("has_prev", io::JsonValue(has_prev_));
+  doc.set("u_scale", io::reals_to_json(u_scale_));
+  doc.set("controller", controller_.checkpoint_state());
+  doc.set("last_newton_iterations", io::u64_to_json(last_newton_iterations_));
+  doc.set("last_epoch", io::u64_to_json(last_epoch_));
+  doc.set("last_notify_time", io::real_to_json(last_notify_time_));
+  doc.set("stats", io::solver_stats_to_json(stats_));
+  // Honesty anchor (see LinearisedSolver::checkpoint_state).
+  std::vector<double> fx_check(num_states_);
+  std::vector<double> fy_check(num_nets_);
+  system_->eval(t_, state(), terminals(), std::span<double>(fx_check),
+                std::span<double>(fy_check));
+  double residual = 0.0;
+  for (double v : fy_check) {
+    residual = std::max(residual, std::abs(v));
+  }
+  doc.set("residual", io::real_to_json(residual));
+  return doc;
+}
+
+void NrEngine::restore_checkpoint_state(const io::JsonValue& snapshot) {
+  const std::string what = "engine checkpoint";
+  io::check_state_keys(snapshot, what,
+                       {"engine", "t", "u", "u_prev", "h_prev", "has_prev", "u_scale",
+                        "controller", "last_newton_iterations", "last_epoch",
+                        "last_notify_time", "stats", "residual"});
+  const std::string& engine = io::require_key(snapshot, what, "engine").as_string();
+  if (engine != engine_name()) {
+    throw ModelError(what + ": snapshot was written by engine '" + engine + "', not '" +
+                     engine_name() + "'");
+  }
+  t_ = io::real_from_json(io::require_key(snapshot, what, "t"), what + ".t");
+  io::reals_into(io::require_key(snapshot, what, "u"), u_, what + ".u");
+  io::reals_into(io::require_key(snapshot, what, "u_prev"), u_prev_, what + ".u_prev");
+  h_prev_ = io::real_from_json(io::require_key(snapshot, what, "h_prev"), what + ".h_prev");
+  has_prev_ = io::bool_from_json(io::require_key(snapshot, what, "has_prev"), what + ".has_prev");
+  io::reals_into(io::require_key(snapshot, what, "u_scale"), u_scale_, what + ".u_scale");
+  controller_.restore_checkpoint_state(io::require_key(snapshot, what, "controller"));
+  last_newton_iterations_ = io::index_from_json(
+      io::require_key(snapshot, what, "last_newton_iterations"), what + ".last_newton_iterations");
+  last_epoch_ = io::u64_from_json(io::require_key(snapshot, what, "last_epoch"),
+                                  what + ".last_epoch");
+  // See LinearisedSolver::restore_checkpoint_state: a boundary checkpoint
+  // may carry a pending epoch bump the engine consumes on its next step;
+  // only a model *behind* the engine is a restore-order bug.
+  if (system_->total_epoch() < last_epoch_) {
+    throw ModelError(what + ": model epoch " + std::to_string(system_->total_epoch()) +
+                     " is behind the checkpointed epoch " + std::to_string(last_epoch_) +
+                     " (restore the model first)");
+  }
+  last_notify_time_ = io::real_from_json(io::require_key(snapshot, what, "last_notify_time"),
+                                         what + ".last_notify_time");
+  stats_ = io::solver_stats_from_json(io::require_key(snapshot, what, "stats"), what + ".stats");
+  init_seed_armed_ = false;
+  initialised_ = true;
+
+  const double saved = io::real_from_json(io::require_key(snapshot, what, "residual"),
+                                          what + ".residual");
+  std::vector<double> fx_check(num_states_);
+  std::vector<double> fy_check(num_nets_);
+  system_->eval(t_, state(), terminals(), std::span<double>(fx_check),
+                std::span<double>(fy_check));
+  double residual = 0.0;
+  for (double v : fy_check) {
+    residual = std::max(residual, std::abs(v));
+  }
+  const bool same = residual == saved || (std::isnan(residual) && std::isnan(saved));
+  if (!same) {
+    throw ModelError(what + ": consistency check failed — the restored model evaluates to a "
+                     "different residual at the checkpointed point (saved " +
+                     std::to_string(saved) + ", got " + std::to_string(residual) + ")");
+  }
 }
 
 void NrEngine::advance_to(double t_end) {

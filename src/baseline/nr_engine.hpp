@@ -91,6 +91,9 @@ class NrEngine final : public core::AnalogEngine {
   void add_observer(core::SolutionObserver observer) override;
   [[nodiscard]] const char* engine_name() const override { return config_.profile_name; }
 
+  io::JsonValue checkpoint_state() const override;
+  void restore_checkpoint_state(const io::JsonValue& state) override;
+
   [[nodiscard]] const NrEngineConfig& config() const noexcept { return config_; }
 
  private:

@@ -92,6 +92,11 @@ class AnalogBlock {
   [[nodiscard]] virtual std::uint64_t jacobian_signature(double t, std::span<const double> x,
                                                          std::span<const double> y) const;
 
+  /// Checkpoint restore: set the epoch counter verbatim. Engines compare
+  /// epochs for equality, so a restored system must reproduce the exact
+  /// checkpointed values — re-playing the bumps would be fragile.
+  void restore_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
  protected:
   /// Call from parameter setters that change the model discontinuously.
   void bump_epoch() noexcept { ++epoch_; }

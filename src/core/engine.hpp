@@ -13,6 +13,7 @@
 
 #include "core/assembler.hpp"
 #include "core/solver_config.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::core {
 
@@ -56,6 +57,17 @@ class AnalogEngine {
 
   /// Engine display name for reports ("linearised-state-space", ...).
   [[nodiscard]] virtual const char* engine_name() const = 0;
+
+  /// Exact snapshot of the engine's mutable numerical state (solution
+  /// vectors, integrator history, step controller, statistics). Restoring it
+  /// into a freshly built engine over the *same model in the same state*
+  /// must continue the trajectory bit for bit. The document is strict-keyed
+  /// and self-checking: restore recomputes the algebraic residual at the
+  /// restored point and requires bit-equality with the checkpointed value.
+  [[nodiscard]] virtual io::JsonValue checkpoint_state() const = 0;
+  /// Inverse of checkpoint_state(). The model (blocks, epochs, parameters)
+  /// must already be restored; throws ModelError on any mismatch.
+  virtual void restore_checkpoint_state(const io::JsonValue& state) = 0;
 };
 
 }  // namespace ehsim::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::core {
 
@@ -278,6 +279,131 @@ void LinearisedSolver::notify_observers() {
   last_notify_time_ = t_;
   for (const auto& observer : observers_) {
     observer(t_, x_.span(), y_.span());
+  }
+}
+
+io::JsonValue LinearisedSolver::checkpoint_state() const {
+  if (!initialised_) {
+    throw ModelError("LinearisedSolver: cannot checkpoint before initialise");
+  }
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("engine", io::JsonValue(std::string(engine_name())));
+  state.set("t", io::real_to_json(t_));
+  state.set("x", io::reals_to_json(x_.span()));
+  state.set("y", io::reals_to_json(y_.span()));
+  state.set("jacobians_valid", io::JsonValue(jacobians_valid_));
+  if (jacobians_valid_) {
+    state.set("jxx", io::matrix_to_json(jxx_));
+    state.set("jxy", io::matrix_to_json(jxy_));
+    state.set("jyx", io::matrix_to_json(jyx_));
+    state.set("jyy", io::matrix_to_json(jyy_));
+  }
+  state.set("jacobian_signature", io::u64_to_json(jacobian_signature_));
+  state.set("history", history_.checkpoint_state());
+  state.set("controller", controller_.checkpoint_state());
+  state.set("lle", lle_.checkpoint_state());
+  state.set("h_stability", io::real_to_json(h_stability_));
+  state.set("steps_since_stability", io::u64_to_json(steps_since_stability_));
+  state.set("drift_since_stability", io::real_to_json(drift_since_stability_));
+  state.set("stability_due", io::JsonValue(stability_due_));
+  state.set("last_epoch", io::u64_to_json(last_epoch_));
+  state.set("fresh", io::JsonValue(fresh_));
+  state.set("last_history_time", io::real_to_json(last_history_time_));
+  state.set("last_notify_time", io::real_to_json(last_notify_time_));
+  state.set("stats", io::solver_stats_to_json(stats_));
+  // Honesty anchor: the algebraic residual at the checkpointed point.
+  // Restore re-evaluates the (already restored) model at (t, x, y) and
+  // requires exact bit-equality, proving that model restore and engine
+  // restore describe the same trajectory.
+  linalg::Vector fx_check(x_.size());
+  linalg::Vector fy_check(y_.size());
+  system_->eval(t_, x_.span(), y_.span(), fx_check.span(), fy_check.span());
+  state.set("residual", io::real_to_json(linalg::norm_inf(fy_check)));
+  return state;
+}
+
+void LinearisedSolver::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "engine checkpoint";
+  io::check_state_keys(
+      state, what,
+      {"engine", "t", "x", "y", "jacobians_valid", "jxx", "jxy", "jyx", "jyy",
+       "jacobian_signature", "history", "controller", "lle", "h_stability",
+       "steps_since_stability", "drift_since_stability", "stability_due", "last_epoch", "fresh",
+       "last_history_time", "last_notify_time", "stats", "residual"});
+  const std::string& engine = io::require_key(state, what, "engine").as_string();
+  if (engine != engine_name()) {
+    throw ModelError(what + ": snapshot was written by engine '" + engine + "', not '" +
+                     engine_name() + "'");
+  }
+  t_ = io::real_from_json(io::require_key(state, what, "t"), what + ".t");
+  io::reals_into(io::require_key(state, what, "x"), x_.span(), what + ".x");
+  io::reals_into(io::require_key(state, what, "y"), y_.span(), what + ".y");
+  jacobians_valid_ = io::bool_from_json(io::require_key(state, what, "jacobians_valid"),
+                                        what + ".jacobians_valid");
+  if (jacobians_valid_) {
+    jxx_ = io::matrix_from_json(io::require_key(state, what, "jxx"), what + ".jxx");
+    jxy_ = io::matrix_from_json(io::require_key(state, what, "jxy"), what + ".jxy");
+    jyx_ = io::matrix_from_json(io::require_key(state, what, "jyx"), what + ".jyx");
+    jyy_ = io::matrix_from_json(io::require_key(state, what, "jyy"), what + ".jyy");
+    if (jxx_.rows() != x_.size() || jxx_.cols() != x_.size() || jxy_.rows() != x_.size() ||
+        jxy_.cols() != y_.size() || jyx_.rows() != y_.size() || jyx_.cols() != x_.size() ||
+        jyy_.rows() != y_.size() || jyy_.cols() != y_.size()) {
+      throw ModelError(what + ": Jacobian dimensions do not match the model");
+    }
+    // The LU is derived state: refactorising the restored Jyy is a
+    // deterministic function of its bits, so the solve results match the
+    // uninterrupted run's exactly.
+    if (y_.size() > 0 && !jyy_lu_.factor(jyy_)) {
+      throw ModelError(what + ": restored Jyy is singular");
+    }
+  }
+  jacobian_signature_ = io::u64_from_json(io::require_key(state, what, "jacobian_signature"),
+                                          what + ".jacobian_signature");
+  history_.restore_checkpoint_state(io::require_key(state, what, "history"));
+  controller_.restore_checkpoint_state(io::require_key(state, what, "controller"));
+  lle_.restore_checkpoint_state(io::require_key(state, what, "lle"));
+  h_stability_ =
+      io::real_from_json(io::require_key(state, what, "h_stability"), what + ".h_stability");
+  steps_since_stability_ = io::index_from_json(
+      io::require_key(state, what, "steps_since_stability"), what + ".steps_since_stability");
+  drift_since_stability_ = io::real_from_json(
+      io::require_key(state, what, "drift_since_stability"), what + ".drift_since_stability");
+  stability_due_ =
+      io::bool_from_json(io::require_key(state, what, "stability_due"), what + ".stability_due");
+  last_epoch_ = io::u64_from_json(io::require_key(state, what, "last_epoch"),
+                                  what + ".last_epoch");
+  // A checkpoint cut exactly at a parameter-event boundary can carry a
+  // pending discontinuity: the blocks already bumped past the epoch the
+  // engine last consumed, and the restored engine re-notices it on its next
+  // step exactly like the uninterrupted run would. Only a model *behind*
+  // the engine means the caller restored in the wrong order.
+  if (system_->total_epoch() < last_epoch_) {
+    throw ModelError(what + ": model epoch " + std::to_string(system_->total_epoch()) +
+                     " is behind the checkpointed epoch " + std::to_string(last_epoch_) +
+                     " (restore the model first)");
+  }
+  fresh_ = io::bool_from_json(io::require_key(state, what, "fresh"), what + ".fresh");
+  last_history_time_ = io::real_from_json(io::require_key(state, what, "last_history_time"),
+                                          what + ".last_history_time");
+  last_notify_time_ = io::real_from_json(io::require_key(state, what, "last_notify_time"),
+                                         what + ".last_notify_time");
+  stats_ = io::solver_stats_from_json(io::require_key(state, what, "stats"), what + ".stats");
+  init_seed_armed_ = false;
+  initialised_ = true;
+
+  // Consistency proof: the restored model must reproduce the checkpointed
+  // algebraic residual at the restored point, bit for bit.
+  const double saved = io::real_from_json(io::require_key(state, what, "residual"),
+                                          what + ".residual");
+  linalg::Vector fx_check(x_.size());
+  linalg::Vector fy_check(y_.size());
+  system_->eval(t_, x_.span(), y_.span(), fx_check.span(), fy_check.span());
+  const double residual = linalg::norm_inf(fy_check);
+  const bool same = residual == saved || (std::isnan(residual) && std::isnan(saved));
+  if (!same) {
+    throw ModelError(what + ": consistency check failed — the restored model evaluates to a "
+                     "different residual at the checkpointed point (saved " +
+                     std::to_string(saved) + ", got " + std::to_string(residual) + ")");
   }
 }
 

@@ -48,6 +48,9 @@ class LinearisedSolver final : public AnalogEngine {
   void add_observer(SolutionObserver observer) override;
   [[nodiscard]] const char* engine_name() const override { return "linearised-state-space"; }
 
+  io::JsonValue checkpoint_state() const override;
+  void restore_checkpoint_state(const io::JsonValue& state) override;
+
   [[nodiscard]] const SolverConfig& config() const noexcept { return config_; }
 
   /// Access port for the lockstep batch kernel (core/lockstep_port.hpp):

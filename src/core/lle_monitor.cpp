@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/state_json.hpp"
+
 namespace ehsim::core {
 
 namespace {
@@ -53,6 +55,41 @@ double LleMonitor::update(const linalg::Matrix& jxx, const linalg::Matrix& jxy,
   prev_jyy_ = jyy;
   last_drift_ = drift;
   return drift;
+}
+
+
+io::JsonValue LleMonitor::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("has_previous", io::JsonValue(has_previous_));
+  state.set("last_drift", io::real_to_json(last_drift_));
+  state.set("prev_jxx", io::matrix_to_json(prev_jxx_));
+  state.set("prev_jxy", io::matrix_to_json(prev_jxy_));
+  state.set("prev_jyx", io::matrix_to_json(prev_jyx_));
+  state.set("prev_jyy", io::matrix_to_json(prev_jyy_));
+  state.set("scale_xx", io::reals_to_json(scale_xx_));
+  state.set("scale_xy", io::reals_to_json(scale_xy_));
+  state.set("scale_yx", io::reals_to_json(scale_yx_));
+  state.set("scale_yy", io::reals_to_json(scale_yy_));
+  return state;
+}
+
+void LleMonitor::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "checkpoint.lle";
+  io::check_state_keys(state, what,
+                       {"has_previous", "last_drift", "prev_jxx", "prev_jxy", "prev_jyx",
+                        "prev_jyy", "scale_xx", "scale_xy", "scale_yx", "scale_yy"});
+  has_previous_ = io::bool_from_json(io::require_key(state, what, "has_previous"),
+                                     what + ".has_previous");
+  last_drift_ = io::real_from_json(io::require_key(state, what, "last_drift"),
+                                   what + ".last_drift");
+  prev_jxx_ = io::matrix_from_json(io::require_key(state, what, "prev_jxx"), what + ".prev_jxx");
+  prev_jxy_ = io::matrix_from_json(io::require_key(state, what, "prev_jxy"), what + ".prev_jxy");
+  prev_jyx_ = io::matrix_from_json(io::require_key(state, what, "prev_jyx"), what + ".prev_jyx");
+  prev_jyy_ = io::matrix_from_json(io::require_key(state, what, "prev_jyy"), what + ".prev_jyy");
+  scale_xx_ = io::reals_from_json(io::require_key(state, what, "scale_xx"), what + ".scale_xx");
+  scale_xy_ = io::reals_from_json(io::require_key(state, what, "scale_xy"), what + ".scale_xy");
+  scale_yx_ = io::reals_from_json(io::require_key(state, what, "scale_yx"), what + ".scale_yx");
+  scale_yy_ = io::reals_from_json(io::require_key(state, what, "scale_yy"), what + ".scale_yy");
 }
 
 }  // namespace ehsim::core

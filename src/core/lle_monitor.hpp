@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "io/json.hpp"
 #include "linalg/matrix.hpp"
 
 namespace ehsim::core {
@@ -33,6 +34,11 @@ class LleMonitor {
   [[nodiscard]] bool has_previous() const noexcept { return has_previous_; }
   /// Drift reported by the most recent update().
   [[nodiscard]] double last_drift() const noexcept { return last_drift_; }
+
+  /// Exact snapshot (previous Jacobians + running row scales) so a restored
+  /// engine reproduces the drift sequence bit for bit.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   static double block_drift(const linalg::Matrix& current, const linalg::Matrix& previous,

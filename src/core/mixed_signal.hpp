@@ -34,6 +34,8 @@ class MixedSignalSimulator {
 
   /// Number of analogue/digital synchronisation points so far.
   [[nodiscard]] std::uint64_t sync_points() const noexcept { return sync_points_; }
+  /// Checkpoint restore: set the counter verbatim.
+  void restore_sync_points(std::uint64_t value) noexcept { sync_points_ = value; }
 
  private:
   AnalogEngine* engine_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::core {
 
@@ -87,6 +88,52 @@ double ProbeChannel::duty_cycle() const noexcept {
   return covered_ > 0.0 ? time_above_ / covered_ : 0.0;
 }
 
+io::JsonValue ProbeChannel::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("label", io::JsonValue(label_));
+  state.set("has_last", io::JsonValue(has_last_));
+  state.set("last_t", io::real_to_json(last_t_));
+  state.set("last_v", io::real_to_json(last_v_));
+  state.set("seen", io::JsonValue(seen_));
+  state.set("samples", io::u64_to_json(samples_));
+  state.set("final", io::real_to_json(final_));
+  state.set("min", io::real_to_json(min_));
+  state.set("max", io::real_to_json(max_));
+  state.set("integral", io::real_to_json(integral_));
+  state.set("integral_sq", io::real_to_json(integral_sq_));
+  state.set("covered", io::real_to_json(covered_));
+  state.set("time_above", io::real_to_json(time_above_));
+  state.set("crossings", io::u64_to_json(crossings_));
+  return state;
+}
+
+void ProbeChannel::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "probe checkpoint '" + label_ + "'";
+  io::check_state_keys(state, what,
+                       {"label", "has_last", "last_t", "last_v", "seen", "samples", "final",
+                        "min", "max", "integral", "integral_sq", "covered", "time_above",
+                        "crossings"});
+  const std::string& label = io::require_key(state, what, "label").as_string();
+  if (label != label_) {
+    throw ModelError(what + ": snapshot belongs to channel '" + label + "'");
+  }
+  has_last_ = io::bool_from_json(io::require_key(state, what, "has_last"), what + ".has_last");
+  last_t_ = io::real_from_json(io::require_key(state, what, "last_t"), what + ".last_t");
+  last_v_ = io::real_from_json(io::require_key(state, what, "last_v"), what + ".last_v");
+  seen_ = io::bool_from_json(io::require_key(state, what, "seen"), what + ".seen");
+  samples_ = io::index_from_json(io::require_key(state, what, "samples"), what + ".samples");
+  final_ = io::real_from_json(io::require_key(state, what, "final"), what + ".final");
+  min_ = io::real_from_json(io::require_key(state, what, "min"), what + ".min");
+  max_ = io::real_from_json(io::require_key(state, what, "max"), what + ".max");
+  integral_ = io::real_from_json(io::require_key(state, what, "integral"), what + ".integral");
+  integral_sq_ =
+      io::real_from_json(io::require_key(state, what, "integral_sq"), what + ".integral_sq");
+  covered_ = io::real_from_json(io::require_key(state, what, "covered"), what + ".covered");
+  time_above_ =
+      io::real_from_json(io::require_key(state, what, "time_above"), what + ".time_above");
+  crossings_ = io::u64_from_json(io::require_key(state, what, "crossings"), what + ".crossings");
+}
+
 void ProbeHub::attach(AnalogEngine& engine) {
   if (attached_) {
     throw ModelError("ProbeHub: already attached to an engine");
@@ -121,6 +168,26 @@ const ProbeChannel& ProbeHub::channel(std::size_t index) const {
     throw ModelError("ProbeHub: channel index out of range");
   }
   return *channels_[index];
+}
+
+io::JsonValue ProbeHub::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_array();
+  for (const auto& channel : channels_) {
+    state.push_back(channel->checkpoint_state());
+  }
+  return state;
+}
+
+void ProbeHub::restore_checkpoint_state(const io::JsonValue& state) {
+  const io::JsonValue::Array& entries = state.as_array();
+  if (entries.size() != channels_.size()) {
+    throw ModelError("probe checkpoint: channel count mismatch (checkpoint has " +
+                     std::to_string(entries.size()) + ", hub has " +
+                     std::to_string(channels_.size()) + ")");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    channels_[i]->restore_checkpoint_state(entries[i]);
+  }
 }
 
 const ProbeChannel* ProbeHub::find(std::string_view label) const noexcept {

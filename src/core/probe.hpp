@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::core {
 
@@ -81,6 +82,11 @@ class ProbeChannel {
   /// time_above / covered_time (0 when nothing was covered).
   [[nodiscard]] double duty_cycle() const noexcept;
 
+  /// Exact snapshot of every running reduction (label included so a restore
+  /// onto the wrong channel fails loudly).
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  void restore_checkpoint_state(const io::JsonValue& state);
+
  private:
   /// Deposit the clipped linear segment (t0, v0) -> (t1, v1), t1 > t0.
   void deposit(double t0, double v0, double t1, double v1);
@@ -129,6 +135,12 @@ class ProbeHub {
   [[nodiscard]] const ProbeChannel& channel(std::size_t index) const;
   /// Channel by label; null when absent.
   [[nodiscard]] const ProbeChannel* find(std::string_view label) const noexcept;
+
+  /// Snapshot of every channel, in registration order.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Restore onto a hub whose channels were already re-registered in the
+  /// checkpointed order (count and labels are verified).
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   std::vector<std::unique_ptr<ProbeChannel>> channels_;

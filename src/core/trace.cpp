@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::core {
 
@@ -92,6 +93,58 @@ void TraceRecorder::on_point(double t, std::span<const double> x, std::span<cons
   times_.push_back(t);
   for (auto& col : columns_) {
     col.data.push_back(col.extract(t, x, y));
+  }
+}
+
+io::JsonValue TraceRecorder::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("last_recorded", io::real_to_json(last_recorded_));
+  state.set("any_recorded", io::JsonValue(any_recorded_));
+  state.set("times", io::reals_to_json(times_));
+  io::JsonValue columns = io::JsonValue::make_array();
+  for (const auto& col : columns_) {
+    io::JsonValue entry = io::JsonValue::make_object();
+    entry.set("label", io::JsonValue(col.label));
+    entry.set("data", io::reals_to_json(col.data));
+    columns.push_back(std::move(entry));
+  }
+  state.set("columns", std::move(columns));
+  return state;
+}
+
+void TraceRecorder::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "trace checkpoint";
+  io::check_state_keys(state, what, {"last_recorded", "any_recorded", "times", "columns"});
+  const io::JsonValue::Array& columns = io::require_key(state, what, "columns").as_array();
+  if (columns.size() != columns_.size()) {
+    throw ModelError(what + ": column count mismatch (checkpoint has " +
+                     std::to_string(columns.size()) + ", recorder has " +
+                     std::to_string(columns_.size()) + ")");
+  }
+  const std::vector<double> times =
+      io::reals_from_json(io::require_key(state, what, "times"), what + ".times");
+  std::vector<std::vector<double>> data(columns_.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const std::string entry_what = what + ".columns[" + std::to_string(i) + "]";
+    io::check_state_keys(columns[i], entry_what, {"label", "data"});
+    const std::string& label = io::require_key(columns[i], entry_what, "label").as_string();
+    if (label != columns_[i].label) {
+      throw ModelError(entry_what + ": label '" + label + "' does not match probe '" +
+                       columns_[i].label + "'");
+    }
+    data[i] = io::reals_from_json(io::require_key(columns[i], entry_what, "data"),
+                                  entry_what + ".data");
+    if (data[i].size() != times.size()) {
+      throw ModelError(entry_what + ": column length does not match the time axis");
+    }
+  }
+  last_recorded_ = io::real_from_json(io::require_key(state, what, "last_recorded"),
+                                      what + ".last_recorded");
+  any_recorded_ =
+      io::bool_from_json(io::require_key(state, what, "any_recorded"), what + ".any_recorded");
+  times_ = times;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].data = std::move(data[i]);
   }
 }
 

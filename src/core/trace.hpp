@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::core {
 
@@ -55,6 +56,13 @@ class TraceRecorder {
 
   /// Write "time,label1,label2,..." CSV.
   void write_csv(std::ostream& os) const;
+
+  /// Exact snapshot: decimation cursor plus the recorded times and every
+  /// column's data, keyed by label for honesty at restore.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Restore onto a recorder whose probes were already re-registered in the
+  /// checkpointed order (labels are verified per column).
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   struct Column {

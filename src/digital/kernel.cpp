@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::digital {
 
@@ -93,5 +94,74 @@ void Kernel::run_until(SimTime t) {
 }
 
 void Kernel::run_delta_cycles() { run_until(now_); }
+
+std::optional<Kernel::PendingEvent> Kernel::pending_info(EventId id) const {
+  if (id == 0 || cancelled_.contains(id)) {
+    return std::nullopt;
+  }
+  // The priority queue hides its container; a copy-and-drain scan is fine
+  // here because pending_info only runs while writing a checkpoint.
+  auto copy = queue_;
+  while (!copy.empty()) {
+    const Event& ev = copy.top();
+    if (ev.id == id) {
+      return PendingEvent{ev.time, ev.delta, ev.seq, ev.id};
+    }
+    copy.pop();
+  }
+  return std::nullopt;
+}
+
+void Kernel::restore_clock(SimTime now, std::uint64_t next_seq, EventId next_id,
+                           std::uint64_t events_executed) {
+  if (!std::isfinite(now) || next_id == 0) {
+    throw ModelError("Kernel::restore_clock: malformed clock state");
+  }
+  queue_ = {};
+  cancelled_.clear();
+  now_ = now;
+  next_seq_ = next_seq;
+  next_id_ = next_id;
+  events_executed_ = events_executed;
+}
+
+void Kernel::schedule_restored(const PendingEvent& event, std::function<void()> handler) {
+  if (!handler) {
+    throw ModelError("Kernel: event handler is required");
+  }
+  if (!(event.time >= now_) || !std::isfinite(event.time)) {
+    throw ModelError("Kernel::schedule_restored: event time precedes the restored clock");
+  }
+  if (event.seq >= next_seq_ || event.id == 0 || event.id >= next_id_) {
+    throw ModelError("Kernel::schedule_restored: event identity was never allocated");
+  }
+  queue_.push(Event{event.time, event.delta, event.seq, event.id, std::move(handler)});
+}
+
+io::JsonValue pending_event_to_json(const std::optional<Kernel::PendingEvent>& p) {
+  if (!p.has_value()) {
+    return io::JsonValue(nullptr);
+  }
+  io::JsonValue object = io::JsonValue::make_object();
+  object.set("time", io::real_to_json(p->time));
+  object.set("delta", io::u64_to_json(p->delta));
+  object.set("seq", io::u64_to_json(p->seq));
+  object.set("id", io::u64_to_json(p->id));
+  return object;
+}
+
+std::optional<Kernel::PendingEvent> pending_event_from_json(const io::JsonValue& value,
+                                                            const std::string& what) {
+  if (value.is_null()) {
+    return std::nullopt;
+  }
+  io::check_state_keys(value, what, {"time", "delta", "seq", "id"});
+  Kernel::PendingEvent pending;
+  pending.time = io::real_from_json(io::require_key(value, what, "time"), what + ".time");
+  pending.delta = io::u64_from_json(io::require_key(value, what, "delta"), what + ".delta");
+  pending.seq = io::u64_from_json(io::require_key(value, what, "seq"), what + ".seq");
+  pending.id = io::u64_from_json(io::require_key(value, what, "id"), what + ".id");
+  return pending;
+}
 
 }  // namespace ehsim::digital

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::digital {
 
@@ -63,6 +64,37 @@ class Kernel {
   /// Number of events executed since construction (diagnostics).
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
 
+  // ---- Checkpoint support ---------------------------------------------------
+  // Handlers are closures and cannot serialise; instead the kernel exposes
+  // its clock/counter state and the exact ordering key of each pending
+  // event, and every event *owner* (watchdog, MCU, ...) re-arms its own
+  // pending events at restore through schedule_restored, preserving the
+  // (time, delta, seq, id) tuple bit for bit so the resumed event order is
+  // identical to the uninterrupted run's.
+
+  /// Ordering identity of one pending event.
+  struct PendingEvent {
+    SimTime time = 0.0;
+    std::uint64_t delta = 0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+  };
+
+  /// The ordering key of a still-pending (non-cancelled) event, or nullopt.
+  [[nodiscard]] std::optional<PendingEvent> pending_info(EventId id) const;
+  /// Counters for the checkpoint document.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] EventId next_id() const noexcept { return next_id_; }
+
+  /// Begin a restore: drop every queued event (cancelled ones included) and
+  /// set the clock/counters verbatim. Owners re-arm afterwards.
+  void restore_clock(SimTime now, std::uint64_t next_seq, EventId next_id,
+                     std::uint64_t events_executed);
+  /// Re-create a pending event with its exact checkpointed ordering key.
+  /// Requires seq < next_seq() and 0 < id < next_id() (the identity was
+  /// allocated before the checkpoint) and a time >= now().
+  void schedule_restored(const PendingEvent& event, std::function<void()> handler);
+
   /// Guard against runaway delta loops (two processes retriggering each
   /// other at the same timestamp forever).
   static constexpr std::uint64_t kMaxDeltasPerTimestep = 10000;
@@ -97,5 +129,11 @@ class Kernel {
   EventId next_id_ = 1;
   std::uint64_t events_executed_ = 0;
 };
+
+/// JSON codec for a pending event's ordering key (checkpoint layer); a
+/// nullopt encodes as JSON null.
+[[nodiscard]] io::JsonValue pending_event_to_json(const std::optional<Kernel::PendingEvent>& p);
+[[nodiscard]] std::optional<Kernel::PendingEvent> pending_event_from_json(
+    const io::JsonValue& value, const std::string& what);
 
 }  // namespace ehsim::digital

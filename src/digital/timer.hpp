@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "digital/kernel.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::digital {
 
@@ -31,6 +32,13 @@ class WatchdogTimer {
   /// Change the period; takes effect from the next (re)arm.
   void set_period(SimTime period);
   [[nodiscard]] std::uint64_t expiries() const noexcept { return expiries_; }
+
+  /// Exact snapshot: period, running flag, expiry counter and the pending
+  /// event's full ordering key (queried from the owning kernel).
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Re-arm from a snapshot. The kernel's clock must already be restored;
+  /// the pending event is re-created with its exact checkpointed identity.
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   void arm(SimTime delay);

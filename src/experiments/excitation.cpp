@@ -243,4 +243,14 @@ std::optional<double> ExcitationSchedule::first_event_time() const {
   return events.front().time;
 }
 
+std::size_t ExcitationSchedule::expansion_cursor(double t) const {
+  std::size_t cursor = 0;
+  for (const ExpandedExcitationStep& step : expand()) {
+    if (step.time <= t) {
+      ++cursor;
+    }
+  }
+  return cursor;
+}
+
 }  // namespace ehsim::experiments

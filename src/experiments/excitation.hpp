@@ -99,6 +99,16 @@ class ExcitationSchedule {
   /// Start time of the first event (the paper's "shift time"), if any.
   [[nodiscard]] std::optional<double> first_event_time() const;
 
+  /// Position in the expanded excitation stream at time \p t: the number of
+  /// expanded steps (random-walk updates included) already in effect. The
+  /// expansion is a pure function of the schedule (walks re-expand
+  /// deterministically from their seed), so a run restored from a checkpoint
+  /// carries the cursor of the run that wrote it: the rebuilt profile resumes
+  /// the drift stream mid-walk at exactly this position instead of replaying
+  /// a divergent realisation — checkpoint resume verifies the recorded
+  /// cursor against this value before continuing.
+  [[nodiscard]] std::size_t expansion_cursor(double t) const;
+
   [[nodiscard]] bool operator==(const ExcitationSchedule&) const = default;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::experiments {
 
@@ -194,6 +195,52 @@ double BinnedAccumulator::rms_over(double t_start, double t_end) const {
     }
   }
   return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+io::JsonValue BinnedAccumulator::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("integral", io::reals_to_json(integral_));
+  state.set("integral_sq", io::reals_to_json(integral_sq_));
+  state.set("covered", io::reals_to_json(covered_));
+  state.set("last_t", io::real_to_json(last_t_));
+  state.set("last_v", io::real_to_json(last_v_));
+  state.set("has_last", io::JsonValue(has_last_));
+  return state;
+}
+
+void BinnedAccumulator::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "binned accumulator checkpoint";
+  io::check_state_keys(state, what,
+                       {"integral", "integral_sq", "covered", "last_t", "last_v", "has_last"});
+  io::reals_into(io::require_key(state, what, "integral"), integral_, what + ".integral");
+  io::reals_into(io::require_key(state, what, "integral_sq"), integral_sq_,
+                 what + ".integral_sq");
+  io::reals_into(io::require_key(state, what, "covered"), covered_, what + ".covered");
+  last_t_ = io::real_from_json(io::require_key(state, what, "last_t"), what + ".last_t");
+  last_v_ = io::real_from_json(io::require_key(state, what, "last_v"), what + ".last_v");
+  has_last_ = io::bool_from_json(io::require_key(state, what, "has_last"), what + ".has_last");
+}
+
+void WelfordAccumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double WelfordAccumulator::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double WelfordAccumulator::standard_error() const noexcept {
+  return count_ > 1 ? std::sqrt(variance() / static_cast<double>(count_)) : 0.0;
 }
 
 }  // namespace ehsim::experiments

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "io/json.hpp"
+
 namespace ehsim::experiments {
 
 /// Plain RMS of a sample vector.
@@ -59,6 +61,12 @@ class BinnedAccumulator {
   /// RMS over [t_start, t_end].
   [[nodiscard]] double rms_over(double t_start, double t_end) const;
 
+  /// Exact snapshot of the per-bin integrals and the trapezoid cursor.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Restore onto an accumulator built with the same geometry (bin counts
+  /// are verified; t0/width are the caller's responsibility).
+  void restore_checkpoint_state(const io::JsonValue& state);
+
  private:
   void deposit(double t_from, double t_to, double v_from, double v_to);
 
@@ -70,6 +78,31 @@ class BinnedAccumulator {
   double last_t_ = 0.0;
   double last_v_ = 0.0;
   bool has_last_ = false;
+};
+
+/// Streaming mean/variance/extrema over a scalar population (Welford's
+/// online algorithm — numerically stable for long accumulations). Ensemble
+/// statistics feed replicas in job order, so the result is independent of
+/// how many worker threads ran them.
+class WelfordAccumulator {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 with fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  /// Standard error of the mean, sqrt(variance / count) (0 with < 2 samples).
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double minimum() const noexcept { return min_; }
+  [[nodiscard]] double maximum() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace ehsim::experiments

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <unordered_map>
 #include <utility>
@@ -11,7 +12,10 @@
 #include "core/linearised_solver.hpp"
 #include "core/trace.hpp"
 #include "experiments/metrics.hpp"
+#include "io/spec_json.hpp"
+#include "io/state_json.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/lockstep_batch.hpp"
 
 namespace ehsim::experiments {
@@ -146,6 +150,11 @@ PreparedExperiment prepare_experiment(const ExperimentSpec& spec, const RunOptio
       [power_bins, vm, im](double t, std::span<const double>, std::span<const double> y) {
         power_bins->add(t, y[vm] * y[im]);
       });
+  // The power accumulator is workload state the Session cannot see — ride
+  // the checkpoint as a named section next to the model's own.
+  run.session().register_checkpoint_section(
+      "power_bins", [power_bins] { return power_bins->checkpoint_state(); },
+      [power_bins](const io::JsonValue& state) { power_bins->restore_checkpoint_state(state); });
   install_probes(run, spec.probes, spec.duration);
 
   if (!options.initial_terminals.empty()) {
@@ -232,6 +241,266 @@ ScenarioResult collect_experiment(const ExperimentSpec& spec, PreparedExperiment
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint / restart plumbing
+// ---------------------------------------------------------------------------
+
+const char* warm_outcome_id(WarmStartOutcome outcome) {
+  switch (outcome) {
+    case WarmStartOutcome::kCold:
+      return "cold";
+    case WarmStartOutcome::kSeeded:
+      return "seeded";
+    case WarmStartOutcome::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+WarmStartOutcome parse_warm_outcome(const std::string& id, const std::string& what) {
+  for (const WarmStartOutcome outcome :
+       {WarmStartOutcome::kCold, WarmStartOutcome::kSeeded, WarmStartOutcome::kRejected}) {
+    if (id == warm_outcome_id(outcome)) {
+      return outcome;
+    }
+  }
+  throw ModelError(what + ": unknown warm-start outcome '" + id + "'");
+}
+
+/// prepare_experiment plus the standard rejected-seed-restarts-cold fallback
+/// (the exact behaviour of prepare_run and the lockstep prepare loop).
+PreparedExperiment prepare_with_fallback(const ExperimentSpec& spec, const RunOptions& options) {
+  PreparedExperiment prep = prepare_experiment(spec, options);
+  if (prep.seed_failed) {
+    RunOptions cold = options;
+    cold.initial_terminals = {};
+    prep = prepare_experiment(spec, cold);
+    prep.warm_start = WarmStartOutcome::kRejected;
+  }
+  return prep;
+}
+
+/// Workload-layer metadata embedded in every job checkpoint: the spec it was
+/// cut from (verified at resume — a checkpoint never silently continues a
+/// different experiment), the boundary coordinates and the prepare-time
+/// fields the result reports but the Session cannot serialise itself.
+io::JsonValue checkpoint_meta(const ExperimentSpec& spec, const PreparedExperiment& prep,
+                              double sim_time, std::uint64_t index,
+                              const sim::LockstepCounters* counters, BatchKernel kernel) {
+  io::JsonValue meta = io::JsonValue::make_object();
+  meta.set("spec", io::to_json(spec));
+  meta.set("sim_time", io::real_to_json(sim_time));
+  meta.set("checkpoint_index", io::u64_to_json(index));
+  meta.set("warm_start", warm_outcome_id(prep.warm_start));
+  meta.set("initial_terminals", io::reals_to_json(prep.initial_terminals));
+  // Position in the expanded excitation stream (random-walk updates
+  // included) — resume re-expands the schedule from its seed and verifies
+  // the cursor, so a restored run provably resumes the drift mid-walk.
+  meta.set("drift_cursor", io::u64_to_json(spec.excitation.expansion_cursor(sim_time)));
+  if (counters != nullptr) {
+    io::JsonValue batch = io::JsonValue::make_object();
+    batch.set("kernel", batch_kernel_id(kernel));
+    batch.set("lockstep_groups", io::u64_to_json(counters->lockstep_groups));
+    batch.set("shared_factorisations", io::u64_to_json(counters->shared_factorisations));
+    batch.set("expm_segments", io::u64_to_json(counters->expm_segments));
+    meta.set("batch", std::move(batch));
+  } else {
+    meta.set("batch", io::JsonValue(nullptr));
+  }
+  return meta;
+}
+
+/// Parsed checkpoint_meta (the embedded spec already verified).
+struct CheckpointMetaInfo {
+  double sim_time = 0.0;
+  std::uint64_t index = 0;
+  WarmStartOutcome warm_start = WarmStartOutcome::kCold;
+  std::vector<double> initial_terminals;
+  bool has_batch = false;
+  std::string kernel_id;
+  sim::LockstepCounters counters{};
+};
+
+CheckpointMetaInfo parse_checkpoint_meta(const sim::Checkpoint& checkpoint,
+                                         const ExperimentSpec& spec, const std::string& what) {
+  const io::JsonValue& meta = checkpoint.meta;
+  io::check_state_keys(meta, what,
+                       {"spec", "sim_time", "checkpoint_index", "warm_start",
+                        "initial_terminals", "drift_cursor", "batch"});
+  const ExperimentSpec saved = io::experiment_from_json(io::require_key(meta, what, "spec"));
+  if (!(saved == spec)) {
+    throw ModelError(what + ": embedded spec does not match job '" + spec.name +
+                     "' — refusing to resume a different experiment");
+  }
+  CheckpointMetaInfo info;
+  info.sim_time =
+      io::real_from_json(io::require_key(meta, what, "sim_time"), what + ".sim_time");
+  info.index = io::u64_from_json(io::require_key(meta, what, "checkpoint_index"),
+                                 what + ".checkpoint_index");
+  info.warm_start =
+      parse_warm_outcome(io::require_key(meta, what, "warm_start").as_string(), what);
+  info.initial_terminals = io::reals_from_json(io::require_key(meta, what, "initial_terminals"),
+                                               what + ".initial_terminals");
+  const std::uint64_t drift_cursor = io::u64_from_json(
+      io::require_key(meta, what, "drift_cursor"), what + ".drift_cursor");
+  const std::uint64_t expected_cursor =
+      static_cast<std::uint64_t>(spec.excitation.expansion_cursor(info.sim_time));
+  if (drift_cursor != expected_cursor) {
+    throw ModelError(what + ": excitation expansion cursor " + std::to_string(drift_cursor) +
+                     " does not match the re-expanded schedule (" +
+                     std::to_string(expected_cursor) +
+                     ") — the drift stream would diverge from the checkpointed run");
+  }
+  const io::JsonValue& batch = io::require_key(meta, what, "batch");
+  if (!batch.is_null()) {
+    const std::string batch_what = what + ".batch";
+    io::check_state_keys(batch, batch_what,
+                         {"kernel", "lockstep_groups", "shared_factorisations", "expm_segments"});
+    info.has_batch = true;
+    info.kernel_id = io::require_key(batch, batch_what, "kernel").as_string();
+    info.counters.lockstep_groups = io::u64_from_json(
+        io::require_key(batch, batch_what, "lockstep_groups"), batch_what + ".lockstep_groups");
+    info.counters.shared_factorisations =
+        io::u64_from_json(io::require_key(batch, batch_what, "shared_factorisations"),
+                          batch_what + ".shared_factorisations");
+    info.counters.expm_segments = io::u64_from_json(
+        io::require_key(batch, batch_what, "expm_segments"), batch_what + ".expm_segments");
+  }
+  return info;
+}
+
+/// Restore one prepared job from a parsed checkpoint: the session state plus
+/// the prepare-time fields the result reports (warm-start outcome and the
+/// t = 0 terminals, which the restored engine no longer holds).
+void restore_prepared(PreparedExperiment& prep, const CheckpointMetaInfo& info,
+                      const sim::Checkpoint& checkpoint) {
+  prep.warm_start = info.warm_start;
+  prep.initial_terminals = info.initial_terminals;
+  prep.session->restore_checkpoint(checkpoint);
+}
+
+std::string staging_path(const std::string& path) { return path + ".next"; }
+
+/// Serialise one job checkpoint into the staging file next to \p path. The
+/// caller commits it with an (atomic) rename — immediately for independent
+/// jobs, after the whole boundary is staged for a lockstep batch — so a kill
+/// mid-write always leaves the previous boundary's file intact.
+void write_staged_checkpoint(const ExperimentSpec& spec, PreparedExperiment& prep,
+                             const std::string& path, double sim_time, std::uint64_t index,
+                             const sim::LockstepCounters* counters, BatchKernel kernel) {
+  const sim::Checkpoint checkpoint = prep.session->save_checkpoint(
+      checkpoint_meta(spec, prep, sim_time, index, counters, kernel));
+  checkpoint.write_file(staging_path(path));
+}
+
+void verify_batch_kernel(const CheckpointMetaInfo& info, const std::string& kernel_id,
+                         const std::string& what) {
+  if (!info.has_batch || info.kernel_id != kernel_id) {
+    throw ModelError(what + ": written by batch kernel '" +
+                     (info.has_batch ? info.kernel_id : std::string("jobs")) +
+                     "', not '" + kernel_id + "' — resume with the batch kernel that wrote it");
+  }
+}
+
+void accumulate(sim::LockstepCounters& into, const sim::LockstepCounters& add) {
+  into.lockstep_groups += add.lockstep_groups;
+  into.shared_factorisations += add.shared_factorisations;
+  into.expm_segments += add.expm_segments;
+}
+
+/// Restore a checkpointed lockstep batch. All jobs of a lockstep batch
+/// checkpoint together at each global boundary through the stage-then-commit
+/// protocol, so the files on disk span at most two adjacent boundaries; jobs
+/// whose committed file is one boundary behind roll forward through their
+/// staged file. Fills the per-job times, the committed boundary index and
+/// the accumulated work-sharing counters; no-op (returns false) when no
+/// checkpoint files exist at all.
+bool resume_lockstep_jobs(const std::vector<ScenarioJob>& jobs,
+                          std::vector<PreparedExperiment>& prepared,
+                          const CheckpointOptions& checkpointing, BatchKernel kernel,
+                          std::vector<double>& job_time, std::uint64_t& boundary_index,
+                          sim::LockstepCounters& total) {
+  const std::size_t n = jobs.size();
+  struct Doc {
+    sim::Checkpoint checkpoint;
+    CheckpointMetaInfo info;
+  };
+  std::vector<std::optional<Doc>> committed(n);
+  std::vector<std::optional<Doc>> staged(n);
+  bool any = false;
+  const std::string kernel_id = batch_kernel_id(kernel);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string path = checkpoint_file_path(checkpointing, jobs[i].spec.name);
+    if (std::filesystem::exists(path)) {
+      const std::string what = "checkpoint '" + path + "'";
+      Doc doc;
+      doc.checkpoint = sim::Checkpoint::read_file(path);
+      doc.info = parse_checkpoint_meta(doc.checkpoint, jobs[i].spec, what);
+      verify_batch_kernel(doc.info, kernel_id, what);
+      committed[i] = std::move(doc);
+      any = true;
+    }
+    const std::string next = staging_path(path);
+    if (std::filesystem::exists(next)) {
+      std::optional<sim::Checkpoint> parsed;
+      try {
+        parsed = sim::Checkpoint::read_file(next);
+      } catch (const ModelError&) {
+        // A truncated staging file from a mid-write kill — ignore it; the
+        // committed set is the boundary of record.
+      }
+      if (parsed) {
+        const std::string what = "checkpoint '" + next + "'";
+        Doc doc;
+        doc.checkpoint = std::move(*parsed);
+        doc.info = parse_checkpoint_meta(doc.checkpoint, jobs[i].spec, what);
+        verify_batch_kernel(doc.info, kernel_id, what);
+        staged[i] = std::move(doc);
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    return false;
+  }
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!committed[i]) {
+      throw ModelError("lockstep resume: job '" + jobs[i].spec.name +
+                       "' has no checkpoint file in '" + checkpointing.dir +
+                       "' — a lockstep batch checkpoints all of its jobs together");
+    }
+    lo = std::min(lo, committed[i]->info.index);
+    hi = std::max(hi, committed[i]->info.index);
+  }
+  if (hi - lo > 1) {
+    throw ModelError("lockstep resume: committed checkpoints span non-adjacent boundaries " +
+                     std::to_string(lo) + " and " + std::to_string(hi) +
+                     " — the checkpoint set is torn");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Doc* pick = nullptr;
+    if (committed[i]->info.index == hi) {
+      pick = &*committed[i];
+    } else if (staged[i] && staged[i]->info.index == hi) {
+      pick = &*staged[i];
+    }
+    if (pick == nullptr) {
+      throw ModelError("lockstep resume: job '" + jobs[i].spec.name +
+                       "' has no state at boundary " + std::to_string(hi) +
+                       " — the checkpoint set is torn");
+    }
+    restore_prepared(prepared[i], pick->info, pick->checkpoint);
+    job_time[i] = pick->info.sim_time;
+    if (i == 0) {
+      total = pick->info.counters;
+    }
+  }
+  boundary_index = hi;
+  return true;
+}
+
 /// Dynamics-relevant spec equality for clone detection: everything that
 /// shapes the trajectory except the excitation event list. The name and the
 /// trace / power-binning / probe settings are per-member observers and may
@@ -265,12 +534,15 @@ double excitation_divergence(const ExcitationSchedule& a, const ExcitationSchedu
 /// The lockstep execution path of run_scenario_batch: prepare every job
 /// serially (warm seeds compose exactly as under kJobs), derive the clone /
 /// sharing structure from the job list, march the whole batch on one clock
-/// and collect results in job order.
-std::vector<ScenarioResult> run_lockstep_batch(const std::vector<ScenarioJob>& jobs,
-                                               const BatchOptions& options,
-                                               const std::vector<std::uint64_t>& signatures,
-                                               OperatingPointCache& cache,
-                                               sim::LockstepCounters* counters_out) {
+/// and collect results in job order. With \p checkpointing non-null the
+/// march is cut into global chunks of `every` simulated seconds — a fresh
+/// lockstep march per chunk, work-sharing caches reset at each boundary —
+/// and every job checkpoints at every boundary; returns std::nullopt only
+/// when the abort_after test hook stopped the batch.
+std::optional<std::vector<ScenarioResult>> run_lockstep_batch(
+    const std::vector<ScenarioJob>& jobs, const BatchOptions& options,
+    const std::vector<std::uint64_t>& signatures, OperatingPointCache& cache,
+    sim::LockstepCounters* counters_out, const CheckpointOptions* checkpointing) {
   const std::string kernel_id = batch_kernel_id(options.batch_kernel);
   for (const ScenarioJob& job : jobs) {
     if (job.spec.engine != EngineKind::kProposed) {
@@ -295,15 +567,19 @@ std::vector<ScenarioResult> run_lockstep_batch(const std::vector<ScenarioJob>& j
         run_options.initial_terminals = *seed;
       }
     }
-    PreparedExperiment prep = prepare_experiment(job.spec, run_options);
-    if (prep.seed_failed) {
-      // Mirror the per-job path: rebuild the session and restart cold.
-      RunOptions cold;
-      cold.params_override = run_options.params_override;
-      prep = prepare_experiment(job.spec, cold);
-      prep.warm_start = WarmStartOutcome::kRejected;
-    }
-    prepared.push_back(std::move(prep));
+    prepared.push_back(prepare_with_fallback(job.spec, run_options));
+  }
+
+  // Checkpoint / resume bookkeeping. Every job's simulated time (restored
+  // jobs sit at the last committed boundary, or at their own duration when
+  // they finished before it), the committed boundary index and the
+  // work-sharing counters accumulated across all chunks so far.
+  std::vector<double> job_time(n, 0.0);
+  std::uint64_t boundary_index = 0;
+  sim::LockstepCounters total{};
+  if (checkpointing != nullptr && checkpointing->resume) {
+    resume_lockstep_jobs(jobs, prepared, *checkpointing, options.batch_kernel, job_time,
+                         boundary_index, total);
   }
 
   // Equivalence classes of bitwise-identical device parameters — the
@@ -369,25 +645,100 @@ std::vector<ScenarioResult> run_lockstep_batch(const std::vector<ScenarioJob>& j
 
   sim::LockstepOptions lockstep_options;
   lockstep_options.use_expm = options.batch_kernel == BatchKernel::kLockstepExpm;
-  sim::LockstepBatch batch(std::move(members), lockstep_options);
-  const auto march_begin = std::chrono::steady_clock::now();
-  batch.run();
-  const double march_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - march_begin).count();
+
+  // March in chunks. Without checkpointing this is a single chunk over the
+  // full horizon — exactly the one-batch behaviour. With a checkpoint period
+  // every chunk ends on an absolute boundary k * every; a fresh LockstepBatch
+  // per chunk resets the cross-time linearisation pool and expm cache there,
+  // which is what makes a resumed batch (whose caches start empty)
+  // bit-identical to an uninterrupted checkpointed one.
+  double horizon = 0.0;
+  for (const ScenarioJob& job : jobs) {
+    horizon = std::max(horizon, job.spec.duration);
+  }
+  const bool chunked = checkpointing != nullptr && checkpointing->every > 0.0;
+  std::vector<double> march_cpu(n, 0.0);
+  double t_reached = *std::max_element(job_time.begin(), job_time.end());
+  int written = 0;
+  while (t_reached < horizon) {
+    const double target =
+        chunked ? std::min(horizon, static_cast<double>(boundary_index + 1) *
+                                        checkpointing->every)
+                : horizon;
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (job_time[i] < jobs[i].spec.duration) {
+        active.push_back(i);
+      }
+    }
+    if (!active.empty()) {
+      std::vector<std::size_t> position(n, sim::LockstepMember::kNoLeader);
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        position[active[k]] = k;
+      }
+      std::vector<sim::LockstepMember> chunk;
+      chunk.reserve(active.size());
+      for (const std::size_t i : active) {
+        sim::LockstepMember member = members[i];
+        member.t_end = std::min(jobs[i].spec.duration, target);
+        if (member.clone_leader != sim::LockstepMember::kNoLeader) {
+          // Clones share a duration (clone_compatible_specs), so an active
+          // follower's leader is still active — the remap never dangles.
+          member.clone_leader = position[member.clone_leader];
+        }
+        chunk.push_back(member);
+      }
+      sim::LockstepBatch batch(std::move(chunk), lockstep_options);
+      const auto march_begin = std::chrono::steady_clock::now();
+      batch.run();
+      const double march_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - march_begin)
+              .count();
+      accumulate(total, batch.counters());
+      for (const std::size_t i : active) {
+        // The march wall-clock is shared work; attribute it evenly.
+        march_cpu[i] += march_seconds / static_cast<double>(active.size());
+        job_time[i] = std::min(jobs[i].spec.duration, target);
+      }
+    }
+    t_reached = target;
+    if (chunked) {
+      ++boundary_index;
+      // Stage every job's file, then commit with atomic renames: a kill can
+      // leave at most two adjacent boundaries on disk, which
+      // resume_lockstep_jobs reconciles.
+      std::vector<std::string> paths(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        paths[i] = checkpoint_file_path(*checkpointing, jobs[i].spec.name);
+        write_staged_checkpoint(jobs[i].spec, prepared[i], paths[i], job_time[i],
+                                boundary_index, &total, options.batch_kernel);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        std::filesystem::rename(staging_path(paths[i]), paths[i]);
+      }
+      if (checkpointing->on_checkpoint) {
+        for (std::size_t i = 0; i < n; ++i) {
+          checkpointing->on_checkpoint(paths[i], jobs[i].spec.name, job_time[i]);
+        }
+      }
+      ++written;
+      if (checkpointing->abort_after >= 0 && written >= checkpointing->abort_after) {
+        return std::nullopt;
+      }
+    }
+  }
   if (counters_out != nullptr) {
-    *counters_out = batch.counters();
+    *counters_out = total;
   }
 
   std::vector<ScenarioResult> results;
   results.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    // The march wall-clock is shared work; attribute it evenly.
-    ScenarioResult result =
-        collect_experiment(jobs[i].spec, prepared[i], march_seconds / static_cast<double>(n));
+    ScenarioResult result = collect_experiment(jobs[i].spec, prepared[i], march_cpu[i]);
     result.batch_kernel = options.batch_kernel;
-    result.lockstep_groups = batch.counters().lockstep_groups;
-    result.shared_factorisations = batch.counters().shared_factorisations;
-    result.expm_segments = batch.counters().expm_segments;
+    result.lockstep_groups = total.lockstep_groups;
+    result.shared_factorisations = total.shared_factorisations;
+    result.expm_segments = total.expm_segments;
     results.push_back(std::move(result));
   }
   return results;
@@ -459,6 +810,102 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
   return run_scenario_batch(jobs, options, stats);
 }
 
+namespace {
+
+struct WarmPhaseResult {
+  std::vector<std::uint64_t> signatures;
+  std::uint64_t producer_iterations = 0;
+};
+
+/// Warm-start phase 1 (serial, opt-in): one cold "producer" init per
+/// structural signature *shared by at least two jobs*. Seeding from the
+/// producer — never from whichever job a worker happened to finish last —
+/// keeps the batch deterministic under any scheduling: every job's seed is
+/// a pure function of the job list. Singleton signatures run cold: a
+/// producer would pay the full cold init serially only for its one
+/// consumer to skip the same iterations — pure overhead.
+WarmPhaseResult warm_start_phase(const std::vector<ScenarioJob>& jobs,
+                                 const BatchOptions& options, OperatingPointCache& cache) {
+  WarmPhaseResult warm;
+  if (!options.warm_start) {
+    return warm;
+  }
+  warm.signatures.reserve(jobs.size());
+  std::unordered_map<std::uint64_t, std::size_t> multiplicity;
+  for (const ScenarioJob& job : jobs) {
+    const harvester::HarvesterParams params =
+        job.params ? *job.params : experiment_params(job.spec);
+    const std::uint64_t signature =
+        operating_point_signature(job.spec, params, options.warm_start_quantum);
+    warm.signatures.push_back(signature);
+    ++multiplicity[signature];
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (multiplicity[warm.signatures[i]] < 2 || cache.find(warm.signatures[i]) != nullptr) {
+      continue;
+    }
+    std::uint64_t iterations = 0;
+    cache.store(warm.signatures[i],
+                compute_initial_operating_point(
+                    jobs[i].spec, jobs[i].params ? &*jobs[i].params : nullptr, &iterations));
+    warm.producer_iterations += iterations;
+  }
+  return warm;
+}
+
+/// Persist this batch's operating points into a caller-owned cache for later
+/// batches, in job order (scheduling-independent). Only *cold*-converged
+/// points are stored — a seeded job's terminals equal its seed, and a
+/// quantised seed is merely tolerance-converged for this exact parameter
+/// vector; storing it would let a later exact-signature consumer inherit a
+/// neighbour's point and silently lose bit-identity with its cold run.
+void persist_warm_points(const std::vector<ScenarioResult>& results,
+                         const std::vector<std::uint64_t>& signatures,
+                         OperatingPointCache& cache) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].initial_terminals.empty()) {
+      continue;
+    }
+    if (results[i].warm_start == WarmStartOutcome::kRejected) {
+      // The cached seed failed but the cold fallback converged — evict the
+      // bad seed so later batches don't repeat the deterministic failure.
+      cache.replace(signatures[i], results[i].initial_terminals);
+    } else if (results[i].warm_start == WarmStartOutcome::kCold &&
+               cache.find(signatures[i]) == nullptr) {
+      cache.store(signatures[i], results[i].initial_terminals);
+    }
+  }
+}
+
+void fill_batch_stats(BatchStats* stats, const std::vector<ScenarioResult>& results,
+                      std::uint64_t producer_iterations,
+                      const sim::LockstepCounters& counters) {
+  if (stats == nullptr) {
+    return;
+  }
+  stats->jobs = results.size();
+  stats->shared_table_hits = static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const ScenarioResult& r) { return r.shared_diode_table; }));
+  stats->warm_start_hits = static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
+        return r.warm_start == WarmStartOutcome::kSeeded;
+      }));
+  stats->warm_start_rejects = static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
+        return r.warm_start == WarmStartOutcome::kRejected;
+      }));
+  stats->init_iterations = producer_iterations;
+  for (const ScenarioResult& result : results) {
+    stats->init_iterations += result.stats.init_iterations;
+  }
+  stats->lockstep_groups = counters.lockstep_groups;
+  stats->shared_factorisations = counters.shared_factorisations;
+  stats->expm_segments = counters.expm_segments;
+}
+
+}  // namespace
+
 std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& jobs,
                                                const BatchOptions& options,
                                                BatchStats* stats) {
@@ -470,44 +917,14 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     return {};
   }
 
-  // Warm-start phase 1 (serial, opt-in): one cold "producer" init per
-  // structural signature *shared by at least two jobs*. Seeding from the
-  // producer — never from whichever job a worker happened to finish last —
-  // keeps the batch deterministic under any scheduling: every job's seed is
-  // a pure function of the job list. Singleton signatures run cold: a
-  // producer would pay the full cold init serially only for its one
-  // consumer to skip the same iterations — pure overhead.
-  std::uint64_t producer_iterations = 0;
-  std::vector<std::uint64_t> signatures;
   OperatingPointCache local_cache;
   // A caller-owned cache (serve) persists entries across batches; entries it
   // already holds make the producer phase skip those signatures and let even
-  // singleton jobs seed (cache.find covers both below).
+  // singleton jobs seed (cache.find covers both).
   OperatingPointCache& cache =
       (options.warm_start && options.warm_cache != nullptr) ? *options.warm_cache
                                                             : local_cache;
-  if (options.warm_start) {
-    signatures.reserve(jobs.size());
-    std::unordered_map<std::uint64_t, std::size_t> multiplicity;
-    for (const ScenarioJob& job : jobs) {
-      const harvester::HarvesterParams params =
-          job.params ? *job.params : experiment_params(job.spec);
-      const std::uint64_t signature =
-          operating_point_signature(job.spec, params, options.warm_start_quantum);
-      signatures.push_back(signature);
-      ++multiplicity[signature];
-    }
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (multiplicity[signatures[i]] < 2 || cache.find(signatures[i]) != nullptr) {
-        continue;
-      }
-      std::uint64_t iterations = 0;
-      cache.store(signatures[i],
-                  compute_initial_operating_point(
-                      jobs[i].spec, jobs[i].params ? &*jobs[i].params : nullptr, &iterations));
-      producer_iterations += iterations;
-    }
-  }
+  const WarmPhaseResult warm = warm_start_phase(jobs, options, cache);
 
   std::vector<ScenarioResult> results;
   sim::LockstepCounters lockstep_counters;
@@ -517,57 +934,129 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
       RunOptions run_options;
       run_options.params_override = job.params ? &*job.params : nullptr;
       if (options.warm_start) {
-        if (const std::vector<double>* seed = cache.find(signatures[index])) {
+        if (const std::vector<double>* seed = cache.find(warm.signatures[index])) {
           run_options.initial_terminals = *seed;
         }
       }
       return run_experiment(job.spec, run_options);
     });
   } else {
-    results = run_lockstep_batch(jobs, options, signatures, cache, &lockstep_counters);
+    results = *run_lockstep_batch(jobs, options, warm.signatures, cache, &lockstep_counters,
+                                  nullptr);
   }
   if (options.warm_start && options.warm_cache != nullptr) {
-    // Persist this batch's operating points for later batches, in job order
-    // (scheduling-independent). Only *cold*-converged points are stored — a
-    // seeded job's terminals equal its seed, and a quantised seed is merely
-    // tolerance-converged for this exact parameter vector; storing it would
-    // let a later exact-signature consumer inherit a neighbour's point and
-    // silently lose bit-identity with its cold run.
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      if (results[i].initial_terminals.empty()) {
-        continue;
+    persist_warm_points(results, warm.signatures, cache);
+  }
+  fill_batch_stats(stats, results, warm.producer_iterations, lockstep_counters);
+  return results;
+}
+
+std::string checkpoint_file_path(const CheckpointOptions& options, const std::string& job_name) {
+  return (std::filesystem::path(options.dir) / (io::safe_file_stem(job_name) + ".ckpt.json"))
+      .string();
+}
+
+std::optional<ScenarioResult> run_experiment_checkpointed(const ExperimentSpec& spec,
+                                                          const RunOptions& options,
+                                                          const CheckpointOptions& checkpointing) {
+  if (checkpointing.dir.empty()) {
+    throw ModelError("checkpointing: a checkpoint directory is required");
+  }
+  std::filesystem::create_directories(checkpointing.dir);
+  PreparedExperiment prep = prepare_with_fallback(spec, options);
+  const std::string path = checkpoint_file_path(checkpointing, spec.name);
+  double t = 0.0;
+  std::uint64_t index = 0;
+  if (checkpointing.resume && std::filesystem::exists(path)) {
+    const std::string what = "checkpoint '" + path + "'";
+    const sim::Checkpoint checkpoint = sim::Checkpoint::read_file(path);
+    const CheckpointMetaInfo info = parse_checkpoint_meta(checkpoint, spec, what);
+    if (info.has_batch) {
+      throw ModelError(what + ": written by batch kernel '" + info.kernel_id +
+                       "' — resume it through the lockstep sweep that wrote it");
+    }
+    restore_prepared(prep, info, checkpoint);
+    t = info.sim_time;
+    index = info.index;
+  }
+  int written = 0;
+  while (t < spec.duration) {
+    const double target =
+        checkpointing.every > 0.0
+            ? std::min(spec.duration, static_cast<double>(index + 1) * checkpointing.every)
+            : spec.duration;
+    prep.session->run_until(target);
+    t = target;
+    if (checkpointing.every > 0.0) {
+      ++index;
+      write_staged_checkpoint(spec, prep, path, t, index, nullptr, BatchKernel::kJobs);
+      std::filesystem::rename(staging_path(path), path);
+      if (checkpointing.on_checkpoint) {
+        checkpointing.on_checkpoint(path, spec.name, t);
       }
-      if (results[i].warm_start == WarmStartOutcome::kRejected) {
-        // The cached seed failed but the cold fallback converged — evict the
-        // bad seed so later batches don't repeat the deterministic failure.
-        cache.replace(signatures[i], results[i].initial_terminals);
-      } else if (results[i].warm_start == WarmStartOutcome::kCold &&
-                 cache.find(signatures[i]) == nullptr) {
-        cache.store(signatures[i], results[i].initial_terminals);
+      ++written;
+      if (checkpointing.abort_after >= 0 && written >= checkpointing.abort_after) {
+        return std::nullopt;
       }
     }
   }
-  if (stats != nullptr) {
-    stats->jobs = results.size();
-    stats->shared_table_hits = static_cast<std::size_t>(
-        std::count_if(results.begin(), results.end(),
-                      [](const ScenarioResult& r) { return r.shared_diode_table; }));
-    stats->warm_start_hits = static_cast<std::size_t>(
-        std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
-          return r.warm_start == WarmStartOutcome::kSeeded;
-        }));
-    stats->warm_start_rejects = static_cast<std::size_t>(
-        std::count_if(results.begin(), results.end(), [](const ScenarioResult& r) {
-          return r.warm_start == WarmStartOutcome::kRejected;
-        }));
-    stats->init_iterations = producer_iterations;
-    for (const ScenarioResult& result : results) {
-      stats->init_iterations += result.stats.init_iterations;
-    }
-    stats->lockstep_groups = lockstep_counters.lockstep_groups;
-    stats->shared_factorisations = lockstep_counters.shared_factorisations;
-    stats->expm_segments = lockstep_counters.expm_segments;
+  return collect_experiment(spec, prep, prep.session->cpu_seconds());
+}
+
+std::optional<std::vector<ScenarioResult>> run_scenario_batch_checkpointed(
+    const std::vector<ScenarioJob>& jobs, const BatchOptions& options,
+    const CheckpointOptions& checkpointing, BatchStats* stats) {
+  if (checkpointing.dir.empty()) {
+    throw ModelError("checkpointing: a checkpoint directory is required");
   }
+  std::filesystem::create_directories(checkpointing.dir);
+  if (jobs.empty()) {
+    if (stats != nullptr) {
+      *stats = BatchStats{};
+    }
+    return std::vector<ScenarioResult>{};
+  }
+
+  OperatingPointCache local_cache;
+  OperatingPointCache& cache =
+      (options.warm_start && options.warm_cache != nullptr) ? *options.warm_cache
+                                                            : local_cache;
+  const WarmPhaseResult warm = warm_start_phase(jobs, options, cache);
+
+  std::vector<ScenarioResult> results;
+  sim::LockstepCounters lockstep_counters;
+  if (options.batch_kernel == BatchKernel::kJobs) {
+    sim::BatchRunner runner(options.threads);
+    std::vector<std::optional<ScenarioResult>> partial =
+        runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
+          RunOptions run_options;
+          run_options.params_override = job.params ? &*job.params : nullptr;
+          if (options.warm_start) {
+            if (const std::vector<double>* seed = cache.find(warm.signatures[index])) {
+              run_options.initial_terminals = *seed;
+            }
+          }
+          return run_experiment_checkpointed(job.spec, run_options, checkpointing);
+        });
+    results.reserve(partial.size());
+    for (std::optional<ScenarioResult>& result : partial) {
+      if (!result) {
+        return std::nullopt;  // the abort_after test hook stopped this job
+      }
+      results.push_back(std::move(*result));
+    }
+  } else {
+    std::optional<std::vector<ScenarioResult>> lockstep = run_lockstep_batch(
+        jobs, options, warm.signatures, cache, &lockstep_counters, &checkpointing);
+    if (!lockstep) {
+      return std::nullopt;
+    }
+    results = std::move(*lockstep);
+  }
+  if (options.warm_start && options.warm_cache != nullptr) {
+    persist_warm_points(results, warm.signatures, cache);
+  }
+  fill_batch_stats(stats, results, warm.producer_iterations, lockstep_counters);
   return results;
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -286,6 +287,65 @@ struct BatchOptions {
   /// time per cache.
   OperatingPointCache* warm_cache = nullptr;
 };
+
+// ---- Checkpoint / restart -------------------------------------------------
+
+/// Periodic mid-run checkpointing of experiments and batches. Checkpoints
+/// are cut at absolute simulated times k * `every` (k = 1, 2, ...), so the
+/// boundary schedule — and therefore the trajectory, which lands exactly on
+/// each boundary — is a pure function of the options, never of when a
+/// process died. A killed run resumed from its last checkpoint file is
+/// bit-identical (modulo cpu_seconds) to an uninterrupted run *with the same
+/// checkpoint options*; runs without checkpointing stay byte-identical to
+/// the pre-checkpoint behaviour. Document format: docs/checkpoint_format.md.
+struct CheckpointOptions {
+  /// Simulated seconds between checkpoints; <= 0 writes none (useful to
+  /// resume a run and finish it without further checkpoints — note this
+  /// stops cutting the chunk boundaries and so changes the tail trajectory
+  /// relative to a run that kept checkpointing).
+  double every = 0.0;
+  /// Directory of the per-job checkpoint files,
+  /// `<dir>/<safe_file_stem(job name)>.ckpt.json` (created as needed).
+  std::string dir;
+  /// Restore any job whose checkpoint file already exists in `dir` before
+  /// running (missing files start the job from t = 0). The embedded spec is
+  /// compared against the job's spec and a mismatch throws — a checkpoint
+  /// never silently continues a different experiment.
+  bool resume = false;
+  /// Test hook (the resume goldens' deterministic "kill"): stop after this
+  /// many checkpoint writes per job — the run returns std::nullopt instead
+  /// of a result, leaving the files on disk. < 0: never.
+  int abort_after = -1;
+  /// Invoked after each checkpoint file write (the serve daemon's NDJSON
+  /// `checkpoint` events): (path, job name, simulated time). May be empty.
+  /// Called from worker threads under BatchKernel::kJobs.
+  std::function<void(const std::string& path, const std::string& job, double sim_time)>
+      on_checkpoint;
+};
+
+/// The checkpoint file of one job under \p options.dir (the stem is
+/// io::safe_file_stem(job_name), so sweep job names with '/' separators
+/// flatten to one file each).
+[[nodiscard]] std::string checkpoint_file_path(const CheckpointOptions& options,
+                                               const std::string& job_name);
+
+/// run_experiment with periodic checkpoints (and optional resume). Returns
+/// std::nullopt only when CheckpointOptions::abort_after stopped the run.
+[[nodiscard]] std::optional<ScenarioResult> run_experiment_checkpointed(
+    const ExperimentSpec& spec, const RunOptions& options,
+    const CheckpointOptions& checkpointing);
+
+/// run_scenario_batch with per-job checkpoint files. Under kJobs every job
+/// checkpoints at its own absolute boundaries on the worker threads; under
+/// the lockstep kernels the batch marches in global chunks of `every`
+/// simulated seconds with a fresh lockstep march per chunk (work-sharing
+/// caches reset at each boundary — part of the deterministic-chunking
+/// contract) and all jobs checkpoint together at each boundary, with the
+/// accumulated work-sharing counters carried in each file. Returns
+/// std::nullopt when abort_after stopped any job.
+[[nodiscard]] std::optional<std::vector<ScenarioResult>> run_scenario_batch_checkpointed(
+    const std::vector<ScenarioJob>& jobs, const BatchOptions& options,
+    const CheckpointOptions& checkpointing, BatchStats* stats = nullptr);
 
 /// Execute a sweep of independent scenario jobs across a fixed thread pool.
 /// Results come back in job order; because every job owns its model and

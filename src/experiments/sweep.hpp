@@ -90,4 +90,11 @@ void set_spec_value(ExperimentSpec& spec, const std::string& path, double value)
                                                     const BatchOptions& options,
                                                     BatchStats* stats = nullptr);
 
+/// run_sweep with per-job checkpoint files and resume (see CheckpointOptions
+/// in scenarios.hpp). Returns std::nullopt only when the abort_after test
+/// hook stopped the sweep.
+[[nodiscard]] std::optional<std::vector<ScenarioResult>> run_sweep_checkpointed(
+    const SweepSpec& sweep, const BatchOptions& options,
+    const CheckpointOptions& checkpointing, BatchStats* stats = nullptr);
+
 }  // namespace ehsim::experiments

@@ -1,6 +1,9 @@
 #include "harvester/harvester_system.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::harvester {
 
@@ -78,6 +81,62 @@ DicksonMultiplier& HarvesterSystem::multiplier() {
 
 Supercapacitor& HarvesterSystem::supercap() {
   return assembler_.block_as<Supercapacitor>(supercap_handle_);
+}
+
+namespace {
+
+LoadMode load_mode_from_name(const std::string& name) {
+  if (name == load_mode_name(LoadMode::kSleep)) {
+    return LoadMode::kSleep;
+  }
+  if (name == load_mode_name(LoadMode::kAwake)) {
+    return LoadMode::kAwake;
+  }
+  if (name == load_mode_name(LoadMode::kTuning)) {
+    return LoadMode::kTuning;
+  }
+  throw ModelError("harvester checkpoint: unknown load mode '" + name + "'");
+}
+
+}  // namespace
+
+io::JsonValue HarvesterSystem::checkpoint_state() {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("generator_epoch", io::u64_to_json(generator().epoch()));
+  state.set("multiplier_epoch", io::u64_to_json(multiplier().epoch()));
+  state.set("supercap_epoch", io::u64_to_json(supercap().epoch()));
+  state.set("supercap_mode", io::JsonValue(std::string(load_mode_name(supercap().load_mode()))));
+  state.set("actuator", actuator_->checkpoint_state());
+  state.set("mcu", mcu_ ? mcu_->checkpoint_state() : io::JsonValue(nullptr));
+  return state;
+}
+
+void HarvesterSystem::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "harvester checkpoint";
+  io::check_state_keys(state, what,
+                       {"generator_epoch", "multiplier_epoch", "supercap_epoch",
+                        "supercap_mode", "actuator", "mcu"});
+  generator().restore_epoch(io::u64_from_json(io::require_key(state, what, "generator_epoch"),
+                                              what + ".generator_epoch"));
+  multiplier().restore_epoch(io::u64_from_json(io::require_key(state, what, "multiplier_epoch"),
+                                               what + ".multiplier_epoch"));
+  supercap().restore_epoch(io::u64_from_json(io::require_key(state, what, "supercap_epoch"),
+                                             what + ".supercap_epoch"));
+  supercap().restore_load_mode(
+      load_mode_from_name(io::require_key(state, what, "supercap_mode").as_string()));
+  actuator_->restore_checkpoint_state(io::require_key(state, what, "actuator"));
+  const io::JsonValue& mcu_state = io::require_key(state, what, "mcu");
+  if (mcu_ && mcu_state.is_null()) {
+    throw ModelError(what + ": the checkpoint has no MCU state but the system was built "
+                     "with an MCU");
+  }
+  if (!mcu_ && !mcu_state.is_null()) {
+    throw ModelError(what + ": the checkpoint has MCU state but the system was built "
+                     "without an MCU");
+  }
+  if (mcu_) {
+    mcu_->restore_checkpoint_state(mcu_state);
+  }
 }
 
 void HarvesterSystem::attach_engine(core::AnalogEngine& engine) {

@@ -54,6 +54,16 @@ class HarvesterSystem {
   /// co-simulation when the system was built with an MCU.
   void attach_engine(core::AnalogEngine& engine);
 
+  /// Exact snapshot of the model-side mutable state: per-block epochs, the
+  /// supercapacitor load mode, the actuator motion profile and (when built
+  /// with an MCU) the full digital control process including its pending
+  /// kernel events.
+  [[nodiscard]] io::JsonValue checkpoint_state();
+  /// Restore onto a freshly built system with identical parameters. The
+  /// kernel's clock must already be restored (restore_clock); pending
+  /// digital events are re-armed here by their owners.
+  void restore_checkpoint_state(const io::JsonValue& state);
+
   /// Net handles of the four terminal variables.
   [[nodiscard]] std::size_t vm_index() const noexcept { return vm_index_; }
   [[nodiscard]] std::size_t im_index() const noexcept { return im_index_; }

@@ -77,7 +77,20 @@ class McuController {
 
   [[nodiscard]] const McuParams& params() const noexcept { return params_; }
 
+  /// Exact snapshot of the state machine: state, tuning arrival, counters,
+  /// the event log and the identity of the pending one-shot event
+  /// (measurement-done or tuning-poll), plus the watchdog's own state.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Restore a snapshot onto a freshly built controller. The kernel's clock
+  /// must already be restored; pending events (watchdog wake-up and the
+  /// one-shot) are re-armed with their exact checkpointed identities.
+  void restore_checkpoint_state(const io::JsonValue& state);
+
  private:
+  /// Which one-shot event is in flight (the state machine schedules at most
+  /// one: a measurement completion while kMeasuring, a poll while kTuning).
+  enum class PendingKind { kNone, kMeasurement, kTuningPoll };
+
   void on_watchdog();
   void on_measurement_done();
   void on_tuning_poll();
@@ -90,6 +103,8 @@ class McuController {
 
   McuState state_ = McuState::kSleep;
   double tuning_arrival_ = 0.0;
+  PendingKind pending_kind_ = PendingKind::kNone;
+  digital::EventId pending_id_ = 0;
   static constexpr double kTuningPollInterval = 0.2;  ///< [s]
 
   std::vector<McuEvent> events_;

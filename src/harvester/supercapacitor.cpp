@@ -53,6 +53,11 @@ void Supercapacitor::set_load_mode(LoadMode mode) {
   bump_epoch();
 }
 
+void Supercapacitor::restore_load_mode(LoadMode mode) {
+  mode_ = mode;
+  req_ = load_resistance(load_params_, mode);
+}
+
 void Supercapacitor::initial_state(std::span<double> x) const {
   EHSIM_ASSERT(x.size() == 3, "Supercapacitor::initial_state dimension mismatch");
   x[kVi] = params_.initial_voltage;

@@ -58,6 +58,9 @@ class Supercapacitor final : public core::AnalogBlock {
   /// This is a discontinuous model change: the engines restart their
   /// integration history (epoch bump).
   void set_load_mode(LoadMode mode);
+  /// Checkpoint restore: set the mode without bumping the epoch (the epoch
+  /// counter is restored verbatim through AnalogBlock::restore_epoch).
+  void restore_load_mode(LoadMode mode);
   [[nodiscard]] LoadMode load_mode() const noexcept { return mode_; }
   [[nodiscard]] double load_resistance_now() const noexcept { return req_; }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::harvester {
 
@@ -98,6 +99,28 @@ double LinearActuator::position(double t) const {
 
 bool LinearActuator::moving(double t) const {
   return t >= start_time_ && t < arrival_time_;
+}
+
+io::JsonValue LinearActuator::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("start_position", io::real_to_json(start_position_));
+  state.set("start_time", io::real_to_json(start_time_));
+  state.set("target", io::real_to_json(target_));
+  state.set("arrival_time", io::real_to_json(arrival_time_));
+  return state;
+}
+
+void LinearActuator::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "actuator checkpoint";
+  io::check_state_keys(state, what,
+                       {"start_position", "start_time", "target", "arrival_time"});
+  start_position_ = io::real_from_json(io::require_key(state, what, "start_position"),
+                                       what + ".start_position");
+  start_time_ =
+      io::real_from_json(io::require_key(state, what, "start_time"), what + ".start_time");
+  target_ = io::real_from_json(io::require_key(state, what, "target"), what + ".target");
+  arrival_time_ =
+      io::real_from_json(io::require_key(state, what, "arrival_time"), what + ".arrival_time");
 }
 
 }  // namespace ehsim::harvester

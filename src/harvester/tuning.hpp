@@ -15,6 +15,7 @@
 #pragma once
 
 #include "harvester/params.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::harvester {
 
@@ -63,6 +64,10 @@ class LinearActuator {
   /// Absolute time at which the commanded move completes.
   [[nodiscard]] double arrival_time() const noexcept { return arrival_time_; }
   [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  /// Exact snapshot of the motion profile (start/target/arrival).
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   double speed_;

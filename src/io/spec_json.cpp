@@ -13,6 +13,10 @@ namespace ehsim::io {
 
 namespace {
 
+using experiments::EnsembleProbeStats;
+using experiments::EnsembleResult;
+using experiments::EnsembleSpec;
+using experiments::EnsembleStat;
 using experiments::ExcitationEvent;
 using experiments::ExcitationSchedule;
 using experiments::ExperimentSpec;
@@ -522,22 +526,89 @@ OptimiseSpec optimise_from_json(const JsonValue& json) {
   return spec;
 }
 
-SpecFile spec_from_json(const JsonValue& json) {
-  const std::string& type = json.at("type").as_string();
-  SpecFile file;
-  if (type == "experiment") {
-    file.experiment = experiment_from_json(json);
-  } else if (type == "sweep") {
-    file.sweep = sweep_from_json(json);
-  } else if (type == "optimise") {
-    file.optimise = optimise_from_json(json);
-  } else {
-    throw ModelError("spec type '" + type + "' is not experiment | sweep | optimise");
+JsonValue to_json(const EnsembleSpec& spec) {
+  JsonValue json = JsonValue::make_object();
+  json.set("type", "ensemble");
+  JsonValue base = to_json(spec.base);
+  auto& base_members = base.as_object();
+  for (auto it = base_members.begin(); it != base_members.end(); ++it) {
+    if (it->first == "type") {  // redundant inside an ensemble document
+      base_members.erase(it);
+      break;
+    }
   }
-  return file;
+  json.set("base", std::move(base));
+  if (!spec.seeds.empty()) {
+    JsonValue seeds = JsonValue::make_array();
+    for (const std::uint64_t seed : spec.seeds) {
+      seeds.push_back(static_cast<double>(seed));
+    }
+    json.set("seeds", std::move(seeds));
+  } else {
+    json.set("num_seeds", static_cast<double>(spec.num_seeds));
+  }
+  json.set("threads", static_cast<double>(spec.threads));
+  if (spec.warm_start) {  // defaults omitted so specs round-trip unchanged
+    json.set("warm_start", true);
+  }
+  if (spec.batch_kernel != experiments::BatchKernel::kJobs) {
+    json.set("batch_kernel", experiments::batch_kernel_id(spec.batch_kernel));
+  }
+  return json;
 }
 
-SpecFile load_spec_file(const std::string& path) {
+EnsembleSpec ensemble_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"type", "base", "seeds", "num_seeds", "threads", "warm_start", "batch_kernel"},
+             "ensemble spec");
+  EnsembleSpec spec;
+  spec.base = experiment_from_json(json.at("base"));
+  if (const JsonValue* seeds = json.find("seeds")) {
+    for (const JsonValue& seed : seeds->as_array()) {
+      const double value = seed.as_number();
+      if (!(value >= 0.0) || value != std::floor(value) || value > 9.007199254740992e15) {
+        throw ModelError("ensemble seeds must be non-negative integers");
+      }
+      spec.seeds.push_back(static_cast<std::uint64_t>(value));
+    }
+  }
+  const double count = number_or(json, "num_seeds", 0.0);
+  if (count < 0.0 || count != std::floor(count)) {
+    throw ModelError("ensemble num_seeds must be a non-negative integer");
+  }
+  spec.num_seeds = static_cast<std::size_t>(count);
+  const double threads = number_or(json, "threads", 0.0);
+  if (threads < 0.0 || threads != std::floor(threads)) {
+    throw ModelError("ensemble threads must be a non-negative integer");
+  }
+  spec.threads = static_cast<std::size_t>(threads);
+  spec.warm_start = bool_or(json, "warm_start", spec.warm_start);
+  if (const JsonValue* kernel = json.find("batch_kernel")) {
+    spec.batch_kernel = experiments::parse_batch_kernel(kernel->as_string());
+  }
+  spec.validate();
+  return spec;
+}
+
+AnySpec spec_from_json(const JsonValue& json) {
+  const std::string& type = json.at("type").as_string();
+  if (type == "experiment") {
+    return AnySpec(experiment_from_json(json));
+  }
+  if (type == "sweep") {
+    return AnySpec(sweep_from_json(json));
+  }
+  if (type == "optimise") {
+    return AnySpec(optimise_from_json(json));
+  }
+  if (type == "ensemble") {
+    return AnySpec(ensemble_from_json(json));
+  }
+  throw ModelError("spec type '" + type +
+                   "' is not experiment | sweep | optimise | ensemble");
+}
+
+AnySpec load_spec_file(const std::string& path) {
   return spec_from_json(JsonValue::parse(read_file(path)));
 }
 
@@ -737,6 +808,49 @@ JsonValue to_json(const OptimiseResult& result) {
   return json;
 }
 
+namespace {
+
+JsonValue to_json(const EnsembleStat& stat) {
+  JsonValue json = JsonValue::make_object();
+  json.set("mean", JsonValue::finite_or_null(stat.mean));
+  json.set("stderr", JsonValue::finite_or_null(stat.stderr_mean));
+  json.set("min", JsonValue::finite_or_null(stat.minimum));
+  json.set("max", JsonValue::finite_or_null(stat.maximum));
+  return json;
+}
+
+}  // namespace
+
+JsonValue to_json(const EnsembleResult& result) {
+  JsonValue json = JsonValue::make_object();
+  json.set("ensemble", result.name);
+  json.set("engine", result.engine);
+  json.set("replicas", static_cast<double>(result.seeds.size()));
+  JsonValue seeds = JsonValue::make_array();
+  for (const std::uint64_t seed : result.seeds) {
+    seeds.push_back(static_cast<double>(seed));
+  }
+  json.set("seeds", std::move(seeds));
+  json.set("cpu_seconds", result.cpu_seconds);
+  json.set("final_vc", to_json(result.final_vc));
+  json.set("final_resonance_hz", to_json(result.final_resonance_hz));
+  json.set("rms_power_before", to_json(result.rms_power_before));
+  json.set("rms_power_after", to_json(result.rms_power_after));
+  JsonValue probes = JsonValue::make_array();
+  for (const EnsembleProbeStats& probe : result.probes) {
+    JsonValue entry = JsonValue::make_object();
+    entry.set("label", probe.label);
+    entry.set("final", to_json(probe.final_value));
+    entry.set("min", to_json(probe.minimum));
+    entry.set("max", to_json(probe.maximum));
+    entry.set("mean", to_json(probe.mean));
+    entry.set("rms", to_json(probe.rms));
+    probes.push_back(std::move(entry));
+  }
+  json.set("probes", std::move(probes));
+  return json;
+}
+
 void write_trace_csv(std::ostream& os, const ScenarioResult& result) {
   // Recorded probe columns ride next to the built-in Vc trace; all columns
   // come from the same decimated recorder, so they are time-aligned.
@@ -817,6 +931,18 @@ std::string write_result_files(const std::string& dir,
   std::ostringstream csv;
   write_trace_csv(csv, result);
   write_file(stem + ".trace.csv", std::move(csv).str());
+  return stem;
+}
+
+std::string write_ensemble_result_files(const std::string& dir,
+                                        const experiments::EnsembleResult& result) {
+  std::filesystem::create_directories(dir);
+  const std::string stem =
+      (std::filesystem::path(dir) / safe_file_stem(result.name)).string();
+  write_file(stem + ".ensemble.json", to_json(result).dump(2) + "\n");
+  for (const ScenarioResult& run : result.runs) {
+    write_result_files(dir, run);
+  }
   return stem;
 }
 

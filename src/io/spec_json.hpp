@@ -12,7 +12,10 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
+#include <variant>
 
+#include "experiments/ensemble.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/sweep.hpp"
@@ -37,16 +40,79 @@ namespace ehsim::io {
 [[nodiscard]] JsonValue to_json(const experiments::OptimiseSpec& spec);
 [[nodiscard]] experiments::OptimiseSpec optimise_from_json(const JsonValue& json);
 
-/// A parsed spec file: exactly one member is set, per the top-level "type"
-/// ("experiment" | "sweep" | "optimise").
-struct SpecFile {
-  std::optional<experiments::ExperimentSpec> experiment;
-  std::optional<experiments::SweepSpec> sweep;
-  std::optional<experiments::OptimiseSpec> optimise;
+[[nodiscard]] JsonValue to_json(const experiments::EnsembleSpec& spec);
+[[nodiscard]] experiments::EnsembleSpec ensemble_from_json(const JsonValue& json);
+
+// ---- the tagged spec union ------------------------------------------------
+
+/// Stable top-level "type" id of each spec flavour; the overload set keeps
+/// AnySpec::type_id() and generic visitors in lock-step with the parser.
+[[nodiscard]] constexpr const char* spec_type_id(const experiments::ExperimentSpec&) {
+  return "experiment";
+}
+[[nodiscard]] constexpr const char* spec_type_id(const experiments::SweepSpec&) {
+  return "sweep";
+}
+[[nodiscard]] constexpr const char* spec_type_id(const experiments::OptimiseSpec&) {
+  return "optimise";
+}
+[[nodiscard]] constexpr const char* spec_type_id(const experiments::EnsembleSpec&) {
+  return "ensemble";
+}
+
+/// Lambda-overload visitor for AnySpec::dispatch:
+///   spec.dispatch(overloaded{[](const ExperimentSpec& e) {...}, ...});
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+
+/// A parsed spec document: exactly one flavour per the top-level "type"
+/// ("experiment" | "sweep" | "optimise" | "ensemble"). Consumers branch with
+/// a single dispatch(visitor) — adding a new spec flavour means extending
+/// the variant, spec_type_id and spec_from_json, and the compiler then
+/// flags every visitor that doesn't handle it. Default-constructed state is
+/// an empty ExperimentSpec (the variant is never empty).
+class AnySpec {
+ public:
+  using Variant = std::variant<experiments::ExperimentSpec, experiments::SweepSpec,
+                               experiments::OptimiseSpec, experiments::EnsembleSpec>;
+
+  AnySpec() = default;
+  explicit AnySpec(Variant value) : value_(std::move(value)) {}
+
+  template <typename Visitor>
+  decltype(auto) dispatch(Visitor&& visitor) {
+    return std::visit(std::forward<Visitor>(visitor), value_);
+  }
+  template <typename Visitor>
+  decltype(auto) dispatch(Visitor&& visitor) const {
+    return std::visit(std::forward<Visitor>(visitor), value_);
+  }
+
+  /// The held flavour's "type" id ("experiment" | "sweep" | ...).
+  [[nodiscard]] const char* type_id() const {
+    return dispatch([](const auto& spec) { return spec_type_id(spec); });
+  }
+
+  /// The held spec if it is a T, else nullptr (std::get_if semantics).
+  template <typename T>
+  [[nodiscard]] T* get_if() noexcept {
+    return std::get_if<T>(&value_);
+  }
+  template <typename T>
+  [[nodiscard]] const T* get_if() const noexcept {
+    return std::get_if<T>(&value_);
+  }
+
+ private:
+  Variant value_{};
 };
 
-[[nodiscard]] SpecFile spec_from_json(const JsonValue& json);
-[[nodiscard]] SpecFile load_spec_file(const std::string& path);
+[[nodiscard]] AnySpec spec_from_json(const JsonValue& json);
+[[nodiscard]] AnySpec load_spec_file(const std::string& path);
 
 // ---- results --------------------------------------------------------------
 
@@ -58,6 +124,11 @@ struct SpecFile {
 /// Optimise run document: the evaluation log, the optimum and the full
 /// best-run result (cpu fields excluded from golden compares via --ignore).
 [[nodiscard]] JsonValue to_json(const experiments::OptimiseResult& result);
+
+/// Ensemble document: replica seeds plus the per-probe and built-in
+/// mean/stderr/min/max reductions. The per-replica runs are written as
+/// ordinary result/trace files, not embedded here.
+[[nodiscard]] JsonValue to_json(const experiments::EnsembleResult& result);
 
 /// "time,Vc[,probe...]" CSV: the decimated supercapacitor trace plus one
 /// column per recorded probe, all at full (to_chars) precision.
@@ -80,5 +151,11 @@ void write_file(const std::string& path, const std::string& content);
 /// contract compares exactly these files.
 std::string write_result_files(const std::string& dir,
                                const experiments::ScenarioResult& result);
+
+/// Write <dir>/<stem>.ensemble.json plus every replica's result/trace file
+/// pair (write_result_files each); returns the ensemble document's stem
+/// path (without extension).
+std::string write_ensemble_result_files(const std::string& dir,
+                                        const experiments::EnsembleResult& result);
 
 }  // namespace ehsim::io

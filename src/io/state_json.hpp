@@ -1,0 +1,67 @@
+/// \file state_json.hpp
+/// \brief Exact-value JSON encoding of raw simulation state (checkpoints).
+///
+/// The spec layer (spec_json) never serialises a non-finite double —
+/// JsonValue's throwing double constructor enforces that for *results*. A
+/// mid-run checkpoint is different: engine bookkeeping legitimately holds
+/// sentinel infinities (last_notify_time_ = -inf before the first point,
+/// h_stability_ = +inf before the first cap). These helpers encode every
+/// double losslessly — finite values as JSON numbers (shortest round-trip
+/// form, exact by the io/json contract), non-finite ones as the strings
+/// "inf" / "-inf" / "nan" — and parse strictly: anything else throws
+/// ModelError naming the offending field, the same diagnostic contract as
+/// the spec parser.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/solver_config.hpp"
+#include "io/json.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ehsim::io {
+
+/// Encode one double exactly (non-finite values become strings).
+[[nodiscard]] JsonValue real_to_json(double value);
+/// Strict inverse of real_to_json; \p what names the field in diagnostics.
+[[nodiscard]] double real_from_json(const JsonValue& value, const std::string& what);
+
+/// Dense vector of exact reals.
+[[nodiscard]] JsonValue reals_to_json(std::span<const double> values);
+[[nodiscard]] std::vector<double> reals_from_json(const JsonValue& value,
+                                                  const std::string& what);
+/// Parse into a fixed-size destination; throws on length mismatch.
+void reals_into(const JsonValue& value, std::span<double> out, const std::string& what);
+
+/// Row-major dense matrix as {"rows","cols","data"}.
+[[nodiscard]] JsonValue matrix_to_json(const linalg::Matrix& m);
+[[nodiscard]] linalg::Matrix matrix_from_json(const JsonValue& value, const std::string& what);
+
+/// Unsigned 64-bit counters: values above 2^53 are encoded as decimal
+/// strings (the seed_to_json convention of the spec layer).
+[[nodiscard]] JsonValue u64_to_json(std::uint64_t value);
+[[nodiscard]] std::uint64_t u64_from_json(const JsonValue& value, const std::string& what);
+
+/// Bounds-checked helpers over the u64/real codecs.
+[[nodiscard]] std::size_t index_from_json(const JsonValue& value, const std::string& what);
+[[nodiscard]] bool bool_from_json(const JsonValue& value, const std::string& what);
+
+/// Full SolverStats block (every field, exact).
+[[nodiscard]] JsonValue solver_stats_to_json(const core::SolverStats& stats);
+[[nodiscard]] core::SolverStats solver_stats_from_json(const JsonValue& value,
+                                                       const std::string& what);
+
+/// Reject members of \p value (an object) whose keys are not in \p allowed —
+/// the strict unknown-key contract of the spec layer, exported for the
+/// checkpoint document. Throws ModelError naming \p what and the key.
+void check_state_keys(const JsonValue& value, const std::string& what,
+                      std::initializer_list<const char*> allowed);
+
+/// at() with the diagnostic naming convention of the checkpoint layer.
+[[nodiscard]] const JsonValue& require_key(const JsonValue& value, const std::string& what,
+                                           const char* key);
+
+}  // namespace ehsim::io

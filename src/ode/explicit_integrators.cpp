@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "io/state_json.hpp"
 
 namespace ehsim::ode {
 
@@ -180,6 +181,31 @@ double AbHistory::order_comparison_error(double t_next) const {
     err2 += diff * diff;
   }
   return std::sqrt(err2);
+}
+
+
+io::JsonValue AbHistory::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("count", io::u64_to_json(count_));
+  state.set("head", io::u64_to_json(head_));
+  state.set("times", io::reals_to_json(times_));
+  state.set("storage", io::reals_to_json(storage_));
+  return state;
+}
+
+void AbHistory::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "checkpoint.history";
+  io::check_state_keys(state, what, {"count", "head", "times", "storage"});
+  const std::size_t count = io::index_from_json(io::require_key(state, what, "count"), what + ".count");
+  const std::size_t head = io::index_from_json(io::require_key(state, what, "head"), what + ".head");
+  if (count > max_order_ || (max_order_ > 0 && head >= max_order_)) {
+    throw ModelError(what + ": ring indices out of range");
+  }
+  io::reals_into(io::require_key(state, what, "times"), std::span<double>(times_), what + ".times");
+  io::reals_into(io::require_key(state, what, "storage"), std::span<double>(storage_),
+                 what + ".storage");
+  count_ = count;
+  head_ = head;
 }
 
 }  // namespace ehsim::ode

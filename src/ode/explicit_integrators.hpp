@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "io/json.hpp"
 #include "linalg/matrix.hpp"
 #include "ode/ab_coefficients.hpp"
 
@@ -98,6 +99,13 @@ class AbHistory {
   /// AB step of the current order and of one order lower (Milne-style
   /// comparison). Returns 0 when fewer than 2 samples are stored.
   [[nodiscard]] double order_comparison_error(double t_next) const;
+
+  /// Exact snapshot of the ring (count, head, times, samples) so a restored
+  /// engine resumes its multistep march bit-identically mid-history.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  /// Strict inverse of checkpoint_state; the history must already be sized
+  /// (state_size/max_order come from the engine, not the snapshot).
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   [[nodiscard]] std::span<const double> entry(std::size_t age) const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/state_json.hpp"
+
 namespace ehsim::ode {
 
 StepController::StepController(StepControlOptions options, std::size_t method_order)
@@ -40,6 +42,29 @@ bool StepController::update(double error_ratio) {
 
 void StepController::set_step(double h) {
   h_ = std::clamp(h, options_.h_min, options_.h_max);
+}
+
+
+io::JsonValue StepController::checkpoint_state() const {
+  io::JsonValue state = io::JsonValue::make_object();
+  state.set("h", io::real_to_json(h_));
+  state.set("rejections", io::u64_to_json(rejections_));
+  state.set("acceptances", io::u64_to_json(acceptances_));
+  state.set("hold_countdown", io::u64_to_json(hold_countdown_));
+  return state;
+}
+
+void StepController::restore_checkpoint_state(const io::JsonValue& state) {
+  const std::string what = "checkpoint.controller";
+  io::check_state_keys(state, what, {"h", "rejections", "acceptances", "hold_countdown"});
+  // Restored verbatim, not through set_step: the saved value was already
+  // clamped when it was produced, and re-clamping must not change it.
+  h_ = io::real_from_json(io::require_key(state, what, "h"), what + ".h");
+  rejections_ = io::index_from_json(io::require_key(state, what, "rejections"), what + ".rejections");
+  acceptances_ =
+      io::index_from_json(io::require_key(state, what, "acceptances"), what + ".acceptances");
+  hold_countdown_ = io::index_from_json(io::require_key(state, what, "hold_countdown"),
+                                        what + ".hold_countdown");
 }
 
 }  // namespace ehsim::ode

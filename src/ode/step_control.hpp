@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "common/error.hpp"
+#include "io/json.hpp"
 
 namespace ehsim::ode {
 
@@ -42,6 +43,11 @@ class StepController {
   [[nodiscard]] const StepControlOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::size_t rejections() const noexcept { return rejections_; }
   [[nodiscard]] std::size_t acceptances() const noexcept { return acceptances_; }
+
+  /// Exact snapshot of the mutable controller state (h, counters, hold);
+  /// options/order are configuration and stay with the owning engine.
+  [[nodiscard]] io::JsonValue checkpoint_state() const;
+  void restore_checkpoint_state(const io::JsonValue& state);
 
  private:
   StepControlOptions options_;

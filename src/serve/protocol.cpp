@@ -2,28 +2,50 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "io/json.hpp"
 
 namespace ehsim::serve {
 namespace {
 
-constexpr const char* kTypeIds[] = {"run",    "sweep", "optimise",
-                                    "cancel", "stats", "shutdown"};
+constexpr const char* kTypeIds[] = {"run",    "sweep",  "optimise", "ensemble",
+                                    "resume", "cancel", "stats",    "shutdown"};
 
 RequestType request_type_from(const std::string& id) {
   for (std::size_t i = 0; i < std::size(kTypeIds); ++i) {
     if (id == kTypeIds[i]) return static_cast<RequestType>(i);
   }
   throw ProtocolError("request 'type' '" + id +
-                          "' is not run | sweep | optimise | cancel | stats | "
-                          "shutdown",
+                          "' is not run | sweep | optimise | ensemble | resume | "
+                          "cancel | stats | shutdown",
                       "type");
 }
 
 bool is_job_type(RequestType type) {
   return type == RequestType::kRun || type == RequestType::kSweep ||
-         type == RequestType::kOptimise;
+         type == RequestType::kOptimise || type == RequestType::kEnsemble ||
+         type == RequestType::kResume;
+}
+
+/// Spec flavours each job type accepts, as io::spec_type_id strings — the
+/// single place a new spec flavour or request type hooks into payload
+/// matching (the spec union itself dispatches, no per-flavour switch here).
+std::vector<const char*> expected_spec_types(RequestType type) {
+  switch (type) {
+    case RequestType::kRun:
+      return {"experiment"};
+    case RequestType::kSweep:
+      return {"sweep"};
+    case RequestType::kOptimise:
+      return {"optimise"};
+    case RequestType::kEnsemble:
+      return {"ensemble"};
+    case RequestType::kResume:
+      return {"experiment", "sweep"};
+    default:
+      return {};
+  }
 }
 
 std::uint64_t parse_id(const io::JsonValue& envelope) {
@@ -37,39 +59,53 @@ std::uint64_t parse_id(const io::JsonValue& envelope) {
   return static_cast<std::uint64_t>(value);
 }
 
-/// The payload must be the spec flavour the envelope type announces — a
-/// "run" envelope carrying a sweep spec is a client bug worth naming, not
+/// The payload must be a spec flavour the envelope type accepts — a "run"
+/// envelope carrying a sweep spec is a client bug worth naming, not
 /// something to silently reinterpret.
-void check_payload_matches(RequestType type, const io::SpecFile& spec,
+void check_payload_matches(RequestType type, const io::AnySpec& spec,
                            const std::string& key) {
-  const char* expected = nullptr;
-  bool matches = false;
-  switch (type) {
-    case RequestType::kRun:
-      expected = "experiment";
-      matches = spec.experiment.has_value();
-      break;
-    case RequestType::kSweep:
-      expected = "sweep";
-      matches = spec.sweep.has_value();
-      break;
-    case RequestType::kOptimise:
-      expected = "optimise";
-      matches = spec.optimise.has_value();
-      break;
-    default:
-      return;
+  const std::vector<const char*> expected = expected_spec_types(type);
+  const std::string actual = spec.type_id();
+  std::string wanted;
+  for (const char* id : expected) {
+    if (actual == id) return;
+    if (!wanted.empty()) wanted += "' | '";
+    wanted += id;
   }
-  if (!matches) {
-    const char* actual = spec.experiment ? "experiment"
-                         : spec.sweep    ? "sweep"
-                                         : "optimise";
+  throw ProtocolError(std::string("request type '") + request_type_id(type) +
+                          "' needs a spec of type '" + wanted + "', but '" + key +
+                          "' holds a '" + actual + "' spec",
+                      key);
+}
+
+CheckpointRequest parse_checkpoint(RequestType type, const io::JsonValue& json) {
+  if (!json.is_object())
+    throw ProtocolError("request 'checkpoint' must be an object {\"dir\", \"every\"}",
+                        "checkpoint");
+  for (const auto& [key, value] : json.as_object()) {
+    (void)value;
+    if (key != "dir" && key != "every")
+      throw ProtocolError("request 'checkpoint' has unknown key '" + key + "'",
+                          "checkpoint");
+  }
+  CheckpointRequest checkpoint;
+  const io::JsonValue* dir = json.find("dir");
+  if (dir == nullptr || !dir->is_string() || dir->as_string().empty())
+    throw ProtocolError("request 'checkpoint' needs a non-empty 'dir' string",
+                        "checkpoint");
+  checkpoint.dir = dir->as_string();
+  if (const io::JsonValue* every = json.find("every")) {
+    if (!every->is_number() || !(every->as_number() > 0.0))
+      throw ProtocolError("request 'checkpoint.every' must be a positive number "
+                          "of simulated seconds",
+                          "checkpoint");
+    checkpoint.every = every->as_number();
+  }
+  if (checkpoint.every <= 0.0 && type != RequestType::kResume)
     throw ProtocolError(std::string("request type '") + request_type_id(type) +
-                            "' needs a spec of type '" + expected +
-                            "', but '" + key + "' holds a '" + actual +
-                            "' spec",
-                        key);
-  }
+                            "' needs 'checkpoint.every' (only resume may omit it)",
+                        "checkpoint");
+  return checkpoint;
 }
 
 }  // namespace
@@ -91,7 +127,8 @@ Request parse_request(const std::string& line) {
     throw ProtocolError("request must be a JSON object envelope", "");
   for (const auto& [key, value] : envelope.as_object()) {
     (void)value;
-    if (key != "id" && key != "type" && key != "spec" && key != "spec_path")
+    if (key != "id" && key != "type" && key != "spec" && key != "spec_path" &&
+        key != "checkpoint")
       throw ProtocolError("request has unknown key '" + key + "'", key);
   }
 
@@ -106,12 +143,18 @@ Request parse_request(const std::string& line) {
 
   const io::JsonValue* spec = envelope.find("spec");
   const io::JsonValue* spec_path = envelope.find("spec_path");
+  const io::JsonValue* checkpoint = envelope.find("checkpoint");
   if (!is_job_type(request.type)) {
     if (spec != nullptr || spec_path != nullptr)
       throw ProtocolError(std::string("request type '") +
                               request_type_id(request.type) +
                               "' does not take a spec",
                           spec != nullptr ? "spec" : "spec_path");
+    if (checkpoint != nullptr)
+      throw ProtocolError(std::string("request type '") +
+                              request_type_id(request.type) +
+                              "' does not take a checkpoint",
+                          "checkpoint");
     return request;
   }
 
@@ -145,6 +188,22 @@ Request parse_request(const std::string& line) {
                           "spec_path");
     }
     check_payload_matches(request.type, request.spec, "spec_path");
+  }
+
+  const bool takes_checkpoint = request.type == RequestType::kRun ||
+                                request.type == RequestType::kSweep ||
+                                request.type == RequestType::kResume;
+  if (checkpoint != nullptr) {
+    if (!takes_checkpoint)
+      throw ProtocolError(std::string("request type '") +
+                              request_type_id(request.type) +
+                              "' does not take a checkpoint",
+                          "checkpoint");
+    request.checkpoint = parse_checkpoint(request.type, *checkpoint);
+  } else if (request.type == RequestType::kResume) {
+    throw ProtocolError("request type 'resume' needs a 'checkpoint' block naming "
+                        "the directory to resume from",
+                        "checkpoint");
   }
   return request;
 }

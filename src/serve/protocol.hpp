@@ -6,9 +6,14 @@
 ///     {"id": 1, "type": "run",      "spec": { ...experiment spec... }}
 ///     {"id": 2, "type": "sweep",    "spec_path": "examples/specs/x.json"}
 ///     {"id": 3, "type": "optimise", "spec": { ...optimise spec... }}
-///     {"id": 4, "type": "cancel"}   // cancels queued job with id 4
-///     {"id": 5, "type": "stats"}
-///     {"id": 6, "type": "shutdown"}
+///     {"id": 4, "type": "ensemble", "spec": { ...ensemble spec... }}
+///     {"id": 5, "type": "run",      "spec": {...},
+///      "checkpoint": {"dir": "ckpt", "every": 2.5}}
+///     {"id": 6, "type": "resume",   "spec": {...},
+///      "checkpoint": {"dir": "ckpt", "every": 2.5}}
+///     {"id": 7, "type": "cancel"}   // cancels queued job with id 7
+///     {"id": 8, "type": "stats"}
+///     {"id": 9, "type": "shutdown"}
 ///
 /// Envelopes are strict-keyed through the same io/json layer as spec files:
 /// unknown keys, missing fields, payload/type mismatches and malformed specs
@@ -19,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
@@ -31,13 +37,15 @@ enum class RequestType {
   kRun,       ///< execute one experiment spec
   kSweep,     ///< execute a sweep spec
   kOptimise,  ///< execute an optimise spec
+  kEnsemble,  ///< execute an ensemble spec (seed-varied replicas)
+  kResume,    ///< continue a checkpointed run/sweep from its files
   kCancel,    ///< drop the queued (not yet started) job with this id
   kStats,     ///< report queue/cache/pool counters
   kShutdown,  ///< finish queued jobs, emit a shutdown event, exit
 };
 
-/// Stable wire identifier ("run" | "sweep" | "optimise" | "cancel" |
-/// "stats" | "shutdown").
+/// Stable wire identifier ("run" | "sweep" | "optimise" | "ensemble" |
+/// "resume" | "cancel" | "stats" | "shutdown").
 [[nodiscard]] const char* request_type_id(RequestType type);
 
 /// Envelope validation failure that knows which key/field it is about —
@@ -55,20 +63,33 @@ class ProtocolError : public ModelError {
   std::string key_;
 };
 
-/// One parsed request. For the job types (run/sweep/optimise) exactly the
-/// matching member of \c spec is set.
+/// The optional "checkpoint" block of run/sweep envelopes (periodic state
+/// capture) and the mandatory one of resume envelopes (where the files are).
+struct CheckpointRequest {
+  std::string dir;     ///< per-job checkpoint files live here
+  double every = 0.0;  ///< simulated-seconds cadence (0 on resume: finish only)
+};
+
+/// One parsed request. For the job types (run/sweep/optimise/ensemble/
+/// resume) \c spec holds the matching spec flavour.
 struct Request {
   std::uint64_t id = 0;
   RequestType type = RequestType::kRun;
-  io::SpecFile spec{};
+  io::AnySpec spec{};
+  std::optional<CheckpointRequest> checkpoint{};
 };
 
 /// Parse and validate one envelope line. Strict keys: {"id", "type",
-/// "spec", "spec_path"}. "id" must be a non-negative integer; job types need
-/// exactly one of "spec" (inline object) / "spec_path" (file path, resolved
-/// relative to the daemon's working directory), and the payload's spec type
-/// must match the envelope type; control types (cancel/stats/shutdown) must
-/// carry neither. Throws ProtocolError naming the offending key.
+/// "spec", "spec_path", "checkpoint"}. "id" must be a non-negative integer;
+/// job types need exactly one of "spec" (inline object) / "spec_path" (file
+/// path, resolved relative to the daemon's working directory), and the
+/// payload's spec type must match the envelope type (resume accepts
+/// experiment and sweep specs); control types (cancel/stats/shutdown) must
+/// carry neither. "checkpoint" {"dir", "every"} is optional on run/sweep
+/// (cadence "every" > 0 required), mandatory on resume ("every" optional —
+/// omitted, the resumed run finishes without writing further checkpoints,
+/// which changes its step trajectory after the restore point), and rejected
+/// elsewhere. Throws ProtocolError naming the offending key.
 [[nodiscard]] Request parse_request(const std::string& line);
 
 }  // namespace ehsim::serve

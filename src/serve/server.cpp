@@ -156,6 +156,12 @@ void Server::execute(const Request& request) {
       case RequestType::kOptimise:
         handle_optimise(request);
         break;
+      case RequestType::kEnsemble:
+        handle_ensemble(request);
+        break;
+      case RequestType::kResume:
+        handle_resume(request);
+        break;
       case RequestType::kStats:
         emit_stats(request.id);
         ++completed_;
@@ -212,8 +218,95 @@ void Server::write_scenario_files(const experiments::ScenarioResult& result) {
   io::write_result_files(options_.out_dir, result);
 }
 
+void Server::emit_scenario_result(const Request& request, const char* type,
+                                  const experiments::ScenarioResult& result,
+                                  std::size_t job, std::size_t jobs) {
+  if (!result.probes.empty()) {
+    io::JsonValue probes = event_base("probes", request.id);
+    probes.set("scenario", result.scenario);
+    probes.set("probes", probes_summary(result.probes));
+    emit(probes);
+  }
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", type);
+  if (jobs > 0) {
+    done.set("job", static_cast<double>(job));
+    done.set("jobs", static_cast<double>(jobs));
+  }
+  done.set("result", io::to_json(result));
+  emit(done);
+  write_scenario_files(result);
+}
+
+void Server::run_checkpointed(const Request& request, bool resume) {
+  experiments::CheckpointOptions checkpointing;
+  checkpointing.every = request.checkpoint->every;
+  checkpointing.dir = request.checkpoint->dir;
+  checkpointing.resume = resume;
+  checkpointing.on_checkpoint = [&](const std::string& path, const std::string& job,
+                                    double sim_time) {
+    io::JsonValue event = event_base("checkpoint", request.id);
+    event.set("job", job);
+    event.set("path", path);
+    event.set("sim_time", sim_time);
+    emit(event);
+  };
+
+  request.spec.dispatch(io::overloaded{
+      [&](const experiments::ExperimentSpec& spec) {
+        io::JsonValue started = event_base("started", request.id);
+        started.set("type", request_type_id(request.type));
+        started.set("name", spec.name);
+        emit(started);
+        experiments::RunOptions options;
+        const std::optional<experiments::ScenarioResult> result =
+            experiments::run_experiment_checkpointed(spec, options, checkpointing);
+        // The abort_after test hook is never set on the serve path, so a
+        // missing result cannot happen here; guard anyway.
+        if (result) emit_scenario_result(request, request_type_id(request.type), *result, 0, 0);
+      },
+      [&](const experiments::SweepSpec& sweep) {
+        sweep.validate();
+        io::JsonValue started = event_base("started", request.id);
+        started.set("type", request_type_id(request.type));
+        started.set("name", sweep.base.name);
+        emit(started);
+        const std::size_t total = sweep.job_count();
+        {
+          io::JsonValue progress = event_base("progress", request.id);
+          progress.set("jobs", static_cast<double>(total));
+          emit(progress);
+        }
+        experiments::BatchOptions batch;
+        batch.threads = options_.threads;
+        batch.batch_kernel = sweep.batch_kernel;
+        batch.warm_start = sweep.warm_start;
+        const std::optional<std::vector<experiments::ScenarioResult>> results =
+            experiments::run_sweep_checkpointed(sweep, batch, checkpointing, nullptr);
+        if (results) {
+          for (std::size_t i = 0; i < results->size(); ++i) {
+            emit_scenario_result(request, request_type_id(request.type), (*results)[i], i,
+                                 total);
+          }
+        }
+      },
+      [&](const auto&) {
+        // parse_request only lets experiment/sweep specs through with a
+        // checkpoint block.
+        throw ModelError("checkpointed execution needs an experiment or sweep spec");
+      }});
+  ++completed_;
+}
+
+void Server::handle_resume(const Request& request) { run_checkpointed(request, true); }
+
 void Server::handle_run(const Request& request) {
-  const experiments::ExperimentSpec& spec = *request.spec.experiment;
+  if (request.checkpoint) {
+    run_checkpointed(request, false);
+    return;
+  }
+  const experiments::ExperimentSpec& spec =
+      *request.spec.get_if<experiments::ExperimentSpec>();
   io::JsonValue started = event_base("started", request.id);
   started.set("type", "run");
   started.set("name", spec.name);
@@ -234,22 +327,16 @@ void Server::handle_run(const Request& request) {
     pool_.put(key, prepare_seeded(spec));
   }
 
-  if (!result.probes.empty()) {
-    io::JsonValue probes = event_base("probes", request.id);
-    probes.set("scenario", result.scenario);
-    probes.set("probes", probes_summary(result.probes));
-    emit(probes);
-  }
-  io::JsonValue done = event_base("result", request.id);
-  done.set("type", "run");
-  done.set("result", io::to_json(result));
-  emit(done);
-  write_scenario_files(result);
+  emit_scenario_result(request, "run", result, 0, 0);
   ++completed_;
 }
 
 void Server::handle_sweep(const Request& request) {
-  const experiments::SweepSpec& sweep = *request.spec.sweep;
+  if (request.checkpoint) {
+    run_checkpointed(request, false);
+    return;
+  }
+  const experiments::SweepSpec& sweep = *request.spec.get_if<experiments::SweepSpec>();
   sweep.validate();
   io::JsonValue started = event_base("started", request.id);
   started.set("type", "sweep");
@@ -289,26 +376,41 @@ void Server::handle_sweep(const Request& request) {
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const experiments::ScenarioResult& result = results[i];
-    if (!result.probes.empty()) {
-      io::JsonValue probes = event_base("probes", request.id);
-      probes.set("scenario", result.scenario);
-      probes.set("probes", probes_summary(result.probes));
-      emit(probes);
-    }
-    io::JsonValue done = event_base("result", request.id);
-    done.set("type", "sweep");
-    done.set("job", static_cast<double>(i));
-    done.set("jobs", static_cast<double>(total));
-    done.set("result", io::to_json(result));
-    emit(done);
-    write_scenario_files(result);
+    emit_scenario_result(request, "sweep", results[i], i, total);
+  }
+  ++completed_;
+}
+
+void Server::handle_ensemble(const Request& request) {
+  const experiments::EnsembleSpec& spec = *request.spec.get_if<experiments::EnsembleSpec>();
+  io::JsonValue started = event_base("started", request.id);
+  started.set("type", "ensemble");
+  started.set("name", spec.base.name);
+  emit(started);
+  {
+    io::JsonValue progress = event_base("progress", request.id);
+    progress.set("jobs", static_cast<double>(spec.replica_seeds().size()));
+    emit(progress);
+  }
+
+  experiments::BatchOptions batch;
+  batch.threads = options_.threads;
+  batch.batch_kernel = spec.batch_kernel;
+  const experiments::EnsembleResult result = experiments::run_ensemble(spec, batch, nullptr);
+
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", "ensemble");
+  done.set("replicas", static_cast<double>(result.runs.size()));
+  done.set("result", io::to_json(result));
+  emit(done);
+  if (!options_.out_dir.empty()) {
+    io::write_ensemble_result_files(options_.out_dir, result);
   }
   ++completed_;
 }
 
 void Server::handle_optimise(const Request& request) {
-  const experiments::OptimiseSpec& spec = *request.spec.optimise;
+  const experiments::OptimiseSpec& spec = *request.spec.get_if<experiments::OptimiseSpec>();
   io::JsonValue started = event_base("started", request.id);
   started.set("type", "optimise");
   started.set("name", spec.name);

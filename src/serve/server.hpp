@@ -35,6 +35,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "experiments/scenarios.hpp"
 #include "experiments/warm_start.hpp"
 #include "io/json.hpp"
 #include "serve/job_queue.hpp"
@@ -91,6 +92,23 @@ class Server {
   void handle_run(const Request& request);
   void handle_sweep(const Request& request);
   void handle_optimise(const Request& request);
+  void handle_ensemble(const Request& request);
+  /// Dispatches the resumed spec flavour back onto the checkpointed
+  /// run/sweep path with CheckpointOptions::resume set.
+  void handle_resume(const Request& request);
+
+  /// Checkpointed run/sweep/resume executor shared by handle_run,
+  /// handle_sweep and handle_resume: periodic per-job checkpoint files plus
+  /// one "checkpoint" event per committed file. Bypasses the session pool
+  /// (a chunked march is prepared per request), but keeps the cross-request
+  /// operating-point cache semantics of the plain paths.
+  void run_checkpointed(const Request& request, bool resume);
+
+  /// Emit per-probe summary + result events and write result files for one
+  /// run/sweep result (the shared tail of every scenario-producing handler).
+  void emit_scenario_result(const Request& request, const char* type,
+                            const experiments::ScenarioResult& result,
+                            std::size_t job, std::size_t jobs);
 
   /// Cross-request operating-point bookkeeping after prepare_run: seeded
   /// runs count a hit, rejected seeds are healed with the cold fallback's

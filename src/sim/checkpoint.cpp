@@ -1,0 +1,64 @@
+#include "sim/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/state_json.hpp"
+
+namespace ehsim::sim {
+
+io::JsonValue Checkpoint::to_json() const {
+  io::JsonValue document = io::JsonValue::make_object();
+  document.set("type", io::JsonValue(std::string(kDocumentType)));
+  document.set("version", io::JsonValue(static_cast<double>(kVersion)));
+  document.set("meta", meta);
+  document.set("payload", payload);
+  return document;
+}
+
+Checkpoint Checkpoint::from_json(const io::JsonValue& document) {
+  const std::string what = "checkpoint";
+  io::check_state_keys(document, what, {"type", "version", "meta", "payload"});
+  const std::string& type = io::require_key(document, what, "type").as_string();
+  if (type != kDocumentType) {
+    throw ModelError(what + ": document type is '" + type + "', expected '" + kDocumentType +
+                     "'");
+  }
+  const double version = io::require_key(document, what, "version").as_number();
+  if (version != static_cast<double>(kVersion)) {
+    throw ModelError(what + ": unsupported version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  Checkpoint checkpoint;
+  checkpoint.meta = io::require_key(document, what, "meta");
+  checkpoint.payload = io::require_key(document, what, "payload");
+  return checkpoint;
+}
+
+void Checkpoint::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw ModelError("checkpoint: cannot open '" + path + "' for writing");
+  }
+  os << to_json().dump() << '\n';
+  os.flush();
+  if (!os) {
+    throw ModelError("checkpoint: failed to write '" + path + "'");
+  }
+}
+
+Checkpoint Checkpoint::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw ModelError("checkpoint: cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) {
+    throw ModelError("checkpoint: failed to read '" + path + "'");
+  }
+  return from_json(io::JsonValue::parse(buffer.str()));
+}
+
+}  // namespace ehsim::sim

@@ -1,0 +1,49 @@
+/// \file checkpoint.hpp
+/// \brief Versioned mid-run checkpoint document ("ehsim_checkpoint").
+///
+/// A checkpoint captures the *entire* mutable state of a Session mid-run —
+/// engine solution vectors and multistep history, step controller, LLE
+/// monitor, digital kernel clock and pending events, MCU state machine,
+/// probe/trace accumulators — exactly (non-finite sentinels and all, see
+/// io/state_json). Restoring it into a freshly built Session over the same
+/// spec continues the trajectory bit for bit, which is what makes killed
+/// runs resumable and sweep shards mergeable without any tolerance games.
+///
+/// The document follows the strict-keyed io/json conventions of the spec
+/// layer: a "type"/"version" envelope, unknown keys rejected everywhere,
+/// ModelError diagnostics naming the offending field. The `meta` member is
+/// reserved for the workload layer (embedded spec, job coordinates, batch
+/// counters) and is carried verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace ehsim::sim {
+
+struct Checkpoint {
+  static constexpr const char* kDocumentType = "ehsim_checkpoint";
+  static constexpr std::int64_t kVersion = 1;
+
+  /// Workload-layer metadata (embedded spec, job index, counters); carried
+  /// verbatim, opaque to the Session layer.
+  io::JsonValue meta = io::JsonValue(nullptr);
+  /// Session payload: kernel clock, registered sections, engine, trace,
+  /// probes, sync points (built by Session::save_checkpoint).
+  io::JsonValue payload = io::JsonValue(nullptr);
+
+  /// Full document with the type/version envelope.
+  [[nodiscard]] io::JsonValue to_json() const;
+  /// Strict parse; throws ModelError on a wrong type, an unsupported
+  /// version or unknown keys.
+  [[nodiscard]] static Checkpoint from_json(const io::JsonValue& document);
+
+  /// Serialise to a file (compact single-line JSON; trace payloads can be
+  /// large). Throws ModelError on IO failure.
+  void write_file(const std::string& path) const;
+  [[nodiscard]] static Checkpoint read_file(const std::string& path);
+};
+
+}  // namespace ehsim::sim

@@ -28,6 +28,14 @@ HarvesterSession::HarvesterSession(const harvester::HarvesterParams& params, Opt
   // once it has an operating point.
   session_.on_initialised(
       [system = system_.get()](core::AnalogEngine& engine) { system->attach_engine(engine); });
+  // Model-side checkpoint section: block epochs, load mode, actuator motion
+  // and the MCU state machine with its pending kernel events.
+  session_.register_checkpoint_section(
+      "harvester",
+      [system = system_.get()] { return system->checkpoint_state(); },
+      [system = system_.get()](const io::JsonValue& state) {
+        system->restore_checkpoint_state(state);
+      });
 }
 
 }  // namespace ehsim::sim

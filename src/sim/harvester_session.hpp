@@ -59,6 +59,12 @@ class HarvesterSession {
   [[nodiscard]] std::span<const double> terminals() const {
     return session_.engine().terminals();
   }
+  [[nodiscard]] Checkpoint save_checkpoint(io::JsonValue meta = io::JsonValue(nullptr)) {
+    return session_.save_checkpoint(std::move(meta));
+  }
+  void restore_checkpoint(const Checkpoint& checkpoint) {
+    session_.restore_checkpoint(checkpoint);
+  }
 
  private:
   std::shared_ptr<harvester::HarvesterSystem> system_;

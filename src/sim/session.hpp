@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -27,6 +28,7 @@
 #include "core/solver_config.hpp"
 #include "core/trace.hpp"
 #include "digital/kernel.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace ehsim::sim {
 
@@ -99,6 +101,35 @@ class Session {
   /// Analogue/digital synchronisation points (0 without a kernel).
   [[nodiscard]] std::uint64_t sync_points() const noexcept;
 
+  // ---- Checkpoint / restart -------------------------------------------------
+
+  /// Serialise one model-side state section into the checkpoint document.
+  using StateSaver = std::function<io::JsonValue()>;
+  /// Inverse of StateSaver; called with the section's saved value. Pending
+  /// digital events must be re-armed here (the kernel queue is cleared
+  /// before sections run).
+  using StateRestorer = std::function<void(const io::JsonValue&)>;
+
+  /// Register a named state section (e.g. "harvester" for the model +
+  /// digital control process, "power_bins" for workload accumulators).
+  /// Sections are saved and restored in registration order; names must be
+  /// unique. Register before save/restore, not mid-run.
+  void register_checkpoint_section(std::string name, StateSaver saver, StateRestorer restorer);
+
+  /// Snapshot the full mutable run state: kernel clock + pending events (via
+  /// the sections that own them), every registered section, the engine, the
+  /// trace recorder and probe channels when present, sync-point counter and
+  /// accumulated cpu_seconds. \p meta is carried verbatim for the workload
+  /// layer. Requires an initialised session.
+  [[nodiscard]] Checkpoint save_checkpoint(io::JsonValue meta = io::JsonValue(nullptr));
+
+  /// Restore a snapshot into this freshly initialised session (same spec,
+  /// same registered sections, same trace/probe layout). Restore order:
+  /// kernel clock -> sections (model state, event re-arm) -> engine (with
+  /// its residual consistency check against the restored model) -> trace /
+  /// probes -> counters. Throws ModelError on any mismatch.
+  void restore_checkpoint(const Checkpoint& checkpoint);
+
  private:
   std::shared_ptr<void> model_;  // keepalive only
   core::SystemAssembler* assembler_;
@@ -108,6 +139,12 @@ class Session {
   std::unique_ptr<core::ProbeHub> probes_;
   std::optional<core::MixedSignalSimulator> scheduler_;
   std::vector<EngineHook> ready_hooks_;
+  struct CheckpointSection {
+    std::string name;
+    StateSaver save;
+    StateRestorer restore;
+  };
+  std::vector<CheckpointSection> sections_;
   bool initialised_ = false;
   double cpu_seconds_ = 0.0;
 };

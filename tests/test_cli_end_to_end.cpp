@@ -79,10 +79,10 @@ TEST(EhsimCli, EchoCanonicalisesOptimiseSpecs) {
   ASSERT_EQ(std::system(command.c_str()), 0) << command;
 
   const auto file = ehsim::io::load_spec_file(spec_path);
-  ASSERT_TRUE(file.optimise.has_value());
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
   const auto echoed =
       ehsim::io::JsonValue::parse(ehsim::io::read_file(echo_path.string()));
-  EXPECT_EQ(echoed, ehsim::io::to_json(*file.optimise));
+  EXPECT_EQ(echoed, ehsim::io::to_json((*file.get_if<ehsim::experiments::OptimiseSpec>())));
   std::filesystem::remove(echo_path);
 }
 
@@ -103,13 +103,13 @@ TEST(EhsimCli, OptimiseSpecBitIdenticalToInProcessDriver) {
   ASSERT_EQ(std::system(command.c_str()), 0) << command;
 
   const auto file = ehsim::io::load_spec_file(spec_path);
-  ASSERT_TRUE(file.optimise.has_value());
-  const ScenarioResult proof = run_experiment(file.optimise->base);
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  const ScenarioResult proof = run_experiment(file.get_if<ehsim::experiments::OptimiseSpec>()->base);
   ASSERT_EQ(proof.probes.size(), 1u);  // the spec's objective probe is live
-  const OptimiseResult driver = ehsim::experiments::run_optimise(*file.optimise);
+  const OptimiseResult driver = ehsim::experiments::run_optimise((*file.get_if<ehsim::experiments::OptimiseSpec>()));
 
   const auto json = ehsim::io::JsonValue::parse(ehsim::io::read_file(
-      (out_dir / (file.optimise->name + ".optimise.json")).string()));
+      (out_dir / (file.get_if<ehsim::experiments::OptimiseSpec>()->name + ".optimise.json")).string()));
   EXPECT_EQ(json.at("best").at("x").as_number(), driver.best.x);
   EXPECT_EQ(json.at("best").at("objective").as_number(), driver.best.value);
   EXPECT_EQ(json.at("best").at("evaluations").as_number(),

@@ -373,8 +373,8 @@ TEST(OptimiseDriver, MinimiseFlipsTheObjective) {
 TEST(OptimiseDriver, Scenario1TuningSpecMatchesHandCodedLoopBitIdentically) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/scenario1_tuning.json");
-  ASSERT_TRUE(file.optimise.has_value());
-  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  const OptimiseSpec& spec = (*file.get_if<ehsim::experiments::OptimiseSpec>());
   ASSERT_EQ(spec.variable, "spec.pre_tuned_hz");
 
   std::vector<double> probed_x;
@@ -419,8 +419,8 @@ TEST(OptimiseDriver, Scenario1TuningSpecMatchesHandCodedLoopBitIdentically) {
 TEST(OptimiseDriver, JointTuningSpecMatchesHandCodedCoordinateDescentBitIdentically) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/scenario1_joint_tuning.json");
-  ASSERT_TRUE(file.optimise.has_value());
-  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  const OptimiseSpec& spec = (*file.get_if<ehsim::experiments::OptimiseSpec>());
   ASSERT_EQ(spec.variables.size(), 2u);
   ASSERT_EQ(spec.variables[0].path, "spec.pre_tuned_hz");
 

@@ -174,10 +174,10 @@ TEST(SpecJson, OptimiseRoundTripsLosslessly) {
   EXPECT_EQ(back, spec);
 
   const auto file = ehsim::io::spec_from_json(ehsim::io::to_json(spec));
-  ASSERT_TRUE(file.optimise.has_value());
-  EXPECT_EQ(*file.optimise, spec);
-  EXPECT_FALSE(file.experiment.has_value());
-  EXPECT_FALSE(file.sweep.has_value());
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  EXPECT_EQ((*file.get_if<ehsim::experiments::OptimiseSpec>()), spec);
+  EXPECT_EQ(file.get_if<ehsim::experiments::ExperimentSpec>(), nullptr);
+  EXPECT_EQ(file.get_if<ehsim::experiments::SweepSpec>(), nullptr);
 
   // warm_start round-trips and is omitted while default-off.
   EXPECT_FALSE(ehsim::io::to_json(spec).contains("warm_start"));
@@ -260,8 +260,8 @@ TEST(SpecJson, OptimiseVariablesArrayRejectsMalformedDocuments) {
 TEST(SpecFiles, JointTuningFileIsAValidMultiVariableSpec) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/scenario1_joint_tuning.json");
-  ASSERT_TRUE(file.optimise.has_value());
-  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  const OptimiseSpec& spec = (*file.get_if<ehsim::experiments::OptimiseSpec>());
   ASSERT_EQ(spec.variables.size(), 2u);
   EXPECT_EQ(spec.variables[0].path, "spec.pre_tuned_hz");
   EXPECT_EQ(spec.variables[1].path, "load.sleep_ohms");
@@ -493,22 +493,22 @@ TEST(Compare, CsvComparesProbeColumnsByHeaderName) {
 TEST(SpecFiles, Scenario1FileEqualsCannedSpec) {
   const auto file =
       ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario1.json");
-  ASSERT_TRUE(file.experiment.has_value());
-  EXPECT_EQ(*file.experiment, scenario1());
+  ASSERT_NE(file.get_if<ehsim::experiments::ExperimentSpec>(), nullptr);
+  EXPECT_EQ((*file.get_if<ehsim::experiments::ExperimentSpec>()), scenario1());
 }
 
 TEST(SpecFiles, Scenario2FileEqualsCannedSpec) {
   const auto file =
       ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) + "/examples/specs/scenario2.json");
-  ASSERT_TRUE(file.experiment.has_value());
-  EXPECT_EQ(*file.experiment, scenario2());
+  ASSERT_NE(file.get_if<ehsim::experiments::ExperimentSpec>(), nullptr);
+  EXPECT_EQ((*file.get_if<ehsim::experiments::ExperimentSpec>()), scenario2());
 }
 
 TEST(SpecFiles, DriftingAmbientFileIsAMultiEventSchedule) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/drifting_ambient.json");
-  ASSERT_TRUE(file.experiment.has_value());
-  const ExperimentSpec& spec = *file.experiment;
+  ASSERT_NE(file.get_if<ehsim::experiments::ExperimentSpec>(), nullptr);
+  const ExperimentSpec& spec = (*file.get_if<ehsim::experiments::ExperimentSpec>());
   ASSERT_GE(spec.excitation.events.size(), 3u);
   bool has_ramp = false;
   for (const auto& event : spec.excitation.events) {
@@ -524,8 +524,8 @@ TEST(SpecFiles, DriftingAmbientFileIsAMultiEventSchedule) {
 TEST(SpecFiles, ProbesDemoFileCoversEveryProbeKind) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/probes_demo.json");
-  ASSERT_TRUE(file.experiment.has_value());
-  const ExperimentSpec& spec = *file.experiment;
+  ASSERT_NE(file.get_if<ehsim::experiments::ExperimentSpec>(), nullptr);
+  const ExperimentSpec& spec = (*file.get_if<ehsim::experiments::ExperimentSpec>());
   ASSERT_GE(spec.probes.size(), 5u);
   for (const auto kind :
        {ProbeSpec::Kind::kNodeVoltage, ProbeSpec::Kind::kStateVariable,
@@ -543,8 +543,8 @@ TEST(SpecFiles, ProbesDemoFileCoversEveryProbeKind) {
 TEST(SpecFiles, Scenario1TuningFileIsAValidOptimiseSpec) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/scenario1_tuning.json");
-  ASSERT_TRUE(file.optimise.has_value());
-  const OptimiseSpec& spec = *file.optimise;
+  ASSERT_NE(file.get_if<ehsim::experiments::OptimiseSpec>(), nullptr);
+  const OptimiseSpec& spec = (*file.get_if<ehsim::experiments::OptimiseSpec>());
   EXPECT_EQ(spec.variable, "spec.pre_tuned_hz");
   EXPECT_EQ(spec.objective, "P_gen");
   EXPECT_EQ(ehsim::io::optimise_from_json(
@@ -555,11 +555,11 @@ TEST(SpecFiles, Scenario1TuningFileIsAValidOptimiseSpec) {
 TEST(SpecFiles, SweepFileExpandsToEightJobs) {
   const auto file = ehsim::io::load_spec_file(std::string(EHSIM_SOURCE_DIR) +
                                               "/examples/specs/stage_count_sweep.json");
-  ASSERT_TRUE(file.sweep.has_value());
-  EXPECT_EQ(file.sweep->job_count(), 8u);
+  ASSERT_NE(file.get_if<ehsim::experiments::SweepSpec>(), nullptr);
+  EXPECT_EQ(file.get_if<ehsim::experiments::SweepSpec>()->job_count(), 8u);
   EXPECT_EQ(ehsim::io::sweep_from_json(
-                JsonValue::parse(ehsim::io::to_json(*file.sweep).dump())),
-            *file.sweep);
+                JsonValue::parse(ehsim::io::to_json((*file.get_if<ehsim::experiments::SweepSpec>())).dump())),
+            (*file.get_if<ehsim::experiments::SweepSpec>()));
 }
 
 }  // namespace

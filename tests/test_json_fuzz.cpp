@@ -22,10 +22,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "experiments/ensemble.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/sweep.hpp"
@@ -342,6 +344,35 @@ OptimiseSpec random_optimise(SplitMix64& rng) {
   return spec;
 }
 
+EnsembleSpec random_ensemble(SplitMix64& rng) {
+  EnsembleSpec ensemble;
+  ensemble.base = random_experiment(rng);
+  // An ensemble needs at least one seeded walk to vary; random_experiment's
+  // event tail ends well before t = 200 (time monotonicity holds).
+  RandomWalkParams walk;
+  walk.step_interval = rng.uniform(0.2, 3.0);
+  walk.frequency_sigma = rng.uniform(0.0, 0.5);
+  walk.seed = rng.next();
+  walk.min_frequency_hz = 30.0;
+  walk.max_frequency_hz = 100.0;
+  ensemble.base.excitation.random_walk(200.0, rng.uniform(1.0, 20.0), walk);
+  if (rng.chance(0.5)) {
+    const std::size_t count = 2 + rng.below(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Strictly increasing offsets keep the seeds unique by construction.
+      const std::uint64_t previous = ensemble.seeds.empty() ? 0 : ensemble.seeds.back();
+      ensemble.seeds.push_back(previous + 1 + rng.below(1000));
+    }
+  } else {
+    ensemble.num_seeds = 2 + rng.below(5);
+  }
+  ensemble.threads = rng.below(5);
+  ensemble.warm_start = rng.chance(0.3);
+  ensemble.batch_kernel = std::vector<BatchKernel>{
+      BatchKernel::kJobs, BatchKernel::kLockstep, BatchKernel::kLockstepExpm}[rng.below(3)];
+  return ensemble;
+}
+
 TEST(SpecFuzz, RandomExperimentSpecsRoundTripLosslessly) {
   SplitMix64 rng(0x5EED01ull);
   for (int i = 0; i < 120; ++i) {
@@ -370,6 +401,16 @@ TEST(SpecFuzz, RandomOptimiseSpecsRoundTripLosslessly) {
     ASSERT_NO_THROW(spec.validate()) << "generator bug, case " << i;
     const std::string text = ehsim::io::to_json(spec).dump(2);
     EXPECT_EQ(ehsim::io::optimise_from_json(JsonValue::parse(text)), spec) << "case " << i;
+  }
+}
+
+TEST(SpecFuzz, RandomEnsembleSpecsRoundTripLosslessly) {
+  SplitMix64 rng(0x5EED07ull);
+  for (int i = 0; i < 80; ++i) {
+    const EnsembleSpec spec = random_ensemble(rng);
+    ASSERT_NO_THROW(spec.validate()) << "generator bug, case " << i;
+    const std::string text = ehsim::io::to_json(spec).dump(2);
+    EXPECT_EQ(ehsim::io::ensemble_from_json(JsonValue::parse(text)), spec) << "case " << i;
   }
 }
 
@@ -417,15 +458,18 @@ TEST(SpecFuzz, EveryMutatedKeyIsRejected) {
   SplitMix64 rng(0x5EED04ull);
   for (int i = 0; i < 25; ++i) {
     JsonValue document;
-    switch (i % 3) {
+    switch (i % 4) {
       case 0:
         document = ehsim::io::to_json(random_experiment(rng));
         break;
       case 1:
         document = ehsim::io::to_json(random_sweep(rng));
         break;
-      default:
+      case 2:
         document = ehsim::io::to_json(random_optimise(rng));
+        break;
+      default:
+        document = ehsim::io::to_json(random_ensemble(rng));
         break;
     }
     const std::size_t keys = count_object_keys(document);
@@ -440,6 +484,52 @@ TEST(SpecFuzz, EveryMutatedKeyIsRejected) {
           << "case " << i << ", key " << key << ": " << mutated.dump();
     }
   }
+}
+
+/// Strict-key coverage of the checkpoint document: write a real mid-run
+/// checkpoint, then rename *every* object key in it (envelope, workload
+/// meta, embedded spec, session payload) — each mutation must make the
+/// resume path throw ModelError instead of restoring corrupted state.
+TEST(CheckpointFuzz, EveryMutatedCheckpointKeyIsRejected) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ehsim_ckpt_fuzz";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ExperimentSpec spec;
+  spec.name = "ckpt-fuzz";
+  spec.duration = 0.4;
+  spec.pre_tuned_hz = 70.0;
+  spec.with_mcu = true;
+  spec.trace_interval = 0.05;
+  spec.excitation.initial_frequency_hz = 70.0;
+
+  CheckpointOptions writing;
+  writing.every = 0.2;
+  writing.dir = dir.string();
+  writing.abort_after = 1;
+  ASSERT_FALSE(run_experiment_checkpointed(spec, RunOptions{}, writing).has_value());
+  const std::string path = checkpoint_file_path(writing, spec.name);
+  const JsonValue document = JsonValue::parse(ehsim::io::read_file(path));
+
+  CheckpointOptions resuming;
+  resuming.dir = dir.string();
+  resuming.resume = true;
+  const std::size_t keys = count_object_keys(document);
+  ASSERT_GT(keys, 0u);
+  for (std::size_t key = 0; key < keys; ++key) {
+    JsonValue mutated = document;
+    std::size_t cursor = key;
+    ASSERT_TRUE(mutate_key(mutated, cursor));
+    ehsim::io::write_file(path, mutated.dump(-1));
+    EXPECT_THROW((void)run_experiment_checkpointed(spec, RunOptions{}, resuming), ModelError)
+        << "checkpoint key " << key << " of " << keys;
+  }
+
+  // And the unmutated document still resumes — the harness itself is sound.
+  ehsim::io::write_file(path, document.dump(-1));
+  EXPECT_TRUE(run_experiment_checkpointed(spec, RunOptions{}, resuming).has_value());
+  fs::remove_all(dir);
 }
 
 // ---- parser robustness ----------------------------------------------------

@@ -10,12 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "experiments/ensemble.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/sweep.hpp"
@@ -103,8 +105,8 @@ TEST(ServeProtocol, ParsesJobAndControlEnvelopes) {
   const Request run = parse_request(envelope(7, "run", io::to_json(spec)));
   EXPECT_EQ(run.id, 7u);
   EXPECT_EQ(run.type, RequestType::kRun);
-  ASSERT_TRUE(run.spec.experiment.has_value());
-  EXPECT_EQ(*run.spec.experiment, spec);
+  ASSERT_NE(run.spec.get_if<ExperimentSpec>(), nullptr);
+  EXPECT_EQ(*run.spec.get_if<ExperimentSpec>(), spec);
 
   const Request stats = parse_request(control(3, "stats"));
   EXPECT_EQ(stats.type, RequestType::kStats);
@@ -421,6 +423,216 @@ TEST(ServeServer, ColdModeMatchesOneShotWithAllCachesDisabled) {
   EXPECT_EQ(stats[0].at("session_pool").at("capacity").as_number(), 0.0);
   EXPECT_EQ(stats[0].at("session_pool").at("hits").as_number(), 0.0);
   EXPECT_EQ(stats[0].at("op_cache").at("entries").as_number(), 0.0);
+}
+
+// ---- checkpoint / resume / ensemble envelopes -------------------------------
+
+/// Scratch directory for the checkpoint serve tests.
+struct ScratchDir {
+  std::filesystem::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() / ("ehsim_serve_" + name)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+/// tiny_spec plus a seeded drift walk (the variation an ensemble needs).
+ExperimentSpec tiny_walk_spec(const std::string& name) {
+  ExperimentSpec spec = tiny_spec(name);
+  experiments::RandomWalkParams walk;
+  walk.step_interval = 0.005;
+  walk.frequency_sigma = 0.3;
+  walk.seed = 5;
+  walk.min_frequency_hz = 60.0;
+  walk.max_frequency_hz = 80.0;
+  spec.excitation.random_walk(0.01, 0.03, walk);
+  return spec;
+}
+
+std::string envelope_checkpointed(std::uint64_t id, const char* type, const JsonValue& spec,
+                                  const std::string& dir, double every) {
+  JsonValue json = JsonValue::make_object();
+  json.set("id", static_cast<double>(id));
+  json.set("type", type);
+  json.set("spec", spec);
+  JsonValue checkpoint = JsonValue::make_object();
+  checkpoint.set("dir", dir);
+  if (every > 0.0) {
+    checkpoint.set("every", every);
+  }
+  json.set("checkpoint", checkpoint);
+  return json.dump(-1);
+}
+
+TEST(ServeProtocol, ParsesEnsembleResumeAndCheckpointEnvelopes) {
+  experiments::EnsembleSpec ensemble;
+  ensemble.base = tiny_walk_spec("proto-ens");
+  ensemble.seeds = {1, 2};
+  const Request parsed = parse_request(envelope(11, "ensemble", io::to_json(ensemble)));
+  EXPECT_EQ(parsed.type, RequestType::kEnsemble);
+  ASSERT_NE(parsed.spec.get_if<experiments::EnsembleSpec>(), nullptr);
+  EXPECT_EQ(*parsed.spec.get_if<experiments::EnsembleSpec>(), ensemble);
+  EXPECT_FALSE(parsed.checkpoint.has_value());
+
+  const ExperimentSpec spec = tiny_spec("proto-ckpt");
+  const Request run =
+      parse_request(envelope_checkpointed(12, "run", io::to_json(spec), "ckpt", 2.5));
+  ASSERT_TRUE(run.checkpoint.has_value());
+  EXPECT_EQ(run.checkpoint->dir, "ckpt");
+  EXPECT_EQ(run.checkpoint->every, 2.5);
+
+  // Resume may omit "every": finish the run without writing more files.
+  const Request resume =
+      parse_request(envelope_checkpointed(13, "resume", io::to_json(spec), "ckpt", 0.0));
+  EXPECT_EQ(resume.type, RequestType::kResume);
+  ASSERT_TRUE(resume.checkpoint.has_value());
+  EXPECT_EQ(resume.checkpoint->every, 0.0);
+  // ...and accepts a sweep spec too (a checkpointed sweep resumes as one).
+  experiments::SweepSpec sweep;
+  sweep.base = tiny_spec("proto-resume-sweep");
+  sweep.axes.push_back(experiments::SweepAxis{"spec.pre_tuned_hz", {69.0, 70.0}, {}});
+  EXPECT_EQ(parse_request(envelope_checkpointed(14, "resume", io::to_json(sweep), "ckpt", 0.0))
+                .type,
+            RequestType::kResume);
+}
+
+TEST(ServeProtocol, CheckpointRejectionsNameTheOffendingKey) {
+  const auto key_of = [](const std::string& line) {
+    try {
+      (void)parse_request(line);
+    } catch (const ProtocolError& error) {
+      return std::string(error.key());
+    }
+    return std::string("<accepted>");
+  };
+  const JsonValue spec = io::to_json(tiny_spec("ckpt-reject"));
+  experiments::EnsembleSpec ensemble;
+  ensemble.base = tiny_walk_spec("ckpt-reject-ens");
+  ensemble.seeds = {1, 2};
+
+  // Malformed checkpoint blocks: not an object, missing "every" on run,
+  // unknown key, non-positive cadence.
+  const auto with_checkpoint = [&](const JsonValue& block) {
+    JsonValue json = JsonValue::make_object();
+    json.set("id", 1.0);
+    json.set("type", "run");
+    json.set("spec", spec);
+    json.set("checkpoint", block);
+    return json.dump(-1);
+  };
+  EXPECT_EQ(key_of(with_checkpoint(JsonValue(7.0))), "checkpoint");
+  EXPECT_EQ(key_of(envelope_checkpointed(1, "run", spec, "ckpt", 0.0)), "checkpoint");
+  {
+    JsonValue block = JsonValue::make_object();
+    block.set("dir", "ckpt");
+    block.set("evry", 1.0);
+    EXPECT_EQ(key_of(with_checkpoint(block)), "checkpoint");
+    block = JsonValue::make_object();
+    block.set("dir", "ckpt");
+    block.set("every", -1.0);
+    EXPECT_EQ(key_of(with_checkpoint(block)), "checkpoint");
+    block = JsonValue::make_object();
+    block.set("every", 1.0);
+    EXPECT_EQ(key_of(with_checkpoint(block)), "checkpoint");
+  }
+  // Checkpointing only applies to run/sweep/resume.
+  EXPECT_EQ(key_of(envelope_checkpointed(1, "ensemble", io::to_json(ensemble), "ckpt", 1.0)),
+            "checkpoint");
+  // Resume cannot work without a checkpoint directory.
+  EXPECT_EQ(key_of(envelope(1, "resume", spec)), "checkpoint");
+  // Payload/type mismatches for the new job types still name the spec.
+  EXPECT_EQ(key_of(envelope(1, "ensemble", spec)), "spec");
+  EXPECT_EQ(key_of(envelope(1, "run", io::to_json(ensemble))), "spec");
+}
+
+TEST(ServeServer, CheckpointedRunStreamsCheckpointEventsAndMatchesDirect) {
+  const ExperimentSpec spec = tiny_spec("serve-ckpt");
+  ScratchDir serve_dir("run_events");
+  ScratchDir direct_dir("run_events_direct");
+
+  const std::string script =
+      envelope_checkpointed(1, "run", io::to_json(spec), serve_dir.str(), 0.02) + "\n" +
+      control(2, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  // 0.05 s at a 0.02 s cadence: checkpoints at 0.02, 0.04 and 0.05.
+  const std::vector<JsonValue> checkpoints = events_of(events, "checkpoint", 1);
+  ASSERT_EQ(checkpoints.size(), 3u);
+  EXPECT_EQ(checkpoints[0].at("sim_time").as_number(), 0.02);
+  EXPECT_EQ(checkpoints[1].at("sim_time").as_number(), 0.04);
+  EXPECT_EQ(checkpoints[2].at("sim_time").as_number(), 0.05);
+  for (const JsonValue& event : checkpoints) {
+    EXPECT_EQ(event.at("job").as_string(), "serve-ckpt");
+    EXPECT_TRUE(std::filesystem::exists(event.at("path").as_string()));
+  }
+
+  // The result is the checkpointed trajectory, bit for bit.
+  experiments::CheckpointOptions direct;
+  direct.every = 0.02;
+  direct.dir = direct_dir.str();
+  const auto cold =
+      run_experiment_checkpointed(spec, experiments::RunOptions{}, direct);
+  ASSERT_TRUE(cold.has_value());
+  const std::vector<JsonValue> results = events_of(events, "result", 1);
+  ASSERT_EQ(results.size(), 1u);
+  expect_identical(io::to_json(*cold), results[0].at("result"));
+}
+
+TEST(ServeServer, ResumeContinuesKilledRunBitIdentically) {
+  const ExperimentSpec spec = tiny_spec("serve-resume");
+  ScratchDir kill_dir("resume_kill");
+  ScratchDir full_dir("resume_full");
+
+  // Kill the run out of band after its first checkpoint...
+  experiments::CheckpointOptions kill;
+  kill.every = 0.02;
+  kill.dir = kill_dir.str();
+  kill.abort_after = 1;
+  ASSERT_FALSE(
+      run_experiment_checkpointed(spec, experiments::RunOptions{}, kill).has_value());
+
+  // ...and let the daemon finish it from the files left on disk.
+  const std::string script =
+      envelope_checkpointed(1, "resume", io::to_json(spec), kill_dir.str(), 0.02) + "\n" +
+      control(2, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  experiments::CheckpointOptions full;
+  full.every = 0.02;
+  full.dir = full_dir.str();
+  const auto uninterrupted =
+      run_experiment_checkpointed(spec, experiments::RunOptions{}, full);
+  ASSERT_TRUE(uninterrupted.has_value());
+  const std::vector<JsonValue> results = events_of(events, "result", 1);
+  ASSERT_EQ(results.size(), 1u);
+  expect_identical(io::to_json(*uninterrupted), results[0].at("result"));
+  // The daemon resumed mid-run instead of starting over: the remaining
+  // boundaries (0.04, 0.05) fire, the already-written 0.02 one does not.
+  EXPECT_EQ(events_of(events, "checkpoint", 1).size(), 2u);
+}
+
+TEST(ServeServer, EnsembleStreamsStatisticsBitIdenticalToDirect) {
+  experiments::EnsembleSpec ensemble;
+  ensemble.base = tiny_walk_spec("serve-ensemble");
+  ensemble.seeds = {4, 9, 2};
+
+  const std::string script =
+      envelope(1, "ensemble", io::to_json(ensemble)) + "\n" + control(2, "shutdown") + "\n";
+  const std::vector<JsonValue> events = serve_session(script);
+
+  const std::vector<JsonValue> progress = events_of(events, "progress", 1);
+  ASSERT_EQ(progress.size(), 1u);
+  EXPECT_EQ(progress[0].at("jobs").as_number(), 3.0);
+
+  const std::vector<JsonValue> results = events_of(events, "result", 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("type").as_string(), "ensemble");
+  EXPECT_EQ(results[0].at("replicas").as_number(), 3.0);
+  const experiments::EnsembleResult cold = experiments::run_ensemble(ensemble);
+  expect_identical(io::to_json(cold), results[0].at("result"));
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 ///   ehsim run spec.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
 ///   ehsim sweep sweep.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
 ///   ehsim optimise optimise.json [--warm-start] [--out DIR] [--quiet]
+///   ehsim ensemble ensemble.json [--threads N] [--out DIR] [--quiet]
+///   ehsim resume spec.json --checkpoint-dir DIR [--checkpoint-every S] [run flags]
 ///   ehsim serve [--threads N] [--out DIR] [--script FILE] [--queue N] [--pool N] [--cold]
 ///   ehsim echo spec.json
 ///   ehsim compare expected actual [--rtol R] [--atol A] [--ignore k1,k2,...]
@@ -16,8 +18,14 @@
 ///
 /// `run` accepts experiment and sweep spec types; `sweep` insists on a sweep
 /// file; `optimise` insists on an optimise file and writes the search log +
-/// optimum as <name>.optimise.json. Results land as <name>.result.json plus
+/// optimum as <name>.optimise.json; `ensemble` insists on an ensemble file
+/// and writes <name>.ensemble.json plus every replica's result files.
+/// Results land as <name>.result.json plus
 /// <name>.trace.csv per job under --out (default: current directory).
+/// `run`/`sweep` take --checkpoint-every S --checkpoint-dir D to write
+/// periodic per-job checkpoint files; `resume` continues a killed
+/// checkpointed run from those files, bit-identical to the uninterrupted
+/// run with the same cadence (docs/checkpoint_format.md).
 /// `--probes` appends quick probe shorthands (`net:Vm`, `state:supercap.Vi`,
 /// `power`, `harvested`, `energy`) to the spec before running. `compare`
 /// diffs two result files (tolerance-aware, .json or .csv by extension) and
@@ -67,9 +75,23 @@ int usage(std::FILE* where = stderr) {
                "      bit-identical, diverged ones within compare tolerances);\n"
                "      lockstep_expm adds exact matrix-exponential segment\n"
                "      propagation. Overrides the sweep spec's batch_kernel.\n"
+               "      --checkpoint-every S --checkpoint-dir D write one checkpoint\n"
+               "      file per job into D at every S simulated seconds (atomic\n"
+               "      replace; see docs/checkpoint_format.md).\n"
                "  sweep <sweep.json> [--threads N] [--warm-start] [--batch-kernel K]\n"
                "      [--out DIR] [--probes LIST] [--quiet]\n"
                "      Like run, but requires a sweep spec.\n"
+               "  resume <spec.json> --checkpoint-dir D [--checkpoint-every S]\n"
+               "      [run flags]\n"
+               "      Continue a killed checkpointed run/sweep from the files in D.\n"
+               "      With the same --checkpoint-every the finished results are\n"
+               "      bit-identical (modulo cpu_seconds) to the uninterrupted run;\n"
+               "      jobs without a checkpoint file start from t=0.\n"
+               "  ensemble <ensemble.json> [--threads N] [--warm-start]\n"
+               "      [--batch-kernel K] [--out DIR] [--quiet]\n"
+               "      Run the K seed-varied replicas of an ensemble spec and write\n"
+               "      <name>.ensemble.json (per-probe mean/stderr/min/max across\n"
+               "      replicas) plus each replica's result/trace files.\n"
                "  optimise <optimise.json> [--warm-start] [--out DIR] [--quiet]\n"
                "      Run a declarative optimisation — golden section over one\n"
                "      variable, cyclic coordinate descent over a \"variables\"\n"
@@ -78,8 +100,10 @@ int usage(std::FILE* where = stderr) {
                "  serve [--threads N] [--out DIR] [--script FILE] [--queue N]\n"
                "      [--pool N] [--cold]\n"
                "      Long-lived simulation service: read newline-delimited request\n"
-               "      envelopes ({\"id\":..,\"type\":\"run|sweep|optimise|cancel|stats|\n"
-               "      shutdown\",\"spec\":{..}} or \"spec_path\") from stdin (or --script),\n"
+               "      envelopes ({\"id\":..,\"type\":\"run|sweep|optimise|ensemble|resume|\n"
+               "      cancel|stats|shutdown\",\"spec\":{..}} or \"spec_path\") from stdin\n"
+               "      (or --script), with an optional \"checkpoint\" block on\n"
+               "      run/sweep/resume,\n"
                "      stream JSON events to stdout, and keep diode tables, operating\n"
                "      points and prepared sessions warm across requests. Responses are\n"
                "      bit-identical to cold one-shot runs of the same specs (modulo\n"
@@ -101,8 +125,11 @@ struct RunArgs {
   std::string spec_path;
   std::size_t threads = 0;
   std::string out_dir = ".";
-  std::string probes;        ///< comma list of --probes shorthands (may be empty)
-  std::string batch_kernel;  ///< jobs | lockstep | lockstep_expm (empty: spec's choice)
+  std::string probes;          ///< comma list of --probes shorthands (may be empty)
+  std::string batch_kernel;    ///< jobs | lockstep | lockstep_expm (empty: spec's choice)
+  std::string checkpoint_dir;  ///< empty: checkpointing off
+  double checkpoint_every = 0.0;
+  int abort_after = -1;  ///< test hook: stop after N checkpoints (exit 3)
   bool warm_start = false;
   bool quiet = false;
 };
@@ -119,6 +146,12 @@ std::optional<RunArgs> parse_run_args(const std::vector<std::string>& args) {
       run.probes = args[++i];
     } else if (arg == "--batch-kernel" && i + 1 < args.size()) {
       run.batch_kernel = args[++i];
+    } else if (arg == "--checkpoint-dir" && i + 1 < args.size()) {
+      run.checkpoint_dir = args[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < args.size()) {
+      run.checkpoint_every = std::stod(args[++i]);
+    } else if (arg == "--abort-after-checkpoints" && i + 1 < args.size()) {
+      run.abort_after = std::stoi(args[++i]);
     } else if (arg == "--warm-start") {
       run.warm_start = true;
     } else if (arg == "--quiet") {
@@ -239,27 +272,36 @@ void print_summary(const std::vector<experiments::ScenarioResult>& results,
   }
 }
 
-int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
+/// Resolve the checkpoint flags into CheckpointOptions (empty optional:
+/// checkpointing off). --abort-after-checkpoints implies checkpointing.
+std::optional<experiments::CheckpointOptions> checkpoint_options(const RunArgs& run,
+                                                                 bool resume) {
+  if (run.checkpoint_dir.empty() && run.checkpoint_every <= 0.0 && !resume) {
+    return std::nullopt;
+  }
+  if (run.checkpoint_dir.empty()) {
+    throw ehsim::ModelError("--checkpoint-every needs --checkpoint-dir");
+  }
+  experiments::CheckpointOptions checkpointing;
+  checkpointing.every = run.checkpoint_every;
+  checkpointing.dir = run.checkpoint_dir;
+  checkpointing.resume = resume;
+  checkpointing.abort_after = run.abort_after;
+  return checkpointing;
+}
+
+/// `ehsim run` / `ehsim sweep` / `ehsim resume` — one body, spec-dispatched.
+/// Exit codes: 0 done, 1 usage/model error, 3 stopped by
+/// --abort-after-checkpoints (the checkpoint files are on disk for resume).
+int cmd_run(const std::vector<std::string>& args, bool require_sweep, bool resume) {
   const auto run = parse_run_args(args);
   if (!run) {
     return 1;
   }
-  io::SpecFile file = io::load_spec_file(run->spec_path);
-  if (file.optimise) {
-    std::fprintf(stderr, "ehsim run: '%s' is an optimise spec (use `ehsim optimise`)\n",
-                 run->spec_path.c_str());
-    return 1;
-  }
-  if (require_sweep && !file.sweep) {
-    std::fprintf(stderr, "ehsim sweep: '%s' is not a sweep spec (use `ehsim run`)\n",
-                 run->spec_path.c_str());
-    return 1;
-  }
-  if (!run->probes.empty()) {
-    apply_probe_flag(file.sweep ? file.sweep->base : *file.experiment, run->probes);
-  }
+  io::AnySpec file = io::load_spec_file(run->spec_path);
+  const std::optional<experiments::CheckpointOptions> checkpointing =
+      checkpoint_options(*run, resume);
 
-  std::vector<experiments::ScenarioResult> results;
   experiments::BatchStats batch;
   experiments::BatchOptions options;
   options.threads = run->threads;
@@ -267,22 +309,111 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep) {
   if (!run->batch_kernel.empty()) {
     options.batch_kernel = experiments::parse_batch_kernel(run->batch_kernel);
   }
-  if (file.sweep) {
-    options.warm_start = options.warm_start || file.sweep->warm_start;
-    if (run->batch_kernel.empty()) {
-      options.batch_kernel = file.sweep->batch_kernel;
-    }
-    results = experiments::run_sweep(*file.sweep, options, &batch);
-  } else {
-    // Single experiments route through the batch layer too, so --warm-start
-    // and the counters behave uniformly (one job: the producer seeds it).
-    options.threads = 1;  // one job — run inline, never spin up a pool
-    results = experiments::run_scenario_batch(
-        {experiments::ScenarioJob{*file.experiment, std::nullopt}}, options, &batch);
+
+  // The one type-switch of the command: every other branch below is plain
+  // option plumbing shared by all spec flavours.
+  std::optional<std::vector<experiments::ScenarioResult>> results;
+  const int wrong_spec = file.dispatch(io::overloaded{
+      [&](experiments::ExperimentSpec& spec) {
+        if (require_sweep) {
+          std::fprintf(stderr, "ehsim sweep: '%s' is not a sweep spec (use `ehsim run`)\n",
+                       run->spec_path.c_str());
+          return 1;
+        }
+        if (!run->probes.empty()) {
+          apply_probe_flag(spec, run->probes);
+        }
+        // Single experiments route through the batch layer too, so
+        // --warm-start and the counters behave uniformly (one job: the
+        // producer seeds it).
+        options.threads = 1;  // one job — run inline, never spin up a pool
+        const std::vector<experiments::ScenarioJob> jobs{
+            experiments::ScenarioJob{spec, std::nullopt}};
+        results = checkpointing
+                      ? experiments::run_scenario_batch_checkpointed(jobs, options,
+                                                                     *checkpointing, &batch)
+                      : std::optional(experiments::run_scenario_batch(jobs, options, &batch));
+        return 0;
+      },
+      [&](experiments::SweepSpec& sweep) {
+        if (!run->probes.empty()) {
+          apply_probe_flag(sweep.base, run->probes);
+        }
+        options.warm_start = options.warm_start || sweep.warm_start;
+        if (run->batch_kernel.empty()) {
+          options.batch_kernel = sweep.batch_kernel;
+        }
+        results = checkpointing
+                      ? experiments::run_sweep_checkpointed(sweep, options, *checkpointing,
+                                                            &batch)
+                      : std::optional(experiments::run_sweep(sweep, options, &batch));
+        return 0;
+      },
+      [&](experiments::OptimiseSpec&) {
+        std::fprintf(stderr, "ehsim run: '%s' is an optimise spec (use `ehsim optimise`)\n",
+                     run->spec_path.c_str());
+        return 1;
+      },
+      [&](experiments::EnsembleSpec&) {
+        std::fprintf(stderr, "ehsim run: '%s' is an ensemble spec (use `ehsim ensemble`)\n",
+                     run->spec_path.c_str());
+        return 1;
+      }});
+  if (wrong_spec != 0) {
+    return wrong_spec;
   }
-  write_results(results, *run);
+  if (!results) {
+    // The --abort-after-checkpoints hook stopped the run mid-flight; the
+    // checkpoint files are committed, so `ehsim resume` can finish it.
+    if (!run->quiet) {
+      std::printf("stopped after %d checkpoint(s); resume with `ehsim resume %s "
+                  "--checkpoint-dir %s`\n",
+                  run->abort_after, run->spec_path.c_str(), run->checkpoint_dir.c_str());
+    }
+    return 3;
+  }
+  write_results(*results, *run);
   if (!run->quiet) {
-    print_summary(results, &batch);
+    print_summary(*results, &batch);
+  }
+  return 0;
+}
+
+int cmd_ensemble(const std::vector<std::string>& args) {
+  const auto run = parse_run_args(args);
+  if (!run) {
+    return 1;
+  }
+  if (!run->probes.empty()) {
+    std::fprintf(stderr,
+                 "ehsim ensemble: --probes is not supported (declare probes in the "
+                 "spec's base experiment)\n");
+    return 1;
+  }
+  io::AnySpec file = io::load_spec_file(run->spec_path);
+  experiments::EnsembleSpec* spec = file.get_if<experiments::EnsembleSpec>();
+  if (spec == nullptr) {
+    std::fprintf(stderr, "ehsim ensemble: '%s' is not an ensemble spec (use `ehsim run`)\n",
+                 run->spec_path.c_str());
+    return 1;
+  }
+  experiments::BatchOptions options;
+  options.threads = run->threads;
+  options.warm_start = run->warm_start || spec->warm_start;
+  options.batch_kernel = run->batch_kernel.empty()
+                             ? spec->batch_kernel
+                             : experiments::parse_batch_kernel(run->batch_kernel);
+  experiments::BatchStats batch;
+  const experiments::EnsembleResult result = experiments::run_ensemble(*spec, options, &batch);
+  const std::string stem = io::write_ensemble_result_files(run->out_dir, result);
+  if (!run->quiet) {
+    std::printf("wrote %s.ensemble.json (%zu replicas)\n", stem.c_str(), result.runs.size());
+    print_summary(result.runs, &batch);
+    std::printf("ensemble final Vc [V]: mean %s +- %s stderr (min %s, max %s)\n",
+                experiments::format_double(result.final_vc.mean, 4).c_str(),
+                experiments::format_double(result.final_vc.stderr_mean, 4).c_str(),
+                experiments::format_double(result.final_vc.minimum, 4).c_str(),
+                experiments::format_double(result.final_vc.maximum, 4).c_str());
   }
   return 0;
 }
@@ -304,17 +435,18 @@ int cmd_optimise(const std::vector<std::string>& args) {
                  "probe depends on the previous bracket)\n");
     return 1;
   }
-  io::SpecFile file = io::load_spec_file(run->spec_path);
-  if (!file.optimise) {
+  io::AnySpec file = io::load_spec_file(run->spec_path);
+  experiments::OptimiseSpec* optimise = file.get_if<experiments::OptimiseSpec>();
+  if (optimise == nullptr) {
     std::fprintf(stderr, "ehsim optimise: '%s' is not an optimise spec (use `ehsim run`)\n",
                  run->spec_path.c_str());
     return 1;
   }
   if (run->warm_start) {
-    file.optimise->warm_start = true;
+    optimise->warm_start = true;
   }
 
-  const experiments::OptimiseResult result = experiments::run_optimise(*file.optimise);
+  const experiments::OptimiseResult result = experiments::run_optimise(*optimise);
   std::filesystem::create_directories(run->out_dir);
   const std::string stem =
       (std::filesystem::path(run->out_dir) / io::safe_file_stem(result.name)).string();
@@ -344,7 +476,7 @@ int cmd_optimise(const std::vector<std::string>& args) {
                   result.statistic.c_str(),
                   experiments::format_double(result.best_nd.value, 6).c_str(),
                   point.c_str(), result.best_nd.sweeps, result.statistic.c_str(),
-                  file.optimise->objective.c_str());
+                  optimise->objective.c_str());
     } else {
       std::printf("%s %s: best %s = %s at %s (%s of probe '%s')\n",
                   result.maximise ? "maximised" : "minimised", result.name.c_str(),
@@ -352,7 +484,7 @@ int cmd_optimise(const std::vector<std::string>& args) {
                   experiments::format_double(result.best.value, 6).c_str(),
                   (result.variable + " = " + experiments::format_double(result.best.x, 6))
                       .c_str(),
-                  result.statistic.c_str(), file.optimise->objective.c_str());
+                  result.statistic.c_str(), optimise->objective.c_str());
     }
   }
   return 0;
@@ -398,10 +530,9 @@ int cmd_echo(const std::vector<std::string>& args) {
     std::fprintf(stderr, "ehsim echo: expected exactly one spec file\n");
     return 1;
   }
-  const io::SpecFile file = io::load_spec_file(args[0]);
-  const io::JsonValue json = file.sweep      ? io::to_json(*file.sweep)
-                             : file.optimise ? io::to_json(*file.optimise)
-                                             : io::to_json(*file.experiment);
+  const io::AnySpec file = io::load_spec_file(args[0]);
+  const io::JsonValue json =
+      file.dispatch([](const auto& spec) { return io::to_json(spec); });
   std::printf("%s\n", json.dump(2).c_str());
   return 0;
 }
@@ -510,10 +641,16 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 2, argv + argc);
   try {
     if (command == "run") {
-      return cmd_run(args, /*require_sweep=*/false);
+      return cmd_run(args, /*require_sweep=*/false, /*resume=*/false);
     }
     if (command == "sweep") {
-      return cmd_run(args, /*require_sweep=*/true);
+      return cmd_run(args, /*require_sweep=*/true, /*resume=*/false);
+    }
+    if (command == "resume") {
+      return cmd_run(args, /*require_sweep=*/false, /*resume=*/true);
+    }
+    if (command == "ensemble") {
+      return cmd_ensemble(args);
     }
     if (command == "optimise" || command == "optimize") {
       return cmd_optimise(args);
@@ -539,7 +676,8 @@ int main(int argc, char** argv) {
     error.set("error", "unknown command");
     error.set("command", command);
     error.set("expected",
-              "run | sweep | optimise | serve | echo | compare | params | help");
+              "run | sweep | resume | ensemble | optimise | serve | echo | compare | "
+              "params | help");
     std::fprintf(stderr, "%s\n", error.dump(-1).c_str());
     return usage();
   } catch (const std::exception& error) {
