@@ -21,7 +21,9 @@ class WallTimer {
   }
 
  private:
-  using clock = std::chrono::steady_clock;
+  // The one sanctioned wall-clock read: feeds only the run-dependent
+  // cpu_seconds reporting field, never a simulated quantity.
+  using clock = std::chrono::steady_clock;  // lint:allow wall-clock
   clock::time_point start_;
 };
 

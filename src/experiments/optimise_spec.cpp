@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -192,6 +194,9 @@ OptimiseResult run_optimise(const OptimiseSpec& spec, OptimiseRuntime* runtime) 
     std::uint64_t signature = 0;
     std::uint64_t exact_signature = 0;
     bool cross_seeded = false;
+    // The seed copy must own its storage for the whole run:
+    // options.initial_terminals is a span over it.
+    std::optional<std::vector<double>> seed;
     if (cross != nullptr) {
       // Cross-request seeds are keyed by *exact* parameter bits and hold
       // only cold-converged points, so a hit seeds this candidate with its
@@ -200,17 +205,15 @@ OptimiseResult run_optimise(const OptimiseSpec& spec, OptimiseRuntime* runtime) 
       // an exact seed is never worse than a neighbour's.
       exact_signature =
           operating_point_signature(candidate, experiment_params(candidate), 0.0);
-      if (const std::vector<double>* seed = cross->find(exact_signature)) {
+      if ((seed = cross->find(exact_signature))) {
         options.initial_terminals = *seed;
         cross_seeded = true;
       }
     }
     if (spec.warm_start) {
       signature = operating_point_signature(candidate, experiment_params(candidate));
-      if (!cross_seeded) {
-        if (const std::vector<double>* seed = cache.find(signature)) {
-          options.initial_terminals = *seed;
-        }
+      if (!cross_seeded && (seed = cache.find(signature))) {
+        options.initial_terminals = *seed;
       }
     }
     ScenarioResult run = run_experiment(candidate, options);
@@ -221,7 +224,7 @@ OptimiseResult run_optimise(const OptimiseSpec& spec, OptimiseRuntime* runtime) 
           if (count_counters) {
             ++result.warm_start_hits;
           }
-          if (cross_seeded && cache.find(signature) == nullptr) {
+          if (cross_seeded && !cache.contains(signature)) {
             // The per-search cache must still learn this signature exactly
             // as a cold first visit would have (the terminals are the same
             // bits either way), or later quantised collisions would run
@@ -258,7 +261,7 @@ OptimiseResult run_optimise(const OptimiseSpec& spec, OptimiseRuntime* runtime) 
         }
       } else if (run.warm_start == WarmStartOutcome::kCold &&
                  !run.initial_terminals.empty() &&
-                 cross->find(exact_signature) == nullptr) {
+                 !cross->contains(exact_signature)) {
         // Only cold-converged points enter the cross cache (bit-identity
         // contract — see OptimiseRuntime); a quantised-seeded evaluation's
         // terminals are its neighbour's point, not this candidate's.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -562,10 +563,11 @@ std::optional<std::vector<ScenarioResult>> run_lockstep_batch(
     params.push_back(job.params ? *job.params : experiment_params(job.spec));
     RunOptions run_options;
     run_options.params_override = job.params ? &*job.params : nullptr;
-    if (options.warm_start) {
-      if (const std::vector<double>* seed = cache.find(signatures[i])) {
-        run_options.initial_terminals = *seed;
-      }
+    // The seed copy must own its storage for the whole prepare call:
+    // initial_terminals is a span over it.
+    std::optional<std::vector<double>> seed;
+    if (options.warm_start && (seed = cache.find(signatures[i]))) {
+      run_options.initial_terminals = *seed;
     }
     prepared.push_back(prepare_with_fallback(job.spec, run_options));
   }
@@ -689,9 +691,11 @@ std::optional<std::vector<ScenarioResult>> run_lockstep_batch(
         chunk.push_back(member);
       }
       sim::LockstepBatch batch(std::move(chunk), lockstep_options);
+      // lint:allow wall-clock -- march timing feeds only cpu_seconds
       const auto march_begin = std::chrono::steady_clock::now();
       batch.run();
       const double march_seconds =
+          // lint:allow wall-clock
           std::chrono::duration<double>(std::chrono::steady_clock::now() - march_begin)
               .count();
       accumulate(total, batch.counters());
@@ -841,7 +845,7 @@ WarmPhaseResult warm_start_phase(const std::vector<ScenarioJob>& jobs,
     ++multiplicity[signature];
   }
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (multiplicity[warm.signatures[i]] < 2 || cache.find(warm.signatures[i]) != nullptr) {
+    if (multiplicity[warm.signatures[i]] < 2 || cache.contains(warm.signatures[i])) {
       continue;
     }
     std::uint64_t iterations = 0;
@@ -871,7 +875,7 @@ void persist_warm_points(const std::vector<ScenarioResult>& results,
       // bad seed so later batches don't repeat the deterministic failure.
       cache.replace(signatures[i], results[i].initial_terminals);
     } else if (results[i].warm_start == WarmStartOutcome::kCold &&
-               cache.find(signatures[i]) == nullptr) {
+               !cache.contains(signatures[i])) {
       cache.store(signatures[i], results[i].initial_terminals);
     }
   }
@@ -933,10 +937,11 @@ std::vector<ScenarioResult> run_scenario_batch(const std::vector<ScenarioJob>& j
     results = runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
       RunOptions run_options;
       run_options.params_override = job.params ? &*job.params : nullptr;
-      if (options.warm_start) {
-        if (const std::vector<double>* seed = cache.find(warm.signatures[index])) {
-          run_options.initial_terminals = *seed;
-        }
+      // The seed copy must own its storage for the whole run:
+      // initial_terminals is a span over it.
+      std::optional<std::vector<double>> seed;
+      if (options.warm_start && (seed = cache.find(warm.signatures[index]))) {
+        run_options.initial_terminals = *seed;
       }
       return run_experiment(job.spec, run_options);
     });
@@ -1031,10 +1036,11 @@ std::optional<std::vector<ScenarioResult>> run_scenario_batch_checkpointed(
         runner.map_items(jobs, [&](const ScenarioJob& job, std::size_t index) {
           RunOptions run_options;
           run_options.params_override = job.params ? &*job.params : nullptr;
-          if (options.warm_start) {
-            if (const std::vector<double>* seed = cache.find(warm.signatures[index])) {
-              run_options.initial_terminals = *seed;
-            }
+          // The seed copy must own its storage for the whole run:
+          // initial_terminals is a span over it.
+          std::optional<std::vector<double>> seed;
+          if (options.warm_start && (seed = cache.find(warm.signatures[index]))) {
+            run_options.initial_terminals = *seed;
           }
           return run_experiment_checkpointed(job.spec, run_options, checkpointing);
         });

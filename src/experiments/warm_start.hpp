@@ -22,9 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "experiments/experiment_spec.hpp"
 
 namespace ehsim::experiments {
@@ -42,21 +45,47 @@ inline constexpr double kWarmStartQuantum = 1e-3;
                                                       const harvester::HarvesterParams& params,
                                                       double quantum = kWarmStartQuantum);
 
-/// Converged-operating-point store keyed by structural signature. Plain
-/// value semantics: the batch layer owns one per batch (populated serially
-/// before the fan-out, read-only during it), the optimise driver owns one
-/// across its evaluation sequence.
+/// Converged-operating-point store keyed by structural signature. The batch
+/// layer owns one per batch (populated serially before the fan-out, read by
+/// every pool worker during it), the optimise driver owns one across its
+/// evaluation sequence, and the serve daemon keeps one across requests —
+/// so the store is internally synchronised, with every seed guarded by the
+/// cache's own mutex (machine-checked on the clang CI leg). Lookups copy
+/// the seed out under the lock: a returned vector never aliases the map.
+///
+/// Determinism note: synchronisation makes concurrent access *safe*, not
+/// order-independent — batch consumers must still populate serially before
+/// a fan-out and keep first-store-wins (store, not replace), or seeds would
+/// depend on worker scheduling.
 class OperatingPointCache {
  public:
-  /// Terminal vector for \p signature; null when absent.
-  [[nodiscard]] const std::vector<double>* find(std::uint64_t signature) const {
+  OperatingPointCache() = default;
+  OperatingPointCache(const OperatingPointCache&) = delete;
+  OperatingPointCache& operator=(const OperatingPointCache&) = delete;
+
+  /// Copy of the terminal vector for \p signature; nullopt when absent.
+  [[nodiscard]] std::optional<std::vector<double>> find(std::uint64_t signature) const
+      EHSIM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
     const auto it = seeds_.find(signature);
-    return it == seeds_.end() ? nullptr : &it->second;
+    if (it == seeds_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Whether a seed is stored for \p signature (racy by nature under
+  /// concurrent stores — callers that branch on it must tolerate either
+  /// answer or hold the serialisation themselves, as the serial warm-start
+  /// phase and the serve worker do).
+  [[nodiscard]] bool contains(std::uint64_t signature) const EHSIM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    return seeds_.find(signature) != seeds_.end();
   }
 
   /// First store per signature wins (the producer's operating point stays
   /// the seed for every later job, independent of execution order).
-  void store(std::uint64_t signature, std::vector<double> terminals) {
+  void store(std::uint64_t signature, std::vector<double> terminals)
+      EHSIM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
     seeds_.emplace(signature, std::move(terminals));
   }
 
@@ -65,14 +94,20 @@ class OperatingPointCache {
   /// is not repeated on every later same-signature evaluation); batch
   /// consumers must keep first-store-wins or seeds would depend on
   /// execution order.
-  void replace(std::uint64_t signature, std::vector<double> terminals) {
+  void replace(std::uint64_t signature, std::vector<double> terminals)
+      EHSIM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
     seeds_.insert_or_assign(signature, std::move(terminals));
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return seeds_.size(); }
+  [[nodiscard]] std::size_t size() const EHSIM_EXCLUDES(mutex_) {
+    const core::MutexLock lock(mutex_);
+    return seeds_.size();
+  }
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<double>> seeds_;
+  mutable core::Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<double>> seeds_ EHSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace ehsim::experiments

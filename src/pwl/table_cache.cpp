@@ -2,7 +2,8 @@
 
 #include <cstring>
 #include <deque>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace ehsim::pwl {
 
@@ -28,11 +29,13 @@ struct CacheEntry {
   std::shared_ptr<const DiodeTable> table;
 };
 
+/// Process-wide cache state. Everything is guarded by the one mutex; the
+/// expensive table construction happens strictly outside it.
 struct Cache {
-  std::mutex mutex;
-  std::deque<CacheEntry> entries;  // FIFO eviction order
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  core::Mutex mutex;
+  std::deque<CacheEntry> entries EHSIM_GUARDED_BY(mutex);  // FIFO eviction order
+  std::size_t hits EHSIM_GUARDED_BY(mutex) = 0;
+  std::size_t misses EHSIM_GUARDED_BY(mutex) = 0;
 };
 
 Cache& cache() {
@@ -43,6 +46,22 @@ Cache& cache() {
 /// Distinct diode configurations alive at once in any realistic sweep; the
 /// bound only matters when the sweep axis is the diode itself.
 constexpr std::size_t kMaxEntries = 32;
+
+/// Linear scan for \p key (32 entries max — a map would be overkill).
+/// Returns the shared instance and counts the hit, or nullptr.
+std::shared_ptr<const DiodeTable> find_locked(Cache& c, const TableKey& key,
+                                              bool* was_hit) EHSIM_REQUIRES(c.mutex) {
+  for (const CacheEntry& entry : c.entries) {
+    if (entry.key == key) {
+      ++c.hits;
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return entry.table;
+    }
+  }
+  return nullptr;
+}
 
 }  // namespace
 
@@ -55,32 +74,20 @@ std::shared_ptr<const DiodeTable> shared_diode_table(const DiodeParams& params,
                      g_max};
   Cache& c = cache();
   {
-    std::scoped_lock lock(c.mutex);
-    for (const CacheEntry& entry : c.entries) {
-      if (entry.key == key) {
-        ++c.hits;
-        if (was_hit != nullptr) {
-          *was_hit = true;
-        }
-        return entry.table;
-      }
+    const core::MutexLock lock(c.mutex);
+    if (auto table = find_locked(c, key, was_hit)) {
+      return table;
     }
   }
   // Build outside the lock: table construction is the expensive part and
   // may throw. A racing builder of the same key wastes one build, nothing
   // worse — both results are bit-identical.
   auto table = std::make_shared<const DiodeTable>(params, segments, v_min, g_max);
-  std::scoped_lock lock(c.mutex);
-  for (const CacheEntry& entry : c.entries) {
-    if (entry.key == key) {
-      // Lost the race; share the incumbent so concurrent callers converge
-      // on one instance.
-      ++c.hits;
-      if (was_hit != nullptr) {
-        *was_hit = true;
-      }
-      return entry.table;
-    }
+  const core::MutexLock lock(c.mutex);
+  if (auto incumbent = find_locked(c, key, was_hit)) {
+    // Lost the race; share the incumbent so concurrent callers converge
+    // on one instance.
+    return incumbent;
   }
   ++c.misses;
   if (was_hit != nullptr) {
@@ -95,13 +102,13 @@ std::shared_ptr<const DiodeTable> shared_diode_table(const DiodeParams& params,
 
 TableCacheStats diode_table_cache_stats() {
   Cache& c = cache();
-  std::scoped_lock lock(c.mutex);
+  const core::MutexLock lock(c.mutex);
   return TableCacheStats{c.hits, c.misses, c.entries.size()};
 }
 
 void reset_diode_table_cache() {
   Cache& c = cache();
-  std::scoped_lock lock(c.mutex);
+  const core::MutexLock lock(c.mutex);
   c.entries.clear();
   c.hits = 0;
   c.misses = 0;

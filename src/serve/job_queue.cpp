@@ -12,10 +12,10 @@ JobQueue::JobQueue(std::size_t capacity) : ring_(capacity) {
 }
 
 bool JobQueue::enqueue(Request request) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock, [this] {
-    return depth_ < ring_.size() || state_ != State::kAccepting;
-  });
+  core::MutexLock lock(mutex_);
+  while (depth_ >= ring_.size() && state_ == State::kAccepting) {
+    not_full_.wait(mutex_);
+  }
   if (state_ != State::kAccepting) return false;
   ring_[(head_ + depth_) % ring_.size()] = std::move(request);
   ++depth_;
@@ -27,9 +27,10 @@ bool JobQueue::enqueue(Request request) {
 }
 
 std::optional<Request> JobQueue::dequeue() {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock,
-                  [this] { return depth_ > 0 || state_ != State::kAccepting; });
+  core::MutexLock lock(mutex_);
+  while (depth_ == 0 && state_ == State::kAccepting) {
+    not_empty_.wait(mutex_);
+  }
   if (depth_ == 0) {
     // close() raced in before any backlog built up, or the backlog is gone:
     // the drain is complete.
@@ -49,7 +50,7 @@ std::optional<Request> JobQueue::dequeue() {
 
 void JobQueue::close() {
   {
-    std::lock_guard lock(mutex_);
+    const core::MutexLock lock(mutex_);
     if (state_ == State::kAccepting) state_ = State::kDraining;
     if (depth_ == 0) state_ = State::kClosed;
   }
@@ -58,7 +59,7 @@ void JobQueue::close() {
 }
 
 JobQueue::Stats JobQueue::stats() const {
-  std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return Stats{ring_.size(), depth_,     enqueued_,
                dequeued_,    max_depth_, state_};
 }

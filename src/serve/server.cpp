@@ -63,18 +63,31 @@ io::JsonValue probes_summary(const std::vector<experiments::ProbeResult>& probes
   return array;
 }
 
+/// One coherent copy of the Server counters, taken under stats_mutex_ so
+/// the stats event never mixes values from different instants.
+struct Snapshot {
+  std::size_t received = 0;
+  std::size_t completed = 0;
+  std::size_t errors = 0;
+  std::size_t cancelled = 0;
+  std::size_t op_seeded_runs = 0;
+  std::size_t op_stored_points = 0;
+  std::size_t optimise_cross_hits = 0;
+  std::size_t optimise_cross_stores = 0;
+};
+
 }  // namespace
 
 Server::Server(std::istream& in, std::ostream& out, ServerOptions options)
     : in_(in),
-      out_(out),
       options_(std::move(options)),
       queue_(options_.queue_capacity),
-      pool_(options_.cross_request_caches ? options_.pool_capacity : 0) {}
+      pool_(options_.cross_request_caches ? options_.pool_capacity : 0),
+      out_(out) {}
 
 void Server::emit(const io::JsonValue& event) {
   const std::string line = event.dump(-1);
-  std::lock_guard lock(out_mutex_);
+  const core::MutexLock lock(out_mutex_);
   out_ << line << '\n' << std::flush;
 }
 
@@ -85,7 +98,10 @@ void Server::emit_error(std::uint64_t id, bool has_id, const std::string& messag
   json.set("event", "error");
   json.set("error", message);
   if (!key.empty()) json.set("key", key);
-  ++errors_;
+  {
+    const core::MutexLock lock(stats_mutex_);
+    ++errors_;
+  }
   emit(json);
 }
 
@@ -111,9 +127,12 @@ int Server::run() {
       emit_error(id.value_or(0), id.has_value(), error.what(), error.key());
       continue;
     }
-    ++received_;
+    {
+      const core::MutexLock lock(stats_mutex_);
+      ++received_;
+    }
     if (request.type == RequestType::kCancel) {
-      std::lock_guard lock(cancel_mutex_);
+      const core::MutexLock lock(cancel_mutex_);
       cancel_set_.insert(request.id);
       continue;
     }
@@ -131,16 +150,29 @@ void Server::worker_loop() {
   while (true) {
     std::optional<Request> request = queue_.dequeue();
     if (!request) return;
+    bool cancelled = false;
     {
-      std::lock_guard lock(cancel_mutex_);
-      if (const auto it = cancel_set_.find(request->id); it != cancel_set_.end()) {
-        cancel_set_.erase(it);
+      const core::MutexLock lock(cancel_mutex_);
+      cancelled = cancel_set_.erase(request->id) > 0;
+    }
+    if (cancelled) {
+      // The emit happens outside cancel_mutex_ — bookkeeping locks are
+      // never held across the emission lock (docs/concurrency.md).
+      {
+        const core::MutexLock lock(stats_mutex_);
         ++cancelled_;
-        emit(event_base("cancelled", request->id));
-        continue;
       }
+      emit(event_base("cancelled", request->id));
+      continue;
     }
     execute(*request);
+    // A cancel that raced in while this id was *running* must not linger:
+    // the job already completed, and a stale entry would spuriously cancel
+    // a later request that reuses the id.
+    {
+      const core::MutexLock lock(cancel_mutex_);
+      cancel_set_.erase(request->id);
+    }
   }
 }
 
@@ -164,11 +196,11 @@ void Server::execute(const Request& request) {
         break;
       case RequestType::kStats:
         emit_stats(request.id);
-        ++completed_;
+        count_completed();
         break;
       case RequestType::kShutdown:
         emit(event_base("shutdown", request.id));
-        ++completed_;
+        count_completed();
         break;
       case RequestType::kCancel:
         break;  // handled by the reader; never enqueued
@@ -181,11 +213,14 @@ void Server::execute(const Request& request) {
 experiments::PreparedRun Server::prepare_seeded(const experiments::ExperimentSpec& spec) {
   experiments::RunOptions options;
   std::uint64_t signature = 0;
+  // The seed copy must own its storage for the whole prepare call:
+  // options.initial_terminals is a span over it.
+  std::optional<std::vector<double>> seed;
   if (caches_on()) {
     signature =
         experiments::operating_point_signature(spec, experiments::experiment_params(spec),
                                                /*quantum=*/0.0);
-    if (const std::vector<double>* seed = op_cache_.find(signature)) {
+    if ((seed = op_cache_.find(signature))) {
       options.initial_terminals = *seed;
     }
   }
@@ -196,17 +231,20 @@ experiments::PreparedRun Server::prepare_seeded(const experiments::ExperimentSpe
 
 void Server::note_outcome(std::uint64_t signature, const experiments::PreparedRun& run) {
   switch (run.warm_start()) {
-    case experiments::WarmStartOutcome::kSeeded:
+    case experiments::WarmStartOutcome::kSeeded: {
+      const core::MutexLock lock(stats_mutex_);
       ++op_seeded_runs_;
       break;
+    }
     case experiments::WarmStartOutcome::kRejected:
       // Heal the entry so the deterministic rejection is not replayed on
       // every later request for this signature.
       op_cache_.replace(signature, run.initial_terminals());
       break;
     case experiments::WarmStartOutcome::kCold:
-      if (!run.initial_terminals().empty() && op_cache_.find(signature) == nullptr) {
+      if (!run.initial_terminals().empty() && !op_cache_.contains(signature)) {
         op_cache_.store(signature, run.initial_terminals());
+        const core::MutexLock lock(stats_mutex_);
         ++op_stored_points_;
       }
       break;
@@ -295,7 +333,7 @@ void Server::run_checkpointed(const Request& request, bool resume) {
         // checkpoint block.
         throw ModelError("checkpointed execution needs an experiment or sweep spec");
       }});
-  ++completed_;
+  count_completed();
 }
 
 void Server::handle_resume(const Request& request) { run_checkpointed(request, true); }
@@ -328,7 +366,7 @@ void Server::handle_run(const Request& request) {
   }
 
   emit_scenario_result(request, "run", result, 0, 0);
-  ++completed_;
+  count_completed();
 }
 
 void Server::handle_sweep(const Request& request) {
@@ -371,6 +409,7 @@ void Server::handle_sweep(const Request& request) {
   const std::vector<experiments::ScenarioResult> results =
       experiments::run_sweep(sweep, batch, &stats);
   if (use_cross_cache) {
+    const core::MutexLock lock(stats_mutex_);
     op_seeded_runs_ += stats.warm_start_hits;
     op_stored_points_ += op_cache_.size() - entries_before;
   }
@@ -378,7 +417,7 @@ void Server::handle_sweep(const Request& request) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     emit_scenario_result(request, "sweep", results[i], i, total);
   }
-  ++completed_;
+  count_completed();
 }
 
 void Server::handle_ensemble(const Request& request) {
@@ -406,7 +445,7 @@ void Server::handle_ensemble(const Request& request) {
   if (!options_.out_dir.empty()) {
     io::write_ensemble_result_files(options_.out_dir, result);
   }
-  ++completed_;
+  count_completed();
 }
 
 void Server::handle_optimise(const Request& request) {
@@ -419,9 +458,12 @@ void Server::handle_optimise(const Request& request) {
   experiments::OptimiseRuntime runtime;
   if (caches_on()) runtime.cross_cache = &op_cache_;
   const experiments::OptimiseResult result = experiments::run_optimise(spec, &runtime);
-  optimise_cross_hits_ += runtime.cross_hits;
-  optimise_cross_stores_ += runtime.cross_stores;
-  op_stored_points_ += runtime.cross_stores;
+  {
+    const core::MutexLock lock(stats_mutex_);
+    optimise_cross_hits_ += runtime.cross_hits;
+    optimise_cross_stores_ += runtime.cross_stores;
+    op_stored_points_ += runtime.cross_stores;
+  }
 
   if (!result.best_run.probes.empty()) {
     io::JsonValue probes = event_base("probes", request.id);
@@ -444,17 +486,38 @@ void Server::handle_optimise(const Request& request) {
     io::write_file(stem + ".optimise.json", io::to_json(result).dump(2) + "\n");
     io::write_result_files(options_.out_dir, result.best_run);
   }
+  count_completed();
+}
+
+void Server::count_completed() {
+  const core::MutexLock lock(stats_mutex_);
   ++completed_;
 }
 
 void Server::emit_stats(std::uint64_t id) {
+  // One atomic snapshot of every counter pair (the worker thread executes
+  // stats requests in queue order, so the snapshot is also linearised with
+  // job execution — no job is half-counted).
+  Snapshot snapshot;
+  {
+    const core::MutexLock lock(stats_mutex_);
+    snapshot.received = received_;
+    snapshot.completed = completed_;
+    snapshot.errors = errors_;
+    snapshot.cancelled = cancelled_;
+    snapshot.op_seeded_runs = op_seeded_runs_;
+    snapshot.op_stored_points = op_stored_points_;
+    snapshot.optimise_cross_hits = optimise_cross_hits_;
+    snapshot.optimise_cross_stores = optimise_cross_stores_;
+  }
+
   io::JsonValue json = event_base("stats", id);
 
   io::JsonValue requests = io::JsonValue::make_object();
-  requests.set("received", static_cast<double>(received_.load()));
-  requests.set("completed", static_cast<double>(completed_.load()));
-  requests.set("errors", static_cast<double>(errors_.load()));
-  requests.set("cancelled", static_cast<double>(cancelled_.load()));
+  requests.set("received", static_cast<double>(snapshot.received));
+  requests.set("completed", static_cast<double>(snapshot.completed));
+  requests.set("errors", static_cast<double>(snapshot.errors));
+  requests.set("cancelled", static_cast<double>(snapshot.cancelled));
   json.set("requests", std::move(requests));
 
   const JobQueue::Stats queue = queue_.stats();
@@ -477,13 +540,13 @@ void Server::emit_stats(std::uint64_t id) {
 
   io::JsonValue op_json = io::JsonValue::make_object();
   op_json.set("entries", static_cast<double>(op_cache_.size()));
-  op_json.set("seeded_runs", static_cast<double>(op_seeded_runs_));
-  op_json.set("stored_points", static_cast<double>(op_stored_points_));
+  op_json.set("seeded_runs", static_cast<double>(snapshot.op_seeded_runs));
+  op_json.set("stored_points", static_cast<double>(snapshot.op_stored_points));
   json.set("op_cache", std::move(op_json));
 
   io::JsonValue optimise_json = io::JsonValue::make_object();
-  optimise_json.set("hits", static_cast<double>(optimise_cross_hits_));
-  optimise_json.set("stores", static_cast<double>(optimise_cross_stores_));
+  optimise_json.set("hits", static_cast<double>(snapshot.optimise_cross_hits));
+  optimise_json.set("stores", static_cast<double>(snapshot.optimise_cross_stores));
   json.set("optimise_cache", std::move(optimise_json));
 
   const pwl::TableCacheStats diode = pwl::diode_table_cache_stats();

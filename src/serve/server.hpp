@@ -27,14 +27,13 @@
 /// `compare --ignore`). Wire protocol reference: docs/serve_protocol.md.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
+#include "core/thread_annotations.hpp"
 #include "experiments/scenarios.hpp"
 #include "experiments/warm_start.hpp"
 #include "io/json.hpp"
@@ -82,10 +81,16 @@ class Server {
     return options_.cross_request_caches;
   }
 
-  void emit(const io::JsonValue& event);
+  void emit(const io::JsonValue& event) EHSIM_EXCLUDES(out_mutex_);
   void emit_error(std::uint64_t id, bool has_id, const std::string& message,
-                  const std::string& key);
-  void emit_stats(std::uint64_t id);
+                  const std::string& key) EHSIM_EXCLUDES(stats_mutex_, out_mutex_);
+  /// Executed on the worker thread in queue order, so the emitted snapshot
+  /// is linearised with job execution: it reflects every job dequeued
+  /// before this stats request, and none after (docs/serve_protocol.md).
+  void emit_stats(std::uint64_t id) EHSIM_EXCLUDES(stats_mutex_, out_mutex_);
+
+  /// Count one completed request (`completed` in the stats event).
+  void count_completed() EHSIM_EXCLUDES(stats_mutex_);
 
   void worker_loop();
   void execute(const Request& request);
@@ -123,30 +128,39 @@ class Server {
   void write_scenario_files(const experiments::ScenarioResult& result);
 
   std::istream& in_;
-  std::ostream& out_;
   ServerOptions options_;
 
   JobQueue queue_;
   SessionPool pool_;
   /// Exact-signature (quantum 0) operating-point store shared by runs,
-  /// sweeps and optimise evaluations. Touched only by the worker thread.
+  /// sweeps and optimise evaluations. Internally synchronised; populated by
+  /// the worker thread, read by sweep pool workers during a fan-out.
   experiments::OperatingPointCache op_cache_;
 
-  std::mutex out_mutex_;
+  // Lock hierarchy (docs/concurrency.md): cancel_mutex_ and stats_mutex_
+  // are bookkeeping locks acquired strictly before (never inside) the
+  // out_mutex_ emission lock; no two server locks are ever held together.
+  // All three are leaves with respect to JobQueue/SessionPool internals.
+  core::Mutex out_mutex_ EHSIM_ACQUIRED_AFTER(cancel_mutex_, stats_mutex_);
+  std::ostream& out_ EHSIM_GUARDED_BY(out_mutex_);
 
-  std::mutex cancel_mutex_;
-  std::unordered_set<std::uint64_t> cancel_set_;
+  /// Ids whose queued (not yet started) job should be dropped. Written by
+  /// the reader on a cancel envelope, consumed by the worker.
+  core::Mutex cancel_mutex_;
+  std::unordered_set<std::uint64_t> cancel_set_ EHSIM_GUARDED_BY(cancel_mutex_);
 
-  // Request counters (reader and worker threads both write).
-  std::atomic<std::size_t> received_{0};
-  std::atomic<std::size_t> completed_{0};
-  std::atomic<std::size_t> errors_{0};
-  std::atomic<std::size_t> cancelled_{0};
-  // Cross-request cache counters (worker thread only).
-  std::size_t op_seeded_runs_ = 0;
-  std::size_t op_stored_points_ = 0;
-  std::size_t optimise_cross_hits_ = 0;
-  std::size_t optimise_cross_stores_ = 0;
+  /// Request and cross-request cache counters. One mutex guards them all so
+  /// a `stats` snapshot is atomic with respect to both the reader thread
+  /// (received/errors) and the worker thread (everything else).
+  mutable core::Mutex stats_mutex_;
+  std::size_t received_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t completed_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t errors_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t cancelled_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t op_seeded_runs_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t op_stored_points_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t optimise_cross_hits_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t optimise_cross_stores_ EHSIM_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace ehsim::serve

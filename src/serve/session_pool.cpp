@@ -3,7 +3,7 @@
 namespace ehsim::serve {
 
 std::optional<experiments::PreparedRun> SessionPool::take(const std::string& key) {
-  std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->first == key) {
       experiments::PreparedRun run = std::move(it->second);
@@ -18,7 +18,7 @@ std::optional<experiments::PreparedRun> SessionPool::take(const std::string& key
 
 void SessionPool::put(const std::string& key, experiments::PreparedRun run) {
   if (capacity_ == 0) return;
-  std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   for (auto& entry : entries_) {
     if (entry.first == key) {
       entry.second = std::move(run);
@@ -35,7 +35,7 @@ void SessionPool::put(const std::string& key, experiments::PreparedRun run) {
 }
 
 SessionPool::Stats SessionPool::stats() const {
-  std::lock_guard lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return Stats{capacity_, entries_.size(), hits_, misses_, inserts_, evictions_};
 }
 

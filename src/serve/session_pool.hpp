@@ -11,15 +11,19 @@
 /// deterministic FIFO by insertion order — capacity pressure drops the
 /// oldest key first, never a random victim — and hit/miss/evict counters
 /// surface in the daemon's `stats` response.
+///
+/// Concurrency contract (machine-checked on the clang CI leg): entries and
+/// counters are guarded by the one `mutex_`; `mutex_` is a leaf lock (no
+/// callout — in particular no session preparation — happens under it).
 #pragma once
 
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "experiments/scenarios.hpp"
 
 namespace ehsim::serve {
@@ -43,23 +47,25 @@ class SessionPool {
   SessionPool& operator=(const SessionPool&) = delete;
 
   /// Remove and return the session prepared for \p key, if pooled.
-  [[nodiscard]] std::optional<experiments::PreparedRun> take(const std::string& key);
+  [[nodiscard]] std::optional<experiments::PreparedRun> take(const std::string& key)
+      EHSIM_EXCLUDES(mutex_);
 
   /// Pool \p run under \p key. An existing entry for the key is replaced in
   /// place (keeping its eviction position); otherwise the run is appended
   /// and, at capacity, the oldest entry is evicted first.
-  void put(const std::string& key, experiments::PreparedRun run);
+  void put(const std::string& key, experiments::PreparedRun run) EHSIM_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EHSIM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::deque<std::pair<std::string, experiments::PreparedRun>> entries_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t inserts_ = 0;
-  std::size_t evictions_ = 0;
+  mutable core::Mutex mutex_;
+  const std::size_t capacity_;  ///< immutable after construction: not guarded
+  std::deque<std::pair<std::string, experiments::PreparedRun>> entries_
+      EHSIM_GUARDED_BY(mutex_);
+  std::size_t hits_ EHSIM_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ EHSIM_GUARDED_BY(mutex_) = 0;
+  std::size_t inserts_ EHSIM_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ EHSIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ehsim::serve

@@ -36,6 +36,9 @@ void BatchRunner::for_each_index(std::size_t count,
   if (count == 0) {
     return;
   }
+  // Not GUARDED_BY anything on purpose: each slot is written by exactly one
+  // job and read only after done.wait() — the latch provides the ordering
+  // (see the synchronisation contract in batch_runner.hpp).
   std::vector<std::exception_ptr> errors(count);
   if (!pool_) {
     // Serial reference path: inline loop with the same drain-then-rethrow

@@ -10,6 +10,15 @@
 /// results are bit-identical to a serial run of the same jobs: slot i is
 /// written only by job i, and each job's floating-point work is unaffected
 /// by scheduling.
+///
+/// Synchronisation contract (docs/concurrency.md): BatchRunner itself owns
+/// no lock-guarded state — result and error slots are disjoint per job, and
+/// their cross-thread visibility is ordered by the completion latch (every
+/// slot write happens-before latch.count_down(), which happens-before the
+/// caller's latch.wait() returning). The only mutex involved is the
+/// ThreadPool's own annotated queue mutex, a leaf in the lock hierarchy.
+/// Jobs that touch shared caches (e.g. OperatingPointCache reads during a
+/// warm-started fan-out) rely on those caches' internal mutexes instead.
 #pragma once
 
 #include <cstddef>

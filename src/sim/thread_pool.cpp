@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -39,8 +39,10 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) {
+        wake_.wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // stopping and drained
       }

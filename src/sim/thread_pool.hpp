@@ -5,15 +5,20 @@
 /// set of workers. Scenario sweeps submit coarse-grained jobs (whole
 /// transient runs, seconds each), so queue contention is irrelevant and
 /// work stealing would buy nothing.
+///
+/// Concurrency contract (machine-checked on the clang CI leg, see
+/// docs/concurrency.md): the queue and the stop flag are guarded by
+/// `mutex_`; `mutex_` is a leaf lock — no other ehsim mutex is ever
+/// acquired while it is held (submitted tasks run strictly outside it).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace ehsim::sim {
 
@@ -29,18 +34,18 @@ class ThreadPool {
 
   /// Enqueue a task; thread-safe. Tasks must not throw out of the callable
   /// (the batch runner wraps user jobs and captures their exceptions).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EHSIM_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() EHSIM_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  core::Mutex mutex_;
+  core::CondVar wake_;
+  std::deque<std::function<void()>> queue_ EHSIM_GUARDED_BY(mutex_);
+  bool stopping_ EHSIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ehsim::sim

@@ -10,8 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +226,52 @@ TEST(ServeJobQueue, ZeroCapacityIsRejected) {
   EXPECT_THROW(JobQueue queue(0), ModelError);
 }
 
+// The contended state-machine edges (close() racing a *blocked* enqueue,
+// destruction right after the drain) live in test_concurrency_stress.cpp,
+// where the TSan CI job hammers them from 8 threads. The two below pin the
+// deterministic halves of those transitions.
+
+TEST(ServeJobQueue, CloseWakesABlockedDequeueToTheClosedSentinel) {
+  JobQueue queue(2);
+  std::optional<Request> got;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    got = queue.dequeue();  // blocks: empty but still accepting
+    returned.store(true);
+  });
+  // Whether close() lands before or after the consumer parks on not_empty_,
+  // the dequeue must return the closed sentinel — never hang.
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(queue.stats().state, JobQueue::State::kClosed);
+}
+
+TEST(ServeJobQueue, CloseTurnsAwayABlockedEnqueueWithoutLosingTheBacklog) {
+  JobQueue queue(1);
+  Request request;
+  request.type = RequestType::kStats;
+  request.id = 1;
+  ASSERT_TRUE(queue.enqueue(request));  // ring now full
+
+  std::atomic<int> accepted{-1};
+  std::thread producer([&] {
+    Request blocked;
+    blocked.type = RequestType::kStats;
+    blocked.id = 2;
+    accepted.store(queue.enqueue(std::move(blocked)) ? 1 : 0);
+  });
+  // No dequeue ever frees the slot, so the producer can only leave via
+  // close(): it must be turned away (false), not block forever.
+  queue.close();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 0);
+
+  EXPECT_EQ(queue.dequeue()->id, 1u);  // the accepted backlog still drains
+  EXPECT_FALSE(queue.dequeue().has_value());
+}
+
 // ---- session pool -----------------------------------------------------------
 
 TEST(ServeSessionPool, EvictionIsDeterministicFifo) {
@@ -394,6 +445,100 @@ TEST(ServeServer, CancelSkipsAQueuedJob) {
   EXPECT_EQ(events_of(events, "result", 1).size(), 1u);
   EXPECT_EQ(events_of(events, "result", 2).size(), 0u);
   EXPECT_EQ(events_of(events, "cancelled", 2).size(), 1u);
+}
+
+/// An input streambuf the test feeds incrementally: the daemon's reader
+/// blocks in getline until the next chunk arrives, which lets a test pin a
+/// protocol line to a moment in the worker's timeline (e.g. "this cancel
+/// arrives while job 1 is already running").
+class PacedScript : public std::streambuf {
+ public:
+  void feed(const std::string& text) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      pending_.append(text);
+    }
+    ready_.notify_all();
+  }
+
+  void finish() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return consumed_ < pending_.size() || done_; });
+    if (consumed_ >= pending_.size()) {
+      return traits_type::eof();
+    }
+    current_ = pending_[consumed_++];
+    setg(&current_, &current_, &current_ + 1);
+    return traits_type::to_int_type(current_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::string pending_;
+  std::size_t consumed_ = 0;
+  bool done_ = false;
+  char current_ = 0;
+};
+
+TEST(ServeServer, CancelOfARunningJobDoesNotLeakOntoALaterSameIdRequest) {
+  // Regression: a cancel envelope that arrives while its id is already
+  // *executing* used to stay in the cancel set forever, spuriously
+  // cancelling the next request that reused the id. The paced script feeds
+  // the cancel only after job 1 is (with overwhelming likelihood) running:
+  // the first job simulates ~2s of model time, the cancel is fed ~a few ms
+  // after the worker dequeued it.
+  ExperimentSpec slow = tiny_spec("stale-cancel-first");
+  slow.duration = 2.0;
+  const ExperimentSpec second = tiny_spec("stale-cancel-second");
+
+  PacedScript script;
+  std::istream in(&script);
+  std::ostringstream out;
+  ServerOptions options;
+  Server server(in, out, options);
+
+  std::thread feeder([&script, &slow, &second] {
+    script.feed(envelope(1, "run", io::to_json(slow)) + "\n");
+    // Give the worker time to dequeue job 1 and start stepping. If the
+    // machine stalls past the whole first job, the test degrades to the
+    // already-covered cancel-of-queued case — it never false-fails.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    script.feed(control(1, "cancel") + "\n" +
+                envelope(1, "run", io::to_json(second)) + "\n" +
+                control(9, "shutdown") + "\n");
+    script.finish();
+  });
+  EXPECT_EQ(server.run(), 0);
+  feeder.join();
+
+  std::vector<JsonValue> events;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    events.push_back(JsonValue::parse(line));
+  }
+
+  // The second id-1 request must complete: the stale cancel consumed (or
+  // raced into) job 1 never outlives it.
+  bool second_completed = false;
+  for (const JsonValue& event : events_of(events, "result", 1)) {
+    if (event.at("result").at("scenario").as_string() == "stale-cancel-second") {
+      second_completed = true;
+    }
+  }
+  EXPECT_TRUE(second_completed);
+  // And the one cancel envelope can cancel at most one job.
+  EXPECT_LE(events_of(events, "cancelled", 1).size(), 1u);
 }
 
 TEST(ServeServer, EndOfInputDrainsWithoutShutdownEvent) {

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""ehsim determinism & concurrency lint.
+
+Static checks for the repo's two machine-enforced contracts:
+
+* Determinism: results (batch sweeps, serve responses, checkpoint resumes)
+  must be bit-identical across thread counts and process restarts. That dies
+  quietly when result-producing code iterates an unordered container, calls
+  a non-deterministic random source, reads wall-clock time outside the
+  cpu_seconds shims, or accumulates in single-precision floats.
+* Concurrency: every mutex in src/ must be the annotated core::Mutex wrapper
+  from core/thread_annotations.hpp so the clang -Wthread-safety CI leg can
+  see it; raw std::mutex / std::condition_variable are invisible to the
+  analysis and therefore banned.
+
+Rules
+-----
+unordered-iteration  Range-for / .begin() iteration over a std::unordered_*
+                     container declared in the same file. Iteration order is
+                     libstdc++-version- and hash-seed-dependent, so any
+                     result built by such a loop is not reproducible.
+raw-random           std::random_device, rand(), srand(): non-seedable
+                     entropy. Seeded std::mt19937 is fine and not flagged.
+wall-clock           std::chrono::*_clock, time(), clock(), gettimeofday:
+                     results must not depend on when they were computed.
+                     The cpu_seconds shims carry explicit waivers.
+float-accumulation   The `float` type. The engine is double-precision
+                     end-to-end; a single float intermediate silently
+                     truncates reductions, so src/ bans the type outright.
+raw-mutex            std::mutex, std::condition_variable, lock_guard,
+                     unique_lock, scoped_lock: use core::Mutex / MutexLock /
+                     CondVar so -Wthread-safety can check the locking.
+
+Waivers
+-------
+A finding is waived by `// lint:allow <rule>[,<rule>...]` on the same line
+or the immediately preceding line. Waivers are deliberate and reviewable —
+prefer them over baseline entries for code that is correct by argument
+(e.g. the cpu_seconds wall-clock shim).
+
+Baseline
+--------
+tools/ehsim_lint_baseline.json holds findings that predate the lint and are
+tolerated until cleaned up. Keyed by (rule, file, normalised source text) so
+line drift does not churn it. `--update-baseline` rewrites it from the
+current tree; the checked-in baseline is empty and should stay that way.
+
+Exit status: 0 clean, 1 new findings, 2 usage/IO error. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "unordered-iteration": "iteration over an unordered container (non-deterministic order)",
+    "raw-random": "non-deterministic random source (std::random_device / rand / srand)",
+    "wall-clock": "wall-clock read outside the cpu_seconds shims",
+    "float-accumulation": "single-precision float in a double-precision engine",
+    "raw-mutex": "raw std::mutex/condition_variable (invisible to -Wthread-safety)",
+}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+# Declarations of unordered containers: capture the variable/member name.
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s+(\w+)\s*[;={(]"
+)
+
+RAW_RANDOM_RE = re.compile(r"\bstd::random_device\b|(?<![\w:])s?rand\s*\(")
+# `time`/`clock` only in their libc forms: simulation-time accessors named
+# time() (Engine::time, Session::time) are deterministic model time, not
+# wall clock, and must not be flagged.
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b"
+    r"|\bstd::time\s*\("
+    r"|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr)"
+    r"|(?<![\w:.>])clock\s*\(\s*\)"
+    r"|\bgettimeofday\b"
+)
+FLOAT_RE = re.compile(r"(?<![\w:])float(?![\w])")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
+)
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Stateful across lines for /* */ blocks and raw string literals, so rule
+    regexes never match inside documentation or logged text.
+    """
+    out = []
+    in_block = False
+    raw_delim = None  # inside R"delim( ... )delim" when not None
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if raw_delim is not None:
+                end = line.find(")" + raw_delim + '"', i)
+                if end < 0:
+                    i = n
+                else:
+                    i = end + len(raw_delim) + 2
+                    raw_delim = None
+                continue
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    i = end + 2
+                    in_block = False
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # line comment: drop the rest
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            raw = re.match(r'R"([^\s()\\]{0,16})\(', line[i:])
+            if raw:
+                raw_delim = raw.group(1)
+                i += raw.end()
+                continue
+            if c in "\"'":
+                quote = c
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == quote:
+                        break
+                    j += 1
+                i = min(j + 1, n)
+                result.append(quote + quote)  # keep token boundaries honest
+                continue
+            result.append(c)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def waivers_for(raw_lines: list[str], index: int) -> set[str]:
+    """Waiver rules applying to raw_lines[index] (same or preceding line)."""
+    rules: set[str] = set()
+    for k in (index, index - 1):
+        if 0 <= k < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[k])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(",") if r.strip())
+    return rules
+
+
+def unordered_iteration_findings(stripped: list[str]) -> list[tuple[int, str]]:
+    names = set()
+    for line in stripped:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            names.add(m.group(1))
+    if not names:
+        return []
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(r"for\s*\([^;)]*:\s*(?:this->)?(%s)\s*\)" % alt)
+    begin_iter = re.compile(r"\b(%s)\s*\.\s*(?:c?begin|c?end|c?rbegin|c?rend)\s*\(" % alt)
+    found = []
+    for idx, line in enumerate(stripped):
+        m = range_for.search(line) or begin_iter.search(line)
+        if m:
+            found.append((idx, "iterates unordered container '%s'" % m.group(1)))
+    return found
+
+
+def scan_file(path: Path, root: Path) -> list[dict]:
+    try:
+        raw = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as error:
+        print("ehsim_lint: cannot read %s: %s" % (path, error), file=sys.stderr)
+        raise SystemExit(2)
+    stripped = strip_comments_and_strings(raw)
+    rel = path.relative_to(root).as_posix()
+    findings = []
+
+    def add(rule: str, idx: int, detail: str) -> None:
+        if rule in waivers_for(raw, idx):
+            return
+        findings.append(
+            {
+                "rule": rule,
+                "file": rel,
+                "line": idx + 1,
+                "text": " ".join(stripped[idx].split()),
+                "detail": detail,
+            }
+        )
+
+    for idx, detail in unordered_iteration_findings(stripped):
+        add("unordered-iteration", idx, detail)
+    simple = (
+        ("raw-random", RAW_RANDOM_RE),
+        ("wall-clock", WALL_CLOCK_RE),
+        ("float-accumulation", FLOAT_RE),
+        ("raw-mutex", RAW_MUTEX_RE),
+    )
+    for idx, line in enumerate(stripped):
+        for rule, pattern in simple:
+            if pattern.search(line):
+                add(rule, idx, RULES[rule])
+    return findings
+
+
+def finding_key(f: dict) -> tuple[str, str, str]:
+    return (f["rule"], f["file"], f["text"])
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON (default: tools/ehsim_lint_baseline.json under --root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print("%-22s %s" % (rule, description))
+        return 0
+
+    root = args.root.resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print("ehsim_lint: no src/ under %s" % root, file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or root / "tools" / "ehsim_lint_baseline.json"
+
+    findings = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            findings.extend(scan_file(path, root))
+
+    if args.update_baseline:
+        payload = sorted(
+            (
+                {"rule": f["rule"], "file": f["file"], "text": f["text"]}
+                for f in findings
+            ),
+            key=lambda f: (f["rule"], f["file"], f["text"]),
+        )
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print("ehsim_lint: baseline updated with %d finding(s)" % len(payload))
+        return 0
+
+    baseline: set[tuple[str, str, str]] = set()
+    if baseline_path.exists():
+        try:
+            for entry in json.loads(baseline_path.read_text(encoding="utf-8")):
+                baseline.add((entry["rule"], entry["file"], entry["text"]))
+        except (ValueError, KeyError, TypeError) as error:
+            print("ehsim_lint: bad baseline %s: %s" % (baseline_path, error), file=sys.stderr)
+            return 2
+
+    new = [f for f in findings if finding_key(f) not in baseline]
+    for f in sorted(new, key=lambda f: (f["file"], f["line"], f["rule"])):
+        print("%s:%d: [%s] %s" % (f["file"], f["line"], f["rule"], f["detail"]))
+        print("    %s" % f["text"])
+    if new:
+        print(
+            "ehsim_lint: %d new finding(s) (%d baselined). Fix, waive with "
+            "'// lint:allow <rule>', or --update-baseline." % (len(new), len(baseline)),
+            file=sys.stderr,
+        )
+        return 1
+    print("ehsim_lint: clean (%d file(s) scanned, %d baselined)" % (
+        sum(1 for p in src.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()),
+        len(baseline),
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
