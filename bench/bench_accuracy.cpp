@@ -1,0 +1,132 @@
+/// \file bench_accuracy.cpp
+/// \brief Oracle accuracy bounds + error-budget autotune acceptance gate.
+///
+/// Two halves, both judged against the extended-precision reference oracle
+/// (src/ref):
+///   1. verify-accuracy over all three batch kernels of a charging scenario
+///      with a mid-run retune — the measured Vc / energy error bounds land
+///      in BENCH_accuracy.json so the per-push artifacts record the
+///      accuracy trajectory next to the speed one.
+///   2. an autotune run over an h_max x lle_tolerance ladder with a kernel
+///      axis. The bench exits non-zero unless the tuner (a) declares a
+///      feasible configuration, (b) that configuration does measurably less
+///      work than the defaults (cost_ratio < 1), (c) an *independent*
+///      re-measurement of the chosen configuration against the oracle stays
+///      inside the tuner's own budget, and (d) a second autotune run
+///      reproduces the deterministic search record exactly (operator==,
+///      i.e. byte-identical JSON).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_json.hpp"
+#include "experiments/accuracy.hpp"
+#include "experiments/autotune.hpp"
+#include "experiments/scenarios.hpp"
+
+int main() {
+  using namespace ehsim::experiments;
+  namespace io = ehsim::io;
+
+  const ehsim::benchio::BenchSpan span = ehsim::benchio::bench_span();
+  const bool smoke = span == ehsim::benchio::BenchSpan::kSmoke;
+  const bool full = span == ehsim::benchio::BenchSpan::kFull;
+  const double duration = smoke ? 1.0 : (full ? 10.0 : 3.0);
+  const double oracle_step = smoke ? 2e-4 : 1e-4;
+
+  ExperimentSpec spec = scenario1();
+  spec.name = "bench-accuracy";
+  spec.duration = duration;
+  spec.with_mcu = false;
+  spec.trace_interval = 0.02;
+  spec.power_bin_width = duration / 4.0;
+  spec.excitation.events.clear();
+  spec.excitation.step_frequency(duration * 0.4, 71.0);
+
+  std::printf("=== oracle accuracy bounds: %.1f s charging + retune, oracle h = %g ===\n\n",
+              duration, oracle_step);
+
+  AccuracyOptions options;
+  options.kernels = {BatchKernel::kJobs, BatchKernel::kLockstep,
+                     BatchKernel::kLockstepExpm};
+  options.oracle_step = oracle_step;
+  const AccuracyReport report = run_accuracy(spec, options);
+
+  std::printf("%-14s %12s %12s %12s\n", "kernel", "Vc max rel", "final Vc", "energy");
+  for (const KernelAccuracy& row : report.kernels) {
+    std::printf("%-14s %12.3e %12.3e %12.3e\n", row.kernel.c_str(),
+                row.bounds.vc_max_rel_error, row.bounds.final_vc_rel_error,
+                row.bounds.energy_rel_error);
+  }
+
+  AutotuneSpec tune;
+  tune.name = "bench-autotune";
+  tune.base = spec;
+  tune.knobs.push_back({"solver.h_max", {0.0005, 0.001, 0.002}});
+  tune.knobs.push_back({"solver.lle_tolerance", {0.25, 0.5}});
+  tune.kernels = {BatchKernel::kJobs, BatchKernel::kLockstepExpm};
+  tune.error_budget = 0.05;
+  tune.oracle_step = oracle_step;
+  tune.max_evaluations = 40;
+
+  std::printf("\n=== autotune: budget %.2g on combined error ===\n\n", tune.error_budget);
+  const AutotuneOutcome outcome = run_autotune(tune);
+  const AutotuneResult& result = outcome.result;
+  std::printf("baseline: cost %.0f, error %.3e\n", result.baseline_cost,
+              result.baseline_error);
+  std::printf("chosen:   cost %.0f, error %.3e, kernel %s, cost ratio %.3f "
+              "(%zu evaluations, %zu sweeps)\n",
+              result.chosen_cost, result.chosen_error, result.chosen_kernel.c_str(),
+              result.cost_ratio, static_cast<std::size_t>(result.evaluations),
+              static_cast<std::size_t>(result.sweeps));
+
+  // (a) + (b): a feasible configuration that beats the defaults on the
+  // deterministic work proxy.
+  const bool tuned = result.feasible && result.chosen_error <= result.error_budget &&
+                     result.cost_ratio < 1.0;
+
+  // (c) the strong form of "inside its own budget": re-measure the chosen
+  // spec independently instead of trusting the tuner's bookkeeping.
+  AccuracyOptions recheck_options;
+  recheck_options.kernels = {outcome.chosen_kernel};
+  recheck_options.oracle_step = oracle_step;
+  const AccuracyReport recheck = run_accuracy(outcome.chosen_spec, recheck_options);
+  double remeasured = 0.0;
+  for (const KernelAccuracy& row : recheck.kernels) {
+    remeasured = row.bounds.combined();
+  }
+  const bool inside_budget = remeasured <= tune.error_budget;
+  std::printf("re-measured chosen-config error: %.3e (budget %.2g) — %s\n", remeasured,
+              tune.error_budget, inside_budget ? "inside" : "OUTSIDE");
+
+  // (d) the search record is deterministic end to end.
+  const bool deterministic = run_autotune(tune).result == result;
+
+  const bool ok = tuned && inside_budget && deterministic;
+  std::printf("\nautotune tunes within its own budget, deterministically: %s\n",
+              ok ? "YES" : "NO");
+
+  io::JsonValue doc = io::JsonValue::make_object();
+  doc.set("bench", "accuracy");
+  doc.set("sim_seconds", duration);
+  doc.set("oracle_step", oracle_step);
+  io::JsonValue kernels = io::JsonValue::make_array();
+  for (const KernelAccuracy& row : report.kernels) {
+    io::JsonValue entry = io::JsonValue::make_object();
+    entry.set("kernel", row.kernel);
+    entry.set("vc_max_rel_error", row.bounds.vc_max_rel_error);
+    entry.set("final_vc_rel_error", row.bounds.final_vc_rel_error);
+    entry.set("energy_rel_error", row.bounds.energy_rel_error);
+    kernels.push_back(std::move(entry));
+  }
+  doc.set("kernels", std::move(kernels));
+  doc.set("autotune_baseline_cost", result.baseline_cost);
+  doc.set("autotune_chosen_cost", result.chosen_cost);
+  doc.set("autotune_cost_ratio", result.cost_ratio);
+  doc.set("autotune_chosen_error", result.chosen_error);
+  doc.set("autotune_remeasured_error", remeasured);
+  doc.set("autotune_feasible", result.feasible);
+  doc.set("autotune_deterministic", deterministic);
+  ehsim::benchio::maybe_write_bench_json(doc);
+
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,13 +1,15 @@
-# Golden-output CI test: run `ehsim run` (or `ehsim optimise`, MODE=optimise)
-# on a checked-in spec and diff the JSON/CSV output against the checked-in
-# golden result with the tolerance-aware `ehsim compare` (wall-clock fields
-# ignored).
+# Golden-output CI test: run `ehsim run` (or `ehsim optimise`/`ehsim
+# autotune`, via MODE) on a checked-in spec and diff the JSON/CSV output
+# against the checked-in golden result with the tolerance-aware
+# `ehsim compare` (wall-clock fields ignored).
 #
 # Required -D variables: EHSIM (binary), SPEC (spec file), GOLDEN_DIR,
 # OUT_DIR, NAME (job name / file stem).
-# Optional: MODE (run | optimise, default run), EXTRA_ARGS (extra
-# space-separated arguments appended to the run command, e.g. a --probes
-# list).
+# Optional: MODE (run | optimise | autotune, default run), EXTRA_ARGS
+# (extra space-separated arguments appended to the run command, e.g. a
+# --probes list), RESULT_NAME (autotune only: file stem of the chosen
+# configuration's result files — the *base* experiment's name; default
+# NAME).
 
 foreach(required EHSIM SPEC GOLDEN_DIR OUT_DIR NAME)
   if(NOT DEFINED ${required})
@@ -43,6 +45,42 @@ if(MODE STREQUAL "optimise")
   endif()
 
   message(STATUS "golden optimise output matches for ${NAME}")
+  return()
+endif()
+
+if(MODE STREQUAL "autotune")
+  if(NOT DEFINED RESULT_NAME)
+    set(RESULT_NAME ${NAME})
+  endif()
+  execute_process(
+    COMMAND ${EHSIM} autotune ${SPEC} --out ${OUT_DIR} --quiet ${EXTRA_ARGS}
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "ehsim autotune failed (${run_rc})")
+  endif()
+
+  # The search record is wall-clock-free by construction — only FP noise is
+  # tolerated, nothing is ignored.
+  execute_process(
+    COMMAND ${EHSIM} compare
+            ${GOLDEN_DIR}/${NAME}.autotune.json ${OUT_DIR}/${NAME}.autotune.json
+            --rtol 1e-6 --atol 1e-9
+    RESULT_VARIABLE json_rc)
+  if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "golden autotune JSON mismatch (${json_rc})")
+  endif()
+
+  # The chosen configuration's re-run, named after the base experiment.
+  execute_process(
+    COMMAND ${EHSIM} compare
+            ${GOLDEN_DIR}/${RESULT_NAME}.result.json ${OUT_DIR}/${RESULT_NAME}.result.json
+            --rtol 1e-6 --atol 1e-9 --ignore cpu_seconds
+    RESULT_VARIABLE best_rc)
+  if(NOT best_rc EQUAL 0)
+    message(FATAL_ERROR "golden autotune best-run mismatch (${best_rc})")
+  endif()
+
+  message(STATUS "golden autotune output matches for ${NAME}")
   return()
 endif()
 

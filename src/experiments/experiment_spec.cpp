@@ -18,6 +18,13 @@ void ExperimentSpec::validate() const {
   if (!(power_bin_width > 0.0)) {
     throw ModelError("ExperimentSpec '" + name + "': power bin width must be positive");
   }
+  if (!(solver.h_min > 0.0) || !(solver.h_max >= solver.h_min) ||
+      !(solver.h_initial > 0.0) || solver.fixed_step < 0.0 ||
+      !(solver.init_tolerance > 0.0) || !(solver.lle_tolerance > 0.0) ||
+      !(solver.stability_safety > 0.0)) {
+    throw ModelError("ExperimentSpec '" + name + "': inconsistent solver block (steps and "
+                     "tolerances must be positive, h_max >= h_min, fixed_step >= 0)");
+  }
   excitation.validate();
   for (std::size_t i = 0; i < probes.size(); ++i) {
     probes[i].validate();

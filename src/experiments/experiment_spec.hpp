@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/solver_config.hpp"
 #include "experiments/engine_kind.hpp"
 #include "experiments/excitation.hpp"
 #include "experiments/param_registry.hpp"
@@ -30,6 +31,13 @@ struct ExperimentSpec {
   double trace_interval = 0.05;    ///< Vc trace decimation [s]
   double power_bin_width = 0.5;    ///< Fig. 8(a) power bin width [s]
   EngineKind engine = EngineKind::kProposed;
+  /// Engine tuning knobs. Consumed by the proposed engine (all fields) and
+  /// the reference oracle (fixed_step / init_tolerance); the NR baselines
+  /// keep their historical profiles. Serialised as an optional "solver"
+  /// block only when it differs from the defaults, so pre-existing specs
+  /// and goldens round-trip byte-identically. This is the surface the
+  /// autotuner walks (see autotune.hpp).
+  core::SolverConfig solver{};
   ExcitationSchedule excitation{};
   /// Sparse overrides applied to the default HarvesterParams, in order.
   std::vector<ParamOverride> overrides{};

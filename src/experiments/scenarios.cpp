@@ -86,8 +86,9 @@ sim::HarvesterSession make_experiment_session(const ExperimentSpec& spec,
   sim::HarvesterSession::Options options;
   options.mode = device_mode_for(spec.engine);
   options.with_mcu = spec.with_mcu;
-  options.engine_factory = [kind = spec.engine](core::SystemAssembler& system) {
-    return make_engine(kind, system);
+  options.engine_factory = [kind = spec.engine,
+                            solver = spec.solver](core::SystemAssembler& system) {
+    return make_engine(kind, system, solver);
   };
   sim::HarvesterSession session(params, options);
   spec.excitation.apply(session.system().vibration());
@@ -508,7 +509,8 @@ bool resume_lockstep_jobs(const std::vector<ScenarioJob>& jobs,
 /// differ freely between clones.
 bool clone_compatible_specs(const ExperimentSpec& a, const ExperimentSpec& b) {
   return a.duration == b.duration && a.pre_tuned_hz == b.pre_tuned_hz &&
-         a.with_mcu == b.with_mcu && a.engine == b.engine && a.overrides == b.overrides &&
+         a.with_mcu == b.with_mcu && a.engine == b.engine && a.solver == b.solver &&
+         a.overrides == b.overrides &&
          a.excitation.initial_frequency_hz == b.excitation.initial_frequency_hz &&
          a.excitation.initial_amplitude == b.excitation.initial_amplitude;
 }

@@ -59,6 +59,18 @@ void set_spec_value(ExperimentSpec& spec, const std::string& path, double value)
     spec.excitation.initial_frequency_hz = value;
   } else if (path == "excitation.initial_amplitude") {
     spec.excitation.initial_amplitude = value;
+  } else if (path == "solver.h_max") {
+    spec.solver.h_max = value;
+  } else if (path == "solver.h_initial") {
+    spec.solver.h_initial = value;
+  } else if (path == "solver.stability_safety") {
+    spec.solver.stability_safety = value;
+  } else if (path == "solver.lle_tolerance") {
+    spec.solver.lle_tolerance = value;
+  } else if (path == "solver.init_tolerance") {
+    spec.solver.init_tolerance = value;
+  } else if (path == "solver.fixed_step") {
+    spec.solver.fixed_step = value;
   } else {
     std::size_t index = 0;
     std::string field;
@@ -99,7 +111,13 @@ std::vector<std::string> spec_field_paths() {
           "spec.power_bin_width",
           "excitation.initial_frequency_hz",
           "excitation.initial_amplitude",
-          "excitation.event[K].{time,duration,frequency_hz,amplitude}"};
+          "excitation.event[K].{time,duration,frequency_hz,amplitude}",
+          "solver.h_max",
+          "solver.h_initial",
+          "solver.stability_safety",
+          "solver.lle_tolerance",
+          "solver.init_tolerance",
+          "solver.fixed_step"};
 }
 
 void SweepSpec::validate() const {

@@ -13,10 +13,19 @@ namespace ehsim::io {
 
 namespace {
 
+using experiments::AccuracyReport;
+using experiments::AutotuneEvaluation;
+using experiments::AutotuneKnob;
+using experiments::AutotuneResult;
+using experiments::AutotuneSpec;
 using experiments::EnsembleProbeStats;
 using experiments::EnsembleResult;
 using experiments::EnsembleSpec;
 using experiments::EnsembleStat;
+using experiments::ErrorMetrics;
+using experiments::JobAccuracy;
+using experiments::KernelAccuracy;
+using experiments::ProbeAccuracy;
 using experiments::ExcitationEvent;
 using experiments::ExcitationSchedule;
 using experiments::ExperimentSpec;
@@ -112,6 +121,94 @@ std::uint64_t seed_from_json(const JsonValue& json) {
     throw ModelError("random_walk seed string '" + text + "' is not a decimal uint64");
   }
   return seed;
+}
+
+/// Solver block: only the fields that differ from the defaults are
+/// emitted (in declaration order), so pre-existing specs and goldens —
+/// which predate the block — round-trip byte-identically.
+JsonValue solver_to_json(const core::SolverConfig& solver) {
+  const core::SolverConfig defaults;
+  JsonValue json = JsonValue::make_object();
+  if (solver.max_ab_order != defaults.max_ab_order) {
+    json.set("max_ab_order", static_cast<double>(solver.max_ab_order));
+  }
+  if (solver.h_min != defaults.h_min) {
+    json.set("h_min", solver.h_min);
+  }
+  if (solver.h_max != defaults.h_max) {
+    json.set("h_max", solver.h_max);
+  }
+  if (solver.h_initial != defaults.h_initial) {
+    json.set("h_initial", solver.h_initial);
+  }
+  if (solver.stability_safety != defaults.stability_safety) {
+    json.set("stability_safety", solver.stability_safety);
+  }
+  if (solver.stability_check_interval != defaults.stability_check_interval) {
+    json.set("stability_check_interval",
+             static_cast<double>(solver.stability_check_interval));
+  }
+  if (solver.stability_drift_threshold != defaults.stability_drift_threshold) {
+    json.set("stability_drift_threshold", solver.stability_drift_threshold);
+  }
+  if (solver.enable_stability_cap != defaults.enable_stability_cap) {
+    json.set("enable_stability_cap", solver.enable_stability_cap);
+  }
+  if (solver.lle_tolerance != defaults.lle_tolerance) {
+    json.set("lle_tolerance", solver.lle_tolerance);
+  }
+  if (solver.enable_lle_control != defaults.enable_lle_control) {
+    json.set("enable_lle_control", solver.enable_lle_control);
+  }
+  if (solver.fixed_step != defaults.fixed_step) {
+    json.set("fixed_step", solver.fixed_step);
+  }
+  if (solver.enable_jacobian_reuse != defaults.enable_jacobian_reuse) {
+    json.set("enable_jacobian_reuse", solver.enable_jacobian_reuse);
+  }
+  if (solver.max_init_iterations != defaults.max_init_iterations) {
+    json.set("max_init_iterations", static_cast<double>(solver.max_init_iterations));
+  }
+  if (solver.init_tolerance != defaults.init_tolerance) {
+    json.set("init_tolerance", solver.init_tolerance);
+  }
+  return json;
+}
+
+core::SolverConfig solver_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"max_ab_order", "h_min", "h_max", "h_initial", "stability_safety",
+              "stability_check_interval", "stability_drift_threshold",
+              "enable_stability_cap", "lle_tolerance", "enable_lle_control", "fixed_step",
+              "enable_jacobian_reuse", "max_init_iterations", "init_tolerance"},
+             "solver");
+  core::SolverConfig solver;
+  const auto size_or = [&json](std::string_view key, std::size_t fallback) {
+    const double value = number_or(json, key, static_cast<double>(fallback));
+    if (value < 0.0 || value != std::floor(value)) {
+      throw ModelError("solver: '" + std::string(key) + "' must be a non-negative integer");
+    }
+    return static_cast<std::size_t>(value);
+  };
+  solver.max_ab_order = size_or("max_ab_order", solver.max_ab_order);
+  solver.h_min = number_or(json, "h_min", solver.h_min);
+  solver.h_max = number_or(json, "h_max", solver.h_max);
+  solver.h_initial = number_or(json, "h_initial", solver.h_initial);
+  solver.stability_safety = number_or(json, "stability_safety", solver.stability_safety);
+  solver.stability_check_interval =
+      size_or("stability_check_interval", solver.stability_check_interval);
+  solver.stability_drift_threshold =
+      number_or(json, "stability_drift_threshold", solver.stability_drift_threshold);
+  solver.enable_stability_cap =
+      bool_or(json, "enable_stability_cap", solver.enable_stability_cap);
+  solver.lle_tolerance = number_or(json, "lle_tolerance", solver.lle_tolerance);
+  solver.enable_lle_control = bool_or(json, "enable_lle_control", solver.enable_lle_control);
+  solver.fixed_step = number_or(json, "fixed_step", solver.fixed_step);
+  solver.enable_jacobian_reuse =
+      bool_or(json, "enable_jacobian_reuse", solver.enable_jacobian_reuse);
+  solver.max_init_iterations = size_or("max_init_iterations", solver.max_init_iterations);
+  solver.init_tolerance = number_or(json, "init_tolerance", solver.init_tolerance);
+  return solver;
 }
 
 JsonValue event_to_json(const ExcitationEvent& event) {
@@ -272,6 +369,9 @@ JsonValue to_json(const ExperimentSpec& spec) {
   json.set("trace_interval", spec.trace_interval);
   json.set("power_bin_width", spec.power_bin_width);
   json.set("engine", experiments::engine_kind_id(spec.engine));
+  if (!(spec.solver == core::SolverConfig{})) {
+    json.set("solver", solver_to_json(spec.solver));
+  }
   json.set("excitation", to_json(spec.excitation));
   if (!spec.overrides.empty()) {
     JsonValue overrides = JsonValue::make_array();
@@ -296,7 +396,7 @@ JsonValue to_json(const ExperimentSpec& spec) {
 ExperimentSpec experiment_from_json(const JsonValue& json) {
   check_keys(json,
              {"type", "name", "duration", "pre_tuned_hz", "with_mcu", "trace_interval",
-              "power_bin_width", "engine", "excitation", "overrides", "probes"},
+              "power_bin_width", "engine", "solver", "excitation", "overrides", "probes"},
              "experiment spec");
   ExperimentSpec spec;
   if (const JsonValue* name = json.find("name")) {
@@ -309,6 +409,9 @@ ExperimentSpec experiment_from_json(const JsonValue& json) {
   spec.power_bin_width = number_or(json, "power_bin_width", spec.power_bin_width);
   if (const JsonValue* engine = json.find("engine")) {
     spec.engine = experiments::parse_engine_kind(engine->as_string());
+  }
+  if (const JsonValue* solver = json.find("solver")) {
+    spec.solver = solver_from_json(*solver);
   }
   if (const JsonValue* excitation = json.find("excitation")) {
     spec.excitation = schedule_from_json(*excitation);
@@ -590,6 +693,82 @@ EnsembleSpec ensemble_from_json(const JsonValue& json) {
   return spec;
 }
 
+JsonValue to_json(const AutotuneSpec& spec) {
+  JsonValue json = JsonValue::make_object();
+  json.set("type", "autotune");
+  json.set("name", spec.name);
+  JsonValue base = to_json(spec.base);
+  auto& base_members = base.as_object();
+  for (auto it = base_members.begin(); it != base_members.end(); ++it) {
+    if (it->first == "type") {  // redundant inside an autotune document
+      base_members.erase(it);
+      break;
+    }
+  }
+  json.set("base", std::move(base));
+  JsonValue knobs = JsonValue::make_array();
+  for (const AutotuneKnob& knob : spec.knobs) {
+    JsonValue entry = JsonValue::make_object();
+    entry.set("param", knob.path);
+    JsonValue values = JsonValue::make_array();
+    for (const double value : knob.values) {
+      values.push_back(value);
+    }
+    entry.set("values", std::move(values));
+    knobs.push_back(std::move(entry));
+  }
+  json.set("knobs", std::move(knobs));
+  if (!spec.kernels.empty()) {
+    JsonValue kernels = JsonValue::make_array();
+    for (const experiments::BatchKernel kernel : spec.kernels) {
+      kernels.push_back(experiments::batch_kernel_id(kernel));
+    }
+    json.set("kernels", std::move(kernels));
+  }
+  json.set("error_budget", spec.error_budget);
+  if (spec.oracle_step > 0.0) {
+    json.set("oracle_step", spec.oracle_step);
+  }
+  json.set("max_evaluations", static_cast<double>(spec.max_evaluations));
+  return json;
+}
+
+AutotuneSpec autotune_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"type", "name", "base", "knobs", "kernels", "error_budget", "oracle_step",
+              "max_evaluations"},
+             "autotune spec");
+  AutotuneSpec spec;
+  if (const JsonValue* name = json.find("name")) {
+    spec.name = name->as_string();
+  }
+  spec.base = experiment_from_json(json.at("base"));
+  for (const JsonValue& entry : json.at("knobs").as_array()) {
+    check_keys(entry, {"param", "values"}, "autotune knob");
+    AutotuneKnob knob;
+    knob.path = entry.at("param").as_string();
+    for (const JsonValue& value : entry.at("values").as_array()) {
+      knob.values.push_back(value.as_number());
+    }
+    spec.knobs.push_back(std::move(knob));
+  }
+  if (const JsonValue* kernels = json.find("kernels")) {
+    for (const JsonValue& kernel : kernels->as_array()) {
+      spec.kernels.push_back(experiments::parse_batch_kernel(kernel.as_string()));
+    }
+  }
+  spec.error_budget = number_or(json, "error_budget", spec.error_budget);
+  spec.oracle_step = number_or(json, "oracle_step", spec.oracle_step);
+  const double budget =
+      number_or(json, "max_evaluations", static_cast<double>(spec.max_evaluations));
+  if (budget < 0.0 || budget != std::floor(budget)) {
+    throw ModelError("autotune max_evaluations must be a non-negative integer");
+  }
+  spec.max_evaluations = static_cast<std::size_t>(budget);
+  spec.validate();
+  return spec;
+}
+
 AnySpec spec_from_json(const JsonValue& json) {
   const std::string& type = json.at("type").as_string();
   if (type == "experiment") {
@@ -604,8 +783,11 @@ AnySpec spec_from_json(const JsonValue& json) {
   if (type == "ensemble") {
     return AnySpec(ensemble_from_json(json));
   }
+  if (type == "autotune") {
+    return AnySpec(autotune_from_json(json));
+  }
   throw ModelError("spec type '" + type +
-                   "' is not experiment | sweep | optimise | ensemble");
+                   "' is not experiment | sweep | optimise | ensemble | autotune");
 }
 
 AnySpec load_spec_file(const std::string& path) {
@@ -849,6 +1031,217 @@ JsonValue to_json(const EnsembleResult& result) {
   }
   json.set("probes", std::move(probes));
   return json;
+}
+
+namespace {
+
+JsonValue metrics_to_json(const ErrorMetrics& metrics) {
+  JsonValue json = JsonValue::make_object();
+  json.set("vc_max_rel_error", JsonValue::finite_or_null(metrics.vc_max_rel_error));
+  json.set("vc_rms_rel_error", JsonValue::finite_or_null(metrics.vc_rms_rel_error));
+  json.set("final_vc_rel_error", JsonValue::finite_or_null(metrics.final_vc_rel_error));
+  json.set("energy_rel_error", JsonValue::finite_or_null(metrics.energy_rel_error));
+  json.set("resonance_rel_error", JsonValue::finite_or_null(metrics.resonance_rel_error));
+  return json;
+}
+
+ErrorMetrics metrics_from_json(const JsonValue& json, const char* where) {
+  check_keys(json,
+             {"vc_max_rel_error", "vc_rms_rel_error", "final_vc_rel_error",
+              "energy_rel_error", "resonance_rel_error"},
+             where);
+  ErrorMetrics metrics;
+  metrics.vc_max_rel_error = number_or(json, "vc_max_rel_error", 0.0);
+  metrics.vc_rms_rel_error = number_or(json, "vc_rms_rel_error", 0.0);
+  metrics.final_vc_rel_error = number_or(json, "final_vc_rel_error", 0.0);
+  metrics.energy_rel_error = number_or(json, "energy_rel_error", 0.0);
+  metrics.resonance_rel_error = number_or(json, "resonance_rel_error", 0.0);
+  return metrics;
+}
+
+std::uint64_t count_from(const JsonValue& json, std::string_view key, const char* where) {
+  const double value = number_or(json, key, 0.0);
+  if (value < 0.0 || value != std::floor(value)) {
+    throw ModelError(std::string(where) + ": '" + std::string(key) +
+                     "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+JsonValue to_json(const AccuracyReport& report) {
+  JsonValue json = JsonValue::make_object();
+  json.set("accuracy", report.name);
+  json.set("engine", report.engine);
+  JsonValue oracle = JsonValue::make_object();
+  oracle.set("fixed_step", report.oracle_step);
+  oracle.set("steps", report.oracle_steps);
+  oracle.set("cpu_seconds", report.oracle_cpu_seconds);
+  json.set("oracle", std::move(oracle));
+  JsonValue kernels = JsonValue::make_array();
+  for (const KernelAccuracy& row : report.kernels) {
+    JsonValue entry = JsonValue::make_object();
+    entry.set("kernel", row.kernel);
+    entry.set("cpu_seconds", row.cpu_seconds);
+    entry.set("steps", row.steps);
+    entry.set("bounds", metrics_to_json(row.bounds));
+    JsonValue jobs = JsonValue::make_array();
+    for (const JobAccuracy& job : row.jobs) {
+      JsonValue job_entry = JsonValue::make_object();
+      job_entry.set("job", job.job);
+      job_entry.set("errors", metrics_to_json(job.errors));
+      if (!job.probes.empty()) {
+        JsonValue probes = JsonValue::make_array();
+        for (const ProbeAccuracy& probe : job.probes) {
+          JsonValue probe_entry = JsonValue::make_object();
+          probe_entry.set("label", probe.label);
+          probe_entry.set("max_rel_error", JsonValue::finite_or_null(probe.max_rel_error));
+          probes.push_back(std::move(probe_entry));
+        }
+        job_entry.set("probes", std::move(probes));
+      }
+      jobs.push_back(std::move(job_entry));
+    }
+    entry.set("jobs", std::move(jobs));
+    kernels.push_back(std::move(entry));
+  }
+  json.set("kernels", std::move(kernels));
+  return json;
+}
+
+AccuracyReport accuracy_report_from_json(const JsonValue& json) {
+  check_keys(json, {"accuracy", "engine", "oracle", "kernels"}, "accuracy report");
+  AccuracyReport report;
+  report.name = json.at("accuracy").as_string();
+  report.engine = json.at("engine").as_string();
+  const JsonValue& oracle = json.at("oracle");
+  check_keys(oracle, {"fixed_step", "steps", "cpu_seconds"}, "accuracy oracle");
+  report.oracle_step = number_or(oracle, "fixed_step", 0.0);
+  report.oracle_steps = count_from(oracle, "steps", "accuracy oracle");
+  report.oracle_cpu_seconds = number_or(oracle, "cpu_seconds", 0.0);
+  for (const JsonValue& entry : json.at("kernels").as_array()) {
+    check_keys(entry, {"kernel", "cpu_seconds", "steps", "bounds", "jobs"},
+               "accuracy kernel");
+    KernelAccuracy row;
+    row.kernel = entry.at("kernel").as_string();
+    row.cpu_seconds = number_or(entry, "cpu_seconds", 0.0);
+    row.steps = count_from(entry, "steps", "accuracy kernel");
+    row.bounds = metrics_from_json(entry.at("bounds"), "accuracy bounds");
+    for (const JsonValue& job_entry : entry.at("jobs").as_array()) {
+      check_keys(job_entry, {"job", "errors", "probes"}, "accuracy job");
+      JobAccuracy job;
+      job.job = job_entry.at("job").as_string();
+      job.errors = metrics_from_json(job_entry.at("errors"), "accuracy errors");
+      if (const JsonValue* probes = job_entry.find("probes")) {
+        for (const JsonValue& probe_entry : probes->as_array()) {
+          check_keys(probe_entry, {"label", "max_rel_error"}, "accuracy probe");
+          ProbeAccuracy probe;
+          probe.label = probe_entry.at("label").as_string();
+          probe.max_rel_error = number_or(probe_entry, "max_rel_error", 0.0);
+          job.probes.push_back(std::move(probe));
+        }
+      }
+      row.jobs.push_back(std::move(job));
+    }
+    report.kernels.push_back(std::move(row));
+  }
+  return report;
+}
+
+JsonValue to_json(const AutotuneResult& result) {
+  JsonValue json = JsonValue::make_object();
+  json.set("autotune", result.name);
+  json.set("error_budget", result.error_budget);
+  JsonValue oracle = JsonValue::make_object();
+  oracle.set("fixed_step", result.oracle_step);
+  oracle.set("steps", result.oracle_steps);
+  json.set("oracle", std::move(oracle));
+  JsonValue paths = JsonValue::make_array();
+  for (const std::string& path : result.paths) {
+    paths.push_back(path);
+  }
+  json.set("paths", std::move(paths));
+  JsonValue baseline = JsonValue::make_object();
+  baseline.set("cost", result.baseline_cost);
+  baseline.set("error", JsonValue::finite_or_null(result.baseline_error));
+  json.set("baseline", std::move(baseline));
+  JsonValue chosen = JsonValue::make_object();
+  JsonValue values = JsonValue::make_array();
+  for (const double value : result.chosen_values) {
+    values.push_back(value);
+  }
+  chosen.set("values", std::move(values));
+  chosen.set("kernel", result.chosen_kernel);
+  chosen.set("cost", result.chosen_cost);
+  chosen.set("error", JsonValue::finite_or_null(result.chosen_error));
+  json.set("chosen", std::move(chosen));
+  json.set("cost_ratio", JsonValue::finite_or_null(result.cost_ratio));
+  json.set("feasible", result.feasible);
+  json.set("evaluations", result.evaluations);
+  json.set("sweeps", result.sweeps);
+  JsonValue log = JsonValue::make_array();
+  for (const AutotuneEvaluation& evaluation : result.log) {
+    JsonValue entry = JsonValue::make_object();
+    JsonValue xs = JsonValue::make_array();
+    for (const double value : evaluation.values) {
+      xs.push_back(value);
+    }
+    entry.set("values", std::move(xs));
+    entry.set("kernel", evaluation.kernel);
+    entry.set("cost", evaluation.cost);
+    entry.set("error", JsonValue::finite_or_null(evaluation.error));
+    entry.set("feasible", evaluation.feasible);
+    log.push_back(std::move(entry));
+  }
+  json.set("log", std::move(log));
+  return json;
+}
+
+AutotuneResult autotune_result_from_json(const JsonValue& json) {
+  check_keys(json,
+             {"autotune", "error_budget", "oracle", "paths", "baseline", "chosen",
+              "cost_ratio", "feasible", "evaluations", "sweeps", "log"},
+             "autotune result");
+  AutotuneResult result;
+  result.name = json.at("autotune").as_string();
+  result.error_budget = number_or(json, "error_budget", 0.0);
+  const JsonValue& oracle = json.at("oracle");
+  check_keys(oracle, {"fixed_step", "steps"}, "autotune oracle");
+  result.oracle_step = number_or(oracle, "fixed_step", 0.0);
+  result.oracle_steps = count_from(oracle, "steps", "autotune oracle");
+  for (const JsonValue& path : json.at("paths").as_array()) {
+    result.paths.push_back(path.as_string());
+  }
+  const JsonValue& baseline = json.at("baseline");
+  check_keys(baseline, {"cost", "error"}, "autotune baseline");
+  result.baseline_cost = number_or(baseline, "cost", 0.0);
+  result.baseline_error = number_or(baseline, "error", 0.0);
+  const JsonValue& chosen = json.at("chosen");
+  check_keys(chosen, {"values", "kernel", "cost", "error"}, "autotune chosen");
+  for (const JsonValue& value : chosen.at("values").as_array()) {
+    result.chosen_values.push_back(value.as_number());
+  }
+  result.chosen_kernel = chosen.at("kernel").as_string();
+  result.chosen_cost = number_or(chosen, "cost", 0.0);
+  result.chosen_error = number_or(chosen, "error", 0.0);
+  result.cost_ratio = number_or(json, "cost_ratio", 0.0);
+  result.feasible = bool_or(json, "feasible", false);
+  result.evaluations = count_from(json, "evaluations", "autotune result");
+  result.sweeps = count_from(json, "sweeps", "autotune result");
+  for (const JsonValue& entry : json.at("log").as_array()) {
+    check_keys(entry, {"values", "kernel", "cost", "error", "feasible"}, "autotune log");
+    AutotuneEvaluation evaluation;
+    for (const JsonValue& value : entry.at("values").as_array()) {
+      evaluation.values.push_back(value.as_number());
+    }
+    evaluation.kernel = entry.at("kernel").as_string();
+    evaluation.cost = number_or(entry, "cost", 0.0);
+    evaluation.error = number_or(entry, "error", 0.0);
+    evaluation.feasible = bool_or(entry, "feasible", false);
+    result.log.push_back(std::move(evaluation));
+  }
+  return result;
 }
 
 void write_trace_csv(std::ostream& os, const ScenarioResult& result) {

@@ -15,6 +15,8 @@
 #include <utility>
 #include <variant>
 
+#include "experiments/accuracy.hpp"
+#include "experiments/autotune.hpp"
 #include "experiments/ensemble.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
@@ -43,6 +45,9 @@ namespace ehsim::io {
 [[nodiscard]] JsonValue to_json(const experiments::EnsembleSpec& spec);
 [[nodiscard]] experiments::EnsembleSpec ensemble_from_json(const JsonValue& json);
 
+[[nodiscard]] JsonValue to_json(const experiments::AutotuneSpec& spec);
+[[nodiscard]] experiments::AutotuneSpec autotune_from_json(const JsonValue& json);
+
 // ---- the tagged spec union ------------------------------------------------
 
 /// Stable top-level "type" id of each spec flavour; the overload set keeps
@@ -59,6 +64,9 @@ namespace ehsim::io {
 [[nodiscard]] constexpr const char* spec_type_id(const experiments::EnsembleSpec&) {
   return "ensemble";
 }
+[[nodiscard]] constexpr const char* spec_type_id(const experiments::AutotuneSpec&) {
+  return "autotune";
+}
 
 /// Lambda-overload visitor for AnySpec::dispatch:
 ///   spec.dispatch(overloaded{[](const ExperimentSpec& e) {...}, ...});
@@ -70,15 +78,17 @@ template <class... Ts>
 overloaded(Ts...) -> overloaded<Ts...>;
 
 /// A parsed spec document: exactly one flavour per the top-level "type"
-/// ("experiment" | "sweep" | "optimise" | "ensemble"). Consumers branch with
-/// a single dispatch(visitor) — adding a new spec flavour means extending
-/// the variant, spec_type_id and spec_from_json, and the compiler then
-/// flags every visitor that doesn't handle it. Default-constructed state is
-/// an empty ExperimentSpec (the variant is never empty).
+/// ("experiment" | "sweep" | "optimise" | "ensemble" | "autotune").
+/// Consumers branch with a single dispatch(visitor) — adding a new spec
+/// flavour means extending the variant, spec_type_id and spec_from_json,
+/// and the compiler then flags every visitor that doesn't handle it.
+/// Default-constructed state is an empty ExperimentSpec (the variant is
+/// never empty).
 class AnySpec {
  public:
   using Variant = std::variant<experiments::ExperimentSpec, experiments::SweepSpec,
-                               experiments::OptimiseSpec, experiments::EnsembleSpec>;
+                               experiments::OptimiseSpec, experiments::EnsembleSpec,
+                               experiments::AutotuneSpec>;
 
   AnySpec() = default;
   explicit AnySpec(Variant value) : value_(std::move(value)) {}
@@ -129,6 +139,18 @@ class AnySpec {
 /// mean/stderr/min/max reductions. The per-replica runs are written as
 /// ordinary result/trace files, not embedded here.
 [[nodiscard]] JsonValue to_json(const experiments::EnsembleResult& result);
+
+/// Accuracy report document: oracle run summary plus per-kernel error
+/// bounds and per-job measurements. Round-trips losslessly (the regression
+/// matrix test pins exact numbers through this path).
+[[nodiscard]] JsonValue to_json(const experiments::AccuracyReport& report);
+[[nodiscard]] experiments::AccuracyReport accuracy_report_from_json(const JsonValue& json);
+
+/// Autotune document: the deterministic search record (no wall-clock
+/// fields — same spec, byte-identical JSON). The chosen configuration's
+/// best run is written separately via write_result_files.
+[[nodiscard]] JsonValue to_json(const experiments::AutotuneResult& result);
+[[nodiscard]] experiments::AutotuneResult autotune_result_from_json(const JsonValue& json);
 
 /// "time,Vc[,probe...]" CSV: the decimated supercapacitor trace plus one
 /// column per recorded probe, all at full (to_chars) precision.

@@ -1,0 +1,97 @@
+/// \file compensated.hpp
+/// \brief Compensated (Neumaier/Kahan) summation for the reference oracle.
+///
+/// The extended-precision reference path accumulates millions of tiny
+/// trapezoidal increments into slowly varying states (the supercapacitor
+/// charges by ~1e-7 V per step over 1e7 steps). Naive floating-point
+/// accumulation loses the low-order bits of every increment — precisely the
+/// bits that separate the oracle from the double-precision fast path it is
+/// supposed to judge. A Neumaier accumulator carries those bits in an
+/// explicit compensation term, making long sums exact to within one final
+/// rounding regardless of length or cancellation pattern.
+///
+/// src/ref/ is the one directory sanctioned to use extended precision:
+/// everywhere else the engine is double end-to-end so results stay
+/// bit-identical across platforms (see tools/ehsim_lint.py,
+/// float-accumulation rule). The accumulator is templated on the scalar so
+/// an mpfr-backed build could instantiate it unchanged.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace ehsim::ref {
+
+/// Neumaier-compensated running sum. Unlike classic Kahan, the Neumaier
+/// variant also stays exact when the addend is larger in magnitude than the
+/// running sum (the case that defeats Kahan on alternating series).
+template <typename Scalar>
+class BasicCompensatedAccumulator {
+ public:
+  BasicCompensatedAccumulator() = default;
+  explicit BasicCompensatedAccumulator(Scalar initial) : sum_(initial) {}
+
+  /// Add \p value, tracking the rounding error of the addition exactly.
+  void add(Scalar value) {
+    const Scalar t = sum_ + value;
+    if (std::fabs(sum_) >= std::fabs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  BasicCompensatedAccumulator& operator+=(Scalar value) {
+    add(value);
+    return *this;
+  }
+
+  /// The compensated sum: raw sum plus the accumulated error term.
+  [[nodiscard]] Scalar value() const { return sum_ + compensation_; }
+  /// The uncompensated running sum (what naive accumulation would hold).
+  [[nodiscard]] Scalar raw_sum() const { return sum_; }
+  /// The error term carrying the bits the raw sum has lost so far.
+  [[nodiscard]] Scalar compensation() const { return compensation_; }
+
+  /// Restart the sum at \p value with zero compensation.
+  void reset(Scalar value = Scalar(0)) {
+    sum_ = value;
+    compensation_ = Scalar(0);
+  }
+
+ private:
+  Scalar sum_ = Scalar(0);
+  Scalar compensation_ = Scalar(0);
+};
+
+/// The oracle's working precision (long double: 80-bit extended on x86,
+/// 128-bit quad on several other ABIs — strictly wider than double either
+/// way). Platform-dependent width is acceptable here and only here: the
+/// oracle produces *error bounds* against the deterministic double engine,
+/// not result documents of its own.
+using CompensatedAccumulator = BasicCompensatedAccumulator<long double>;
+
+/// Compensated sum of a span.
+template <typename Scalar>
+[[nodiscard]] Scalar compensated_sum(std::span<const Scalar> values) {
+  BasicCompensatedAccumulator<Scalar> acc;
+  for (const Scalar v : values) {
+    acc.add(v);
+  }
+  return acc.value();
+}
+
+/// Compensated inner product <a, b> (the RefMatrix matvec building block).
+template <typename Scalar>
+[[nodiscard]] Scalar compensated_dot(std::span<const Scalar> a, std::span<const Scalar> b) {
+  BasicCompensatedAccumulator<Scalar> acc;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.add(a[i] * b[i]);
+  }
+  return acc.value();
+}
+
+}  // namespace ehsim::ref

@@ -1,0 +1,211 @@
+/// \file ref_matrix.hpp
+/// \brief Extended-precision dense vector / matrix / LU for the oracle.
+///
+/// A deliberately small mirror of the linalg::Vector / linalg::Matrix /
+/// linalg::LuFactorization API shape in a wider scalar, in the spirit of the
+/// mpfr-backed PreciseMatrix layers used by reference implementations of
+/// linearisation-based simulators: everything is templated on the scalar
+/// (`BasicRef*<Scalar>`) with `long double` instantiated as the default, so
+/// an mpfr type with the same operator surface could drop in without
+/// touching the integrator. Row-major storage, partial-pivot LU, compensated
+/// inner products — no attempt at performance, the oracle is allowed to be
+/// slow.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ref/compensated.hpp"
+
+namespace ehsim::ref {
+
+/// Dense extended-precision vector.
+template <typename Scalar>
+class BasicRefVector {
+ public:
+  BasicRefVector() = default;
+  explicit BasicRefVector(std::size_t size, Scalar value = Scalar(0))
+      : data_(size, value) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  void resize(std::size_t size, Scalar value = Scalar(0)) { data_.assign(size, value); }
+  void fill(Scalar value) {
+    for (Scalar& v : data_) {
+      v = value;
+    }
+  }
+
+  [[nodiscard]] Scalar& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const Scalar& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] Scalar* data() noexcept { return data_.data(); }
+  [[nodiscard]] const Scalar* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<Scalar> span() noexcept { return data_; }
+  [[nodiscard]] std::span<const Scalar> span() const noexcept { return data_; }
+
+  [[nodiscard]] Scalar norm_inf() const {
+    Scalar best = Scalar(0);
+    for (const Scalar& v : data_) {
+      const Scalar a = std::fabs(v);
+      if (a > best) {
+        best = a;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<Scalar> data_;
+};
+
+/// Dense row-major extended-precision matrix.
+template <typename Scalar>
+class BasicRefMatrix {
+ public:
+  BasicRefMatrix() = default;
+  BasicRefMatrix(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, Scalar(0));
+  }
+  void fill(Scalar value) {
+    for (Scalar& v : data_) {
+      v = value;
+    }
+  }
+  void set_identity() {
+    fill(Scalar(0));
+    const std::size_t n = rows_ < cols_ ? rows_ : cols_;
+    for (std::size_t i = 0; i < n; ++i) {
+      (*this)(i, i) = Scalar(1);
+    }
+  }
+
+  [[nodiscard]] Scalar& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Scalar& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// PreciseMatrix-style read accessor alias.
+  [[nodiscard]] const Scalar& coeff(std::size_t r, std::size_t c) const {
+    return (*this)(r, c);
+  }
+  [[nodiscard]] std::span<Scalar> row(std::size_t r) {
+    return std::span<Scalar>(data_.data() + r * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const Scalar> row(std::size_t r) const {
+    return std::span<const Scalar>(data_.data() + r * cols_, cols_);
+  }
+
+  /// y = A x with compensated inner products.
+  void matvec(std::span<const Scalar> x, std::span<Scalar> y) const {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      y[r] = compensated_dot<Scalar>(row(r), x);
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+/// Partial-pivot LU in the extended scalar (mirrors
+/// linalg::LuFactorization's factor/ok/solve_inplace surface).
+template <typename Scalar>
+class BasicRefLu {
+ public:
+  /// Factor \p a; returns false (ok() == false) on a numerically singular
+  /// pivot instead of throwing, matching linalg::LuFactorization.
+  bool factor(const BasicRefMatrix<Scalar>& a) {
+    if (a.rows() != a.cols()) {
+      throw ModelError("ref::BasicRefLu::factor: matrix must be square");
+    }
+    n_ = a.rows();
+    lu_ = a;
+    pivots_.resize(n_);
+    ok_ = true;
+    for (std::size_t k = 0; k < n_; ++k) {
+      std::size_t pivot = k;
+      Scalar best = std::fabs(lu_(k, k));
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const Scalar candidate = std::fabs(lu_(r, k));
+        if (candidate > best) {
+          best = candidate;
+          pivot = r;
+        }
+      }
+      pivots_[k] = pivot;
+      if (best == Scalar(0)) {
+        ok_ = false;
+        return false;
+      }
+      if (pivot != k) {
+        for (std::size_t c = 0; c < n_; ++c) {
+          const Scalar tmp = lu_(k, c);
+          lu_(k, c) = lu_(pivot, c);
+          lu_(pivot, c) = tmp;
+        }
+      }
+      const Scalar inv = Scalar(1) / lu_(k, k);
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const Scalar factor = lu_(r, k) * inv;
+        lu_(r, k) = factor;
+        for (std::size_t c = k + 1; c < n_; ++c) {
+          lu_(r, c) -= factor * lu_(k, c);
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Solve A x = b in place (b becomes x). Requires ok().
+  void solve_inplace(std::span<Scalar> b) const {
+    if (!ok_) {
+      throw ModelError("ref::BasicRefLu::solve_inplace: factorisation not valid");
+    }
+    if (b.size() != n_) {
+      throw ModelError("ref::BasicRefLu::solve_inplace: size mismatch");
+    }
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (pivots_[k] != k) {
+        const Scalar tmp = b[k];
+        b[k] = b[pivots_[k]];
+        b[pivots_[k]] = tmp;
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        b[k] -= lu_(k, c) * b[c];
+      }
+    }
+    for (std::size_t k = n_; k-- > 0;) {
+      BasicCompensatedAccumulator<Scalar> acc(b[k]);
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        acc.add(-lu_(k, c) * b[c]);
+      }
+      b[k] = acc.value() / lu_(k, k);
+    }
+  }
+
+ private:
+  std::size_t n_ = 0;
+  bool ok_ = false;
+  BasicRefMatrix<Scalar> lu_;
+  std::vector<std::size_t> pivots_;
+};
+
+using RefVector = BasicRefVector<long double>;
+using RefMatrix = BasicRefMatrix<long double>;
+using RefLu = BasicRefLu<long double>;
+
+}  // namespace ehsim::ref

@@ -9,8 +9,9 @@
 namespace ehsim::serve {
 namespace {
 
-constexpr const char* kTypeIds[] = {"run",    "sweep",  "optimise", "ensemble",
-                                    "resume", "cancel", "stats",    "shutdown"};
+constexpr const char* kTypeIds[] = {"run",      "sweep",    "optimise", "ensemble",
+                                    "resume",   "accuracy", "autotune", "cancel",
+                                    "stats",    "shutdown"};
 
 RequestType request_type_from(const std::string& id) {
   for (std::size_t i = 0; i < std::size(kTypeIds); ++i) {
@@ -18,14 +19,15 @@ RequestType request_type_from(const std::string& id) {
   }
   throw ProtocolError("request 'type' '" + id +
                           "' is not run | sweep | optimise | ensemble | resume | "
-                          "cancel | stats | shutdown",
+                          "accuracy | autotune | cancel | stats | shutdown",
                       "type");
 }
 
 bool is_job_type(RequestType type) {
   return type == RequestType::kRun || type == RequestType::kSweep ||
          type == RequestType::kOptimise || type == RequestType::kEnsemble ||
-         type == RequestType::kResume;
+         type == RequestType::kResume || type == RequestType::kAccuracy ||
+         type == RequestType::kAutotune;
 }
 
 /// Spec flavours each job type accepts, as io::spec_type_id strings — the
@@ -43,6 +45,10 @@ std::vector<const char*> expected_spec_types(RequestType type) {
       return {"ensemble"};
     case RequestType::kResume:
       return {"experiment", "sweep"};
+    case RequestType::kAccuracy:
+      return {"experiment", "sweep"};
+    case RequestType::kAutotune:
+      return {"autotune"};
     default:
       return {};
   }

@@ -11,9 +11,11 @@
 ///      "checkpoint": {"dir": "ckpt", "every": 2.5}}
 ///     {"id": 6, "type": "resume",   "spec": {...},
 ///      "checkpoint": {"dir": "ckpt", "every": 2.5}}
-///     {"id": 7, "type": "cancel"}   // cancels queued job with id 7
-///     {"id": 8, "type": "stats"}
-///     {"id": 9, "type": "shutdown"}
+///     {"id": 7, "type": "accuracy", "spec": { ...experiment or sweep spec... }}
+///     {"id": 8, "type": "autotune", "spec": { ...autotune spec... }}
+///     {"id": 9, "type": "cancel"}   // cancels queued job with id 9
+///     {"id": 10, "type": "stats"}
+///     {"id": 11, "type": "shutdown"}
 ///
 /// Envelopes are strict-keyed through the same io/json layer as spec files:
 /// unknown keys, missing fields, payload/type mismatches and malformed specs
@@ -39,13 +41,15 @@ enum class RequestType {
   kOptimise,  ///< execute an optimise spec
   kEnsemble,  ///< execute an ensemble spec (seed-varied replicas)
   kResume,    ///< continue a checkpointed run/sweep from its files
+  kAccuracy,  ///< measure a spec's error bounds against the reference oracle
+  kAutotune,  ///< execute an autotune spec (error-budget solver-knob search)
   kCancel,    ///< drop the queued (not yet started) job with this id
   kStats,     ///< report queue/cache/pool counters
   kShutdown,  ///< finish queued jobs, emit a shutdown event, exit
 };
 
 /// Stable wire identifier ("run" | "sweep" | "optimise" | "ensemble" |
-/// "resume" | "cancel" | "stats" | "shutdown").
+/// "resume" | "accuracy" | "autotune" | "cancel" | "stats" | "shutdown").
 [[nodiscard]] const char* request_type_id(RequestType type);
 
 /// Envelope validation failure that knows which key/field it is about —
@@ -71,7 +75,7 @@ struct CheckpointRequest {
 };
 
 /// One parsed request. For the job types (run/sweep/optimise/ensemble/
-/// resume) \c spec holds the matching spec flavour.
+/// resume/accuracy/autotune) \c spec holds the matching spec flavour.
 struct Request {
   std::uint64_t id = 0;
   RequestType type = RequestType::kRun;
@@ -83,8 +87,8 @@ struct Request {
 /// "spec", "spec_path", "checkpoint"}. "id" must be a non-negative integer;
 /// job types need exactly one of "spec" (inline object) / "spec_path" (file
 /// path, resolved relative to the daemon's working directory), and the
-/// payload's spec type must match the envelope type (resume accepts
-/// experiment and sweep specs); control types (cancel/stats/shutdown) must
+/// payload's spec type must match the envelope type (resume and accuracy
+/// accept experiment and sweep specs); control types (cancel/stats/shutdown) must
 /// carry neither. "checkpoint" {"dir", "every"} is optional on run/sweep
 /// (cadence "every" > 0 required), mandatory on resume ("every" optional —
 /// omitted, the resumed run finishes without writing further checkpoints,

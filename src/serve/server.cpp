@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "experiments/accuracy.hpp"
+#include "experiments/autotune.hpp"
 #include "experiments/experiment_spec.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/probes.hpp"
@@ -193,6 +195,12 @@ void Server::execute(const Request& request) {
         break;
       case RequestType::kResume:
         handle_resume(request);
+        break;
+      case RequestType::kAccuracy:
+        handle_accuracy(request);
+        break;
+      case RequestType::kAutotune:
+        handle_autotune(request);
         break;
       case RequestType::kStats:
         emit_stats(request.id);
@@ -485,6 +493,79 @@ void Server::handle_optimise(const Request& request) {
                                  .string();
     io::write_file(stem + ".optimise.json", io::to_json(result).dump(2) + "\n");
     io::write_result_files(options_.out_dir, result.best_run);
+  }
+  count_completed();
+}
+
+void Server::handle_accuracy(const Request& request) {
+  experiments::AccuracyOptions options;
+  if (options_.threads > 0) options.threads = options_.threads;
+  std::optional<experiments::AccuracyReport> report;
+  request.spec.dispatch(io::overloaded{
+      [&](const experiments::ExperimentSpec& spec) {
+        io::JsonValue started = event_base("started", request.id);
+        started.set("type", "accuracy");
+        started.set("name", spec.name);
+        emit(started);
+        report = experiments::run_accuracy(spec, options);
+      },
+      [&](const experiments::SweepSpec& sweep) {
+        io::JsonValue started = event_base("started", request.id);
+        started.set("type", "accuracy");
+        started.set("name", sweep.base.name);
+        emit(started);
+        report = experiments::run_accuracy(sweep, options);
+      },
+      [&](const auto&) {
+        // parse_request only lets experiment/sweep specs through.
+        throw ModelError("accuracy measurement needs an experiment or sweep spec");
+      }});
+
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", "accuracy");
+  done.set("kernels", static_cast<double>(report->kernels.size()));
+  done.set("result", io::to_json(*report));
+  emit(done);
+  if (!options_.out_dir.empty()) {
+    std::filesystem::create_directories(options_.out_dir);
+    const std::string stem = (std::filesystem::path(options_.out_dir) /
+                              io::safe_file_stem(report->name))
+                                 .string();
+    io::write_file(stem + ".accuracy.json", io::to_json(*report).dump(2) + "\n");
+  }
+  count_completed();
+}
+
+void Server::handle_autotune(const Request& request) {
+  const experiments::AutotuneSpec& spec = *request.spec.get_if<experiments::AutotuneSpec>();
+  io::JsonValue started = event_base("started", request.id);
+  started.set("type", "autotune");
+  started.set("name", spec.name);
+  emit(started);
+
+  const experiments::AutotuneOutcome outcome = experiments::run_autotune(spec);
+  const experiments::AutotuneResult& result = outcome.result;
+
+  if (!outcome.best_run.probes.empty()) {
+    io::JsonValue probes = event_base("probes", request.id);
+    probes.set("scenario", outcome.best_run.scenario);
+    probes.set("probes", probes_summary(outcome.best_run.probes));
+    emit(probes);
+  }
+  io::JsonValue done = event_base("result", request.id);
+  done.set("type", "autotune");
+  done.set("evaluations", static_cast<double>(result.evaluations));
+  done.set("result", io::to_json(result));
+  emit(done);
+  if (!options_.out_dir.empty()) {
+    // Mirror `ehsim autotune --out`: the search document plus the chosen
+    // configuration's result/trace files.
+    std::filesystem::create_directories(options_.out_dir);
+    const std::string stem = (std::filesystem::path(options_.out_dir) /
+                              io::safe_file_stem(result.name))
+                                 .string();
+    io::write_file(stem + ".autotune.json", io::to_json(result).dump(2) + "\n");
+    io::write_result_files(options_.out_dir, outcome.best_run);
   }
   count_completed();
 }

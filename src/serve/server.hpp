@@ -98,6 +98,13 @@ class Server {
   void handle_sweep(const Request& request);
   void handle_optimise(const Request& request);
   void handle_ensemble(const Request& request);
+  /// Oracle-vs-fast-path error measurement of an experiment or sweep spec;
+  /// emits the AccuracyReport document and writes <name>.accuracy.json.
+  void handle_accuracy(const Request& request);
+  /// Error-budget knob search of an autotune spec; emits the deterministic
+  /// AutotuneResult document plus the chosen configuration's run, and
+  /// mirrors `ehsim autotune --out` on disk.
+  void handle_autotune(const Request& request);
   /// Dispatches the resumed spec flavour back onto the checkpointed
   /// run/sweep path with CheckpointOptions::resume set.
   void handle_resume(const Request& request);

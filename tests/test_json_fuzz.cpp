@@ -21,12 +21,15 @@
 /// failure replays exactly from the printed seed.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "experiments/accuracy.hpp"
+#include "experiments/autotune.hpp"
 #include "experiments/ensemble.hpp"
 #include "experiments/optimise_spec.hpp"
 #include "experiments/scenarios.hpp"
@@ -373,6 +376,136 @@ EnsembleSpec random_ensemble(SplitMix64& rng) {
   return ensemble;
 }
 
+AutotuneSpec random_autotune(SplitMix64& rng) {
+  AutotuneSpec spec;
+  spec.name = "fuzz-autotune-" + std::to_string(rng.below(1000000));
+  spec.base = random_experiment(rng);
+  spec.base.engine = EngineKind::kProposed;  // the only tunable engine
+  // Ladders over the model-invariant knob paths, values inside each knob's
+  // validated range and strictly increasing (so they are duplicate-free).
+  struct Ladder {
+    const char* path;
+    double lo;
+    double hi;
+    bool integral;
+  };
+  static const Ladder ladders[] = {
+      {"solver.h_max", 5e-4, 4e-3, false},
+      {"solver.h_initial", 1e-7, 1e-5, false},
+      {"solver.stability_safety", 0.5, 0.9, false},
+      {"solver.lle_tolerance", 0.1, 1.0, false},
+      {"solver.init_tolerance", 1e-12, 1e-8, false},
+      {"multiplier.table_segments", 256.0, 4096.0, true},
+  };
+  const std::size_t knobs = 1 + rng.below(3);
+  for (std::size_t i = 0; i < knobs; ++i) {
+    const Ladder& ladder = ladders[(rng.below(2) + 2 * i) % std::size(ladders)];
+    AutotuneKnob knob;
+    knob.path = ladder.path;
+    bool duplicate = false;
+    for (const AutotuneKnob& existing : spec.knobs) {
+      duplicate = duplicate || existing.path == knob.path;
+    }
+    if (duplicate) {
+      continue;
+    }
+    const std::size_t rungs = 1 + rng.below(4);
+    double value = ladder.lo;
+    for (std::size_t r = 0; r < rungs; ++r) {
+      knob.values.push_back(ladder.integral ? std::floor(value) : value);
+      value += (ladder.hi - ladder.lo) / 3.5 * rng.uniform(0.5, 1.0);
+    }
+    spec.knobs.push_back(std::move(knob));
+  }
+  if (rng.chance(0.6)) {
+    spec.kernels.push_back(BatchKernel::kJobs);
+    if (rng.chance(0.5)) {
+      spec.kernels.push_back(BatchKernel::kLockstepExpm);
+    }
+  }
+  spec.error_budget = rng.uniform(1e-4, 0.1);
+  if (rng.chance(0.5)) {
+    spec.oracle_step = rng.uniform(1e-5, 1e-3);
+  }
+  spec.max_evaluations = 5 + rng.below(60);
+  return spec;
+}
+
+ErrorMetrics random_error_metrics(SplitMix64& rng) {
+  ErrorMetrics metrics;
+  metrics.vc_max_rel_error = rng.uniform(0.0, 1e-2);
+  metrics.vc_rms_rel_error = rng.uniform(0.0, 1e-3);
+  metrics.final_vc_rel_error = rng.uniform(0.0, 1e-4);
+  metrics.energy_rel_error = rng.uniform(0.0, 0.1);
+  metrics.resonance_rel_error = rng.uniform(0.0, 1e-2);
+  return metrics;
+}
+
+AccuracyReport random_accuracy_report(SplitMix64& rng) {
+  AccuracyReport report;
+  report.name = "fuzz-report-" + std::to_string(rng.below(1000000));
+  report.engine = "proposed";
+  report.oracle_step = rng.uniform(1e-6, 1e-4);
+  report.oracle_steps = rng.next() >> 24;
+  report.oracle_cpu_seconds = rng.uniform(0.0, 10.0);
+  const std::size_t kernels = 1 + rng.below(3);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    KernelAccuracy kernel;
+    kernel.kernel = batch_kernel_id(std::vector<BatchKernel>{
+        BatchKernel::kJobs, BatchKernel::kLockstep, BatchKernel::kLockstepExpm}[k]);
+    kernel.cpu_seconds = rng.uniform(0.0, 1.0);
+    kernel.steps = rng.next() >> 24;
+    kernel.bounds = random_error_metrics(rng);
+    const std::size_t jobs = 1 + rng.below(3);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      JobAccuracy job;
+      job.job = "job-" + std::to_string(j);
+      job.errors = random_error_metrics(rng);
+      const std::size_t probes = rng.below(3);
+      for (std::size_t p = 0; p < probes; ++p) {
+        // Built by append — operator+(const char*, string&&) trips a GCC 12
+        // -Wrestrict false positive (PR105329) under -Werror.
+        std::string label = "p";
+        label += std::to_string(p);
+        job.probes.push_back(ProbeAccuracy{std::move(label), rng.uniform(0.0, 1e-3)});
+      }
+      kernel.jobs.push_back(std::move(job));
+    }
+    report.kernels.push_back(std::move(kernel));
+  }
+  return report;
+}
+
+AutotuneResult random_autotune_result(SplitMix64& rng) {
+  AutotuneResult result;
+  result.name = "fuzz-tune-" + std::to_string(rng.below(1000000));
+  result.error_budget = rng.uniform(1e-4, 0.1);
+  result.oracle_step = rng.uniform(1e-6, 1e-4);
+  result.oracle_steps = rng.next() >> 24;
+  result.paths = {"solver.h_max", "multiplier.table_segments"};
+  result.baseline_cost = rng.uniform(1e3, 1e6);
+  result.baseline_error = rng.uniform(0.0, 0.1);
+  result.chosen_values = {rng.uniform(5e-4, 4e-3), std::floor(rng.uniform(256.0, 4096.0))};
+  result.chosen_kernel = "lockstep_expm";
+  result.chosen_cost = rng.uniform(1e3, 1e6);
+  result.chosen_error = rng.uniform(0.0, 0.1);
+  result.cost_ratio = result.chosen_cost / result.baseline_cost;
+  result.feasible = rng.chance(0.8);
+  result.evaluations = 1 + rng.below(60);
+  result.sweeps = 1 + rng.below(5);
+  const std::size_t entries = 1 + rng.below(6);
+  for (std::size_t i = 0; i < entries; ++i) {
+    AutotuneEvaluation entry;
+    entry.values = {rng.uniform(5e-4, 4e-3), std::floor(rng.uniform(256.0, 4096.0))};
+    entry.kernel = rng.chance(0.5) ? "jobs" : "lockstep_expm";
+    entry.cost = rng.uniform(1e3, 1e6);
+    entry.error = rng.uniform(0.0, 0.1);
+    entry.feasible = entry.error <= result.error_budget;
+    result.log.push_back(std::move(entry));
+  }
+  return result;
+}
+
 TEST(SpecFuzz, RandomExperimentSpecsRoundTripLosslessly) {
   SplitMix64 rng(0x5EED01ull);
   for (int i = 0; i < 120; ++i) {
@@ -411,6 +544,41 @@ TEST(SpecFuzz, RandomEnsembleSpecsRoundTripLosslessly) {
     ASSERT_NO_THROW(spec.validate()) << "generator bug, case " << i;
     const std::string text = ehsim::io::to_json(spec).dump(2);
     EXPECT_EQ(ehsim::io::ensemble_from_json(JsonValue::parse(text)), spec) << "case " << i;
+  }
+}
+
+TEST(SpecFuzz, RandomAutotuneSpecsRoundTripLosslessly) {
+  SplitMix64 rng(0x5EED08ull);
+  for (int i = 0; i < 80; ++i) {
+    const AutotuneSpec spec = random_autotune(rng);
+    ASSERT_NO_THROW(spec.validate()) << "generator bug, case " << i;
+    const std::string text = ehsim::io::to_json(spec).dump(2);
+    EXPECT_EQ(ehsim::io::autotune_from_json(JsonValue::parse(text)), spec) << "case " << i;
+    // And through the tagged union, preserving the flavour.
+    ehsim::io::AnySpec any = ehsim::io::spec_from_json(JsonValue::parse(text));
+    const AutotuneSpec* held = any.get_if<AutotuneSpec>();
+    ASSERT_NE(held, nullptr) << "case " << i;
+    EXPECT_EQ(*held, spec) << "case " << i;
+  }
+}
+
+TEST(SpecFuzz, RandomAccuracyReportsRoundTripLosslessly) {
+  SplitMix64 rng(0x5EED09ull);
+  for (int i = 0; i < 80; ++i) {
+    const AccuracyReport report = random_accuracy_report(rng);
+    const std::string text = ehsim::io::to_json(report).dump(2);
+    EXPECT_EQ(ehsim::io::accuracy_report_from_json(JsonValue::parse(text)), report)
+        << "case " << i;
+  }
+}
+
+TEST(SpecFuzz, RandomAutotuneResultsRoundTripLosslessly) {
+  SplitMix64 rng(0x5EED0Aull);
+  for (int i = 0; i < 80; ++i) {
+    const AutotuneResult result = random_autotune_result(rng);
+    const std::string text = ehsim::io::to_json(result).dump(2);
+    EXPECT_EQ(ehsim::io::autotune_result_from_json(JsonValue::parse(text)), result)
+        << "case " << i;
   }
 }
 
@@ -456,9 +624,9 @@ bool mutate_key(JsonValue& value, std::size_t& index) {
 
 TEST(SpecFuzz, EveryMutatedKeyIsRejected) {
   SplitMix64 rng(0x5EED04ull);
-  for (int i = 0; i < 25; ++i) {
+  for (int i = 0; i < 30; ++i) {
     JsonValue document;
-    switch (i % 4) {
+    switch (i % 5) {
       case 0:
         document = ehsim::io::to_json(random_experiment(rng));
         break;
@@ -467,6 +635,9 @@ TEST(SpecFuzz, EveryMutatedKeyIsRejected) {
         break;
       case 2:
         document = ehsim::io::to_json(random_optimise(rng));
+        break;
+      case 3:
+        document = ehsim::io::to_json(random_autotune(rng));
         break;
       default:
         document = ehsim::io::to_json(random_ensemble(rng));
@@ -482,6 +653,33 @@ TEST(SpecFuzz, EveryMutatedKeyIsRejected) {
       // both must throw, never silently parse.
       EXPECT_THROW((void)ehsim::io::spec_from_json(mutated), ModelError)
           << "case " << i << ", key " << key << ": " << mutated.dump();
+    }
+  }
+}
+
+/// The result documents of the accuracy layer are strict-keyed too — a
+/// hand-edited or version-skewed report must fail loudly when read back
+/// (the regression matrix and golden tests parse these files).
+TEST(SpecFuzz, EveryMutatedAccuracyDocumentKeyIsRejected) {
+  SplitMix64 rng(0x5EED0Bull);
+  for (int i = 0; i < 6; ++i) {
+    const bool autotune = (i % 2) != 0;
+    const JsonValue document = autotune
+                                   ? ehsim::io::to_json(random_autotune_result(rng))
+                                   : ehsim::io::to_json(random_accuracy_report(rng));
+    const std::size_t keys = count_object_keys(document);
+    ASSERT_GT(keys, 0u);
+    for (std::size_t key = 0; key < keys; ++key) {
+      JsonValue mutated = document;
+      std::size_t cursor = key;
+      ASSERT_TRUE(mutate_key(mutated, cursor));
+      if (autotune) {
+        EXPECT_THROW((void)ehsim::io::autotune_result_from_json(mutated), ModelError)
+            << "case " << i << ", key " << key << ": " << mutated.dump();
+      } else {
+        EXPECT_THROW((void)ehsim::io::accuracy_report_from_json(mutated), ModelError)
+            << "case " << i << ", key " << key << ": " << mutated.dump();
+      }
     }
   }
 }

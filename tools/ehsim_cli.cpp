@@ -10,6 +10,8 @@
 ///   ehsim sweep sweep.json [--threads N] [--warm-start] [--out DIR] [--probes LIST] [--quiet]
 ///   ehsim optimise optimise.json [--warm-start] [--out DIR] [--quiet]
 ///   ehsim ensemble ensemble.json [--threads N] [--out DIR] [--quiet]
+///   ehsim verify-accuracy spec.json [--kernels K1,K2] [--oracle-step H] [--out DIR]
+///   ehsim autotune autotune.json [--out DIR] [--quiet]
 ///   ehsim resume spec.json --checkpoint-dir DIR [--checkpoint-every S] [run flags]
 ///   ehsim serve [--threads N] [--out DIR] [--script FILE] [--queue N] [--pool N] [--cold]
 ///   ehsim echo spec.json
@@ -97,6 +99,20 @@ int usage(std::FILE* where = stderr) {
                "      variable, cyclic coordinate descent over a \"variables\"\n"
                "      array; write the search log + optimum as <name>.optimise.json\n"
                "      and the best run's result/trace files under --out.\n"
+               "  verify-accuracy <spec.json> [--kernels K1,K2] [--oracle-step H]\n"
+               "      [--threads N] [--out DIR] [--quiet]\n"
+               "      Run an experiment or sweep spec on the extended-precision\n"
+               "      reference oracle (src/ref) and on the fast path — once per\n"
+               "      batch kernel — and write the measured max/RMS relative error\n"
+               "      bounds on Vc, probes and harvested energy as\n"
+               "      <name>.accuracy.json (docs/accuracy.md).\n"
+               "  autotune <autotune.json> [--out DIR] [--quiet]\n"
+               "      Run an autotune spec: one oracle run of the base experiment,\n"
+               "      then memoised coordinate descent over the declared solver-knob\n"
+               "      ladders (and batch kernels) for the cheapest configuration\n"
+               "      whose measured error stays inside the spec's error budget.\n"
+               "      Writes the deterministic search record <name>.autotune.json\n"
+               "      plus the chosen configuration's result/trace files.\n"
                "  serve [--threads N] [--out DIR] [--script FILE] [--queue N]\n"
                "      [--pool N] [--cold]\n"
                "      Long-lived simulation service: read newline-delimited request\n"
@@ -358,6 +374,11 @@ int cmd_run(const std::vector<std::string>& args, bool require_sweep, bool resum
         std::fprintf(stderr, "ehsim run: '%s' is an ensemble spec (use `ehsim ensemble`)\n",
                      run->spec_path.c_str());
         return 1;
+      },
+      [&](experiments::AutotuneSpec&) {
+        std::fprintf(stderr, "ehsim run: '%s' is an autotune spec (use `ehsim autotune`)\n",
+                     run->spec_path.c_str());
+        return 1;
       }});
   if (wrong_spec != 0) {
     return wrong_spec;
@@ -485,6 +506,161 @@ int cmd_optimise(const std::vector<std::string>& args) {
                   (result.variable + " = " + experiments::format_double(result.best.x, 6))
                       .c_str(),
                   result.statistic.c_str(), optimise->objective.c_str());
+    }
+  }
+  return 0;
+}
+
+/// Parse a comma list of batch-kernel ids ("jobs,lockstep_expm").
+std::vector<experiments::BatchKernel> parse_kernel_list(const std::string& list) {
+  std::vector<experiments::BatchKernel> kernels;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(start, comma - start);
+    if (!item.empty()) {
+      kernels.push_back(experiments::parse_batch_kernel(item));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return kernels;
+}
+
+/// `ehsim verify-accuracy` — run a spec on the extended-precision reference
+/// oracle and on the fast path (once per batch kernel), write the measured
+/// error bounds as <name>.accuracy.json.
+int cmd_verify_accuracy(const std::vector<std::string>& args) {
+  std::string spec_path;
+  std::string kernels;
+  experiments::AccuracyOptions options;
+  std::string out_dir = ".";
+  bool quiet = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--kernels" && i + 1 < args.size()) {
+      kernels = args[++i];
+    } else if (arg == "--oracle-step" && i + 1 < args.size()) {
+      options.oracle_step = std::stod(args[++i]);
+    } else if (arg == "--threads" && i + 1 < args.size()) {
+      options.threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (arg == "--out" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "ehsim verify-accuracy: unknown option '%s'\n", arg.c_str());
+      return 1;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::fprintf(stderr, "ehsim verify-accuracy: unexpected argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (spec_path.empty()) {
+    std::fprintf(stderr, "ehsim verify-accuracy: missing spec file\n");
+    return 1;
+  }
+  if (!kernels.empty()) {
+    options.kernels = parse_kernel_list(kernels);
+  }
+  io::AnySpec file = io::load_spec_file(spec_path);
+  std::optional<experiments::AccuracyReport> report;
+  const int wrong_spec = file.dispatch(io::overloaded{
+      [&](const experiments::ExperimentSpec& spec) {
+        report = experiments::run_accuracy(spec, options);
+        return 0;
+      },
+      [&](const experiments::SweepSpec& sweep) {
+        report = experiments::run_accuracy(sweep, options);
+        return 0;
+      },
+      [&](const auto&) {
+        std::fprintf(stderr,
+                     "ehsim verify-accuracy: '%s' is not an experiment or sweep spec\n",
+                     spec_path.c_str());
+        return 1;
+      }});
+  if (wrong_spec != 0) {
+    return wrong_spec;
+  }
+  std::filesystem::create_directories(out_dir);
+  const std::string stem =
+      (std::filesystem::path(out_dir) / io::safe_file_stem(report->name)).string();
+  io::write_file(stem + ".accuracy.json", io::to_json(*report).dump(2) + "\n");
+  if (!quiet) {
+    std::printf("wrote %s.accuracy.json (oracle: %llu steps at h = %g s)\n", stem.c_str(),
+                static_cast<unsigned long long>(report->oracle_steps), report->oracle_step);
+    experiments::TablePrinter table(
+        {"kernel", "jobs", "max |Vc| rel err", "final Vc rel err", "energy rel err"});
+    for (const experiments::KernelAccuracy& row : report->kernels) {
+      table.add_row({row.kernel, std::to_string(row.jobs.size()),
+                     experiments::format_double(row.bounds.vc_max_rel_error, 6),
+                     experiments::format_double(row.bounds.final_vc_rel_error, 6),
+                     experiments::format_double(row.bounds.energy_rel_error, 6)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+/// `ehsim autotune` — run an autotune spec, write the deterministic search
+/// record as <name>.autotune.json plus the chosen configuration's result
+/// and trace files.
+int cmd_autotune(const std::vector<std::string>& args) {
+  const auto run = parse_run_args(args);
+  if (!run) {
+    return 1;
+  }
+  if (!run->probes.empty() || run->threads != 0) {
+    std::fprintf(stderr,
+                 "ehsim autotune: --probes/--threads are not supported (the search is "
+                 "sequential; declare probes in the spec's base experiment)\n");
+    return 1;
+  }
+  io::AnySpec file = io::load_spec_file(run->spec_path);
+  const experiments::AutotuneSpec* spec = file.get_if<experiments::AutotuneSpec>();
+  if (spec == nullptr) {
+    std::fprintf(stderr, "ehsim autotune: '%s' is not an autotune spec (use `ehsim run`)\n",
+                 run->spec_path.c_str());
+    return 1;
+  }
+  const experiments::AutotuneOutcome outcome = experiments::run_autotune(*spec);
+  const experiments::AutotuneResult& result = outcome.result;
+  std::filesystem::create_directories(run->out_dir);
+  const std::string stem =
+      (std::filesystem::path(run->out_dir) / io::safe_file_stem(result.name)).string();
+  io::write_file(stem + ".autotune.json", io::to_json(result).dump(2) + "\n");
+  write_results({outcome.best_run}, *run);
+  if (!run->quiet) {
+    std::printf("wrote %s.autotune.json (%llu evaluations, %llu sweeps)\n", stem.c_str(),
+                static_cast<unsigned long long>(result.evaluations),
+                static_cast<unsigned long long>(result.sweeps));
+    std::string point;
+    for (std::size_t i = 0; i < result.paths.size(); ++i) {
+      if (i > 0) {
+        point += ", ";
+      }
+      point += result.paths[i] + " = " +
+               experiments::format_double(result.chosen_values[i], 6);
+    }
+    if (result.feasible) {
+      std::printf("chosen: %s on kernel %s — cost %s (%.1f%% of baseline), error %s "
+                  "within budget %s\n",
+                  point.c_str(), result.chosen_kernel.c_str(),
+                  experiments::format_double(result.chosen_cost, 0).c_str(),
+                  100.0 * result.cost_ratio,
+                  experiments::format_double(result.chosen_error, 6).c_str(),
+                  experiments::format_double(result.error_budget, 6).c_str());
+    } else {
+      std::printf("no configuration met the budget %s; closest: %s on kernel %s "
+                  "(error %s)\n",
+                  experiments::format_double(result.error_budget, 6).c_str(), point.c_str(),
+                  result.chosen_kernel.c_str(),
+                  experiments::format_double(result.chosen_error, 6).c_str());
     }
   }
   return 0;
@@ -655,6 +831,12 @@ int main(int argc, char** argv) {
     if (command == "optimise" || command == "optimize") {
       return cmd_optimise(args);
     }
+    if (command == "verify-accuracy") {
+      return cmd_verify_accuracy(args);
+    }
+    if (command == "autotune") {
+      return cmd_autotune(args);
+    }
     if (command == "serve") {
       return cmd_serve(args);
     }
@@ -676,8 +858,8 @@ int main(int argc, char** argv) {
     error.set("error", "unknown command");
     error.set("command", command);
     error.set("expected",
-              "run | sweep | resume | ensemble | optimise | serve | echo | compare | "
-              "params | help");
+              "run | sweep | resume | ensemble | optimise | verify-accuracy | autotune | "
+              "serve | echo | compare | params | help");
     std::fprintf(stderr, "%s\n", error.dump(-1).c_str());
     return usage();
   } catch (const std::exception& error) {

@@ -27,6 +27,21 @@ wall-clock           std::chrono::*_clock, time(), clock(), gettimeofday:
 float-accumulation   The `float` type. The engine is double-precision
                      end-to-end; a single float intermediate silently
                      truncates reductions, so src/ bans the type outright.
+                     Long reductions that need more than double precision
+                     have a sanctioned sink: ref::CompensatedAccumulator
+                     (src/ref/compensated.hpp) — compensated double-double
+                     summation, deterministic on every target.
+extended-precision   `long double` / `__float128`. Their width is
+                     platform-dependent (x87 80-bit vs aliased-to-double on
+                     AArch64), so any result touching them is not
+                     bit-reproducible across targets. Banned everywhere
+                     except src/ref/ — the extended-precision reference
+                     oracle is the one subsystem whose *job* is to run wider
+                     than double, is never on a result-producing fast path,
+                     and whose outputs are only consumed through double-
+                     precision error metrics. The carve-out is path-based by
+                     design: no waivers or baseline entries for this rule
+                     outside src/ref/.
 raw-mutex            std::mutex, std::condition_variable, lock_guard,
                      unique_lock, scoped_lock: use core::Mutex / MutexLock /
                      CondVar so -Wthread-safety can check the locking.
@@ -61,8 +76,13 @@ RULES = {
     "raw-random": "non-deterministic random source (std::random_device / rand / srand)",
     "wall-clock": "wall-clock read outside the cpu_seconds shims",
     "float-accumulation": "single-precision float in a double-precision engine",
+    "extended-precision": "long double/__float128 outside the src/ref oracle (non-portable width)",
     "raw-mutex": "raw std::mutex/condition_variable (invisible to -Wthread-safety)",
 }
+
+# The one directory allowed to use extended precision: the reference oracle
+# (see the rule table above). Path prefix, POSIX-style relative to the root.
+EXTENDED_PRECISION_CARVE_OUT = "src/ref/"
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
@@ -85,6 +105,7 @@ WALL_CLOCK_RE = re.compile(
     r"|\bgettimeofday\b"
 )
 FLOAT_RE = re.compile(r"(?<![\w:])float(?![\w])")
+EXTENDED_RE = re.compile(r"\blong\s+double\b|\b__float128\b")
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
@@ -183,12 +204,16 @@ def unordered_iteration_findings(stripped: list[str]) -> list[tuple[int, str]]:
 
 def scan_file(path: Path, root: Path) -> list[dict]:
     try:
-        raw = path.read_text(encoding="utf-8").splitlines()
+        text = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as error:
         print("ehsim_lint: cannot read %s: %s" % (path, error), file=sys.stderr)
         raise SystemExit(2)
+    return scan_text(path.relative_to(root).as_posix(), text)
+
+
+def scan_text(rel: str, text: str) -> list[dict]:
+    raw = text.splitlines()
     stripped = strip_comments_and_strings(raw)
-    rel = path.relative_to(root).as_posix()
     findings = []
 
     def add(rule: str, idx: int, detail: str) -> None:
@@ -206,12 +231,19 @@ def scan_file(path: Path, root: Path) -> list[dict]:
 
     for idx, detail in unordered_iteration_findings(stripped):
         add("unordered-iteration", idx, detail)
-    simple = (
+    simple = [
         ("raw-random", RAW_RANDOM_RE),
         ("wall-clock", WALL_CLOCK_RE),
         ("float-accumulation", FLOAT_RE),
         ("raw-mutex", RAW_MUTEX_RE),
-    )
+    ]
+    # Path-based carve-out, not a blanket waiver: inside src/ref/ the rule
+    # is not evaluated at all (the oracle's whole job is extended precision;
+    # per-line lint:allow there would just train people to scatter waivers).
+    # Everywhere else a hit is a finding, silenced only by an explicit,
+    # greppable lint:allow on that line.
+    if not rel.startswith(EXTENDED_PRECISION_CARVE_OUT):
+        simple.append(("extended-precision", EXTENDED_RE))
     for idx, line in enumerate(stripped):
         for rule, pattern in simple:
             if pattern.search(line):
@@ -221,6 +253,73 @@ def scan_file(path: Path, root: Path) -> list[dict]:
 
 def finding_key(f: dict) -> tuple[str, str, str]:
     return (f["rule"], f["file"], f["text"])
+
+
+# (description, relative path, snippet, rules expected to fire) — the lint
+# linting itself. Every rule needs at least one firing and one non-firing
+# case; the extended-precision cases pin the src/ref/ carve-out and the
+# comment/string stripper.
+SELF_TEST_CASES = [
+    ("long double flagged in src/core",
+     "src/core/solver.hpp", "long double acc = 0.0;", {"extended-precision"}),
+    ("__float128 flagged in src/experiments",
+     "src/experiments/metrics.cpp", "__float128 wide;", {"extended-precision"}),
+    ("long double allowed in the src/ref oracle",
+     "src/ref/compensated.hpp", "long double sum_ = 0.0L;", set()),
+    ("carve-out is the directory, not the prefix string",
+     "src/refinery/boiler.hpp", "long double t;", {"extended-precision"}),
+    ("extended-precision waivable outside src/ref only explicitly",
+     "src/core/shim.hpp",
+     "long double x;  // lint:allow extended-precision", set()),
+    ("commented long double not flagged",
+     "src/core/doc.hpp", "// long double would lose determinism here", set()),
+    ("'long double' inside a string literal not flagged",
+     "src/io/msg.cpp", 'const char* m = "long double";', set()),
+    ("plain double stays clean",
+     "src/core/ok.hpp", "double x = 0.0;", set()),
+    ("float flagged",
+     "src/core/f.hpp", "float f = 0.f;", {"float-accumulation"}),
+    ("__float128 does not double-count as float",
+     "src/core/g.hpp", "__float128 g;", {"extended-precision"}),
+    ("raw std::mutex flagged",
+     "src/serve/m.hpp", "std::mutex lock;", {"raw-mutex"}),
+    ("core::Mutex clean",
+     "src/serve/m2.hpp", "core::Mutex lock;", set()),
+    ("std::random_device flagged",
+     "src/experiments/r.cpp", "std::random_device rd;", {"raw-random"}),
+    ("seeded mt19937 clean",
+     "src/experiments/r2.cpp", "std::mt19937 gen(seed);", set()),
+    ("steady_clock flagged",
+     "src/experiments/t.cpp",
+     "auto t0 = std::chrono::steady_clock::now();", {"wall-clock"}),
+    ("unordered map iteration flagged",
+     "src/io/u.cpp",
+     "std::unordered_map<int, int> cache_;\nfor (const auto& kv : cache_) {}",
+     {"unordered-iteration"}),
+]
+
+
+def self_test() -> int:
+    failures = []
+    for description, rel, snippet, expected in SELF_TEST_CASES:
+        fired = {f["rule"] for f in scan_text(rel, snippet)}
+        if fired != expected:
+            failures.append(
+                "  %s (%s):\n    expected %s, got %s"
+                % (description, rel, sorted(expected) or "clean", sorted(fired) or "clean")
+            )
+    for rule in RULES:
+        covered = any(rule in expected for _, _, _, expected in SELF_TEST_CASES)
+        if not covered:
+            failures.append("  rule '%s' has no firing self-test case" % rule)
+    if failures:
+        print("ehsim_lint --self-test: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print("ehsim_lint --self-test: %d case(s) passed, every rule covered"
+          % len(SELF_TEST_CASES))
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -243,12 +342,19 @@ def main(argv: list[str]) -> int:
         help="rewrite the baseline from the current findings and exit 0",
     )
     parser.add_argument("--list-rules", action="store_true", help="print the rule table")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the scanner against embedded positive/negative snippets and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         for rule, description in RULES.items():
             print("%-22s %s" % (rule, description))
         return 0
+    if args.self_test:
+        return self_test()
 
     root = args.root.resolve()
     src = root / "src"
